@@ -1,0 +1,43 @@
+// Ablation (§5 tuning note): "We have tuned the NFS rwsize to 64 KB ...
+// as the default NFS rwsize of 1 MB does not match well with the
+// small-sized read requests during boot time." Compares plain-QCOW2 boot
+// at 64 nodes under a 64 KiB rwsize / 4 KiB fetch quantum against a
+// 1 MiB rwsize server that fetches at full-rsize granularity.
+#include "bench_common.hpp"
+
+using namespace vmic;
+using namespace vmic::cluster;
+
+namespace {
+
+void run_cfg(const char* label, std::uint32_t rwsize,
+             std::uint32_t min_fetch) {
+  ScenarioConfig sc;
+  sc.profile = boot::centos63();
+  sc.num_vms = 64;
+  sc.num_vmis = 1;
+  sc.mode = CacheMode::none;
+
+  ClusterParams cp = vmic::bench::das4(net::gigabit_ethernet());
+  cp.nfs.rwsize = rwsize;
+  cp.nfs.min_fetch = min_fetch;
+  const auto r = run_scenario(cp, sc);
+  std::printf("%16s%16.1f%16.1f\n", label, r.mean_boot,
+              static_cast<double>(r.storage_payload_bytes) / 1048576.0 / 64);
+}
+
+}  // namespace
+
+int main() {
+  vmic::bench::header(
+      "Ablation — NFS rwsize tuning (64 nodes, 1 GbE, plain QCOW2)",
+      "Razavi & Kielmann, SC'13, §5 evaluation setup",
+      "the 1 MiB default fetches far more than boot-time reads need: more "
+      "traffic per VM and slower boots than the tuned 64 KiB rwsize");
+
+  vmic::bench::row_header({"rwsize", "boot(s)", "MB/VM"});
+  run_cfg("64KiB/4KiB", 64 * 1024, 4096);
+  run_cfg("1MiB/64KiB", 1024 * 1024, 64 * 1024);
+  run_cfg("1MiB/1MiB", 1024 * 1024, 1024 * 1024);
+  return 0;
+}

@@ -1,0 +1,47 @@
+#pragma once
+
+// Shared plumbing for the per-figure/table bench binaries. Each binary
+// prints the series the corresponding paper figure plots, in a fixed
+// column layout, plus a short "shape check" note stating what to compare
+// against the paper.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/scenario.hpp"
+#include "util/units.hpp"
+
+namespace vmic::bench {
+
+inline void header(const std::string& title, const std::string& paper_ref,
+                   const std::string& expectation) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Paper: %s\n", paper_ref.c_str());
+  std::printf("Expected shape: %s\n", expectation.c_str());
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+inline void row_header(const std::vector<std::string>& cols) {
+  for (const auto& c : cols) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%16s", "----");
+  std::printf("\n");
+}
+
+/// The paper's node counts / VMI counts axis: 1, 4, 8, 16, 32, 64.
+inline std::vector<int> paper_axis() { return {1, 4, 8, 16, 32, 64}; }
+
+/// DAS-4 cluster with the given network and node count.
+inline cluster::ClusterParams das4(const net::NetworkParams& net,
+                                   int nodes = 64) {
+  cluster::ClusterParams cp;
+  cp.compute_nodes = nodes;
+  cp.network = net;
+  return cp;
+}
+
+}  // namespace vmic::bench

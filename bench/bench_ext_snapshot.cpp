@@ -1,0 +1,55 @@
+// Extension (§8 future work): "Another interesting line of work is to
+// apply our caching scheme to memory snapshots of already booted virtual
+// machines, starting from which instead of the VM image could improve
+// the VM starting time even further."
+//
+// Deploys 64 VMs either by booting the OS image or by resuming a memory
+// snapshot, each with and without warm VMI caches — the snapshot file is
+// just another image in the chain, so the whole mechanism carries over.
+#include "bench_common.hpp"
+
+using namespace vmic;
+using namespace vmic::cluster;
+
+namespace {
+
+double run_cfg(const boot::OsProfile& prof, CacheMode mode,
+               CacheState state) {
+  ScenarioConfig sc;
+  sc.profile = prof;
+  sc.num_vms = 64;
+  sc.num_vmis = 1;
+  sc.mode = mode;
+  sc.state = state;
+  sc.cache_quota = 400 * MiB;
+  sc.cache_cluster_bits = 9;
+  return run_scenario(vmic::bench::das4(net::gigabit_ethernet()), sc)
+      .mean_boot;
+}
+
+}  // namespace
+
+int main() {
+  vmic::bench::header(
+      "Extension — caching memory snapshots (§8 future work), 64 nodes, "
+      "1 GbE",
+      "Razavi & Kielmann, SC'13, §8 (conclusions / future work)",
+      "resuming from a snapshot through a warm VMI cache starts 64 VMs in "
+      "seconds — far below even the warm-cache cold-boot time");
+
+  const auto os = boot::centos63();
+  const auto snap = boot::snapshot_restore_profile(os);
+
+  vmic::bench::row_header({"strategy", "mean-start(s)"});
+  std::printf("%32s%16.1f\n", "boot, plain QCOW2",
+              run_cfg(os, CacheMode::none, CacheState::cold));
+  std::printf("%32s%16.1f\n", "boot, warm cache",
+              run_cfg(os, CacheMode::compute_disk, CacheState::warm));
+  std::printf("%32s%16.1f\n", "resume, plain QCOW2",
+              run_cfg(snap, CacheMode::none, CacheState::cold));
+  std::printf("%32s%16.1f\n", "resume, cold cache",
+              run_cfg(snap, CacheMode::compute_disk, CacheState::cold));
+  std::printf("%32s%16.1f\n", "resume, warm cache",
+              run_cfg(snap, CacheMode::compute_disk, CacheState::warm));
+  return 0;
+}

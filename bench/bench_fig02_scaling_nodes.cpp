@@ -1,0 +1,31 @@
+// Figure 2: booting time of a CentOS VM on 1..64 compute nodes
+// simultaneously, single VMI, plain QCOW2 over NFS (reads from the remote
+// base, writes to a local CoW image), on 1 GbE vs 32 Gb InfiniBand.
+#include "bench_common.hpp"
+
+using namespace vmic;
+using namespace vmic::cluster;
+
+int main() {
+  bench::header(
+      "Fig 2 — Scaling the number of nodes (plain QCOW2, single VMI)",
+      "Razavi & Kielmann, SC'13, Figure 2",
+      "1GbE rises roughly linearly beyond ~8 nodes (network bottleneck); "
+      "32GbIB stays flat at the single-VM boot time");
+
+  bench::row_header({"# nodes", "QCOW2-1GbE(s)", "QCOW2-32GbIB(s)"});
+  for (int n : bench::paper_axis()) {
+    ScenarioConfig sc;
+    sc.profile = boot::centos63();
+    sc.num_vms = n;
+    sc.num_vmis = 1;
+    sc.mode = CacheMode::none;
+
+    const auto ge =
+        run_scenario(bench::das4(net::gigabit_ethernet(), n), sc);
+    const auto ib = run_scenario(bench::das4(net::infiniband_qdr(), n), sc);
+    std::printf("%16d%16.1f%16.1f\n", n, ge.mean_boot, ib.mean_boot);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// §5.3.1's mixed scenario, which the paper discusses but leaves
+// unquantified: "Depending on the cloud node scheduler, it can be that
+// some of the nodes start from the cold cache and some from a warm cache.
+// ... Regardless of the node allocations, the nodes with a warm cache
+// contribute to reducing the network load on the storage node(s)."
+//
+// 64 nodes, one VMI, 1 GbE; sweep the fraction of warm-cache nodes.
+#include "bench_common.hpp"
+
+using namespace vmic;
+using namespace vmic::cluster;
+
+int main() {
+  bench::header(
+      "Mixed warm/cold nodes (64 nodes, 1 VMI, 1 GbE)",
+      "Razavi & Kielmann, SC'13, §5.3.1 (qualitative discussion)",
+      "warm VMs boot at the single-VM time; cold VMs speed up too as the "
+      "warm fraction grows (less contention on the storage link)");
+
+  bench::row_header({"warm-frac", "warm-mean(s)", "cold-mean(s)",
+                     "overall(s)", "traffic(GB)"});
+  for (const double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    ScenarioConfig sc;
+    sc.profile = boot::centos63();
+    sc.num_vms = 64;
+    sc.num_vmis = 1;
+    sc.mode = CacheMode::compute_disk;
+    sc.state = CacheState::warm;
+    sc.warm_node_fraction = frac;
+    sc.cache_quota = 250 * MiB;
+    sc.cache_cluster_bits = 9;
+
+    const auto r = run_scenario(bench::das4(net::gigabit_ethernet()), sc);
+    OnlineStats warm, cold;
+    for (const auto& vm : r.vms) {
+      (vm.warm ? warm : cold).add(vm.boot.boot_seconds);
+    }
+    std::printf("%15.0f%%%16.1f%16.1f%16.1f%16.2f\n", frac * 100,
+                warm.count() ? warm.mean() : 0.0,
+                cold.count() ? cold.mean() : 0.0, r.mean_boot,
+                static_cast<double>(r.storage_payload_bytes) / 1e9);
+    std::fflush(stdout);
+  }
+  return 0;
+}

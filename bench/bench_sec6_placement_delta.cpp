@@ -1,0 +1,36 @@
+// §6: with a fast network, a VM boots about equally fast from a warm
+// cache on the compute node's disk as from one in the storage node's
+// memory — the paper measured at most a 1 % difference, which justifies
+// Algorithm 1's preference order being driven by load, not raw latency.
+#include "bench_common.hpp"
+
+using namespace vmic;
+using namespace vmic::cluster;
+
+int main() {
+  bench::header(
+      "§6 — Warm-cache placement: compute-node disk vs storage memory",
+      "Razavi & Kielmann, SC'13, Section 6 (placement discussion)",
+      "over InfiniBand the two placements differ by ~1% in boot time");
+
+  ScenarioConfig sc;
+  sc.profile = boot::centos63();
+  sc.num_vms = 1;
+  sc.num_vmis = 1;
+  sc.state = CacheState::warm;
+  sc.cache_quota = 250 * MiB;
+  sc.cache_cluster_bits = 9;
+
+  bench::row_header({"network", "disk-cache(s)", "mem-cache(s)", "delta(%)"});
+  for (const auto& netp : {net::infiniband_qdr(), net::gigabit_ethernet()}) {
+    sc.mode = CacheMode::compute_disk;
+    const auto local = run_scenario(bench::das4(netp, 1), sc);
+    sc.mode = CacheMode::storage_mem;
+    const auto remote = run_scenario(bench::das4(netp, 1), sc);
+    const double delta =
+        100.0 * (remote.mean_boot - local.mean_boot) / local.mean_boot;
+    std::printf("%16s%16.2f%16.2f%16.2f\n", netp.name.c_str(),
+                local.mean_boot, remote.mean_boot, delta);
+  }
+  return 0;
+}

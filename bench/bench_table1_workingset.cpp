@@ -1,0 +1,52 @@
+// Table 1: read working set size of various VMIs for booting the VM —
+// the amount of *unique* data read from the base image during boot.
+// Also reproduces the §7.3 observation that the (CentOS) VM waits only
+// ~17 % of its boot time on reads.
+#include "bench_common.hpp"
+#include "boot/trace.hpp"
+#include "util/interval_set.hpp"
+
+using namespace vmic;
+using namespace vmic::cluster;
+
+int main() {
+  bench::header(
+      "Table 1 — Read working set size of various VMIs for booting",
+      "Razavi & Kielmann, SC'13, Table 1 (+ §7.3 read-wait note)",
+      "CentOS 6.3 ~85.2 MB, Debian 6.0.7 ~24.9 MB, Windows Server 2012 "
+      "~195.8 MB of unique reads");
+
+  bench::row_header({"VMI", "unique-reads", "total-reads", "read-ops"});
+  for (const auto& p :
+       {boot::centos63(), boot::debian607(), boot::windows2012()}) {
+    const auto t = boot::generate_boot_trace(p);
+    // Recount the unique bytes from the ops themselves (the same way an
+    // instrumented block driver would measure it).
+    IntervalSet unique;
+    std::uint64_t read_ops = 0;
+    for (const auto& op : t.ops) {
+      if (op.kind != boot::BootOp::Kind::read) continue;
+      unique.insert(op.offset, op.offset + op.length);
+      ++read_ops;
+    }
+    std::printf("%24s %9.1f MB %9.1f MB %11llu\n", p.name.c_str(),
+                static_cast<double>(unique.total()) / 1048576.0,
+                static_cast<double>(t.total_read_bytes) / 1048576.0,
+                static_cast<unsigned long long>(read_ops));
+  }
+
+  // §7.3: "the VM only waits 17% of its total boot time on reads" —
+  // measured on a single CentOS boot over 1 GbE (plain QCOW2).
+  ScenarioConfig sc;
+  sc.profile = boot::centos63();
+  sc.num_vms = 1;
+  sc.num_vmis = 1;
+  sc.mode = CacheMode::none;
+  const auto r = run_scenario(bench::das4(net::gigabit_ethernet(), 1), sc);
+  const auto& b = r.vms[0].boot;
+  std::printf("\nCentOS single-VM boot over 1GbE: %.1f s, read-wait %.1f s "
+              "(%.0f%% of boot; paper reports ~17%%)\n",
+              b.boot_seconds, b.read_wait_seconds,
+              100.0 * b.read_wait_seconds / b.boot_seconds);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Table 2: cache quota necessary for various VMIs — the size of the
+// warm cache *file* (512 B cache clusters), which exceeds the Table 1
+// working set by the QCOW2 metadata (L1 sized by the virtual disk, L2 by
+// the cached data, refcounts, header). Also verifies the §5.1 note that
+// a 200 MB quota needs only ~3.1 MB of L2 tables at 512 B clusters.
+#include "bench_common.hpp"
+#include "boot/trace.hpp"
+#include "io/mem_store.hpp"
+#include "qcow2/chain.hpp"
+#include "sim/task.hpp"
+
+using namespace vmic;
+
+namespace {
+
+struct WarmResult {
+  std::uint64_t file_bytes;
+  std::uint64_t data_bytes;
+  std::uint64_t l2_bytes;
+};
+
+/// Host-side warm-up: build base <- cache <- cow in memory and replay the
+/// profile's boot reads through the chain; report the cache file size.
+WarmResult warm_cache_for(const boot::OsProfile& p) {
+  io::MemImageStore store;
+  {
+    auto be = store.create_file("base.img");
+    (void)sim::sync_wait((*be)->truncate(p.image_size));
+  }
+  auto setup = [&]() -> sim::Task<Result<WarmResult>> {
+    VMIC_CO_TRY_VOID(co_await qcow2::create_cache_image(
+        store, "vmi.cache", "base.img", 400 * MiB,
+        {.cluster_bits = 9, .virtual_size = p.image_size}));
+    VMIC_CO_TRY_VOID(co_await qcow2::create_cow_image(
+        store, "vm.cow", "vmi.cache",
+        {.cluster_bits = 16, .virtual_size = p.image_size}));
+    VMIC_CO_TRY(dev, co_await qcow2::open_image(store, "vm.cow"));
+    const auto trace = boot::generate_boot_trace(p);
+    std::vector<std::uint8_t> buf;
+    for (const auto& op : trace.ops) {
+      buf.resize(op.length);
+      if (op.kind == boot::BootOp::Kind::read) {
+        VMIC_CO_TRY_VOID(co_await dev->read(op.offset, buf));
+      } else {
+        VMIC_CO_TRY_VOID(co_await dev->write(op.offset, buf));
+      }
+    }
+    auto* cache = dynamic_cast<qcow2::Qcow2Device*>(dev->backing());
+    WarmResult out{cache->file_bytes(), cache->allocated_data_bytes(),
+                   cache->l2_table_bytes()};
+    VMIC_CO_TRY_VOID(co_await dev->close());
+    co_return out;
+  };
+  auto r = sim::sync_wait(setup());
+  if (!r.ok()) return {0, 0, 0};
+  return *r;
+}
+
+}  // namespace
+
+int main() {
+  vmic::bench::header(
+      "Table 2 — Cache quota necessary for various VMIs (512 B clusters)",
+      "Razavi & Kielmann, SC'13, Table 2 (+ §5.1 L2-size note)",
+      "CentOS ~93 MB, Windows Server ~201 MB, Debian ~40 MB — each a bit "
+      "above its Table 1 working set, the gap being QCOW2 metadata");
+
+  vmic::bench::row_header(
+      {"VMI", "warm-cache", "cached-data", "L2-tables"});
+  for (const auto& p :
+       {boot::centos63(), boot::windows2012(), boot::debian607()}) {
+    const auto w = warm_cache_for(p);
+    std::printf("%24s %9.1f MB %9.1f MB %9.2f MB\n", p.name.c_str(),
+                static_cast<double>(w.file_bytes) / 1048576.0,
+                static_cast<double>(w.data_bytes) / 1048576.0,
+                static_cast<double>(w.l2_bytes) / 1048576.0);
+  }
+
+  // §5.1: "For a cache quota of 200 MB, only 3.1 MB is necessary for
+  // L2-tables" — pure format math at 512 B clusters.
+  const qcow2::Layout ly{9};
+  const double l2_mb =
+      static_cast<double>(div_ceil((200 * MiB) / ly.cluster_size(),
+                                   ly.l2_entries()) *
+                          ly.cluster_size()) /
+      1048576.0;
+  std::printf("\nL2 tables needed for a 200 MB quota at 512 B clusters: "
+              "%.2f MB (paper: 3.1 MB)\n", l2_mb);
+  return 0;
+}

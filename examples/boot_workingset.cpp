@@ -1,0 +1,80 @@
+// Boot working-set analysis: what the paper's Table 1 measurement looks
+// like from the inside. Generates the boot trace for each OS profile and
+// prints the working set, request-size histogram, and how a given cache
+// quota would cover the boot.
+//
+//   $ ./boot_workingset
+
+#include <cstdio>
+
+#include "boot/profile.hpp"
+#include "boot/trace.hpp"
+#include "util/interval_set.hpp"
+#include "util/units.hpp"
+
+using namespace vmic;
+using namespace vmic::boot;
+
+int main() {
+  for (const auto& p : {centos63(), debian607(), windows2012()}) {
+    const auto t = generate_boot_trace(p);
+
+    std::printf("=== %s ===\n", p.name.c_str());
+    std::printf("virtual disk          %s\n",
+                format_bytes(p.image_size).c_str());
+    std::printf("unique read bytes     %s  (Table 1)\n",
+                format_bytes(t.unique_read_bytes).c_str());
+    std::printf("total read bytes      %s  (incl. re-reads)\n",
+                format_bytes(t.total_read_bytes).c_str());
+    std::printf("guest writes          %s\n",
+                format_bytes(t.total_write_bytes).c_str());
+    std::printf("boot CPU time         %.1f s\n", t.cpu_seconds);
+
+    // Request-size histogram.
+    std::size_t buckets[6] = {};
+    const char* labels[6] = {"<=2K", "4K", "8K", "16K", "32K", ">=64K"};
+    std::size_t reads = 0;
+    for (const auto& op : t.ops) {
+      if (op.kind != BootOp::Kind::read) continue;
+      ++reads;
+      if (op.length <= 2048) ++buckets[0];
+      else if (op.length <= 4096) ++buckets[1];
+      else if (op.length <= 8192) ++buckets[2];
+      else if (op.length <= 16384) ++buckets[3];
+      else if (op.length <= 32768) ++buckets[4];
+      else ++buckets[5];
+    }
+    std::printf("read requests         %zu\n", reads);
+    std::printf("request sizes        ");
+    for (int i = 0; i < 6; ++i) {
+      std::printf(" %s:%4.1f%%", labels[i],
+                  100.0 * static_cast<double>(buckets[i]) /
+                      static_cast<double>(reads));
+    }
+    std::printf("\n");
+
+    // Quota coverage: how much of the boot a cache of size Q can serve
+    // once warm (prefix of the unique working set, CoR fills in order).
+    std::printf("quota coverage       ");
+    for (const std::uint64_t q : {25 * MiB, 50 * MiB, 100 * MiB, 200 * MiB}) {
+      IntervalSet seen;
+      std::uint64_t covered = 0, total = 0;
+      for (const auto& op : t.ops) {
+        if (op.kind != BootOp::Kind::read) continue;
+        total += op.length;
+        if (seen.total() + op.length <= q ||
+            seen.covers(op.offset, op.offset + op.length)) {
+          covered += op.length;
+        }
+        if (seen.total() + op.length <= q) {
+          seen.insert(op.offset, op.offset + op.length);
+        }
+      }
+      std::printf(" %s:%3.0f%%", format_bytes(q).c_str(),
+                  100.0 * static_cast<double>(covered) /
+                      static_cast<double>(total));
+    }
+    std::printf("\n\n");
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "io/backend.hpp"
+#include "sim/task.hpp"
+#include "util/result.hpp"
+
+namespace vmic::block {
+
+class BlockDevice;
+using DevicePtr = std::unique_ptr<BlockDevice>;
+
+/// Per-device operation counters. The evaluation reads these off the
+/// storage-node / device stack (e.g. Fig 9's "observed traffic at the
+/// storage node" is the byte counters of the base image's backend).
+struct DeviceStats {
+  std::uint64_t guest_reads = 0;       ///< read() calls served
+  std::uint64_t guest_writes = 0;      ///< write() calls served
+  std::uint64_t bytes_read = 0;        ///< payload bytes returned
+  std::uint64_t bytes_written = 0;     ///< payload bytes accepted
+  std::uint64_t backing_reads = 0;     ///< recursions into the backing image
+  std::uint64_t bytes_from_backing = 0;
+  std::uint64_t cor_bytes = 0;         ///< bytes copied into a cache (CoR)
+  std::uint64_t cor_stopped = 0;       ///< quota exhaustion events (ENOSPC)
+};
+
+/// A virtual block device: what the guest (or an overlay image) reads and
+/// writes. Drivers: RawDevice (src/block/raw.hpp) and Qcow2Device
+/// (src/qcow2), the latter optionally acting as the paper's cache image.
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual sim::Task<Result<void>> read(std::uint64_t off,
+                                       std::span<std::uint8_t> dst) = 0;
+  virtual sim::Task<Result<void>> write(std::uint64_t off,
+                                        std::span<const std::uint8_t> src) = 0;
+  virtual sim::Task<Result<void>> flush() = 0;
+
+  /// Orderly shutdown; cache images persist their current-size header
+  /// field here (paper §4.3 "close"). The destructor must not be relied
+  /// on for this — it cannot perform (simulated) I/O.
+  virtual sim::Task<Result<void>> close() = 0;
+
+  /// Virtual disk size in bytes.
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+
+  [[nodiscard]] virtual bool read_only() const = 0;
+
+  /// Demote/promote writability (backing-image reopen dance, §4.3).
+  virtual void set_read_only_mode(bool ro) = 0;
+
+  /// True for images carrying the paper's cache extension.
+  [[nodiscard]] virtual bool is_cache_image() const { return false; }
+
+  /// Driver name ("raw", "qcow2").
+  [[nodiscard]] virtual std::string format_name() const = 0;
+
+  /// Backing device, or nullptr for standalone images.
+  [[nodiscard]] virtual BlockDevice* backing() const { return nullptr; }
+
+  [[nodiscard]] const DeviceStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = DeviceStats{}; }
+
+ protected:
+  DeviceStats stats_;
+};
+
+/// Resolves a backing-file reference found inside an image into an opened
+/// device. The host resolver opens files relative to the referring image;
+/// the simulated resolver looks the path up on a node's mounts. `writable`
+/// communicates the paper's open-RW-first behaviour: the callee opens the
+/// image writable, and the caller demotes it afterwards if it turns out
+/// not to be a cache image.
+using BackingResolver =
+    std::function<sim::Task<Result<DevicePtr>>(const std::string& path,
+                                               bool writable)>;
+
+/// Options shared by all drivers' open paths.
+struct OpenOptions {
+  bool writable = true;
+  /// Resolver for backing images; required when the image may have one.
+  BackingResolver resolver;
+  /// Maximum backing-chain depth (defence against cycles).
+  int max_chain_depth = 8;
+  /// Force cache-image backings read-only too (normally they keep write
+  /// permission for copy-on-read). Used when a *shared* warm cache is
+  /// attached by many VMs at once — a fully-warm cache takes no CoR
+  /// writes anyway, and this guards the single-writer invariant.
+  bool cache_backing_ro = false;
+};
+
+}  // namespace vmic::block

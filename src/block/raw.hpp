@@ -1,0 +1,66 @@
+#pragma once
+
+#include <utility>
+
+#include "block/device.hpp"
+
+namespace vmic::block {
+
+/// Raw driver: the virtual disk is the file, byte for byte. Base VMIs in
+/// the evaluation are raw images (the paper: "the base image can be of any
+/// supported format").
+class RawDevice final : public BlockDevice {
+ public:
+  /// Wrap an existing file as a raw device. `virtual_size` 0 means "use
+  /// the file's current size".
+  static Result<DevicePtr> open(io::BackendPtr backend,
+                                std::uint64_t virtual_size = 0) {
+    if (backend == nullptr) return Errc::invalid_argument;
+    const std::uint64_t size =
+        virtual_size != 0 ? virtual_size : backend->size();
+    return DevicePtr{new RawDevice(std::move(backend), size)};
+  }
+
+  sim::Task<Result<void>> read(std::uint64_t off,
+                               std::span<std::uint8_t> dst) override {
+    if (off + dst.size() > size_) co_return Errc::out_of_range;
+    ++stats_.guest_reads;
+    stats_.bytes_read += dst.size();
+    co_return co_await backend_->pread(off, dst);
+  }
+
+  sim::Task<Result<void>> write(std::uint64_t off,
+                                std::span<const std::uint8_t> src) override {
+    if (off + src.size() > size_) co_return Errc::out_of_range;
+    if (backend_->read_only()) co_return Errc::read_only;
+    ++stats_.guest_writes;
+    stats_.bytes_written += src.size();
+    co_return co_await backend_->pwrite(off, src);
+  }
+
+  sim::Task<Result<void>> flush() override {
+    co_return co_await backend_->flush();
+  }
+
+  sim::Task<Result<void>> close() override {
+    co_return co_await backend_->flush();
+  }
+
+  [[nodiscard]] std::uint64_t size() const override { return size_; }
+  [[nodiscard]] bool read_only() const override {
+    return backend_->read_only();
+  }
+  void set_read_only_mode(bool ro) override { backend_->set_read_only(ro); }
+  [[nodiscard]] std::string format_name() const override { return "raw"; }
+
+  [[nodiscard]] io::BlockBackend& backend() noexcept { return *backend_; }
+
+ private:
+  RawDevice(io::BackendPtr backend, std::uint64_t size)
+      : backend_(std::move(backend)), size_(size) {}
+
+  io::BackendPtr backend_;
+  std::uint64_t size_;
+};
+
+}  // namespace vmic::block

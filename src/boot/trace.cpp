@@ -1,0 +1,171 @@
+#include "boot/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "util/align.hpp"
+#include "util/interval_set.hpp"
+#include "util/rng.hpp"
+
+namespace vmic::boot {
+
+namespace {
+
+constexpr std::uint64_t kAlign = 512;  // guest I/O is sector-aligned
+
+struct Run {
+  std::uint64_t start;
+  std::uint64_t len;
+};
+
+/// Read-request size distribution during boot: mostly small (page-sized
+/// and a bit above), occasionally larger readahead-shaped requests.
+std::uint64_t pick_read_size(Rng& rng, std::uint64_t cap) {
+  const double u = rng.uniform();
+  std::uint64_t size;
+  if (u < 0.15) {
+    size = 512 * (1 + rng.below(4));  // 512 B .. 2 KiB (metadata-ish)
+  } else if (u < 0.45) {
+    size = 4096;
+  } else if (u < 0.65) {
+    size = 8192;
+  } else if (u < 0.80) {
+    size = 16 * 1024;
+  } else if (u < 0.92) {
+    size = 32 * 1024;
+  } else {
+    size = 64 * 1024;
+  }
+  size = std::min<std::uint64_t>(size, cap);
+  return std::max<std::uint64_t>(kAlign, align_down(size, kAlign));
+}
+
+}  // namespace
+
+BootTrace generate_boot_trace(const OsProfile& p, std::uint64_t salt) {
+  std::uint64_t seed_state = p.seed;
+  const std::uint64_t mixed = splitmix64(seed_state) ^ (salt * 0x9E3779B97F4A7C15ull);
+  Rng rng{mixed};
+
+  BootTrace trace;
+  trace.cpu_seconds = p.cpu_seconds;
+
+  // ---- 1. Lay out the read working set as contiguous runs scattered
+  // across the image (files the OS touches while booting).
+  IntervalSet unique;
+  std::deque<Run> runs;
+  while (unique.total() < p.unique_read_bytes) {
+    std::uint64_t len = align_down(
+        static_cast<std::uint64_t>(
+            rng.lognormal(static_cast<double>(p.mean_run_bytes), 0.9)),
+        kAlign);
+    len = std::clamp<std::uint64_t>(len, 4 * 1024, 1024 * 1024);
+    len = std::min(len, p.unique_read_bytes - unique.total() + 4 * 1024);
+    len = std::max<std::uint64_t>(align_down(len, kAlign), kAlign);
+    const std::uint64_t start =
+        align_down(rng.below(p.image_size - len), kAlign);
+    unique.insert(start, start + len);
+    runs.push_back(Run{start, len});
+  }
+  trace.unique_read_bytes = unique.total();
+
+  // ---- 2. Interleave the runs through a few concurrent streams
+  // (parallel readers during boot), chopping each run into sector-aligned
+  // requests; sprinkle re-reads and guest writes in between.
+  struct Stream {
+    Run run{0, 0};
+    std::uint64_t done = 0;
+    bool active = false;
+  };
+  std::vector<Stream> streams(
+      static_cast<std::size_t>(std::max(1, p.parallel_streams)));
+
+  std::uint64_t writes_left = align_down(p.write_bytes, kAlign);
+  std::vector<BootOp> completed_reads;  // re-read candidates
+  std::vector<BootOp> write_targets;    // the boot's few writable files
+
+  auto refill = [&](Stream& s) {
+    if (runs.empty()) {
+      s.active = false;
+      return;
+    }
+    s.run = runs.front();
+    runs.pop_front();
+    s.done = 0;
+    s.active = true;
+  };
+  for (auto& s : streams) refill(s);
+
+  auto any_active = [&] {
+    for (const auto& s : streams) {
+      if (s.active) return true;
+    }
+    return false;
+  };
+
+  while (any_active()) {
+    Stream& s = streams[rng.below(streams.size())];
+    if (!s.active) continue;
+    const std::uint64_t remaining = s.run.len - s.done;
+    const std::uint64_t size = pick_read_size(rng, remaining);
+    BootOp op{BootOp::Kind::read, s.run.start + s.done,
+              static_cast<std::uint32_t>(size), 0};
+    trace.ops.push_back(op);
+    trace.total_read_bytes += size;
+    completed_reads.push_back(op);
+    s.done += size;
+    if (s.done >= s.run.len) refill(s);
+
+    // Occasional re-read of something already fetched (guest page cache
+    // misses on shared libraries, config re-parses, ...).
+    if (!completed_reads.empty() && rng.chance(p.reread_fraction)) {
+      const BootOp& prev = completed_reads[rng.below(completed_reads.size())];
+      BootOp rr = prev;
+      rr.length = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(prev.length, pick_read_size(rng, prev.length)));
+      trace.ops.push_back(rr);
+      trace.total_read_bytes += rr.length;
+    }
+
+    // Guest writes (logs, state files) interleave at a low rate. Boot
+    // writes overwhelmingly target files the boot already touched
+    // (/var/log, /var/run, ...), i.e. they fall inside the read working
+    // set — which is why the Table 2 warm-cache sizes track the Table 1
+    // working sets so closely (copy-on-write fills add no new data).
+    if (writes_left > 0 && !completed_reads.empty() && rng.chance(0.08)) {
+      // A boot writes to a handful of files, repeatedly — not to hundreds
+      // of scattered locations. Keep a small set of write targets.
+      if (write_targets.size() < 12) {
+        write_targets.push_back(
+            completed_reads[rng.below(completed_reads.size())]);
+      }
+      const BootOp& near = write_targets[rng.below(write_targets.size())];
+      std::uint64_t wlen = std::min<std::uint64_t>(
+          writes_left, 4096 * (1 + rng.below(12)));
+      wlen = std::min<std::uint64_t>(wlen, near.length);
+      wlen = std::max<std::uint64_t>(align_down(wlen, kAlign), kAlign);
+      trace.ops.push_back(BootOp{BootOp::Kind::write, near.offset,
+                                 static_cast<std::uint32_t>(wlen), 0});
+      trace.total_write_bytes += wlen;
+      writes_left -= wlen;
+    }
+  }
+
+  // ---- 3. Distribute the CPU work across the ops: exponential gaps
+  // normalised to sum exactly to cpu_seconds.
+  std::vector<double> gaps(trace.ops.size());
+  double total = 0;
+  for (auto& g : gaps) {
+    g = rng.exponential(1.0);
+    total += g;
+  }
+  const double scale = total > 0 ? p.cpu_seconds / total : 0.0;
+  for (std::size_t i = 0; i < gaps.size(); ++i) {
+    trace.ops[i].cpu_gap = sim::from_seconds(gaps[i] * scale);
+  }
+
+  return trace;
+}
+
+}  // namespace vmic::boot

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "boot/profile.hpp"
+#include "sim/time.hpp"
+
+namespace vmic::boot {
+
+/// One guest block-I/O operation during boot, preceded by `cpu_gap` of
+/// compute.
+struct BootOp {
+  enum class Kind : std::uint8_t { read, write };
+  Kind kind;
+  std::uint64_t offset;
+  std::uint32_t length;
+  sim::SimTime cpu_gap;
+};
+
+/// A deterministic boot trace: replaying it through a block device (with
+/// the cpu gaps) reproduces the OS's boot behaviour against any image
+/// chain.
+struct BootTrace {
+  std::vector<BootOp> ops;
+  std::uint64_t unique_read_bytes = 0;  ///< measured working set (Table 1)
+  std::uint64_t total_read_bytes = 0;
+  std::uint64_t total_write_bytes = 0;
+  double cpu_seconds = 0;
+};
+
+/// Generate the boot trace for `profile`. Deterministic in
+/// (profile.seed, salt): the same VMI always boots the same way — which is
+/// also what makes sharing a warm cache across VMs of one VMI sound.
+/// `salt` differentiates *distinct* VMIs built from the same OS (Fig 3's
+/// 64 identical-but-independent copies).
+BootTrace generate_boot_trace(const OsProfile& profile,
+                              std::uint64_t salt = 0);
+
+}  // namespace vmic::boot

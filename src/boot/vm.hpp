@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "block/device.hpp"
+#include "boot/trace.hpp"
+#include "sim/env.hpp"
+
+namespace vmic::boot {
+
+/// Outcome of one simulated VM boot.
+struct BootResult {
+  double boot_seconds = 0;       ///< KVM start -> "connect back" (§5)
+  double read_wait_seconds = 0;  ///< time blocked on reads (§7.3: ~17 %)
+  double write_wait_seconds = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t read_ops = 0;
+  std::uint64_t prefetched_bytes = 0;  ///< issued by the prefetcher, if any
+};
+
+/// Optional boot-time behaviours.
+struct BootOptions {
+  /// Sequential next-range prefetching (§7.3): after each guest read,
+  /// asynchronously read this many following bytes through the chain,
+  /// warming caches ahead of the guest. 0 disables. The paper's
+  /// "preliminary experience with prefetching showed no substantial
+  /// benefit" — bench_ablation_prefetch measures exactly that.
+  std::uint32_t prefetch_bytes = 0;
+  /// Cap on concurrently outstanding prefetch reads.
+  int max_inflight_prefetch = 4;
+};
+
+/// Replay a boot trace through a block-device chain inside the simulation:
+/// each op waits its cpu gap, then performs blocking guest I/O against the
+/// device — exactly the boot-time behaviour the paper measures ("from
+/// invoking KVM until the VM connects back").
+sim::Task<Result<BootResult>> boot_vm(sim::SimEnv& env,
+                                      block::BlockDevice& dev,
+                                      const BootTrace& trace,
+                                      BootOptions opts = {});
+
+}  // namespace vmic::boot

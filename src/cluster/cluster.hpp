@@ -1,0 +1,130 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/pool.hpp"
+#include "io/mount_table.hpp"
+#include "net/link.hpp"
+#include "nfs/nfs.hpp"
+#include "sim/env.hpp"
+#include "storage/cached_medium.hpp"
+#include "storage/disk.hpp"
+#include "storage/sim_directory.hpp"
+#include "util/units.hpp"
+
+namespace vmic::cluster {
+
+/// DAS-4-shaped cluster description (§5): one storage node running an NFS
+/// server, N compute nodes, one shared network between them.
+struct ClusterParams {
+  int compute_nodes = 64;
+  net::NetworkParams network = net::gigabit_ethernet();
+  nfs::NfsParams nfs = {};
+  /// DAS-4 nodes run two 7200-RPM spindles in software RAID-0: under
+  /// load the two arms position concurrently, so the *effective*
+  /// per-request positioning is about half a single drive's 8.5 ms.
+  storage::DiskParams storage_disk = {.positioning_ms = 4.5};
+  storage::DiskParams compute_disk = {.positioning_ms = 4.5};
+  /// Storage node page cache (24 GB RAM, ~20 GB usable for file cache).
+  std::uint64_t storage_page_cache = 20 * GiB;
+  /// Per-compute-node budget for VMI cache images (§3.3).
+  std::uint64_t node_cache_capacity = 4 * GiB;
+  /// Compute-node page cache over its local disk (24 GB RAM nodes).
+  std::uint64_t node_page_cache = 16 * GiB;
+  cache::EvictionPolicy eviction = cache::EvictionPolicy::lru;
+};
+
+/// The storage node: RAID-0 disks behind a page cache, tmpfs, and an NFS
+/// server exporting both ("base" from disk, "tmpfs" from memory — the
+/// paper's tmpfs exports).
+class StorageNode {
+ public:
+  StorageNode(sim::SimEnv& env, const ClusterParams& p)
+      : disk_raw(env, p.storage_disk),
+        disk(env, disk_raw, p.storage_page_cache),
+        mem(env),
+        disk_dir(disk),
+        mem_dir(mem),
+        nfs(env, p.nfs),
+        mem_pool(p.storage_page_cache / 2, p.eviction) {
+    nfs.add_export("base", &disk_dir);
+    nfs.add_export("tmpfs", &mem_dir);
+  }
+
+  storage::RotationalDisk disk_raw;
+  storage::CachedMedium disk;
+  storage::MemMedium mem;
+  storage::SimDirectory disk_dir;
+  storage::SimDirectory mem_dir;
+  nfs::NfsServer nfs;
+  /// Accounting for cache images held in storage-node memory (§6).
+  cache::CachePool mem_pool;
+};
+
+/// A compute node: local disk + tmpfs, NFS mounts of the storage node's
+/// exports, one unified file namespace for the block layer:
+///   disk/...      local disk (writeback)
+///   disksync/...  local disk with synchronous writes
+///   mem/...       local tmpfs
+///   nfs-base/...  storage node's disk export
+///   nfs-mem/...   storage node's tmpfs export
+class ComputeNode {
+ public:
+  ComputeNode(sim::SimEnv& env, int node_id, StorageNode& storage,
+              net::Network& network, const ClusterParams& p)
+      : id(node_id),
+        disk_raw(env, p.compute_disk),
+        disk(env, disk_raw, p.node_page_cache),
+        mem(env),
+        disk_dir(disk, /*sync_writes=*/false),
+        disk_sync_dir(disk, /*sync_writes=*/true),
+        mem_dir(mem),
+        base_mount(storage.nfs, network, "base"),
+        tmpfs_mount(storage.nfs, network, "tmpfs"),
+        pool(p.node_cache_capacity, p.eviction) {
+    fs.mount("disk", &disk_dir);
+    fs.mount("disksync", &disk_sync_dir);
+    fs.mount("mem", &mem_dir);
+    fs.mount("nfs-base", &base_mount);
+    fs.mount("nfs-mem", &tmpfs_mount);
+  }
+
+  int id;
+  storage::RotationalDisk disk_raw;
+  /// The node's disk behind its own page cache (readahead + residency).
+  storage::CachedMedium disk;
+  storage::MemMedium mem;
+  /// Local-disk files under the kernel's writeback cache (QEMU's default
+  /// cache mode): writes are absorbed asynchronously.
+  storage::SimDirectory disk_dir;
+  /// Same disk, O_SYNC semantics — what a cold cache *created on disk*
+  /// experiences (Fig 8's slow variant).
+  storage::SimDirectory disk_sync_dir;
+  storage::SimDirectory mem_dir;
+  nfs::NfsMount base_mount;
+  nfs::NfsMount tmpfs_mount;
+  io::MountTable fs;
+  /// Accounting for cache images on this node's disk (§3.3/§3.4).
+  cache::CachePool pool;
+};
+
+/// The whole testbed: environment, network, storage node, compute nodes.
+class Cluster {
+ public:
+  explicit Cluster(const ClusterParams& p) : params(p), net(env, p.network),
+                                             storage(env, p) {
+    nodes.reserve(static_cast<std::size_t>(p.compute_nodes));
+    for (int i = 0; i < p.compute_nodes; ++i) {
+      nodes.push_back(std::make_unique<ComputeNode>(env, i, storage, net, p));
+    }
+  }
+
+  ClusterParams params;
+  sim::SimEnv env;
+  net::Network net;
+  StorageNode storage;
+  std::vector<std::unique_ptr<ComputeNode>> nodes;
+};
+
+}  // namespace vmic::cluster

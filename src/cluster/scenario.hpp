@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "boot/profile.hpp"
+#include "boot/vm.hpp"
+#include "cluster/cluster.hpp"
+#include "util/stats.hpp"
+
+namespace vmic::cluster {
+
+/// Where VMI caches live (§3.3/§6); `none` is the plain-QCOW2 baseline
+/// and `full_copy` is §2's naive pre-copy deployment (transfer the whole
+/// VMI to the node, then boot locally).
+enum class CacheMode { none, full_copy, compute_disk, storage_mem };
+
+/// Whether the measured boots start from pre-warmed caches or create them
+/// on the fly (copy-on-read during the measured boot).
+enum class CacheState { cold, warm };
+
+struct ScenarioConfig {
+  boot::OsProfile profile = boot::centos63();
+  int num_vms = 64;
+  int num_vmis = 1;  ///< independent base-image copies (Fig 3/12/14)
+  CacheMode mode = CacheMode::none;
+  CacheState state = CacheState::cold;
+  std::uint64_t cache_quota = 250 * MiB;
+  std::uint32_t cache_cluster_bits = 9;  ///< the paper's 512 B pick (§5.1)
+  /// Cold caches are created in compute-node memory and flushed to disk
+  /// after shutdown (§5.1 "final arrangement"); false puts them directly
+  /// on the compute disk — the slow variant of Fig 8.
+  bool cold_cache_on_mem = true;
+  /// Fig 14: add the cache push-back transfer to the creator's boot time.
+  bool include_transfer_in_boot = true;
+  /// Pre-load the storage node's page cache with the base images' boot
+  /// working sets. Models the steady state of the paper's single-VMI
+  /// experiments (the base stays resident across repeated runs). The
+  /// many-VMI experiments (Fig 3/12/14) use fresh image copies whose
+  /// contents were long evicted — set this to false there.
+  bool storage_cache_prewarmed = true;
+  /// Boot-time sequential prefetching (§7.3 ablation); 0 = off.
+  std::uint32_t prefetch_bytes = 0;
+  /// With state == warm and mode == compute_disk: the fraction of nodes
+  /// that actually hold a warm cache; the rest boot from a cold one
+  /// (§5.3.1's mixed scenario, which the paper discusses but does not
+  /// quantify).
+  double warm_node_fraction = 1.0;
+};
+
+struct VmOutcome {
+  int vm = 0;
+  int node = 0;
+  int vmi = 0;
+  boot::BootResult boot;
+  double cache_transfer_seconds = 0;  ///< Fig 13/14 push-back, if any
+  bool warm = false;                  ///< booted from a warm cache
+};
+
+struct ScenarioResult {
+  std::vector<VmOutcome> vms;
+  double mean_boot = 0;
+  double min_boot = 0;
+  double max_boot = 0;
+  /// Traffic observed at the storage node during the measured phase
+  /// (Fig 9/10's y-axis).
+  std::uint64_t storage_payload_bytes = 0;
+  std::uint64_t storage_disk_reads = 0;
+  std::uint64_t storage_disk_bytes_read = 0;
+  /// Warm cache image size per VMI after warming (Table 2), 0 if n/a.
+  std::uint64_t warm_cache_file_bytes = 0;
+};
+
+/// Build a cluster, deploy `num_vms` VMs booting from `num_vmis` base
+/// images under the given caching configuration, and measure. This is the
+/// engine behind every scalability figure in the paper (Figs 2, 3, 8-12,
+/// 14).
+ScenarioResult run_scenario(const ClusterParams& cp, const ScenarioConfig& sc);
+
+}  // namespace vmic::cluster

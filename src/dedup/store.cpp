@@ -1,0 +1,125 @@
+#include "dedup/store.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace vmic::dedup {
+
+BlockStore::BlockId BlockStore::put(std::span<const std::uint8_t> data) {
+  assert(data.size() <= block_size_ && !data.empty());
+  logical_bytes_ += data.size();
+  const std::uint64_t digest = fnv1a(data);
+
+  // Digest selects candidates; bytes decide (collision-safe dedup).
+  auto [lo, hi] = index_.equal_range(digest);
+  for (auto it = lo; it != hi; ++it) {
+    Block& b = blocks_.at(it->second);
+    if (b.data.size() == data.size() &&
+        std::memcmp(b.data.data(), data.data(), data.size()) == 0) {
+      ++b.refs;
+      return it->second;
+    }
+  }
+
+  const BlockId id = next_id_++;
+  Block b;
+  b.data.assign(data.begin(), data.end());
+  b.refs = 1;
+  b.digest = digest;
+  stored_bytes_ += data.size();
+  blocks_.emplace(id, std::move(b));
+  index_.emplace(digest, id);
+  return id;
+}
+
+std::span<const std::uint8_t> BlockStore::get(BlockId id) const {
+  const Block& b = blocks_.at(id);
+  return {b.data.data(), b.data.size()};
+}
+
+void BlockStore::release(BlockId id) {
+  auto it = blocks_.find(id);
+  assert(it != blocks_.end());
+  if (--it->second.refs > 0) return;
+  // Remove the index entry pointing at this id, then the block.
+  auto [lo, hi] = index_.equal_range(it->second.digest);
+  for (auto ix = lo; ix != hi; ++ix) {
+    if (ix->second == id) {
+      index_.erase(ix);
+      break;
+    }
+  }
+  stored_bytes_ -= it->second.data.size();
+  blocks_.erase(it);
+}
+
+std::uint64_t BlockStore::ref_count(BlockId id) const {
+  auto it = blocks_.find(id);
+  return it == blocks_.end() ? 0 : it->second.refs;
+}
+
+void DedupFile::append(std::span<const std::uint8_t> data) {
+  size_ += data.size();
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  const std::uint32_t bs = store_->block_size();
+
+  // Fill a pending partial block first.
+  if (!pending_.empty()) {
+    const std::size_t take = std::min<std::size_t>(n, bs - pending_.size());
+    pending_.insert(pending_.end(), p, p + take);
+    p += take;
+    n -= take;
+    if (pending_.size() == bs) {
+      blocks_.push_back(store_->put(pending_));
+      pending_.clear();
+    }
+  }
+  while (n >= bs) {
+    blocks_.push_back(store_->put({p, bs}));
+    p += bs;
+    n -= bs;
+  }
+  if (n > 0) pending_.assign(p, p + n);
+}
+
+void DedupFile::read(std::uint64_t off, std::span<std::uint8_t> dst) const {
+  assert(off + dst.size() <= size_);
+  const std::uint32_t bs = store_->block_size();
+  std::uint8_t* out = dst.data();
+  std::uint64_t pos = off;
+  std::uint64_t remaining = dst.size();
+  while (remaining > 0) {
+    const std::uint64_t bi = pos / bs;
+    const std::uint64_t in_block = pos % bs;
+    const std::uint64_t take = std::min<std::uint64_t>(remaining, bs - in_block);
+    if (bi < blocks_.size()) {
+      const auto block = store_->get(blocks_[bi]);
+      std::memcpy(out, block.data() + in_block, take);
+    } else {
+      // Tail bytes still in pending_.
+      std::memcpy(out, pending_.data() + in_block, take);
+    }
+    out += take;
+    pos += take;
+    remaining -= take;
+  }
+}
+
+std::uint64_t DedupFile::exclusive_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto id : blocks_) {
+    if (store_->ref_count(id) == 1) total += store_->get(id).size();
+  }
+  return total + pending_.size();
+}
+
+void DedupFile::clear() {
+  for (const auto id : blocks_) store_->release(id);
+  blocks_.clear();
+  pending_.clear();
+  size_ = 0;
+}
+
+}  // namespace vmic::dedup

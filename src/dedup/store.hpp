@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace vmic::dedup {
+
+/// Content-addressed, reference-counted block store.
+///
+/// §8 future work: "investigate data compression and deduplication
+/// techniques that have been developed for VMI storage in the context of
+/// VMI caches to gain even more storage efficacy"; §7.3 (content-based
+/// block caching): "since VMIs created from the same operating system
+/// distribution share content, this method can be deployed to reduce the
+/// effective size of cache images of different VMIs on the compute nodes
+/// even further."
+///
+/// Blocks are fixed-size; identical contents are stored once and shared
+/// through reference counts. Collision handling is content-verified: the
+/// digest only selects a bucket, the bytes decide.
+class BlockStore {
+ public:
+  explicit BlockStore(std::uint32_t block_size = 4096)
+      : block_size_(block_size) {}
+
+  using BlockId = std::uint64_t;
+
+  [[nodiscard]] std::uint32_t block_size() const noexcept {
+    return block_size_;
+  }
+
+  /// Store one block (must be exactly block_size() bytes, except the last
+  /// block of a file which may be shorter). Returns the id; identical
+  /// content returns the same id with its refcount bumped.
+  BlockId put(std::span<const std::uint8_t> data);
+
+  /// Fetch a block's bytes.
+  [[nodiscard]] std::span<const std::uint8_t> get(BlockId id) const;
+
+  /// Drop one reference; frees the block at zero.
+  void release(BlockId id);
+
+  [[nodiscard]] std::uint64_t ref_count(BlockId id) const;
+
+  /// Number of distinct stored blocks.
+  [[nodiscard]] std::uint64_t unique_blocks() const noexcept {
+    return blocks_.size();
+  }
+  /// Bytes of actual storage used (unique content only).
+  [[nodiscard]] std::uint64_t stored_bytes() const noexcept {
+    return stored_bytes_;
+  }
+  /// Bytes callers have put() in total (logical size incl. duplicates).
+  [[nodiscard]] std::uint64_t logical_bytes() const noexcept {
+    return logical_bytes_;
+  }
+  /// logical / stored — the §7.3 "efficacy" gain.
+  [[nodiscard]] double dedup_ratio() const noexcept {
+    return stored_bytes_ == 0
+               ? 1.0
+               : static_cast<double>(logical_bytes_) /
+                     static_cast<double>(stored_bytes_);
+  }
+
+ private:
+  struct Block {
+    std::vector<std::uint8_t> data;
+    std::uint64_t refs = 0;
+    std::uint64_t digest = 0;
+  };
+
+  std::uint32_t block_size_;
+  std::unordered_map<BlockId, Block> blocks_;
+  // digest -> candidate ids (chained for collisions).
+  std::unordered_multimap<std::uint64_t, BlockId> index_;
+  BlockId next_id_ = 1;
+  std::uint64_t stored_bytes_ = 0;
+  std::uint64_t logical_bytes_ = 0;
+};
+
+/// A file deduplicated into a BlockStore: an ordered list of block refs.
+/// Supports building from a byte stream and reading back; the unit the
+/// dedup benchmarks use to measure cross-VMI cache redundancy.
+class DedupFile {
+ public:
+  explicit DedupFile(BlockStore& store) : store_(&store) {}
+  DedupFile(DedupFile&&) noexcept = default;
+  DedupFile& operator=(DedupFile&&) noexcept = default;
+  DedupFile(const DedupFile&) = delete;
+  DedupFile& operator=(const DedupFile&) = delete;
+  ~DedupFile() { clear(); }
+
+  /// Append bytes (chunked into store blocks internally).
+  void append(std::span<const std::uint8_t> data);
+
+  /// Read [off, off+dst.size()) back out.
+  void read(std::uint64_t off, std::span<std::uint8_t> dst) const;
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+
+  /// Bytes of store content this file references that are NOT shared
+  /// with any other file (refcount == 1) — what deleting it would free.
+  [[nodiscard]] std::uint64_t exclusive_bytes() const;
+
+  void clear();
+
+ private:
+  BlockStore* store_;
+  std::vector<BlockStore::BlockId> blocks_;
+  std::uint64_t size_ = 0;
+  std::vector<std::uint8_t> pending_;  // partial tail block
+};
+
+}  // namespace vmic::dedup

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "sim/task.hpp"
+#include "util/result.hpp"
+
+namespace vmic::io {
+
+/// Byte-addressable storage for an image *file* — the thing a block driver
+/// sits on. Implementations:
+///  * MemBackend   — host RAM (tests, tools, tmpfs-like uses);
+///  * FileBackend  — a real POSIX file (vmi-img, quickstart example);
+///  * SimDiskBackend / SimMemBackend (src/storage) — a file on a simulated
+///    medium, charging simulated service time per operation;
+///  * NfsFileBackend (src/nfs) — a file reached through the simulated
+///    NFS client, charging network + server time.
+///
+/// All operations are coroutines; host backends complete without
+/// suspending, simulated ones suspend on simulated time. This mirrors how
+/// QEMU's block drivers run the same code over files, NBD, etc.
+class BlockBackend {
+ public:
+  virtual ~BlockBackend() = default;
+
+  /// Read dst.size() bytes at `off`. Ranges beyond end-of-file read as
+  /// zeros (sparse-file semantics, which QCOW2 relies on).
+  virtual sim::Task<Result<void>> pread(std::uint64_t off,
+                                        std::span<std::uint8_t> dst) = 0;
+
+  /// Write src at `off`, extending the file as needed.
+  virtual sim::Task<Result<void>> pwrite(
+      std::uint64_t off, std::span<const std::uint8_t> src) = 0;
+
+  /// Durably persist prior writes.
+  virtual sim::Task<Result<void>> flush() = 0;
+
+  /// Grow or shrink the file.
+  virtual sim::Task<Result<void>> truncate(std::uint64_t new_size) = 0;
+
+  /// Current file length in bytes.
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+
+  [[nodiscard]] virtual bool read_only() const noexcept { return ro_; }
+
+  /// Switch writability. Supports the paper's §4.3 permission dance: a
+  /// backing image is opened read-write, then demoted to read-only once it
+  /// turns out not to be a cache image.
+  virtual void set_read_only(bool ro) noexcept { ro_ = ro; }
+
+  /// Diagnostic name ("mem:", path, "nfs:/export/centos.qcow2", ...).
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+ protected:
+  /// Shared writability check for implementations.
+  [[nodiscard]] Result<void> check_writable() const {
+    if (ro_) return Errc::read_only;
+    return ok_result();
+  }
+
+  bool ro_ = false;
+};
+
+using BackendPtr = std::unique_ptr<BlockBackend>;
+
+}  // namespace vmic::io

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "io/backend.hpp"
+
+namespace vmic::io {
+
+/// A place image files live: a host directory (tools), an in-memory store
+/// (tests), or a simulated medium / NFS mount (cluster experiments).
+/// Block-driver chain helpers resolve backing-file references through this
+/// interface.
+class ImageDirectory {
+ public:
+  virtual ~ImageDirectory() = default;
+
+  /// Open an existing file.
+  virtual Result<BackendPtr> open_file(const std::string& name,
+                                       bool writable) = 0;
+
+  /// Create (or truncate) a file.
+  virtual Result<BackendPtr> create_file(const std::string& name) = 0;
+
+  [[nodiscard]] virtual bool exists(const std::string& name) const = 0;
+};
+
+}  // namespace vmic::io

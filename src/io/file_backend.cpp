@@ -1,0 +1,112 @@
+#include "io/file_backend.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/log.hpp"
+
+namespace vmic::io {
+
+Result<BackendPtr> FileBackend::open(const std::string& path, Mode mode) {
+  int flags = 0;
+  bool ro = false;
+  switch (mode) {
+    case Mode::create:
+      flags = O_RDWR | O_CREAT | O_EXCL;
+      break;
+    case Mode::create_trunc:
+      flags = O_RDWR | O_CREAT | O_TRUNC;
+      break;
+    case Mode::open_rw:
+      flags = O_RDWR;
+      break;
+    case Mode::open_ro:
+      flags = O_RDONLY;
+      ro = true;
+      break;
+  }
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    VMIC_LOG_WARN("open(%s) failed: %s", path.c_str(), std::strerror(errno));
+    if (errno == ENOENT) return Errc::not_found;
+    if (errno == EEXIST) return Errc::already_exists;
+    return Errc::io_error;
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Errc::io_error;
+  }
+  return BackendPtr{new FileBackend(
+      fd, path, static_cast<std::uint64_t>(st.st_size), ro)};
+}
+
+FileBackend::~FileBackend() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+sim::Task<Result<void>> FileBackend::pread(std::uint64_t off,
+                                           std::span<std::uint8_t> dst) {
+  std::uint8_t* p = dst.data();
+  std::size_t remaining = dst.size();
+  std::uint64_t pos = off;
+  while (remaining > 0) {
+    const ssize_t n =
+        ::pread(fd_, p, remaining, static_cast<off_t>(pos));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      co_return Errc::io_error;
+    }
+    if (n == 0) {
+      // Past EOF: zero-fill (sparse-file semantics).
+      std::memset(p, 0, remaining);
+      break;
+    }
+    p += n;
+    pos += static_cast<std::uint64_t>(n);
+    remaining -= static_cast<std::size_t>(n);
+  }
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> FileBackend::pwrite(
+    std::uint64_t off, std::span<const std::uint8_t> src) {
+  VMIC_CO_TRY_VOID(check_writable());
+  const std::uint8_t* p = src.data();
+  std::size_t remaining = src.size();
+  std::uint64_t pos = off;
+  while (remaining > 0) {
+    const ssize_t n =
+        ::pwrite(fd_, p, remaining, static_cast<off_t>(pos));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      co_return Errc::io_error;
+    }
+    p += n;
+    pos += static_cast<std::uint64_t>(n);
+    remaining -= static_cast<std::size_t>(n);
+  }
+  size_ = std::max(size_, off + src.size());
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> FileBackend::flush() {
+  if (::fsync(fd_) != 0) co_return Errc::io_error;
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> FileBackend::truncate(std::uint64_t new_size) {
+  VMIC_CO_TRY_VOID(check_writable());
+  if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+    co_return Errc::io_error;
+  }
+  size_ = new_size;
+  co_return ok_result();
+}
+
+}  // namespace vmic::io

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+
+#include "io/backend.hpp"
+
+namespace vmic::io {
+
+/// POSIX file backend: real blocking I/O, completes without simulated
+/// time. Used by the vmi-img tool and the host-side examples, which
+/// operate on genuine on-disk image files.
+class FileBackend final : public BlockBackend {
+ public:
+  enum class Mode {
+    create,        ///< create new file; fail if it exists
+    create_trunc,  ///< create or truncate
+    open_rw,       ///< open existing read-write
+    open_ro,       ///< open existing read-only
+  };
+
+  static Result<BackendPtr> open(const std::string& path, Mode mode);
+
+  ~FileBackend() override;
+  FileBackend(const FileBackend&) = delete;
+  FileBackend& operator=(const FileBackend&) = delete;
+
+  sim::Task<Result<void>> pread(std::uint64_t off,
+                                std::span<std::uint8_t> dst) override;
+  sim::Task<Result<void>> pwrite(std::uint64_t off,
+                                 std::span<const std::uint8_t> src) override;
+  sim::Task<Result<void>> flush() override;
+  sim::Task<Result<void>> truncate(std::uint64_t new_size) override;
+  [[nodiscard]] std::uint64_t size() const override { return size_; }
+  [[nodiscard]] std::string describe() const override { return path_; }
+
+ private:
+  FileBackend(int fd, std::string path, std::uint64_t size, bool ro)
+      : fd_(fd), path_(std::move(path)), size_(size) {
+    ro_ = ro;
+  }
+
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace vmic::io

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "io/directory.hpp"
+#include "io/file_backend.hpp"
+
+namespace vmic::io {
+
+/// ImageDirectory over a real host directory: files are opened with POSIX
+/// I/O. Backing-file references inside images resolve relative to this
+/// directory, like qemu-img resolves them relative to the referring image.
+class FsImageDirectory final : public ImageDirectory {
+ public:
+  /// `root` may be empty ("" = current directory) or a path with or
+  /// without a trailing slash.
+  explicit FsImageDirectory(std::string root) : root_(std::move(root)) {
+    if (!root_.empty() && root_.back() != '/') root_ += '/';
+  }
+
+  Result<BackendPtr> open_file(const std::string& name,
+                               bool writable) override {
+    return FileBackend::open(root_ + name, writable
+                                               ? FileBackend::Mode::open_rw
+                                               : FileBackend::Mode::open_ro);
+  }
+
+  Result<BackendPtr> create_file(const std::string& name) override {
+    return FileBackend::open(root_ + name, FileBackend::Mode::create_trunc);
+  }
+
+  [[nodiscard]] bool exists(const std::string& name) const override {
+    auto r = FileBackend::open(root_ + name, FileBackend::Mode::open_ro);
+    return r.ok();
+  }
+
+  [[nodiscard]] const std::string& root() const noexcept { return root_; }
+
+ private:
+  std::string root_;
+};
+
+}  // namespace vmic::io

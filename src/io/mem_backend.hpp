@@ -1,0 +1,59 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "io/backend.hpp"
+#include "util/sparse_buffer.hpp"
+
+namespace vmic::io {
+
+/// In-memory backend over a zero-eliding sparse buffer. Completes all
+/// operations synchronously (no simulated time) — the workhorse of the
+/// format unit tests and the host-side tools.
+///
+/// A MemBackend can either own its buffer or borrow one (several backends
+/// may view the same underlying "file", e.g. to model reopening).
+class MemBackend final : public BlockBackend {
+ public:
+  /// Owning constructor (fresh empty file).
+  MemBackend() : owned_(std::make_unique<SparseBuffer>()), buf_(owned_.get()) {}
+
+  /// Borrowing constructor: operate on an externally owned buffer, which
+  /// must outlive this backend.
+  explicit MemBackend(SparseBuffer* shared) : buf_(shared) {}
+
+  sim::Task<Result<void>> pread(std::uint64_t off,
+                                std::span<std::uint8_t> dst) override {
+    buf_->read(off, dst);
+    co_return ok_result();
+  }
+
+  sim::Task<Result<void>> pwrite(std::uint64_t off,
+                                 std::span<const std::uint8_t> src) override {
+    VMIC_CO_TRY_VOID(check_writable());
+    buf_->write(off, src);
+    co_return ok_result();
+  }
+
+  sim::Task<Result<void>> flush() override { co_return ok_result(); }
+
+  sim::Task<Result<void>> truncate(std::uint64_t new_size) override {
+    VMIC_CO_TRY_VOID(check_writable());
+    buf_->resize(new_size);
+    co_return ok_result();
+  }
+
+  [[nodiscard]] std::uint64_t size() const override { return buf_->size(); }
+
+  [[nodiscard]] std::string describe() const override { return "mem:"; }
+
+  [[nodiscard]] SparseBuffer& buffer() noexcept { return *buf_; }
+
+ private:
+  std::unique_ptr<SparseBuffer> owned_;
+  SparseBuffer* buf_;
+};
+
+}  // namespace vmic::io

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "io/directory.hpp"
+#include "io/mem_backend.hpp"
+#include "util/sparse_buffer.hpp"
+
+namespace vmic::io {
+
+/// A named collection of in-memory files — a minimal ImageDirectory used
+/// by the format tests and host-side examples; the cluster simulator has
+/// its own media-backed equivalent.
+class MemImageStore final : public ImageDirectory {
+ public:
+  Result<BackendPtr> create_file(const std::string& name) override {
+    auto& slot = files_[name];
+    slot = std::make_unique<SparseBuffer>();
+    return BackendPtr{std::make_unique<MemBackend>(slot.get())};
+  }
+
+  Result<BackendPtr> open_file(const std::string& name,
+                               bool writable) override {
+    auto it = files_.find(name);
+    if (it == files_.end()) return Errc::not_found;
+    auto be = std::make_unique<MemBackend>(it->second.get());
+    if (!writable) be->set_read_only(true);
+    return BackendPtr{std::move(be)};
+  }
+
+  [[nodiscard]] bool exists(const std::string& name) const override {
+    return files_.count(name) != 0;
+  }
+
+  /// Raw access to a file's bytes (tests: digests, corruption injection).
+  Result<SparseBuffer*> buffer(const std::string& name) {
+    auto it = files_.find(name);
+    if (it == files_.end()) return Errc::not_found;
+    return it->second.get();
+  }
+
+  void remove(const std::string& name) { files_.erase(name); }
+
+ private:
+  std::map<std::string, std::unique_ptr<SparseBuffer>> files_;
+};
+
+}  // namespace vmic::io

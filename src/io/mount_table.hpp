@@ -1,0 +1,54 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "io/directory.hpp"
+
+namespace vmic::io {
+
+/// Prefix-routing ImageDirectory: "disk/vm0.cow" goes to the directory
+/// mounted at "disk", etc. This is a compute node's file-system view —
+/// local disk, local tmpfs, and NFS mounts all appear under one namespace,
+/// so image backing-file references like "nfs-base/centos.img" resolve
+/// naturally through the block layer's chain opener.
+class MountTable final : public ImageDirectory {
+ public:
+  void mount(const std::string& prefix, ImageDirectory* dir) {
+    mounts_[prefix] = dir;
+  }
+
+  Result<BackendPtr> open_file(const std::string& name,
+                               bool writable) override {
+    VMIC_TRY(m, resolve(name));
+    return m.dir->open_file(m.rest, writable);
+  }
+
+  Result<BackendPtr> create_file(const std::string& name) override {
+    VMIC_TRY(m, resolve(name));
+    return m.dir->create_file(m.rest);
+  }
+
+  [[nodiscard]] bool exists(const std::string& name) const override {
+    auto m = const_cast<MountTable*>(this)->resolve(name);
+    return m.ok() && m->dir->exists(m->rest);
+  }
+
+ private:
+  struct Resolved {
+    ImageDirectory* dir;
+    std::string rest;
+  };
+
+  Result<Resolved> resolve(const std::string& name) {
+    const auto slash = name.find('/');
+    if (slash == std::string::npos) return Errc::not_found;
+    auto it = mounts_.find(name.substr(0, slash));
+    if (it == mounts_.end()) return Errc::not_found;
+    return Resolved{it->second, name.substr(slash + 1)};
+  }
+
+  std::map<std::string, ImageDirectory*> mounts_;
+};
+
+}  // namespace vmic::io

@@ -1,0 +1,165 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+
+#include "sim/env.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace vmic::net {
+
+struct LinkStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes = 0;
+  std::size_t peak_flows = 0;
+};
+
+/// One direction of a shared network link, modelled as fluid processor
+/// sharing: n active transfers each progress at bandwidth/n. This is the
+/// mechanism behind Fig 2's 1 GbE curve — booting time grows linearly
+/// once the concurrent on-demand streams saturate the storage node's
+/// link.
+///
+/// Implementation: on every arrival/departure the remaining byte counts
+/// are advanced and the single pending completion timer is rescheduled
+/// for the earliest-finishing flow. O(active flows) per event.
+class Link {
+ public:
+  /// `bandwidth_bps` in *bytes* per second; `latency` one-way.
+  Link(sim::SimEnv& env, double bandwidth_Bps, sim::SimTime latency,
+       std::string name = "link")
+      : env_(env), bw_(bandwidth_Bps), latency_(latency),
+        name_(std::move(name)) {}
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Move `bytes` across the link: one-way latency, then a fair share of
+  /// the bandwidth until completion.
+  sim::Task<void> transfer(std::uint64_t bytes) {
+    ++stats_.transfers;
+    stats_.bytes += bytes;
+    co_await env_.delay(latency_);
+    if (bytes == 0) co_return;
+
+    advance();
+    auto flow = std::make_shared<Flow>(static_cast<double>(bytes), env_);
+    flows_.push_back(flow);
+    stats_.peak_flows = std::max(stats_.peak_flows, flows_.size());
+    reschedule();
+    co_await flow->done.wait();
+  }
+
+  [[nodiscard]] std::size_t active_flows() const noexcept {
+    return flows_.size();
+  }
+  [[nodiscard]] double bandwidth() const noexcept { return bw_; }
+  [[nodiscard]] sim::SimTime latency() const noexcept { return latency_; }
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = LinkStats{}; }
+
+ private:
+  struct Flow {
+    Flow(double bytes, sim::SimEnv& env) : remaining(bytes), done(env) {}
+    double remaining;  // bytes
+    sim::Event done;
+  };
+
+  [[nodiscard]] double rate() const noexcept {
+    return flows_.empty() ? bw_ : bw_ / static_cast<double>(flows_.size());
+  }
+
+  /// Progress all flows from last_update_ to now.
+  void advance() {
+    const sim::SimTime now = env_.now();
+    if (!flows_.empty() && now > last_update_) {
+      const double progressed =
+          rate() * sim::to_seconds(now - last_update_);
+      for (auto& f : flows_) f->remaining -= progressed;
+    }
+    last_update_ = now;
+  }
+
+  void reschedule() {
+    if (timer_ != 0) {
+      env_.cancel(timer_);
+      timer_ = 0;
+    }
+    if (flows_.empty()) return;
+    double min_remaining = flows_.front()->remaining;
+    for (const auto& f : flows_) {
+      min_remaining = std::min(min_remaining, f->remaining);
+    }
+    const double secs = std::max(0.0, min_remaining) / rate();
+    // +1ns guards against an infinite zero-step loop from rounding.
+    timer_ = env_.call_at(env_.now() + sim::from_seconds(secs) + 1,
+                          [this] { on_timer(); });
+  }
+
+  void on_timer() {
+    timer_ = 0;
+    advance();
+    // Complete every flow that has (numerically) drained.
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      if ((*it)->remaining <= 0.5) {
+        (*it)->done.trigger();
+        it = flows_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    reschedule();
+  }
+
+  sim::SimEnv& env_;
+  double bw_;
+  sim::SimTime latency_;
+  std::string name_;
+  std::list<std::shared_ptr<Flow>> flows_;
+  sim::SimTime last_update_ = 0;
+  sim::SimEnv::TimerId timer_ = 0;
+  LinkStats stats_;
+};
+
+/// A full-duplex network between the storage node and the compute nodes:
+/// `down` carries storage->compute payloads (the hot direction for VM
+/// boot), `up` carries requests and compute->storage pushes (cache
+/// write-back, Fig 13).
+struct NetworkParams {
+  double bandwidth_Bps;
+  sim::SimTime latency;
+  std::string name;
+};
+
+class Network {
+ public:
+  Network(sim::SimEnv& env, const NetworkParams& p)
+      : down(env, p.bandwidth_Bps, p.latency, p.name + ".down"),
+        up(env, p.bandwidth_Bps, p.latency, p.name + ".up"),
+        name_(p.name) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  Link down;
+  Link up;
+
+ private:
+  std::string name_;
+};
+
+/// DAS-4's commodity network: 1 Gb/s Ethernet, ~125 MB/s usable, ~50 us
+/// one-way latency.
+inline NetworkParams gigabit_ethernet() {
+  return {125e6, sim::from_micros(50), "1GbE"};
+}
+
+/// DAS-4's premium network: QDR InfiniBand, 32 Gb/s theoretical; ~3.2
+/// GB/s effective with ~2 us latency (IPoIB-ish, conservative).
+inline NetworkParams infiniband_qdr() {
+  return {3.2e9, sim::from_micros(2), "32GbIB"};
+}
+
+}  // namespace vmic::net

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <algorithm>
+
+#include "io/backend.hpp"
+#include "p2p/swarm.hpp"
+
+namespace vmic::p2p {
+
+/// VMTorrent-style on-demand P2P streaming (Reich et al. [24], the
+/// paper's closest related work): the VM boots immediately against this
+/// backend; a read that touches a chunk the peer does not yet hold
+/// triggers a priority fetch from the swarm, while (optionally) a
+/// background task streams the remaining chunks in order. Demand fetches
+/// and the stream coalesce through the swarm's in-flight table.
+///
+/// Plugs in as the *base image* of a normal CoW (or cache) chain, so the
+/// paper's mechanisms and this baseline compose exactly as §7.1.1
+/// describes.
+class P2pStreamBackend final : public io::BlockBackend {
+ public:
+  /// `content` is the seed-side byte source (the real image data);
+  /// `peer` identifies this node in the swarm.
+  P2pStreamBackend(Swarm& swarm, int peer, const SparseBuffer& content)
+      : swarm_(swarm), peer_(peer), content_(content) {
+    ro_ = true;
+  }
+
+  /// Launch the background sequential streamer (fills every chunk). The
+  /// streamer only references the swarm (not this backend), so it safely
+  /// outlives a VM that shuts down mid-stream.
+  void start_background_stream() {
+    swarm_.env().spawn(stream_all(swarm_, peer_));
+  }
+
+  sim::Task<Result<void>> pread(std::uint64_t off,
+                                std::span<std::uint8_t> dst) override {
+    if (off + dst.size() > swarm_.image_size()) co_return Errc::out_of_range;
+    const std::uint64_t cs = swarm_.params().chunk_size;
+    const std::uint32_t first = static_cast<std::uint32_t>(off / cs);
+    const std::uint32_t last =
+        static_cast<std::uint32_t>((off + dst.size() - 1) / cs);
+    for (std::uint32_t c = first; c <= last; ++c) {
+      if (!swarm_.peer_has(peer_, c)) {
+        ++demand_fetches_;
+        swarm_.begin_demand(peer_);
+        co_await swarm_.fetch_chunk(peer_, c);
+        swarm_.end_demand(peer_);
+      }
+    }
+    content_.read(off, dst);
+    co_return ok_result();
+  }
+
+  sim::Task<Result<void>> pwrite(std::uint64_t,
+                                 std::span<const std::uint8_t>) override {
+    co_return Errc::read_only;
+  }
+  sim::Task<Result<void>> flush() override { co_return ok_result(); }
+  sim::Task<Result<void>> truncate(std::uint64_t) override {
+    co_return Errc::read_only;
+  }
+  [[nodiscard]] std::uint64_t size() const override {
+    return swarm_.image_size();
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "p2p-stream:peer" + std::to_string(peer_);
+  }
+
+  /// Reads that had to wait for a swarm fetch (vs. already-present data).
+  [[nodiscard]] std::uint64_t demand_fetches() const noexcept {
+    return demand_fetches_;
+  }
+
+ private:
+  static sim::Task<void> stream_all(Swarm& swarm, int peer) {
+    // Each peer streams from a different starting offset (spreads chunk
+    // availability across the swarm, so peers serve each other and the
+    // seed decongests), and yields to boot-critical demand fetches —
+    // VMTorrent's profile-driven prioritisation, simplified.
+    const std::uint32_t n = swarm.num_chunks();
+    const std::uint32_t start = static_cast<std::uint32_t>(
+        (std::uint64_t{static_cast<std::uint32_t>(peer)} * n) /
+        static_cast<std::uint32_t>(std::max(1, swarm.num_peers())));
+    for (std::uint32_t k = 0; k < n; ++k) {
+      const std::uint32_t c = (start + k) % n;
+      co_await swarm.wait_demand_idle(peer);
+      co_await swarm.fetch_chunk(peer, c);
+    }
+  }
+
+  Swarm& swarm_;
+  int peer_;
+  const SparseBuffer& content_;
+  std::uint64_t demand_fetches_ = 0;
+};
+
+}  // namespace vmic::p2p

@@ -1,0 +1,196 @@
+#include "p2p/swarm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/align.hpp"
+
+namespace vmic::p2p {
+
+Swarm::Swarm(sim::SimEnv& env, int num_peers, std::uint64_t image_size,
+             P2pParams params, std::uint64_t seed)
+    : env_(env),
+      p_(params),
+      image_size_(image_size),
+      num_chunks_(static_cast<std::uint32_t>(
+          div_ceil(image_size, params.chunk_size))),
+      rng_(seed) {
+  assert(num_peers > 0 && image_size > 0);
+  seed_nic_ = std::make_unique<Nic>(env, p_, "seed");
+  for (int i = 0; i < num_peers; ++i) {
+    peer_nics_.push_back(
+        std::make_unique<Nic>(env, p_, "peer" + std::to_string(i)));
+    have_.emplace_back(num_chunks_, false);
+    have_count_.push_back(0);
+    progress_.push_back(std::make_unique<Progress>(env));
+  }
+  availability_.assign(num_chunks_, 0);
+  demand_count_.assign(static_cast<std::size_t>(num_peers), 0);
+  demand_waiters_.resize(static_cast<std::size_t>(num_peers));
+}
+
+void Swarm::end_demand(int peer) {
+  auto& n = demand_count_[static_cast<std::size_t>(peer)];
+  assert(n > 0);
+  if (--n == 0) {
+    auto& ws = demand_waiters_[static_cast<std::size_t>(peer)];
+    for (auto h : ws) env_.schedule_at(env_.now(), h);
+    ws.clear();
+  }
+}
+
+sim::Task<void> Swarm::transfer_via(Nic& src, Nic& dst,
+                                    std::uint64_t bytes) {
+  // Both access links carry the payload; completion is the slower of the
+  // two. Fork the two PS transfers and join.
+  struct Join {
+    explicit Join(sim::SimEnv& env) : done(env) {}
+    int remaining = 2;
+    sim::Event done;
+  };
+  auto join = std::make_shared<Join>(env_);
+  auto leg = [](net::Link& link, std::uint64_t n,
+                std::shared_ptr<Join> j) -> sim::Task<void> {
+    co_await link.transfer(n);
+    if (--j->remaining == 0) j->done.trigger();
+  };
+  env_.spawn(leg(src.up, bytes, join));
+  env_.spawn(leg(dst.down, bytes, join));
+  ++src.active_uploads;
+  co_await join->done.wait();
+  --src.active_uploads;
+  bytes_transferred_ += bytes;
+}
+
+int Swarm::pick_source(int peer, std::uint32_t chunk) {
+  int best = -1;  // seed is always a holder
+  int best_load = seed_nic_->active_uploads;
+  for (std::size_t i = 0; i < peer_nics_.size(); ++i) {
+    if (static_cast<int>(i) == peer || !have_[i][chunk]) continue;
+    const int load = peer_nics_[i]->active_uploads;
+    if (best == -1 || load < best_load ||
+        (load == best_load && rng_.chance(0.5))) {
+      best = static_cast<int>(i);
+      best_load = load;
+    }
+  }
+  // Prefer a peer over the seed at equal load: offload the origin.
+  return best;
+}
+
+void Swarm::mark_have(int peer, std::uint32_t chunk) {
+  auto& h = have_[static_cast<std::size_t>(peer)];
+  if (h[chunk]) return;
+  h[chunk] = true;
+  ++have_count_[static_cast<std::size_t>(peer)];
+  ++availability_[chunk];
+}
+
+sim::Task<void> Swarm::fetch_chunk(int peer, std::uint32_t chunk) {
+  assert(chunk < num_chunks_);
+  if (peer_has(peer, chunk)) co_return;
+  const auto key = std::make_pair(peer, chunk);
+  if (auto it = inflight_.find(key); it != inflight_.end()) {
+    auto ev = it->second;
+    co_await ev->wait();
+    co_return;
+  }
+  auto ev = std::make_shared<sim::Event>(env_);
+  inflight_.emplace(key, ev);
+
+  const int src = pick_source(peer, chunk);
+  const std::uint64_t bytes =
+      std::min<std::uint64_t>(p_.chunk_size,
+                              image_size_ - std::uint64_t{chunk} *
+                                                p_.chunk_size) +
+      p_.per_chunk_overhead;
+  co_await transfer_via(nic_of(src), nic_of(peer), bytes);
+
+  mark_have(peer, chunk);
+  inflight_.erase(key);
+  ev->trigger();
+}
+
+sim::Task<void> Swarm::download_all(int peer) {
+  sim::Semaphore slots{env_, static_cast<std::size_t>(p_.parallel_fetches)};
+  struct State {
+    explicit State(sim::SimEnv& env) : all_done(env) {}
+    std::uint32_t outstanding = 0;
+    bool queued_all = false;
+    sim::Event all_done;
+  };
+  auto st = std::make_shared<State>(env_);
+
+  auto one = [this, peer](std::uint32_t chunk, sim::Semaphore* sem,
+                          std::shared_ptr<State> s) -> sim::Task<void> {
+    co_await fetch_chunk(peer, chunk);
+    sem->release();
+    if (--s->outstanding == 0 && s->queued_all) s->all_done.trigger();
+  };
+
+  // Rarest-first: repeatedly take the needed chunk with the lowest peer
+  // availability (ties broken randomly), limited by the fetch slots.
+  std::vector<std::uint32_t> needed;
+  needed.reserve(num_chunks_);
+  for (std::uint32_t c = 0; c < num_chunks_; ++c) {
+    if (!peer_has(peer, c)) needed.push_back(c);
+  }
+  while (!needed.empty()) {
+    co_await slots.acquire();
+    // Re-evaluate rarity at claim time (availability changes constantly).
+    std::size_t best = 0;
+    std::uint32_t best_avail = ~0u;
+    for (std::size_t i = 0; i < needed.size(); ++i) {
+      const std::uint32_t a = availability_[needed[i]];
+      if (a < best_avail || (a == best_avail && rng_.chance(0.3))) {
+        best_avail = a;
+        best = i;
+      }
+    }
+    const std::uint32_t chunk = needed[best];
+    needed[best] = needed.back();
+    needed.pop_back();
+    ++st->outstanding;
+    env_.spawn(one(chunk, &slots, st));
+  }
+  st->queued_all = true;
+  if (st->outstanding > 0) co_await st->all_done.wait();
+}
+
+sim::Task<void> Swarm::run_pipeline() {
+  // Hop i receives chunk c from hop i-1 (or the seed) once available,
+  // stores it, and signals its own progress so hop i+1 can pull it.
+  struct Join {
+    explicit Join(sim::SimEnv& env, std::size_t n) : done(env), left(n) {}
+    sim::Event done;
+    std::size_t left;
+  };
+  auto join = std::make_shared<Join>(env_, peer_nics_.size());
+
+  auto hop = [this](int peer, std::shared_ptr<Join> j) -> sim::Task<void> {
+    for (std::uint32_t c = 0; c < num_chunks_; ++c) {
+      if (peer > 0) {
+        co_await progress_[static_cast<std::size_t>(peer - 1)]->wait_for(
+            std::uint64_t{c} + 1);
+      }
+      const int src = peer == 0 ? -1 : peer - 1;
+      const std::uint64_t bytes =
+          std::min<std::uint64_t>(p_.chunk_size,
+                                  image_size_ - std::uint64_t{c} *
+                                                    p_.chunk_size) +
+          p_.per_chunk_overhead;
+      co_await transfer_via(nic_of(src), nic_of(peer), bytes);
+      mark_have(peer, c);
+      progress_[static_cast<std::size_t>(peer)]->advance_to(
+          std::uint64_t{c} + 1);
+    }
+    if (--j->left == 0) j->done.trigger();
+  };
+
+  for (std::size_t i = 0; i < peer_nics_.size(); ++i) {
+    env_.spawn(hop(static_cast<int>(i), join));
+  }
+  co_await join->done.wait();
+}
+
+}  // namespace vmic::p2p

@@ -1,0 +1,187 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/env.hpp"
+#include "sim/sync.hpp"
+#include "util/rng.hpp"
+#include "util/sparse_buffer.hpp"
+
+namespace vmic::p2p {
+
+/// Peer-to-peer VMI distribution substrate — the §7.1.1 related-work
+/// baselines the paper positions VMI caches against:
+///  * LANTorrent-style store-and-forward pipeline (Nimbus [17]): the
+///    storage node streams the complete image through a chain of nodes;
+///  * BitTorrent-style swarm ([4, 18, 27]): chunks spread rarest-first
+///    between peers, the full image lands on every node before boot;
+///  * VMTorrent-style on-demand streaming (Reich et al. [24]): the VM
+///    boots immediately, missing chunks are fetched with priority and a
+///    background stream fills the rest (see P2pStreamBackend).
+///
+/// Unlike the NFS path (one shared storage link), every peer here has its
+/// own full-duplex NIC behind a non-blocking switch — the topology that
+/// makes P2P attractive in the first place.
+struct P2pParams {
+  std::uint64_t chunk_size = 4 * 1024 * 1024;
+  int parallel_fetches = 4;       ///< concurrent downloads per peer (swarm)
+  double nic_bandwidth_Bps = 125e6;  ///< 1 GbE per node
+  sim::SimTime latency = sim::from_micros(50);
+  std::uint32_t per_chunk_overhead = 512;  ///< protocol bytes per chunk
+};
+
+/// Monotone counter with waiters — "wake me when progress reaches n".
+/// Drives the pipeline: each hop waits for its predecessor to have the
+/// next chunk.
+class Progress {
+ public:
+  explicit Progress(sim::SimEnv& env) : env_(env) {}
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+  void advance_to(std::uint64_t n) {
+    if (n <= count_) return;
+    count_ = n;
+    while (!waiters_.empty() && waiters_.begin()->first <= count_) {
+      env_.schedule_at(env_.now(), waiters_.begin()->second);
+      waiters_.erase(waiters_.begin());
+    }
+  }
+
+  struct Awaiter {
+    Progress& p;
+    std::uint64_t need;
+    bool await_ready() const noexcept { return p.count_ >= need; }
+    void await_suspend(std::coroutine_handle<> h) {
+      p.waiters_.emplace(need, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] Awaiter wait_for(std::uint64_t n) { return {*this, n}; }
+
+ private:
+  sim::SimEnv& env_;
+  std::uint64_t count_ = 0;
+  std::multimap<std::uint64_t, std::coroutine_handle<>> waiters_;
+};
+
+/// One VMI being distributed from a seed (the storage node) to N peers.
+class Swarm {
+ public:
+  Swarm(sim::SimEnv& env, int num_peers, std::uint64_t image_size,
+        P2pParams params = {}, std::uint64_t seed = 0x5EED);
+
+  [[nodiscard]] std::uint32_t num_chunks() const noexcept {
+    return num_chunks_;
+  }
+  [[nodiscard]] std::uint64_t image_size() const noexcept {
+    return image_size_;
+  }
+  [[nodiscard]] int num_peers() const noexcept {
+    return static_cast<int>(peer_nics_.size());
+  }
+  [[nodiscard]] const P2pParams& params() const noexcept { return p_; }
+  [[nodiscard]] sim::SimEnv& env() noexcept { return env_; }
+
+  [[nodiscard]] bool peer_has(int peer, std::uint32_t chunk) const {
+    return have_[static_cast<std::size_t>(peer)][chunk];
+  }
+  [[nodiscard]] std::uint32_t peer_chunk_count(int peer) const {
+    return have_count_[static_cast<std::size_t>(peer)];
+  }
+  [[nodiscard]] bool peer_complete(int peer) const {
+    return peer_chunk_count(peer) == num_chunks_;
+  }
+
+  /// Fetch one chunk for `peer` from the best source (a peer that has it
+  /// with the fewest active uploads, else the seed). Coalesces with an
+  /// in-flight fetch of the same chunk by the same peer. No-op if
+  /// already present.
+  sim::Task<void> fetch_chunk(int peer, std::uint32_t chunk);
+
+  /// Swarm mode: download every chunk, rarest-first, with
+  /// params().parallel_fetches concurrent transfers. Returns when this
+  /// peer is complete.
+  sim::Task<void> download_all(int peer);
+
+  /// LANTorrent mode: run the whole pipeline seed -> peer 0 -> peer 1 ->
+  /// ... storing and forwarding chunk by chunk. Returns when the last
+  /// peer is complete. (Call instead of download_all, not in addition.)
+  sim::Task<void> run_pipeline();
+
+  /// Total bytes moved between any two parties.
+  [[nodiscard]] std::uint64_t bytes_transferred() const noexcept {
+    return bytes_transferred_;
+  }
+
+  // --- demand priority (VMTorrent's key mechanism) -----------------------
+  /// Mark a demand (boot-critical) fetch in flight for `peer`; background
+  /// streamers yield while any demand is outstanding.
+  void begin_demand(int peer) {
+    ++demand_count_[static_cast<std::size_t>(peer)];
+  }
+  void end_demand(int peer);
+  /// Suspend until `peer` has no outstanding demand fetches.
+  struct DemandIdleAwaiter {
+    Swarm& s;
+    int peer;
+    bool await_ready() const noexcept {
+      return s.demand_count_[static_cast<std::size_t>(peer)] == 0;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      s.demand_waiters_[static_cast<std::size_t>(peer)].push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] DemandIdleAwaiter wait_demand_idle(int peer) {
+    return {*this, peer};
+  }
+
+ private:
+  struct Nic {
+    Nic(sim::SimEnv& env, const P2pParams& p, const std::string& name)
+        : up(env, p.nic_bandwidth_Bps, p.latency, name + ".up"),
+          down(env, p.nic_bandwidth_Bps, p.latency, name + ".down") {}
+    net::Link up;
+    net::Link down;
+    int active_uploads = 0;
+  };
+
+  /// Move `bytes` from `src`'s uplink to `dst`'s downlink: both links
+  /// carry the payload concurrently; the transfer completes when the
+  /// slower one finishes.
+  sim::Task<void> transfer_via(Nic& src, Nic& dst, std::uint64_t bytes);
+
+  /// -1 = seed. Chooses the least-busy holder of `chunk`.
+  int pick_source(int peer, std::uint32_t chunk);
+  Nic& nic_of(int id) {
+    return id < 0 ? *seed_nic_ : *peer_nics_[static_cast<std::size_t>(id)];
+  }
+
+  void mark_have(int peer, std::uint32_t chunk);
+
+  sim::SimEnv& env_;
+  P2pParams p_;
+  std::uint64_t image_size_;
+  std::uint32_t num_chunks_;
+  Rng rng_;
+
+  std::unique_ptr<Nic> seed_nic_;
+  std::vector<std::unique_ptr<Nic>> peer_nics_;
+  std::vector<std::vector<bool>> have_;       // [peer][chunk]
+  std::vector<std::uint32_t> have_count_;     // per peer
+  std::vector<std::uint32_t> availability_;   // holders per chunk (peers only)
+  // In-flight fetch coalescing per (peer, chunk).
+  std::map<std::pair<int, std::uint32_t>, std::shared_ptr<sim::Event>>
+      inflight_;
+  std::vector<std::unique_ptr<Progress>> progress_;  // pipeline mode
+  std::uint64_t bytes_transferred_ = 0;
+  std::vector<std::uint32_t> demand_count_;
+  std::vector<std::vector<std::coroutine_handle<>>> demand_waiters_;
+};
+
+}  // namespace vmic::p2p

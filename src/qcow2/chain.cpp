@@ -1,0 +1,138 @@
+#include "qcow2/chain.hpp"
+
+namespace vmic::qcow2 {
+
+namespace {
+
+sim::Task<Result<block::DevicePtr>> resolve_in_dir(io::ImageDirectory* dir,
+                                                   std::string name,
+                                                   bool writable,
+                                                   bool cache_backing_ro,
+                                                   int depth_left) {
+  if (depth_left <= 0) co_return Errc::invalid_format;  // cycle / too deep
+  VMIC_CO_TRY(backend, dir->open_file(name, writable));
+  block::OpenOptions o = chain_options(*dir, writable, cache_backing_ro);
+  o.max_chain_depth = depth_left;
+  io::ImageDirectory* dirp = dir;
+  o.resolver = [dirp, cache_backing_ro, depth_left](const std::string& n,
+                                                    bool w) {
+    return resolve_in_dir(dirp, n, w, cache_backing_ro, depth_left - 1);
+  };
+  co_return co_await open_any(std::move(backend), o);
+}
+
+/// Open the backing image briefly to determine the virtual size a new
+/// overlay must have (qemu-img inherits it the same way).
+sim::Task<Result<std::uint64_t>> backing_virtual_size(
+    io::ImageDirectory& dir, const std::string& backing_name) {
+  VMIC_CO_TRY(dev, co_await open_image(dir, backing_name, /*writable=*/false));
+  const std::uint64_t size = dev->size();
+  VMIC_CO_TRY_VOID(co_await dev->close());
+  co_return size;
+}
+
+}  // namespace
+
+block::OpenOptions chain_options(io::ImageDirectory& dir, bool writable,
+                                 bool cache_backing_ro) {
+  block::OpenOptions o;
+  o.writable = writable;
+  o.cache_backing_ro = cache_backing_ro;
+  io::ImageDirectory* dirp = &dir;
+  const int depth = o.max_chain_depth;
+  o.resolver = [dirp, cache_backing_ro, depth](const std::string& name,
+                                               bool w) {
+    return resolve_in_dir(dirp, name, w, cache_backing_ro, depth - 1);
+  };
+  return o;
+}
+
+sim::Task<Result<block::DevicePtr>> open_image(io::ImageDirectory& dir,
+                                               const std::string& name,
+                                               bool writable,
+                                               bool cache_backing_ro) {
+  VMIC_CO_TRY(backend, dir.open_file(name, writable));
+  co_return co_await open_any(
+      std::move(backend), chain_options(dir, writable, cache_backing_ro));
+}
+
+sim::Task<Result<void>> create_cow_image(io::ImageDirectory& dir,
+                                         const std::string& name,
+                                         const std::string& backing_name,
+                                         ChainImageOptions opt) {
+  std::uint64_t size = opt.virtual_size;
+  if (size == 0) {
+    VMIC_CO_TRY(s, co_await backing_virtual_size(dir, backing_name));
+    size = s;
+  }
+  VMIC_CO_TRY(backend, dir.create_file(name));
+  Qcow2Device::CreateOptions c;
+  c.virtual_size = size;
+  c.cluster_bits = opt.cluster_bits;
+  c.backing_file = backing_name;
+  co_return co_await Qcow2Device::create(*backend, c);
+}
+
+sim::Task<Result<void>> create_cache_image(io::ImageDirectory& dir,
+                                           const std::string& name,
+                                           const std::string& backing_name,
+                                           std::uint64_t quota,
+                                           ChainImageOptions opt) {
+  if (quota == 0) co_return Errc::invalid_argument;
+  std::uint64_t size = opt.virtual_size;
+  if (size == 0) {
+    VMIC_CO_TRY(s, co_await backing_virtual_size(dir, backing_name));
+    size = s;
+  }
+  VMIC_CO_TRY(backend, dir.create_file(name));
+  Qcow2Device::CreateOptions c;
+  c.virtual_size = size;
+  c.cluster_bits = opt.cluster_bits;
+  c.backing_file = backing_name;
+  c.cache_quota = quota;
+  c.expected_file_size = quota + 16 * 1024 * 1024;
+  co_return co_await Qcow2Device::create(*backend, c);
+}
+
+
+sim::Task<Result<std::uint64_t>> commit_image(io::ImageDirectory& dir,
+                                              const std::string& name) {
+  // Open the overlay read-only (we only read its clusters) and find its
+  // direct backing, which we open writable *separately* — the chain
+  // opener would have demoted it.
+  VMIC_CO_TRY(overlay, co_await open_image(dir, name, /*writable=*/false));
+  auto* q = dynamic_cast<Qcow2Device*>(overlay.get());
+  if (q == nullptr) co_return Errc::invalid_argument;  // raw has no backing
+  if (q->backing_file().empty()) co_return Errc::invalid_argument;
+  if (q->is_cache_image()) {
+    // Committing a cache would be a no-op by design (its content equals
+    // the base's); reject to avoid surprises.
+    co_return Errc::invalid_argument;
+  }
+  VMIC_CO_TRY(base, co_await open_image(dir, q->backing_file(),
+                                        /*writable=*/true));
+  if (base->read_only()) co_return Errc::read_only;
+
+  std::uint64_t committed = 0;
+  std::vector<std::uint8_t> buf;
+  const std::uint64_t step = 4 * 1024 * 1024;
+  std::uint64_t pos = 0;
+  const std::uint64_t end = std::min(q->size(), base->size());
+  while (pos < end) {
+    VMIC_CO_TRY(st, co_await q->map_status(pos, std::min(step, end - pos)));
+    if (st.kind != Qcow2Device::MapKind::unallocated) {
+      buf.assign(st.len, 0);
+      if (st.kind == Qcow2Device::MapKind::data) {
+        VMIC_CO_TRY_VOID(co_await q->read(pos, buf));
+      }
+      VMIC_CO_TRY_VOID(co_await base->write(pos, buf));
+      committed += st.len;
+    }
+    pos += st.len;
+  }
+  VMIC_CO_TRY_VOID(co_await base->close());
+  VMIC_CO_TRY_VOID(co_await overlay->close());
+  co_return committed;
+}
+
+}  // namespace vmic::qcow2

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+
+#include "block/device.hpp"
+#include "io/directory.hpp"
+#include "qcow2/device.hpp"
+
+namespace vmic::qcow2 {
+
+/// Open options whose backing resolver looks files up in `dir` (which
+/// must outlive every device opened through it) and probes their format.
+block::OpenOptions chain_options(io::ImageDirectory& dir, bool writable = true,
+                                 bool cache_backing_ro = false);
+
+/// Open `name` from `dir`, probing the format and recursively opening the
+/// backing chain. `cache_backing_ro` forces cache backings read-only —
+/// use it when many VMs attach a shared warm cache (see OpenOptions).
+sim::Task<Result<block::DevicePtr>> open_image(io::ImageDirectory& dir,
+                                               const std::string& name,
+                                               bool writable = true,
+                                               bool cache_backing_ro = false);
+
+/// qemu-img-style chaining helpers (paper §4.4).
+///
+/// With plain QCOW2: create_cow_image(dir, "vm0.cow", base) and boot from
+/// "vm0.cow". With a VMI cache:
+///   1. create_cache_image(dir, "centos.cache", base, quota, 512-byte
+///      clusters)  — cache image backed by the base image;
+///   2. create_cow_image(dir, "vm0.cow", "centos.cache") — CoW image
+///      backed by the cache;
+///   3. boot from "vm0.cow".
+/// The virtual size is inherited from the backing image, like qemu-img.
+
+struct ChainImageOptions {
+  std::uint32_t cluster_bits = kDefaultClusterBits;
+  /// Override for the virtual size; 0 = inherit from the backing image.
+  std::uint64_t virtual_size = 0;
+};
+
+/// Create a copy-on-write overlay backed by `backing_name`.
+sim::Task<Result<void>> create_cow_image(io::ImageDirectory& dir,
+                                         const std::string& name,
+                                         const std::string& backing_name,
+                                         ChainImageOptions opt = {});
+
+/// Create a cache image (quota > 0) backed by `backing_name`. The paper
+/// recommends 512-byte clusters for cache images (§5.1), so that is the
+/// default here.
+sim::Task<Result<void>> create_cache_image(io::ImageDirectory& dir,
+                                           const std::string& name,
+                                           const std::string& backing_name,
+                                           std::uint64_t quota,
+                                           ChainImageOptions opt = {
+                                               .cluster_bits = 9,
+                                               .virtual_size = 0});
+
+/// qemu-img-style commit: write the overlay's local modifications (data
+/// and zero clusters) into its direct backing file. Returns the number of
+/// bytes committed. The overlay itself is left unchanged; callers usually
+/// recreate or delete it afterwards.
+sim::Task<Result<std::uint64_t>> commit_image(io::ImageDirectory& dir,
+                                              const std::string& name);
+
+}  // namespace vmic::qcow2

@@ -1,0 +1,1017 @@
+#include "qcow2/device.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "block/raw.hpp"
+#include "util/align.hpp"
+#include "util/bytes.hpp"
+#include "util/log.hpp"
+
+namespace vmic::qcow2 {
+
+namespace {
+
+/// Serialise host-endian u64 entries to a big-endian byte buffer.
+void pack_be64(const std::uint64_t* src, std::size_t n,
+               std::uint8_t* out) {
+  for (std::size_t i = 0; i < n; ++i) store_be64(out + i * 8, src[i]);
+}
+
+}  // namespace
+
+// ===========================================================================
+// create
+// ===========================================================================
+
+sim::Task<Result<void>> Qcow2Device::create(io::BlockBackend& file,
+                                            CreateOptions opt) {
+  if (opt.virtual_size == 0) co_return Errc::invalid_argument;
+  if (opt.cluster_bits < kMinClusterBits ||
+      opt.cluster_bits > kMaxClusterBits) {
+    co_return Errc::invalid_argument;
+  }
+  if (opt.backing_file.size() > 1023) co_return Errc::invalid_argument;
+  if (file.read_only()) co_return Errc::read_only;
+
+  const Layout ly{opt.cluster_bits};
+  const std::uint64_t cs = ly.cluster_size();
+
+  std::optional<CacheExtension> cache;
+  if (opt.cache_quota != 0) {
+    cache = CacheExtension{opt.cache_quota, 0};
+  }
+
+  const std::uint64_t header_bytes = header_area_size(cache, opt.backing_file);
+  const std::uint64_t header_clusters = div_ceil(header_bytes, cs);
+
+  const std::uint32_t l1_entries = ly.l1_entries_for(opt.virtual_size);
+  const std::uint64_t l1_clusters =
+      div_ceil(std::uint64_t{l1_entries} * 8, cs);
+
+  // Refcount-table sizing: cover the expected maximum file size with some
+  // slack; the table can still grow at runtime if exceeded.
+  std::uint64_t expected_file = opt.expected_file_size;
+  if (expected_file == 0) {
+    const std::uint64_t l2_estimate = opt.virtual_size / 64;
+    expected_file = opt.cache_quota != 0
+                        ? opt.cache_quota * 2 + 16 * 1024 * 1024
+                        : opt.virtual_size + l2_estimate + 16 * 1024 * 1024;
+  }
+  const std::uint64_t expected_clusters = div_ceil(expected_file, cs);
+  const std::uint64_t rt_clusters = std::max<std::uint64_t>(
+      1, div_ceil(div_ceil(expected_clusters, ly.refcounts_per_block()),
+                  ly.rt_entries_per_cluster()));
+
+  // Initial refcount blocks must cover all initial clusters, whose count
+  // depends on the block count — iterate to the fixed point.
+  std::uint64_t nrb = 1;
+  std::uint64_t total = 0;
+  for (int iter = 0; iter < 8; ++iter) {
+    total = header_clusters + rt_clusters + nrb + l1_clusters;
+    const std::uint64_t need = div_ceil(total, ly.refcounts_per_block());
+    if (need == nrb) break;
+    nrb = need;
+  }
+  total = header_clusters + rt_clusters + nrb + l1_clusters;
+
+  if (opt.cache_quota != 0 && opt.cache_quota < total * cs) {
+    // Quota cannot even hold the metadata skeleton.
+    co_return Errc::invalid_argument;
+  }
+
+  const std::uint64_t rt_off = header_clusters * cs;
+  const std::uint64_t rb_off = rt_off + rt_clusters * cs;
+  const std::uint64_t l1_off = rb_off + nrb * cs;
+
+  Header h;
+  h.cluster_bits = opt.cluster_bits;
+  h.size = opt.virtual_size;
+  h.l1_size = l1_entries;
+  h.l1_table_offset = l1_off;
+  h.refcount_table_offset = rt_off;
+  h.refcount_table_clusters = static_cast<std::uint32_t>(rt_clusters);
+  if (!opt.backing_file.empty()) {
+    h.backing_file_offset = header_bytes - opt.backing_file.size();
+    h.backing_file_size =
+        static_cast<std::uint32_t>(opt.backing_file.size());
+  }
+  if (cache) cache->current_size = total * cs;
+
+  // Header area (cluster 0 .. header_clusters-1).
+  std::vector<std::uint8_t> hdr(header_clusters * cs, 0);
+  write_header_area(h, cache, opt.backing_file, hdr);
+  VMIC_CO_TRY_VOID(co_await file.pwrite(0, hdr));
+
+  // Refcount table: first nrb entries point at the initial blocks.
+  {
+    std::vector<std::uint8_t> rt(rt_clusters * cs, 0);
+    for (std::uint64_t j = 0; j < nrb; ++j) {
+      store_be64(rt.data() + j * 8, rb_off + j * cs);
+    }
+    VMIC_CO_TRY_VOID(co_await file.pwrite(rt_off, rt));
+  }
+
+  // Refcount blocks: clusters [0, total) have refcount 1.
+  {
+    std::vector<std::uint8_t> rb(cs, 0);
+    for (std::uint64_t j = 0; j < nrb; ++j) {
+      std::memset(rb.data(), 0, cs);
+      const std::uint64_t first = j * ly.refcounts_per_block();
+      for (std::uint64_t k = 0; k < ly.refcounts_per_block(); ++k) {
+        if (first + k < total) store_be16(rb.data() + k * 2, 1);
+      }
+      VMIC_CO_TRY_VOID(co_await file.pwrite(rb_off + j * cs, rb));
+    }
+  }
+
+  // L1 table: all zero (fully unallocated).
+  {
+    std::vector<std::uint8_t> zeros(l1_clusters * cs, 0);
+    VMIC_CO_TRY_VOID(co_await file.pwrite(l1_off, zeros));
+  }
+
+  VMIC_CO_TRY_VOID(co_await file.truncate(total * cs));
+  VMIC_CO_TRY_VOID(co_await file.flush());
+  co_return ok_result();
+}
+
+// ===========================================================================
+// open
+// ===========================================================================
+
+Qcow2Device::Qcow2Device(io::BackendPtr file, ParsedHeader parsed)
+    : file_(std::move(file)),
+      h_(parsed.h),
+      ly_(parsed.h.cluster_bits),
+      cache_(parsed.cache),
+      cache_ext_payload_offset_(parsed.cache_ext_payload_offset),
+      backing_path_(std::move(parsed.backing_file)) {}
+
+sim::Task<Result<block::DevicePtr>> Qcow2Device::open(
+    io::BackendPtr file, const block::OpenOptions& opt) {
+  if (file == nullptr) co_return Errc::invalid_argument;
+  if (opt.max_chain_depth <= 0) co_return Errc::invalid_format;
+
+  // The header area always fits in the first 4 KiB (our create() keeps
+  // extensions + backing name short); reading a bit of L1 alongside is
+  // harmless.
+  std::vector<std::uint8_t> hdr(
+      std::min<std::uint64_t>(4096, file->size()), 0);
+  if (hdr.size() < kHeaderLength) co_return Errc::invalid_format;
+  VMIC_CO_TRY_VOID(co_await file->pread(0, hdr));
+  VMIC_CO_TRY(parsed, parse_header_area(hdr));
+
+  auto dev = std::unique_ptr<Qcow2Device>(
+      new Qcow2Device(std::move(file), std::move(parsed)));
+  dev->ro_mode_ = !opt.writable;
+
+  // Load the L1 table (QEMU keeps the whole L1 in memory as well).
+  {
+    const std::uint64_t bytes = std::uint64_t{dev->h_.l1_size} * 8;
+    std::vector<std::uint8_t> buf(bytes, 0);
+    VMIC_CO_TRY_VOID(co_await dev->file_->pread(dev->h_.l1_table_offset, buf));
+    dev->l1_.resize(dev->h_.l1_size);
+    for (std::uint32_t i = 0; i < dev->h_.l1_size; ++i) {
+      dev->l1_[i] = load_be64(buf.data() + std::uint64_t{i} * 8);
+    }
+  }
+
+  // Load the refcount table; the per-cluster mirror is loaded lazily on
+  // first allocation (read-only consumers never pay for it).
+  {
+    const std::uint64_t bytes =
+        std::uint64_t{dev->h_.refcount_table_clusters} * dev->ly_.cluster_size();
+    std::vector<std::uint8_t> buf(bytes, 0);
+    VMIC_CO_TRY_VOID(
+        co_await dev->file_->pread(dev->h_.refcount_table_offset, buf));
+    dev->rt_.resize(bytes / 8);
+    for (std::size_t i = 0; i < dev->rt_.size(); ++i) {
+      dev->rt_[i] = load_be64(buf.data() + i * 8);
+    }
+  }
+
+  if (opt.writable && !dev->file_->read_only()) {
+    VMIC_CO_TRY_VOID(co_await dev->load_refcounts());
+  }
+
+  // Open the backing chain. Per the paper (§4.3): open writable first —
+  // a cache image needs write permission for copy-on-read — then demote
+  // to read-only if it turns out not to be a cache image.
+  if (!dev->backing_path_.empty()) {
+    if (!opt.resolver) co_return Errc::invalid_argument;
+    VMIC_CO_TRY(backing, co_await opt.resolver(dev->backing_path_,
+                                               /*writable=*/true));
+    if (!backing->is_cache_image() || opt.cache_backing_ro) {
+      backing->set_read_only_mode(true);
+    }
+    dev->backing_ = std::move(backing);
+    if (dev->backing_->size() < dev->h_.size &&
+        !dev->is_cache_image()) {
+      // A CoW overlay may be larger than its backing (reads past the end
+      // of the backing are zeros) — that is fine; nothing to check.
+    }
+  }
+
+  co_return block::DevicePtr{std::move(dev)};
+}
+
+sim::Task<Result<void>> Qcow2Device::load_refcounts() {
+  if (refcounts_loaded_) co_return ok_result();
+  const std::uint64_t cs = ly_.cluster_size();
+  refcounts_.assign(div_ceil(file_->size(), cs), 0);
+  std::vector<std::uint8_t> buf(cs, 0);
+  for (std::size_t bi = 0; bi < rt_.size(); ++bi) {
+    const std::uint64_t block_off = rt_[bi] & kOffsetMask;
+    if (block_off == 0) continue;
+    VMIC_CO_TRY_VOID(co_await file_->pread(block_off, buf));
+    const std::uint64_t first = bi * ly_.refcounts_per_block();
+    for (std::uint64_t k = 0; k < ly_.refcounts_per_block(); ++k) {
+      const std::uint64_t idx = first + k;
+      if (idx >= refcounts_.size()) break;
+      refcounts_[idx] = load_be16(buf.data() + k * 2);
+    }
+  }
+  refcounts_loaded_ = true;
+  co_return ok_result();
+}
+
+// ===========================================================================
+// address translation
+// ===========================================================================
+
+sim::Task<Result<std::vector<std::uint64_t>*>> Qcow2Device::load_l2(
+    std::uint64_t l2_host_off) {
+  auto it = l2_tables_.find(l2_host_off);
+  if (it != l2_tables_.end()) co_return it->second.get();
+
+  const std::uint64_t cs = ly_.cluster_size();
+  std::vector<std::uint8_t> buf(cs, 0);
+  VMIC_CO_TRY_VOID(co_await file_->pread(l2_host_off, buf));
+  auto table = std::make_unique<std::vector<std::uint64_t>>(ly_.l2_entries());
+  for (std::uint64_t i = 0; i < ly_.l2_entries(); ++i) {
+    (*table)[i] = load_be64(buf.data() + i * 8);
+  }
+  auto* raw = table.get();
+  l2_tables_.emplace(l2_host_off, std::move(table));
+  co_return raw;
+}
+
+sim::Task<Result<Qcow2Device::Extent>> Qcow2Device::map_range(
+    std::uint64_t vaddr, std::uint64_t len) {
+  assert(vaddr < h_.size);
+  len = std::min(len, h_.size - vaddr);
+  // Cap at the coverage boundary of one L2 table.
+  const std::uint64_t l2_span = ly_.bytes_per_l2();
+  len = std::min(len, l2_span - (vaddr & (l2_span - 1)));
+
+  const std::uint64_t i1 = ly_.l1_index(vaddr);
+  if (i1 >= l1_.size()) co_return Errc::corrupt;
+  const std::uint64_t l2_off = l1_[i1] & kOffsetMask;
+  if (l2_off == 0) co_return Extent{MapKind::unallocated, 0, len};
+
+  VMIC_CO_TRY(l2, co_await load_l2(l2_off));
+  const std::uint64_t cs = ly_.cluster_size();
+  std::uint64_t i2 = ly_.l2_index(vaddr);
+  const std::uint64_t in_cl = ly_.in_cluster(vaddr);
+
+  auto classify = [](std::uint64_t entry) {
+    if ((entry & kFlagZero) != 0) return MapKind::zero;
+    if ((entry & kOffsetMask) == 0) return MapKind::unallocated;
+    return MapKind::data;
+  };
+
+  const std::uint64_t first_entry = (*l2)[i2];
+  const MapKind kind = classify(first_entry);
+  const std::uint64_t first = first_entry & kOffsetMask;
+
+  std::uint64_t run = cs - in_cl;
+  if (kind != MapKind::data) {
+    while (run < len && ++i2 < ly_.l2_entries() &&
+           classify((*l2)[i2]) == kind) {
+      run += cs;
+    }
+    co_return Extent{kind, 0, std::min(len, run)};
+  }
+  std::uint64_t expect = first + cs;
+  while (run < len && ++i2 < ly_.l2_entries() &&
+         classify((*l2)[i2]) == MapKind::data &&
+         ((*l2)[i2] & kOffsetMask) == expect) {
+    run += cs;
+    expect += cs;
+  }
+  co_return Extent{MapKind::data, first + in_cl, std::min(len, run)};
+}
+
+sim::Task<Result<Qcow2Device::MapStatus>> Qcow2Device::map_status(
+    std::uint64_t vaddr, std::uint64_t max_len) {
+  if (vaddr >= h_.size) co_return Errc::out_of_range;
+  VMIC_CO_TRY(ext, co_await map_range(vaddr, max_len));
+  co_return MapStatus{ext.kind, ext.len};
+}
+
+sim::Task<Result<bool>> Qcow2Device::is_allocated(std::uint64_t vaddr) {
+  if (vaddr >= h_.size) co_return Errc::out_of_range;
+  VMIC_CO_TRY(ext, co_await map_range(vaddr, 1));
+  co_return ext.kind != MapKind::unallocated;
+}
+
+sim::Task<Result<void>> Qcow2Device::ensure_l2_table(std::uint64_t vaddr) {
+  const std::uint64_t cs = ly_.cluster_size();
+  const std::uint64_t i1 = ly_.l1_index(vaddr);
+  if (i1 >= l1_.size()) co_return Errc::corrupt;
+  if ((l1_[i1] & kOffsetMask) != 0) co_return ok_result();
+
+  // Allocate and zero a fresh L2 table, then hook it into the L1.
+  VMIC_CO_TRY(l2_off, co_await alloc_clusters(1));
+  std::vector<std::uint8_t> zeros(cs, 0);
+  VMIC_CO_TRY_VOID(co_await file_->pwrite(l2_off, zeros));
+  l2_tables_.emplace(
+      l2_off, std::make_unique<std::vector<std::uint64_t>>(ly_.l2_entries()));
+  l1_[i1] = l2_off | kFlagCopied;
+  ++l2_clusters_;
+  std::uint8_t be[8];
+  store_be64(be, l1_[i1]);
+  VMIC_CO_TRY_VOID(co_await file_->pwrite(h_.l1_table_offset + i1 * 8, be));
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> Qcow2Device::set_l2_entries(std::uint64_t vaddr,
+                                                    std::uint64_t host_off,
+                                                    std::uint64_t count) {
+  const std::uint64_t cs = ly_.cluster_size();
+  VMIC_CO_TRY_VOID(co_await ensure_l2_table(vaddr));
+  const std::uint64_t i1 = ly_.l1_index(vaddr);
+  const std::uint64_t l2_off = l1_[i1] & kOffsetMask;
+  VMIC_CO_TRY(l2, co_await load_l2(l2_off));
+  const std::uint64_t i2 = ly_.l2_index(vaddr);
+  assert(i2 + count <= ly_.l2_entries());
+
+  std::vector<std::uint8_t> be(count * 8);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    (*l2)[i2 + k] = (host_off + k * cs) | kFlagCopied;
+    store_be64(be.data() + k * 8, (*l2)[i2 + k]);
+  }
+  VMIC_CO_TRY_VOID(co_await file_->pwrite(l2_off + i2 * 8, be));
+  co_return ok_result();
+}
+
+// ===========================================================================
+// allocation & refcounts
+// ===========================================================================
+
+Result<void> Qcow2Device::quota_check(std::uint64_t end_cluster) const {
+  if (!cache_) return ok_result();
+  if (end_cluster * ly_.cluster_size() > cache_->quota) {
+    return Errc::no_space;
+  }
+  return ok_result();
+}
+
+std::optional<std::uint64_t> Qcow2Device::find_free_run(std::uint64_t n) {
+  // Scan the mirror for n consecutive free clusters; the region beyond
+  // the current end of file counts as free.
+  const std::uint64_t size = refcounts_.size();
+  std::uint64_t run = 0;
+  for (std::uint64_t i = free_guess_; i < size; ++i) {
+    if (refcounts_[i] == 0) {
+      if (++run == n) return i + 1 - n;
+    } else {
+      run = 0;
+    }
+  }
+  // Append at (or straddling) the end.
+  return size - run;
+}
+
+sim::Task<Result<std::uint64_t>> Qcow2Device::alloc_clusters(
+    std::uint64_t n) {
+  assert(n > 0);
+  if (!refcounts_loaded_) {
+    VMIC_CO_TRY_VOID(co_await load_refcounts());
+  }
+  const auto found = find_free_run(n);
+  assert(found.has_value());
+  const std::uint64_t idx = *found;
+  const std::uint64_t end = idx + n;
+  VMIC_CO_TRY_VOID(quota_check(std::max<std::uint64_t>(end, refcounts_.size())));
+
+  const std::uint64_t old_size = refcounts_.size();
+  if (end > refcounts_.size()) refcounts_.resize(end, 0);
+  for (std::uint64_t i = idx; i < end; ++i) refcounts_[i] = 1;
+
+  // Make sure every touched refcount block exists, then persist entries.
+  const std::uint64_t rpb = ly_.refcounts_per_block();
+  for (std::uint64_t bi = idx / rpb; bi <= (end - 1) / rpb; ++bi) {
+    auto r = co_await ensure_refcount_block(bi * rpb);
+    if (!r.ok()) {
+      // Roll back the marks so the mirror stays consistent.
+      for (std::uint64_t i = idx; i < end; ++i) refcounts_[i] = 0;
+      refcounts_.resize(std::max(old_size, idx));
+      co_return r.error();
+    }
+  }
+  VMIC_CO_TRY_VOID(co_await write_refcount_entries(idx, n));
+  free_guess_ = end;
+  co_return idx * ly_.cluster_size();
+}
+
+sim::Task<Result<void>> Qcow2Device::ensure_refcount_block(
+    std::uint64_t cluster_idx) {
+  const std::uint64_t rpb = ly_.refcounts_per_block();
+  const std::uint64_t bi = cluster_idx / rpb;
+  if (bi >= rt_.size()) {
+    VMIC_CO_TRY_VOID(co_await grow_refcount_table(bi));
+  }
+  if ((rt_[bi] & kOffsetMask) != 0) co_return ok_result();
+
+  // Allocate a cluster for the new block by hand (cannot recurse through
+  // alloc_clusters: that is what calls us).
+  const auto found = find_free_run(1);
+  assert(found.has_value());
+  const std::uint64_t b = *found;
+  VMIC_CO_TRY_VOID(
+      quota_check(std::max<std::uint64_t>(b + 1, refcounts_.size())));
+  if (b + 1 > refcounts_.size()) refcounts_.resize(b + 1, 0);
+  refcounts_[b] = 1;
+  rt_[bi] = b * ly_.cluster_size();
+
+  // If the new block's own cluster is covered by a different (absent)
+  // block, create that one too; recursion terminates because each level
+  // covers rpb clusters.
+  if (b / rpb != bi) {
+    VMIC_CO_TRY_VOID(co_await ensure_refcount_block(b));
+  }
+
+  // Persist the whole new block from the mirror, then its table entry.
+  const std::uint64_t cs = ly_.cluster_size();
+  std::vector<std::uint8_t> buf(cs, 0);
+  const std::uint64_t first = bi * rpb;
+  for (std::uint64_t k = 0; k < rpb; ++k) {
+    const std::uint64_t i = first + k;
+    if (i < refcounts_.size() && refcounts_[i] != 0) {
+      store_be16(buf.data() + k * 2, refcounts_[i]);
+    }
+  }
+  VMIC_CO_TRY_VOID(co_await file_->pwrite(rt_[bi], buf));
+  std::uint8_t be[8];
+  store_be64(be, rt_[bi]);
+  VMIC_CO_TRY_VOID(
+      co_await file_->pwrite(h_.refcount_table_offset + bi * 8, be));
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> Qcow2Device::write_refcount_entries(
+    std::uint64_t first, std::uint64_t count) {
+  const std::uint64_t rpb = ly_.refcounts_per_block();
+  std::uint64_t i = first;
+  const std::uint64_t end = first + count;
+  while (i < end) {
+    const std::uint64_t bi = i / rpb;
+    const std::uint64_t block_end = std::min(end, (bi + 1) * rpb);
+    const std::uint64_t block_off = rt_[bi] & kOffsetMask;
+    assert(block_off != 0 && "refcount block must exist");
+    std::vector<std::uint8_t> buf((block_end - i) * 2);
+    for (std::uint64_t k = 0; k < block_end - i; ++k) {
+      store_be16(buf.data() + k * 2, refcounts_[i + k]);
+    }
+    VMIC_CO_TRY_VOID(
+        co_await file_->pwrite(block_off + (i - bi * rpb) * 2, buf));
+    i = block_end;
+  }
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> Qcow2Device::grow_refcount_table(
+    std::uint64_t min_block_index) {
+  const std::uint64_t cs = ly_.cluster_size();
+  const std::uint64_t needed_entries =
+      std::max<std::uint64_t>(min_block_index + 1, rt_.size() * 2);
+  const std::uint64_t new_clusters = div_ceil(needed_entries * 8, cs);
+
+  const auto found = find_free_run(new_clusters);
+  assert(found.has_value());
+  const std::uint64_t idx = *found;
+  const std::uint64_t end = idx + new_clusters;
+  VMIC_CO_TRY_VOID(
+      quota_check(std::max<std::uint64_t>(end, refcounts_.size())));
+  if (end > refcounts_.size()) refcounts_.resize(end, 0);
+  for (std::uint64_t i = idx; i < end; ++i) refcounts_[i] = 1;
+
+  const std::uint64_t old_off = h_.refcount_table_offset;
+  const std::uint64_t old_clusters = h_.refcount_table_clusters;
+
+  rt_.resize(new_clusters * (cs / 8), 0);
+  h_.refcount_table_offset = idx * cs;
+  h_.refcount_table_clusters = static_cast<std::uint32_t>(new_clusters);
+
+  // The new table's own clusters (and possibly blocks for them) must be
+  // refcounted; rt_ now has capacity for any block index.
+  const std::uint64_t rpb = ly_.refcounts_per_block();
+  for (std::uint64_t bi = idx / rpb; bi <= (end - 1) / rpb; ++bi) {
+    VMIC_CO_TRY_VOID(co_await ensure_refcount_block(bi * rpb));
+  }
+  VMIC_CO_TRY_VOID(co_await write_refcount_entries(idx, new_clusters));
+
+  // Persist the full new table.
+  {
+    std::vector<std::uint8_t> buf(new_clusters * cs, 0);
+    pack_be64(rt_.data(), rt_.size(), buf.data());
+    VMIC_CO_TRY_VOID(co_await file_->pwrite(h_.refcount_table_offset, buf));
+  }
+  // Point the header at it.
+  {
+    std::uint8_t be[12];
+    store_be64(be, h_.refcount_table_offset);
+    store_be32(be + 8, h_.refcount_table_clusters);
+    VMIC_CO_TRY_VOID(co_await file_->pwrite(48, be));
+  }
+  // Release the old table's clusters.
+  const std::uint64_t old_first = old_off / cs;
+  for (std::uint64_t i = 0; i < old_clusters; ++i) {
+    refcounts_[old_first + i] = 0;
+  }
+  VMIC_CO_TRY_VOID(co_await write_refcount_entries(old_first, old_clusters));
+  free_guess_ = std::min(free_guess_, old_first);
+  co_return ok_result();
+}
+
+// ===========================================================================
+// read path (incl. copy-on-read)
+// ===========================================================================
+
+sim::Task<Result<void>> Qcow2Device::read_from_backing(
+    std::uint64_t vaddr, std::span<std::uint8_t> dst) {
+  if (!backing_) {
+    std::memset(dst.data(), 0, dst.size());
+    co_return ok_result();
+  }
+  ++stats_.backing_reads;
+  stats_.bytes_from_backing += dst.size();
+  if (vaddr >= backing_->size()) {
+    std::memset(dst.data(), 0, dst.size());
+    co_return ok_result();
+  }
+  const std::uint64_t avail = backing_->size() - vaddr;
+  if (dst.size() <= avail) {
+    co_return co_await backing_->read(vaddr, dst);
+  }
+  VMIC_CO_TRY_VOID(co_await backing_->read(vaddr, dst.first(avail)));
+  std::memset(dst.data() + avail, 0, dst.size() - avail);
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> Qcow2Device::read(std::uint64_t off,
+                                          std::span<std::uint8_t> dst) {
+  if (off + dst.size() > h_.size) co_return Errc::out_of_range;
+  ++stats_.guest_reads;
+  stats_.bytes_read += dst.size();
+
+  std::uint64_t pos = off;
+  const std::uint64_t end = off + dst.size();
+  while (pos < end) {
+    VMIC_CO_TRY(ext, co_await map_range(pos, end - pos));
+    auto sub = dst.subspan(pos - off, ext.len);
+    if (ext.kind == MapKind::data) {
+      VMIC_CO_TRY_VOID(co_await file_->pread(ext.host_off, sub));
+    } else if (ext.kind == MapKind::zero) {
+      std::memset(sub.data(), 0, sub.size());
+    } else if (backing_) {
+      VMIC_CO_TRY_VOID(co_await read_from_backing(pos, sub));
+      if (cache_ && cor_enabled_ && !read_only()) {
+        auto guard = co_await alloc_mutex_.lock();
+        auto r = co_await cor_store(pos, sub);
+        if (!r.ok()) {
+          // Quota exhausted (or the medium failed): stop populating, but
+          // the guest read itself has succeeded (§4.3 "read").
+          cor_enabled_ = false;
+          ++stats_.cor_stopped;
+          VMIC_LOG_DEBUG("cache population stopped: %s",
+                         std::string(to_string(r.error())).c_str());
+        }
+      }
+    } else {
+      std::memset(sub.data(), 0, sub.size());
+    }
+    pos += ext.len;
+  }
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> Qcow2Device::cor_store(
+    std::uint64_t vaddr, std::span<const std::uint8_t> data) {
+  const std::uint64_t cs = ly_.cluster_size();
+  const std::uint64_t lo = align_down(vaddr, cs);
+  const std::uint64_t hi = align_up(vaddr + data.size(), cs);
+
+  // Cluster-granularity expansion: the head/tail fill is fetched from the
+  // backing image. This is exactly the effect the paper measures in
+  // Fig 9 — at 64 KiB clusters a small read forces a large fill, causing
+  // *more* storage-node traffic than plain QCOW2; at 512 B clusters the
+  // fill is empty for sector-aligned guest I/O.
+  std::vector<std::uint8_t> buf(hi - lo, 0);
+  std::memcpy(buf.data() + (vaddr - lo), data.data(), data.size());
+  if (vaddr > lo) {
+    VMIC_CO_TRY_VOID(
+        co_await read_from_backing(lo, std::span(buf.data(), vaddr - lo)));
+  }
+  const std::uint64_t data_end = vaddr + data.size();
+  if (hi > data_end) {
+    const std::uint64_t fill_end = std::min(hi, h_.size);
+    if (fill_end > data_end) {
+      VMIC_CO_TRY_VOID(co_await read_from_backing(
+          data_end,
+          std::span(buf.data() + (data_end - lo), fill_end - data_end)));
+    }
+  }
+
+  // Allocate and store runs of clusters that are still absent.
+  std::uint64_t pos = lo;
+  while (pos < hi && pos < h_.size) {
+    VMIC_CO_TRY(ext, co_await map_range(pos, hi - pos));
+    if (ext.kind != MapKind::unallocated) {
+      pos += ext.len;
+      continue;
+    }
+    const std::uint64_t want = div_ceil(ext.len, cs);
+    assert(want > 0);
+    // The L2 table is created before the data clusters: a quota failure
+    // then never strands an unreferenced (leaked) data cluster.
+    VMIC_CO_TRY_VOID(co_await ensure_l2_table(pos));
+    // All-or-nothing allocation first; near the quota edge, degrade to
+    // one-cluster steps so the cache fills up to the quota exactly
+    // ("the first n blocks are stored until the quota is reached", §3.2).
+    std::uint64_t got = want;
+    auto host = co_await alloc_clusters(want);
+    if (!host.ok() && host.error() == Errc::no_space && want > 1) {
+      got = 1;
+      host = co_await alloc_clusters(1);
+    }
+    if (!host.ok()) co_return host.error();
+    const std::uint64_t nbytes = got * cs;
+    VMIC_CO_TRY_VOID(co_await file_->pwrite(
+        *host, std::span(buf.data() + (pos - lo), nbytes)));
+    VMIC_CO_TRY_VOID(co_await set_l2_entries(pos, *host, got));
+    data_clusters_ += got;
+    stats_.cor_bytes += nbytes;
+    pos += nbytes;
+  }
+  co_return ok_result();
+}
+
+// ===========================================================================
+// write path (guest writes, copy-on-write)
+// ===========================================================================
+
+sim::Task<Result<void>> Qcow2Device::write(
+    std::uint64_t off, std::span<const std::uint8_t> src) {
+  if (off + src.size() > h_.size) co_return Errc::out_of_range;
+  if (read_only()) co_return Errc::read_only;
+  if (is_cache_image()) {
+    // Immutability w.r.t. the base (§3): the guest never writes a cache;
+    // only internal copy-on-read populates it.
+    co_return Errc::read_only;
+  }
+  ++stats_.guest_writes;
+  stats_.bytes_written += src.size();
+
+  std::uint64_t pos = off;
+  const std::uint64_t end = off + src.size();
+  while (pos < end) {
+    VMIC_CO_TRY(ext, co_await map_range(pos, end - pos));
+    auto sub = src.subspan(pos - off, ext.len);
+    if (ext.kind == MapKind::data) {
+      VMIC_CO_TRY_VOID(co_await file_->pwrite(ext.host_off, sub));
+    } else {
+      // Unallocated clusters fill their edges from the backing chain;
+      // zero-flagged clusters fill with zeros.
+      VMIC_CO_TRY_VOID(
+          co_await cow_write(pos, sub,
+                             /*fill_from_backing=*/ext.kind ==
+                                 MapKind::unallocated));
+    }
+    pos += ext.len;
+  }
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> Qcow2Device::cow_write(
+    std::uint64_t vaddr, std::span<const std::uint8_t> src,
+    bool fill_from_backing) {
+  // Precondition: [vaddr, vaddr+len) holds no data clusters here.
+  const std::uint64_t cs = ly_.cluster_size();
+  const std::uint64_t lo = align_down(vaddr, cs);
+  const std::uint64_t hi = align_up(vaddr + src.size(), cs);
+
+  // Copy-on-write fill: the parts of the boundary clusters not covered by
+  // the write come from the backing chain (which may itself populate a
+  // cache image below us — data from the base is allowed into the cache).
+  // Zero-flagged clusters fill with zeros instead.
+  std::vector<std::uint8_t> buf(hi - lo, 0);
+  std::memcpy(buf.data() + (vaddr - lo), src.data(), src.size());
+  if (vaddr > lo && fill_from_backing) {
+    VMIC_CO_TRY_VOID(
+        co_await read_from_backing(lo, std::span(buf.data(), vaddr - lo)));
+  }
+  const std::uint64_t data_end = vaddr + src.size();
+  if (hi > data_end && fill_from_backing) {
+    const std::uint64_t fill_end = std::min(hi, h_.size);
+    if (fill_end > data_end) {
+      VMIC_CO_TRY_VOID(co_await read_from_backing(
+          data_end,
+          std::span(buf.data() + (data_end - lo), fill_end - data_end)));
+    }
+  }
+
+  std::uint64_t pos = lo;
+  while (pos < hi) {
+    // Allocation runs must not cross an L2 boundary.
+    const std::uint64_t l2_span = ly_.bytes_per_l2();
+    const std::uint64_t chunk =
+        std::min(hi - pos, l2_span - (pos & (l2_span - 1)));
+    const std::uint64_t n = chunk / cs;
+    VMIC_CO_TRY_VOID(co_await ensure_l2_table(pos));
+    VMIC_CO_TRY(host, co_await alloc_clusters(n));
+    VMIC_CO_TRY_VOID(co_await file_->pwrite(
+        host, std::span(buf.data() + (pos - lo), chunk)));
+    VMIC_CO_TRY_VOID(co_await set_l2_entries(pos, host, n));
+    data_clusters_ += n;
+    pos += chunk;
+  }
+  co_return ok_result();
+}
+
+// ===========================================================================
+// zero clusters / discard / resize
+// ===========================================================================
+
+sim::Task<Result<void>> Qcow2Device::free_cluster(std::uint64_t host_off) {
+  const std::uint64_t idx = host_off / ly_.cluster_size();
+  if (!refcounts_loaded_) {
+    VMIC_CO_TRY_VOID(co_await load_refcounts());
+  }
+  if (idx >= refcounts_.size() || refcounts_[idx] == 0) {
+    co_return Errc::corrupt;
+  }
+  --refcounts_[idx];
+  VMIC_CO_TRY_VOID(co_await write_refcount_entries(idx, 1));
+  free_guess_ = std::min(free_guess_, idx);
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> Qcow2Device::set_l2_raw(std::uint64_t vaddr,
+                                                std::uint64_t entry,
+                                                std::uint64_t count) {
+  VMIC_CO_TRY_VOID(co_await ensure_l2_table(vaddr));
+  const std::uint64_t i1 = ly_.l1_index(vaddr);
+  const std::uint64_t l2_off = l1_[i1] & kOffsetMask;
+  VMIC_CO_TRY(l2, co_await load_l2(l2_off));
+  const std::uint64_t i2 = ly_.l2_index(vaddr);
+  assert(i2 + count <= ly_.l2_entries());
+  std::vector<std::uint8_t> be(count * 8);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    (*l2)[i2 + k] = entry;
+    store_be64(be.data() + k * 8, entry);
+  }
+  VMIC_CO_TRY_VOID(co_await file_->pwrite(l2_off + i2 * 8, be));
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> Qcow2Device::write_zeroes(std::uint64_t off,
+                                                  std::uint64_t len) {
+  if (off + len > h_.size) co_return Errc::out_of_range;
+  if (read_only() || is_cache_image()) co_return Errc::read_only;
+  if (len == 0) co_return ok_result();
+  const std::uint64_t cs = ly_.cluster_size();
+
+  const std::uint64_t lo = align_up(off, cs);
+  const std::uint64_t hi = align_down(off + len, cs);
+
+  if (hi <= lo) {
+    // Entire range inside one cluster: plain zero write.
+    std::vector<std::uint8_t> zeros(len, 0);
+    co_return co_await write(off, zeros);
+  }
+  // Head fragment.
+  if (off < lo) {
+    std::vector<std::uint8_t> zeros(lo - off, 0);
+    VMIC_CO_TRY_VOID(co_await write(off, zeros));
+  }
+  // Whole clusters: flip to the zero flag, releasing any data clusters.
+  std::uint64_t pos = lo;
+  while (pos < hi) {
+    VMIC_CO_TRY(ext, co_await map_range(pos, hi - pos));
+    const std::uint64_t clusters = div_ceil(ext.len, cs);
+    if (ext.kind == MapKind::data) {
+      for (std::uint64_t k = 0; k < clusters; ++k) {
+        VMIC_CO_TRY_VOID(co_await free_cluster(ext.host_off + k * cs));
+      }
+      data_clusters_ -= clusters;
+    }
+    if (ext.kind != MapKind::zero) {
+      // Extents from map_range never cross an L2 boundary.
+      VMIC_CO_TRY_VOID(co_await set_l2_raw(pos, kFlagZero, clusters));
+    }
+    pos += clusters * cs;
+  }
+  // Tail fragment.
+  if (off + len > hi) {
+    std::vector<std::uint8_t> zeros(off + len - hi, 0);
+    VMIC_CO_TRY_VOID(co_await write(hi, zeros));
+  }
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> Qcow2Device::discard(std::uint64_t off,
+                                             std::uint64_t len) {
+  if (off + len > h_.size) co_return Errc::out_of_range;
+  if (read_only() || is_cache_image()) co_return Errc::read_only;
+  const std::uint64_t cs = ly_.cluster_size();
+  const std::uint64_t lo = align_up(off, cs);
+  const std::uint64_t hi = align_down(off + len, cs);
+  // Sub-cluster fragments of a discard are dropped (advisory semantics,
+  // like real discard).
+  if (hi <= lo) co_return ok_result();
+
+  if (backing_ != nullptr) {
+    // With a backing image, plain deallocation would resurface stale
+    // backing data; leave zero clusters instead (QEMU does the same).
+    co_return co_await write_zeroes(lo, hi - lo);
+  }
+  std::uint64_t pos = lo;
+  while (pos < hi) {
+    VMIC_CO_TRY(ext, co_await map_range(pos, hi - pos));
+    const std::uint64_t clusters = div_ceil(ext.len, cs);
+    if (ext.kind == MapKind::data) {
+      for (std::uint64_t k = 0; k < clusters; ++k) {
+        VMIC_CO_TRY_VOID(co_await free_cluster(ext.host_off + k * cs));
+      }
+      data_clusters_ -= clusters;
+    }
+    if (ext.kind != MapKind::unallocated) {
+      VMIC_CO_TRY_VOID(co_await set_l2_raw(pos, 0, clusters));
+    }
+    pos += clusters * cs;
+  }
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> Qcow2Device::resize(std::uint64_t new_size) {
+  if (read_only()) co_return Errc::read_only;
+  if (new_size < h_.size) co_return Errc::invalid_argument;  // grow-only
+  if (new_size == h_.size) co_return ok_result();
+
+  const std::uint32_t needed = ly_.l1_entries_for(new_size);
+  if (needed > l1_.size()) {
+    // Relocate the L1 table into a larger run of clusters.
+    const std::uint64_t cs = ly_.cluster_size();
+    const std::uint64_t new_clusters =
+        div_ceil(std::uint64_t{needed} * 8, cs);
+    VMIC_CO_TRY(new_off, co_await alloc_clusters(new_clusters));
+
+    std::vector<std::uint64_t> new_l1(new_clusters * cs / 8, 0);
+    std::copy(l1_.begin(), l1_.end(), new_l1.begin());
+    std::vector<std::uint8_t> be(new_clusters * cs, 0);
+    for (std::size_t i = 0; i < new_l1.size(); ++i) {
+      store_be64(be.data() + i * 8, new_l1[i]);
+    }
+    VMIC_CO_TRY_VOID(co_await file_->pwrite(new_off, be));
+
+    // Release the old table and point the header at the new one.
+    const std::uint64_t old_off = h_.l1_table_offset;
+    const std::uint64_t old_clusters =
+        div_ceil(std::uint64_t{h_.l1_size} * 8, cs);
+    l1_ = std::move(new_l1);
+    h_.l1_table_offset = new_off;
+    h_.l1_size = static_cast<std::uint32_t>(l1_.size());
+    std::uint8_t hdr[12];
+    store_be32(hdr, h_.l1_size);
+    store_be64(hdr + 4, h_.l1_table_offset);
+    VMIC_CO_TRY_VOID(co_await file_->pwrite(36, hdr));
+    for (std::uint64_t k = 0; k < old_clusters; ++k) {
+      VMIC_CO_TRY_VOID(co_await free_cluster(old_off + k * cs));
+    }
+  }
+
+  h_.size = new_size;
+  std::uint8_t be[8];
+  store_be64(be, h_.size);
+  VMIC_CO_TRY_VOID(co_await file_->pwrite(24, be));
+  co_return ok_result();
+}
+
+// ===========================================================================
+// flush / close
+// ===========================================================================
+
+sim::Task<Result<void>> Qcow2Device::flush() {
+  VMIC_CO_TRY_VOID(co_await file_->flush());
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> Qcow2Device::close() {
+  if (cache_ && !read_only() && !file_->read_only()) {
+    // §4.3 "close": persist the cache's current size into the header
+    // extension.
+    cache_->current_size = file_bytes();
+    std::uint8_t be[8];
+    store_be64(be, cache_->current_size);
+    VMIC_CO_TRY_VOID(
+        co_await file_->pwrite(cache_ext_payload_offset_ + 8, be));
+  }
+  VMIC_CO_TRY_VOID(co_await file_->flush());
+  if (backing_) {
+    VMIC_CO_TRY_VOID(co_await backing_->close());
+  }
+  co_return ok_result();
+}
+
+// ===========================================================================
+// consistency check
+// ===========================================================================
+
+sim::Task<Result<CheckResult>> Qcow2Device::check() {
+  const std::uint64_t cs = ly_.cluster_size();
+  const std::uint64_t file_clusters = div_ceil(file_->size(), cs);
+  std::vector<std::uint16_t> expected(file_clusters, 0);
+  CheckResult res;
+
+  auto mark = [&](std::uint64_t off, std::uint64_t clusters,
+                  bool metadata) -> bool {
+    const std::uint64_t first = off / cs;
+    if (off % cs != 0 || first + clusters > file_clusters) {
+      ++res.corruptions;
+      return false;
+    }
+    for (std::uint64_t i = 0; i < clusters; ++i) {
+      if (expected[first + i] != 0) ++res.corruptions;  // overlap
+      expected[first + i] = 1;
+    }
+    if (metadata) {
+      res.metadata_clusters += clusters;
+    } else {
+      res.data_clusters += clusters;
+    }
+    return true;
+  };
+
+  // Header area.
+  mark(0, div_ceil(header_area_size(cache_, backing_path_), cs), true);
+  // Refcount table and blocks.
+  mark(h_.refcount_table_offset, h_.refcount_table_clusters, true);
+  for (const std::uint64_t e : rt_) {
+    if ((e & kOffsetMask) != 0) mark(e & kOffsetMask, 1, true);
+  }
+  // L1 and L2 tables, then data clusters.
+  mark(h_.l1_table_offset, div_ceil(std::uint64_t{h_.l1_size} * 8, cs), true);
+  for (const std::uint64_t l1e : l1_) {
+    const std::uint64_t l2_off = l1e & kOffsetMask;
+    if (l2_off == 0) continue;
+    if (!mark(l2_off, 1, true)) continue;
+    VMIC_CO_TRY(l2, co_await load_l2(l2_off));
+    for (const std::uint64_t l2e : *l2) {
+      if ((l2e & kFlagCompressed) != 0) {
+        ++res.corruptions;  // we never write compressed clusters
+        continue;
+      }
+      const std::uint64_t off = l2e & kOffsetMask;
+      if (off != 0) mark(off, 1, false);
+    }
+  }
+
+  // Compare against the on-disk refcounts.
+  if (!refcounts_loaded_) {
+    VMIC_CO_TRY_VOID(co_await load_refcounts());
+  }
+  for (std::uint64_t i = 0; i < file_clusters; ++i) {
+    const std::uint16_t actual =
+        i < refcounts_.size() ? refcounts_[i] : std::uint16_t{0};
+    if (actual > expected[i]) {
+      ++res.leaked_clusters;
+    } else if (actual < expected[i]) {
+      ++res.corruptions;
+    }
+  }
+  co_return res;
+}
+
+// ===========================================================================
+// probing
+// ===========================================================================
+
+sim::Task<Result<block::DevicePtr>> open_any(io::BackendPtr file,
+                                             const block::OpenOptions& opt) {
+  if (file == nullptr) co_return Errc::invalid_argument;
+  if (file->size() >= 4) {
+    std::uint8_t magic[4];
+    VMIC_CO_TRY_VOID(co_await file->pread(0, magic));
+    if (load_be32(magic) == kMagic) {
+      co_return co_await Qcow2Device::open(std::move(file), opt);
+    }
+  }
+  if (!opt.writable) file->set_read_only(true);
+  co_return block::RawDevice::open(std::move(file));
+}
+
+}  // namespace vmic::qcow2

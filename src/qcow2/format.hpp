@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace vmic::qcow2 {
+
+// ---------------------------------------------------------------------------
+// QCOW2 on-disk format (version 3), per "The QCOW2 Image Format"
+// [McLoughlin 2008] and the QEMU docs/interop specification, plus the
+// paper's cache header extension (§4.3).
+//
+// All on-disk integers are big-endian.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint32_t kMagic = 0x514649FB;  // "QFI\xfb"
+inline constexpr std::uint32_t kVersion = 3;
+inline constexpr std::uint32_t kHeaderLength = 104;  // v3 base header
+
+inline constexpr std::uint32_t kMinClusterBits = 9;   // 512 B (paper's pick)
+inline constexpr std::uint32_t kMaxClusterBits = 21;  // 2 MiB
+inline constexpr std::uint32_t kDefaultClusterBits = 16;  // 64 KiB (QEMU)
+
+/// refcount_order = 4 -> 16-bit refcount entries, QEMU's default.
+inline constexpr std::uint32_t kRefcountOrder = 4;
+
+/// Header-extension magics. Extensions sit between the header struct and
+/// the backing file name; each is {u32 magic, u32 len, len bytes, pad to 8}.
+inline constexpr std::uint32_t kExtEnd = 0x00000000;
+/// The paper's cache extension: {u64 quota, u64 current_size}. Implemented
+/// as an *extension* for backward compatibility with plain QCOW2 readers
+/// (§4.3: "to ensure backward compatibility with normal QCOW2 images").
+inline constexpr std::uint32_t kExtVmiCache = 0x76634143;  // "vcAC"
+
+/// L1/L2 table entry bit layout.
+inline constexpr std::uint64_t kOffsetMask = 0x00fffffffffffe00ull;
+inline constexpr std::uint64_t kFlagCopied = 1ull << 63;
+inline constexpr std::uint64_t kFlagCompressed = 1ull << 62;
+/// v3 "all zeroes" cluster flag (L2 bit 0): the cluster reads as zeros
+/// regardless of the backing chain — what write_zeroes/discard leave
+/// behind on backed images.
+inline constexpr std::uint64_t kFlagZero = 1ull << 0;
+
+/// The fixed v3 header fields, in file order.
+struct Header {
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint64_t backing_file_offset = 0;
+  std::uint32_t backing_file_size = 0;
+  std::uint32_t cluster_bits = kDefaultClusterBits;
+  std::uint64_t size = 0;  ///< virtual disk size
+  std::uint32_t crypt_method = 0;
+  std::uint32_t l1_size = 0;  ///< number of L1 entries
+  std::uint64_t l1_table_offset = 0;
+  std::uint64_t refcount_table_offset = 0;
+  std::uint32_t refcount_table_clusters = 0;
+  std::uint32_t nb_snapshots = 0;
+  std::uint64_t snapshots_offset = 0;
+  std::uint64_t incompatible_features = 0;
+  std::uint64_t compatible_features = 0;
+  std::uint64_t autoclear_features = 0;
+  std::uint32_t refcount_order = kRefcountOrder;
+  std::uint32_t header_length = kHeaderLength;
+};
+
+/// The paper's cache extension payload.
+struct CacheExtension {
+  std::uint64_t quota = 0;         ///< max file size the cache may grow to
+  std::uint64_t current_size = 0;  ///< persisted on close (§4.3 "close")
+};
+
+/// Fully parsed header area: fixed fields + extensions + backing name.
+struct ParsedHeader {
+  Header h;
+  std::optional<CacheExtension> cache;
+  std::string backing_file;  ///< empty if none
+  /// File offset of the cache extension's payload, so close() can update
+  /// current_size in place without rewriting the whole header.
+  std::uint64_t cache_ext_payload_offset = 0;
+  /// Unknown extensions encountered (magic values), preserved for
+  /// diagnostics; we skip them like QEMU does.
+  std::vector<std::uint32_t> unknown_extensions;
+};
+
+/// Serialise a header area (fixed header, optional cache extension, end
+/// marker, backing file name) into `out`, which the caller sizes to at
+/// least header_area_size(). Returns the payload offset of the cache
+/// extension (0 if absent).
+std::uint64_t write_header_area(const Header& h,
+                                const std::optional<CacheExtension>& cache,
+                                const std::string& backing_file,
+                                std::span<std::uint8_t> out);
+
+/// Bytes needed for the serialized header area.
+std::uint64_t header_area_size(const std::optional<CacheExtension>& cache,
+                               const std::string& backing_file);
+
+/// Parse and validate a header area read from the start of a file.
+/// `buf` must hold at least the first cluster (or the whole file if
+/// smaller).
+Result<ParsedHeader> parse_header_area(std::span<const std::uint8_t> buf);
+
+}  // namespace vmic::qcow2

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+
+#include "qcow2/format.hpp"
+#include "util/align.hpp"
+
+namespace vmic::qcow2 {
+
+/// Address-translation math for a given cluster size (paper §4.1: the
+/// virtual block address splits into n L1 bits, m L2 bits, d cluster
+/// bits, with m = cluster_bits - 3 because an L2 table occupies exactly
+/// one cluster of 8-byte entries).
+struct Layout {
+  std::uint32_t cluster_bits;
+
+  explicit constexpr Layout(std::uint32_t bits) : cluster_bits(bits) {}
+
+  [[nodiscard]] constexpr std::uint64_t cluster_size() const {
+    return 1ull << cluster_bits;
+  }
+  /// m: log2 of entries per L2 table.
+  [[nodiscard]] constexpr std::uint32_t l2_bits() const {
+    return cluster_bits - 3;
+  }
+  [[nodiscard]] constexpr std::uint64_t l2_entries() const {
+    return 1ull << l2_bits();
+  }
+  /// Bytes of virtual disk covered by one L2 table.
+  [[nodiscard]] constexpr std::uint64_t bytes_per_l2() const {
+    return cluster_size() << l2_bits();
+  }
+
+  [[nodiscard]] constexpr std::uint64_t l1_index(std::uint64_t vaddr) const {
+    return vaddr >> (cluster_bits + l2_bits());
+  }
+  [[nodiscard]] constexpr std::uint64_t l2_index(std::uint64_t vaddr) const {
+    return (vaddr >> cluster_bits) & (l2_entries() - 1);
+  }
+  [[nodiscard]] constexpr std::uint64_t in_cluster(std::uint64_t vaddr) const {
+    return vaddr & (cluster_size() - 1);
+  }
+  [[nodiscard]] constexpr std::uint64_t cluster_of(std::uint64_t vaddr) const {
+    return vaddr >> cluster_bits;
+  }
+
+  /// Number of L1 entries needed for a virtual disk of `size` bytes.
+  [[nodiscard]] constexpr std::uint32_t l1_entries_for(
+      std::uint64_t size) const {
+    return static_cast<std::uint32_t>(div_ceil(size, bytes_per_l2()));
+  }
+
+  // --- refcount structures (refcount_order = 4, 16-bit entries) ---------
+
+  /// Refcount entries per refcount block (one cluster of u16).
+  [[nodiscard]] constexpr std::uint64_t refcounts_per_block() const {
+    return cluster_size() / 2;
+  }
+  /// Refcount-table entries (u64 block pointers) per table cluster.
+  [[nodiscard]] constexpr std::uint64_t rt_entries_per_cluster() const {
+    return cluster_size() / 8;
+  }
+  /// Host clusters covered by one refcount-table cluster.
+  [[nodiscard]] constexpr std::uint64_t clusters_per_rt_cluster() const {
+    return refcounts_per_block() * rt_entries_per_cluster();
+  }
+};
+
+}  // namespace vmic::qcow2

@@ -1,0 +1,77 @@
+#include "sim/env.hpp"
+
+#include <cassert>
+
+namespace vmic::sim {
+
+SimEnv::TimerId SimEnv::schedule_at(SimTime t, std::coroutine_handle<> h) {
+  assert(t >= now_ && "cannot schedule in the past");
+  const TimerId id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id, h, {}});
+  return id;
+}
+
+SimEnv::TimerId SimEnv::call_at(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  const TimerId id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id, nullptr, std::move(fn)});
+  return id;
+}
+
+void SimEnv::cancel(TimerId id) { cancelled_.insert(id); }
+
+bool SimEnv::step() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    assert(e.time >= now_);
+    now_ = e.time;
+    if (e.handle) {
+      e.handle.resume();
+    } else {
+      e.fn();
+    }
+    return true;
+  }
+  return false;
+}
+
+void SimEnv::run() {
+  while (step()) {
+  }
+}
+
+bool SimEnv::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    // Peek past cancelled entries without consuming live ones.
+    Entry e = queue_.top();
+    if (cancelled_.count(e.id) != 0) {
+      queue_.pop();
+      cancelled_.erase(e.id);
+      continue;
+    }
+    if (e.time > deadline) {
+      now_ = deadline;
+      return false;
+    }
+    step();
+  }
+  return true;
+}
+
+SimEnv::SpawnedTask SimEnv::run_spawned(SimEnv* env, Task<void> task) {
+  co_await std::move(task);
+  --env->live_tasks_;
+}
+
+void SimEnv::spawn(Task<void> task) {
+  ++live_tasks_;
+  SpawnedTask wrapper = run_spawned(this, std::move(task));
+  schedule_at(now_, wrapper.handle);
+}
+
+}  // namespace vmic::sim

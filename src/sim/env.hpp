@@ -1,0 +1,125 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace vmic::sim {
+
+/// Single-threaded discrete-event simulation environment.
+///
+/// Coroutines suspend on awaitables (Delay, Event, Mutex, resources); the
+/// environment resumes them in (time, insertion-sequence) order, which
+/// makes every run deterministic for a fixed seed and spawn order.
+class SimEnv {
+ public:
+  using TimerId = std::uint64_t;
+
+  SimEnv() = default;
+  SimEnv(const SimEnv&) = delete;
+  SimEnv& operator=(const SimEnv&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `h` to resume at absolute time `t` (>= now). Returns an id
+  /// that can be passed to cancel().
+  TimerId schedule_at(SimTime t, std::coroutine_handle<> h);
+
+  /// Schedule a plain callback (used by resources that need to recompute
+  /// state at a future instant without a dedicated coroutine).
+  TimerId call_at(SimTime t, std::function<void()> fn);
+
+  /// Cancel a pending timer. Cancelling an already-fired or unknown id is
+  /// a no-op.
+  void cancel(TimerId id);
+
+  /// Run until the event queue is empty.
+  void run();
+
+  /// Run until the queue is empty or `deadline` is reached (events at
+  /// exactly `deadline` are processed). Returns true if the queue drained.
+  bool run_until(SimTime deadline);
+
+  /// Process a single event; returns false if the queue is empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size() - cancelled_.size();
+  }
+
+  /// Number of spawned, still-running detached tasks.
+  [[nodiscard]] std::size_t live_tasks() const noexcept { return live_tasks_; }
+
+  // --- awaitables ----------------------------------------------------------
+
+  struct DelayAwaiter {
+    SimEnv& env;
+    SimTime delay;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      env.schedule_at(env.now_ + (delay < 0 ? 0 : delay), h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// `co_await env.delay(t)` — resume after `t` simulated nanoseconds.
+  /// A zero delay still round-trips through the queue (a deterministic
+  /// yield point).
+  [[nodiscard]] DelayAwaiter delay(SimTime t) noexcept { return {*this, t}; }
+
+  /// `co_await env.yield()` — let other ready coroutines run first.
+  [[nodiscard]] DelayAwaiter yield() noexcept { return {*this, 0}; }
+
+  // --- detached tasks --------------------------------------------------------
+
+  /// Launch a detached task. It starts running at the next event-loop
+  /// iteration (scheduled at the current time). The task's result is
+  /// discarded; exceptions terminate (simulation code reports failures
+  /// through Result<>, not exceptions).
+  void spawn(Task<void> task);
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    TimerId id;
+    std::coroutine_handle<> handle;           // either handle...
+    std::function<void()> fn;                 // ...or callback
+    bool operator>(const Entry& o) const noexcept {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  // Wrapper coroutine that owns a spawned task for its whole lifetime.
+  // Lazily started (spawn schedules it), self-destroying on completion.
+  struct SpawnedTask {
+    struct promise_type {
+      SpawnedTask get_return_object() noexcept {
+        return {std::coroutine_handle<promise_type>::from_promise(*this)};
+      }
+      std::suspend_always initial_suspend() noexcept { return {}; }
+      std::suspend_never final_suspend() noexcept { return {}; }
+      void return_void() noexcept {}
+      void unhandled_exception() noexcept { std::terminate(); }
+    };
+    std::coroutine_handle<promise_type> handle;
+  };
+  static SpawnedTask run_spawned(SimEnv* env, Task<void> task);
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<TimerId> cancelled_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  TimerId next_id_ = 1;
+  std::size_t live_tasks_ = 0;
+};
+
+}  // namespace vmic::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "sim/env.hpp"
+#include "sim/task.hpp"
+
+namespace vmic::sim {
+
+namespace detail {
+
+template <typename T>
+Task<void> capture_result(Task<T> task, std::optional<T>& out) {
+  out.emplace(co_await std::move(task));
+}
+
+inline Task<void> capture_void(Task<void> task, bool& done) {
+  co_await std::move(task);
+  done = true;
+}
+
+}  // namespace detail
+
+/// Spawn `task` on `env`, run the event loop to completion, and return the
+/// task's result. The standard way tests and benches execute simulated
+/// scenarios.
+template <typename T>
+T run_sync(SimEnv& env, Task<T> task) {
+  std::optional<T> out;
+  env.spawn(detail::capture_result(std::move(task), out));
+  env.run();
+  assert(out.has_value() && "task did not complete (deadlock?)");
+  return std::move(*out);
+}
+
+inline void run_sync(SimEnv& env, Task<void> task) {
+  bool done = false;
+  env.spawn(detail::capture_void(std::move(task), done));
+  env.run();
+  assert(done && "task did not complete (deadlock?)");
+  (void)done;
+}
+
+}  // namespace vmic::sim

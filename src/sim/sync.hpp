@@ -1,0 +1,220 @@
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+
+#include "sim/env.hpp"
+
+namespace vmic::sim {
+
+/// One-shot broadcast event. Waiters suspend until trigger(); waiting on a
+/// triggered event completes immediately. Resumptions go through the event
+/// queue (FIFO), never inline, to keep stacks shallow and ordering
+/// deterministic.
+class Event {
+ public:
+  explicit Event(SimEnv& env) noexcept : env_(env) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  [[nodiscard]] bool triggered() const noexcept { return triggered_; }
+
+  void trigger() {
+    if (triggered_) return;
+    triggered_ = true;
+    for (auto h : waiters_) env_.schedule_at(env_.now(), h);
+    waiters_.clear();
+  }
+
+  struct Awaiter {
+    Event& ev;
+    bool await_ready() const noexcept { return ev.triggered_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      ev.waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] Awaiter wait() noexcept { return {*this}; }
+
+ private:
+  SimEnv& env_;
+  std::deque<std::coroutine_handle<>> waiters_;
+  bool triggered_ = false;
+};
+
+class Mutex;
+
+/// RAII unlock for Mutex; returned by `co_await mutex.lock()`.
+class [[nodiscard]] LockGuard {
+ public:
+  explicit LockGuard(Mutex* m) noexcept : m_(m) {}
+  LockGuard(LockGuard&& o) noexcept : m_(o.m_) { o.m_ = nullptr; }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+  LockGuard& operator=(LockGuard&&) = delete;
+  ~LockGuard();
+
+ private:
+  Mutex* m_;
+};
+
+/// FIFO mutex: contenders acquire in arrival order. Models the FCFS queue
+/// of serially-serviced resources (a disk spindle) and protects multi-step
+/// metadata updates in drivers that interleave across coroutines.
+class Mutex {
+ public:
+  explicit Mutex(SimEnv& env) noexcept : env_(env) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  struct Awaiter {
+    Mutex& m;
+    bool await_ready() const noexcept { return !m.locked_; }
+    void await_suspend(std::coroutine_handle<> h) { m.waiters_.push_back(h); }
+    LockGuard await_resume() noexcept {
+      m.locked_ = true;
+      return LockGuard{&m};
+    }
+  };
+  [[nodiscard]] Awaiter lock() noexcept { return {*this}; }
+
+  [[nodiscard]] bool locked() const noexcept { return locked_; }
+  [[nodiscard]] std::size_t queue_length() const noexcept {
+    return waiters_.size();
+  }
+
+ private:
+  friend class LockGuard;
+  void unlock() {
+    assert(locked_);
+    if (waiters_.empty()) {
+      locked_ = false;
+      return;
+    }
+    // Hand off directly: the next waiter's await_resume re-asserts
+    // locked_ when it runs. Keep locked_ true so no one barges in.
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    env_.schedule_at(env_.now(), h);
+  }
+
+  SimEnv& env_;
+  std::deque<std::coroutine_handle<>> waiters_;
+  bool locked_ = false;
+};
+
+inline LockGuard::~LockGuard() {
+  if (m_ != nullptr) m_->unlock();
+}
+
+class InlineMutex;
+
+/// RAII unlock for InlineMutex.
+class [[nodiscard]] InlineLockGuard {
+ public:
+  explicit InlineLockGuard(InlineMutex* m) noexcept : m_(m) {}
+  InlineLockGuard(InlineLockGuard&& o) noexcept : m_(o.m_) { o.m_ = nullptr; }
+  InlineLockGuard(const InlineLockGuard&) = delete;
+  InlineLockGuard& operator=(const InlineLockGuard&) = delete;
+  InlineLockGuard& operator=(InlineLockGuard&&) = delete;
+  ~InlineLockGuard();
+
+ private:
+  InlineMutex* m_;
+};
+
+/// Environment-free FIFO mutex: waiters are resumed inline from unlock()
+/// instead of through an event queue, so it works in host-side
+/// (sync_wait) contexts too. Used by the QCOW2 driver to serialise
+/// copy-on-read/copy-on-write allocation when multiple coroutines
+/// (guest I/O + prefetch) share one device.
+class InlineMutex {
+ public:
+  InlineMutex() = default;
+  InlineMutex(const InlineMutex&) = delete;
+  InlineMutex& operator=(const InlineMutex&) = delete;
+
+  struct Awaiter {
+    InlineMutex& m;
+    bool await_ready() noexcept {
+      if (!m.locked_) {
+        m.locked_ = true;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { m.waiters_.push_back(h); }
+    InlineLockGuard await_resume() noexcept {
+      // On the slow path, ownership was transferred by unlock().
+      return InlineLockGuard{&m};
+    }
+  };
+  [[nodiscard]] Awaiter lock() noexcept { return {*this}; }
+  [[nodiscard]] bool locked() const noexcept { return locked_; }
+
+ private:
+  friend class InlineLockGuard;
+  void unlock() {
+    assert(locked_);
+    if (waiters_.empty()) {
+      locked_ = false;
+      return;
+    }
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    h.resume();  // locked_ stays true: ownership handed to the waiter
+  }
+
+  std::deque<std::coroutine_handle<>> waiters_;
+  bool locked_ = false;
+};
+
+inline InlineLockGuard::~InlineLockGuard() {
+  if (m_ != nullptr) m_->unlock();
+}
+
+/// Counting semaphore with FIFO wakeup.
+class Semaphore {
+ public:
+  Semaphore(SimEnv& env, std::size_t count) noexcept
+      : env_(env), count_(count) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  struct Awaiter {
+    Semaphore& s;
+    // Grab a unit in await_ready so the fast path never suspends; on the
+    // slow path release() hands its unit to the queued waiter directly.
+    bool await_ready() noexcept {
+      if (s.count_ > 0) {
+        --s.count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { s.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] Awaiter acquire() noexcept { return {*this}; }
+
+  void release() {
+    if (!waiters_.empty()) {
+      // Transfer the unit to the first waiter without touching count_.
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      env_.schedule_at(env_.now(), h);
+      return;
+    }
+    ++count_;
+  }
+
+  [[nodiscard]] std::size_t available() const noexcept { return count_; }
+
+ private:
+  SimEnv& env_;
+  std::deque<std::coroutine_handle<>> waiters_;
+  std::size_t count_;
+};
+
+}  // namespace vmic::sim

@@ -1,0 +1,171 @@
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace vmic::sim {
+
+/// Lazy coroutine task, the unit of concurrency in the simulator and the
+/// block layer. Mirrors the structure of QEMU's block-driver coroutines:
+/// every driver entry point (read/write/flush/...) is a Task and either
+/// completes synchronously (host file/memory backends) or suspends on
+/// simulated time (simulated disks, NFS, networks).
+///
+/// Semantics:
+///  * lazy start — the body runs only when the task is awaited (or spawned
+///    onto a SimEnv / driven by sync_wait);
+///  * symmetric transfer — completion resumes the awaiter directly;
+///  * single consumer — a Task may be awaited at most once.
+template <typename T>
+class [[nodiscard]] Task;
+
+namespace detail {
+
+template <typename T>
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation = std::noop_coroutine();
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      return h.promise().continuation;
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::TaskPromiseBase<T> {
+    std::optional<T> value;
+    Task get_return_object() noexcept {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  // --- awaiter interface -------------------------------------------------
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<> awaiter) noexcept {
+    h_.promise().continuation = awaiter;
+    return h_;  // start the child coroutine
+  }
+  T await_resume() {
+    auto& p = h_.promise();
+    if (p.exception) std::rethrow_exception(p.exception);
+    assert(p.value.has_value() && "task finished without a value");
+    return std::move(*p.value);
+  }
+
+  /// Internal: release the handle (spawn/sync_wait plumbing).
+  Handle release() noexcept { return std::exchange(h_, {}); }
+
+ private:
+  explicit Task(Handle h) noexcept : h_(h) {}
+  Handle h_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::TaskPromiseBase<void> {
+    Task get_return_object() noexcept {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() noexcept {}
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<> awaiter) noexcept {
+    h_.promise().continuation = awaiter;
+    return h_;
+  }
+  void await_resume() {
+    auto& p = h_.promise();
+    if (p.exception) std::rethrow_exception(p.exception);
+  }
+
+  Handle release() noexcept { return std::exchange(h_, {}); }
+
+ private:
+  explicit Task(Handle h) noexcept : h_(h) {}
+  Handle h_;
+};
+
+/// Run a task that is expected to complete without suspending on simulated
+/// time (host-side paths: FileBackend/MemBackend under qcow2). Aborts if
+/// the task suspends — that would mean host code touched a simulated
+/// resource.
+template <typename T>
+T sync_wait(Task<T> task) {
+  auto h = task.release();
+  h.promise().continuation = std::noop_coroutine();
+  h.resume();
+  if (!h.done()) {
+    assert(false && "sync_wait: task suspended on simulated time");
+    std::terminate();
+  }
+  auto& p = h.promise();
+  if (p.exception) {
+    auto e = p.exception;
+    h.destroy();
+    std::rethrow_exception(e);
+  }
+  if constexpr (std::is_void_v<T>) {
+    h.destroy();
+  } else {
+    T out = std::move(*p.value);
+    h.destroy();
+    return out;
+  }
+}
+
+}  // namespace vmic::sim

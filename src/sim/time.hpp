@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+namespace vmic::sim {
+
+/// Simulated time in integer nanoseconds.
+///
+/// Integer time keeps the event queue ordering exact and the whole
+/// simulation bit-reproducible across platforms; doubles are converted at
+/// the edges only.
+using SimTime = std::int64_t;
+
+constexpr SimTime from_seconds(double s) noexcept {
+  return static_cast<SimTime>(s * 1e9);
+}
+constexpr SimTime from_millis(double ms) noexcept {
+  return static_cast<SimTime>(ms * 1e6);
+}
+constexpr SimTime from_micros(double us) noexcept {
+  return static_cast<SimTime>(us * 1e3);
+}
+constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) * 1e-9;
+}
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+}  // namespace vmic::sim

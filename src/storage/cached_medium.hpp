@@ -1,0 +1,107 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "sim/sync.hpp"
+#include "storage/disk.hpp"
+#include "storage/medium.hpp"
+#include "storage/page_cache.hpp"
+
+namespace vmic::storage {
+
+/// A disk fronted by an OS-style page cache (the storage node's RAM).
+///
+/// This is what makes the paper's baseline curves have their shape:
+///  * Fig 2 (one VMI, InfiniBand): the first reader faults a block from
+///    disk, the other 63 hit memory — flat booting time;
+///  * Fig 3 (many VMIs): every additional VMI adds a disk-unique working
+///    set, so the total disk time grows linearly with the number of VMIs.
+///
+/// Concurrent misses on the same block are coalesced: one disk access,
+/// everyone else waits on it — like the kernel's locked page I/O.
+class CachedMedium final : public Medium {
+ public:
+  CachedMedium(sim::SimEnv& env, Medium& backing, std::uint64_t cache_bytes,
+               MemParams mem = {})
+      : env_(env),
+        backing_(backing),
+        mem_(env, mem),
+        cache_(cache_bytes) {}
+
+  sim::Task<void> read(std::uint64_t pos, std::uint64_t len) override {
+    ++stats_.reads;
+    stats_.bytes_read += len;
+    const std::uint64_t bs = cache_.block_size();
+    const std::uint64_t first = pos / bs;
+    const std::uint64_t last = (pos + (len == 0 ? 0 : len - 1)) / bs;
+
+    // Walk the blocks; group contiguous misses into one disk access.
+    std::uint64_t miss_start = 0;
+    std::uint64_t miss_count = 0;
+    for (std::uint64_t b = first; b <= last; ++b) {
+      if (auto it = inflight_.find(b); it != inflight_.end()) {
+        // Someone is already faulting this block in; wait for them.
+        if (miss_count > 0) {
+          co_await fault(miss_start, miss_count);
+          miss_count = 0;
+        }
+        auto ev = it->second;  // keep alive across the wait
+        co_await ev->wait();
+        continue;
+      }
+      if (cache_.lookup(b * bs)) {
+        if (miss_count > 0) {
+          co_await fault(miss_start, miss_count);
+          miss_count = 0;
+        }
+        co_await mem_.read(b * bs, std::min(bs, pos + len - b * bs));
+        continue;
+      }
+      if (miss_count == 0) miss_start = b;
+      ++miss_count;
+    }
+    if (miss_count > 0) co_await fault(miss_start, miss_count);
+  }
+
+  sim::Task<void> write(std::uint64_t pos, std::uint64_t len,
+                        bool sync) override {
+    ++stats_.writes;
+    stats_.bytes_written += len;
+    // Write-through to the disk; the written blocks become resident.
+    co_await backing_.write(pos, len, sync);
+    const std::uint64_t bs = cache_.block_size();
+    for (std::uint64_t b = pos / bs; b <= (pos + len) / bs; ++b) {
+      cache_.insert(b * bs);
+    }
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return backing_.name() + "+pagecache";
+  }
+
+  [[nodiscard]] PageCache& page_cache() noexcept { return cache_; }
+
+ private:
+  sim::Task<void> fault(std::uint64_t first_block, std::uint64_t count) {
+    const std::uint64_t bs = cache_.block_size();
+    auto ev = std::make_shared<sim::Event>(env_);
+    for (std::uint64_t b = first_block; b < first_block + count; ++b) {
+      inflight_.emplace(b, ev);
+    }
+    co_await backing_.read(first_block * bs, count * bs);
+    for (std::uint64_t b = first_block; b < first_block + count; ++b) {
+      cache_.insert(b * bs);
+      inflight_.erase(b);
+    }
+    ev->trigger();
+  }
+
+  sim::SimEnv& env_;
+  Medium& backing_;
+  MemMedium mem_;
+  PageCache cache_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<sim::Event>> inflight_;
+};
+
+}  // namespace vmic::storage

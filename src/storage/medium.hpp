@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/env.hpp"
+#include "sim/task.hpp"
+
+namespace vmic::storage {
+
+/// Per-medium operation counters.
+struct MediumStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t positioning_ops = 0;  ///< ops that paid a seek (disks)
+};
+
+/// Timing model for a byte-addressable storage medium at a node. Callers
+/// pass *physical positions* (a file-id-salted offset) so the model can
+/// detect sequential access. The actual bytes live elsewhere (the
+/// simulator keeps file contents in sparse buffers); a Medium only
+/// charges simulated time.
+class Medium {
+ public:
+  virtual ~Medium() = default;
+
+  /// Charge the time for reading `len` bytes at `pos`.
+  virtual sim::Task<void> read(std::uint64_t pos, std::uint64_t len) = 0;
+
+  /// Charge the time for writing. `sync` models O_SYNC/flush-per-write
+  /// semantics (what makes cold caches on disk slow, Fig 8).
+  virtual sim::Task<void> write(std::uint64_t pos, std::uint64_t len,
+                                bool sync) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] const MediumStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = MediumStats{}; }
+
+ protected:
+  MediumStats stats_;
+};
+
+/// Compose a physical position from a file identity and an offset, so
+/// that different files never look sequential to a disk model.
+constexpr std::uint64_t file_pos(std::uint64_t file_id,
+                                 std::uint64_t off) noexcept {
+  return (file_id << 40) + off;
+}
+
+}  // namespace vmic::storage

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+namespace vmic::storage {
+
+/// Byte-capacity LRU page cache index (presence only — the simulator
+/// keeps actual file bytes elsewhere). Block-granular.
+class PageCache {
+ public:
+  explicit PageCache(std::uint64_t capacity_bytes,
+                     std::uint64_t block_size = 64 * 1024)
+      : capacity_(capacity_bytes), block_(block_size) {}
+
+  [[nodiscard]] std::uint64_t block_size() const noexcept { return block_; }
+  [[nodiscard]] std::uint64_t used_bytes() const noexcept {
+    return lru_.size() * block_;
+  }
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+
+  /// True (and refreshed) if the block holding `pos` is resident.
+  bool lookup(std::uint64_t pos) {
+    auto it = map_.find(pos / block_);
+    if (it == map_.end()) {
+      ++misses_;
+      return false;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+
+  /// Insert the block holding `pos`, evicting LRU blocks as needed.
+  void insert(std::uint64_t pos) {
+    const std::uint64_t key = pos / block_;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    while (used_bytes() + block_ > capacity_ && !lru_.empty()) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+      ++evictions_;
+    }
+    if (block_ > capacity_) return;  // degenerate: cache too small
+    lru_.push_front(key);
+    map_[key] = lru_.begin();
+  }
+
+  void drop(std::uint64_t pos) {
+    auto it = map_.find(pos / block_);
+    if (it == map_.end()) return;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t block_;
+  std::list<std::uint64_t> lru_;  // front = most recent; holds block keys
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace vmic::storage

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace vmic {
+
+constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// Round `v` down to a multiple of `a` (a must be a power of two).
+constexpr std::uint64_t align_down(std::uint64_t v, std::uint64_t a) noexcept {
+  assert(is_pow2(a));
+  return v & ~(a - 1);
+}
+
+/// Round `v` up to a multiple of `a` (a must be a power of two).
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t a) noexcept {
+  assert(is_pow2(a));
+  return (v + a - 1) & ~(a - 1);
+}
+
+constexpr bool is_aligned(std::uint64_t v, std::uint64_t a) noexcept {
+  assert(is_pow2(a));
+  return (v & (a - 1)) == 0;
+}
+
+/// ceil(n / d) for unsigned integers.
+constexpr std::uint64_t div_ceil(std::uint64_t n, std::uint64_t d) noexcept {
+  assert(d != 0);
+  return (n + d - 1) / d;
+}
+
+/// Integer log2 of a power of two.
+constexpr unsigned log2_exact(std::uint64_t v) noexcept {
+  assert(is_pow2(v));
+  unsigned bits = 0;
+  while ((v >> bits) != 1) ++bits;
+  return bits;
+}
+
+}  // namespace vmic

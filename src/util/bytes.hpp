@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+namespace vmic {
+
+// ---------------------------------------------------------------------------
+// Endian helpers. The QCOW2 on-disk format is big-endian; the simulator's
+// own structures use native order. All loads/stores are alignment-safe.
+// ---------------------------------------------------------------------------
+
+inline std::uint16_t load_be16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((std::uint16_t{p[0]} << 8) | p[1]);
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+inline std::uint64_t load_be64(const std::uint8_t* p) noexcept {
+  return (std::uint64_t{load_be32(p)} << 32) | load_be32(p + 4);
+}
+
+inline void store_be16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+inline void store_be64(std::uint8_t* p, std::uint64_t v) noexcept {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+// ---------------------------------------------------------------------------
+// Buffer utilities.
+// ---------------------------------------------------------------------------
+
+/// True if every byte in `data` is zero. Used by the sparse store to avoid
+/// materialising the (all-zero) data payload of simulated VM images.
+bool is_all_zero(std::span<const std::uint8_t> data) noexcept;
+
+/// FNV-1a 64-bit digest; used by tests to compare whole-image contents
+/// cheaply (e.g. the cache-immutability property on the base image).
+std::uint64_t fnv1a(std::span<const std::uint8_t> data) noexcept;
+
+/// Hex string of a small buffer (diagnostics).
+std::string hex(std::span<const std::uint8_t> data, std::size_t max_bytes = 64);
+
+}  // namespace vmic

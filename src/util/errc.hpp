@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string_view>
+
+namespace vmic {
+
+/// Error codes used across the block/driver/simulation layers.
+///
+/// The block layer deliberately uses recoverable error codes instead of
+/// exceptions: the paper's cache-quota mechanism depends on `no_space`
+/// being an ordinary, expected outcome of a cache write (QEMU's -ENOSPC),
+/// which the read path catches to stop populating the cache.
+enum class Errc : int {
+  ok = 0,
+  /// Write rejected because it would exceed a quota (cache images) or the
+  /// capacity of the underlying medium.
+  no_space,
+  /// Underlying medium failed (host I/O error, closed backend, ...).
+  io_error,
+  /// Image/file content is not in the expected format.
+  invalid_format,
+  /// Feature bits or version the implementation does not support.
+  unsupported,
+  /// Named entity (file, export, driver, node) does not exist.
+  not_found,
+  /// Entity already exists and overwrite was not requested.
+  already_exists,
+  /// Operation not allowed in the current state (e.g. write to a
+  /// read-only device, write from the guest to a cache image).
+  read_only,
+  /// Offset/length outside the virtual disk.
+  out_of_range,
+  /// Caller passed inconsistent arguments.
+  invalid_argument,
+  /// Image is corrupt (metadata self-checks failed).
+  corrupt,
+  /// Operation interrupted / simulation stopped.
+  cancelled,
+};
+
+constexpr std::string_view to_string(Errc e) noexcept {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::no_space: return "no_space";
+    case Errc::io_error: return "io_error";
+    case Errc::invalid_format: return "invalid_format";
+    case Errc::unsupported: return "unsupported";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::read_only: return "read_only";
+    case Errc::out_of_range: return "out_of_range";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::corrupt: return "corrupt";
+    case Errc::cancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+}  // namespace vmic

@@ -1,0 +1,49 @@
+#include "util/interval_set.hpp"
+
+#include <cassert>
+
+namespace vmic {
+
+void IntervalSet::insert(std::uint64_t begin, std::uint64_t end) {
+  assert(begin <= end);
+  if (begin == end) return;
+
+  // Find the first interval whose end >= begin (candidate for merging).
+  auto it = map_.lower_bound(begin);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) it = prev;
+  }
+
+  // Absorb every interval overlapping or touching [begin, end).
+  while (it != map_.end() && it->first <= end) {
+    begin = std::min(begin, it->first);
+    end = std::max(end, it->second);
+    total_ -= it->second - it->first;
+    it = map_.erase(it);
+  }
+
+  map_.emplace(begin, end);
+  total_ += end - begin;
+}
+
+bool IntervalSet::covers(std::uint64_t begin, std::uint64_t end) const {
+  assert(begin <= end);
+  if (begin == end) return true;
+  auto it = map_.upper_bound(begin);
+  if (it == map_.begin()) return false;
+  --it;
+  return it->first <= begin && end <= it->second;
+}
+
+bool IntervalSet::intersects(std::uint64_t begin, std::uint64_t end) const {
+  assert(begin <= end);
+  if (begin == end) return false;
+  auto it = map_.lower_bound(begin);
+  if (it != map_.end() && it->first < end) return true;
+  if (it == map_.begin()) return false;
+  --it;
+  return it->second > begin;
+}
+
+}  // namespace vmic

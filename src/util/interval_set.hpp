@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace vmic {
+
+/// Set of disjoint half-open byte intervals [begin, end).
+///
+/// Two uses in this project:
+///  * working-set accounting — "size of unique reads" (Table 1) is the
+///    total covered length after inserting every guest read;
+///  * written-extent tracking in the sparse store, so reads of
+///    never-written ranges are recognised without materialising zeros.
+class IntervalSet {
+ public:
+  /// Insert [begin, end); overlapping/adjacent intervals are coalesced.
+  void insert(std::uint64_t begin, std::uint64_t end);
+
+  /// True if [begin, end) is fully covered.
+  [[nodiscard]] bool covers(std::uint64_t begin, std::uint64_t end) const;
+
+  /// True if [begin, end) overlaps any interval.
+  [[nodiscard]] bool intersects(std::uint64_t begin, std::uint64_t end) const;
+
+  /// Total covered length in bytes.
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  [[nodiscard]] std::size_t interval_count() const noexcept {
+    return map_.size();
+  }
+
+  void clear() {
+    map_.clear();
+    total_ = 0;
+  }
+
+  /// Iteration over [begin, end) pairs, ordered by begin.
+  [[nodiscard]] auto begin() const { return map_.begin(); }
+  [[nodiscard]] auto end() const { return map_.end(); }
+
+ private:
+  // key = interval begin, value = interval end (exclusive).
+  std::map<std::uint64_t, std::uint64_t> map_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace vmic

@@ -1,0 +1,50 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace vmic {
+
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("VMIC_LOG");
+  if (env == nullptr) return LogLevel::warn;
+  if (std::strcmp(env, "off") == 0) return LogLevel::off;
+  if (std::strcmp(env, "error") == 0) return LogLevel::error;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::warn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::info;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::debug;
+  return LogLevel::warn;
+}
+
+LogLevel g_level = initial_level();
+
+constexpr const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::error: return "E";
+    case LogLevel::warn: return "W";
+    case LogLevel::info: return "I";
+    case LogLevel::debug: return "D";
+    case LogLevel::off: return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+void log(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[vmic:%s] ", tag(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace vmic

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdarg>
+
+namespace vmic {
+
+enum class LogLevel : int { off = 0, error = 1, warn = 2, info = 3, debug = 4 };
+
+/// Global log threshold; defaults to `warn`, override with VMIC_LOG
+/// (off|error|warn|info|debug). Single-threaded simulator, so no locking.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// printf-style logging; no-op when below the threshold.
+void log(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define VMIC_LOG_DEBUG(...) ::vmic::log(::vmic::LogLevel::debug, __VA_ARGS__)
+#define VMIC_LOG_INFO(...) ::vmic::log(::vmic::LogLevel::info, __VA_ARGS__)
+#define VMIC_LOG_WARN(...) ::vmic::log(::vmic::LogLevel::warn, __VA_ARGS__)
+#define VMIC_LOG_ERROR(...) ::vmic::log(::vmic::LogLevel::error, __VA_ARGS__)
+
+}  // namespace vmic

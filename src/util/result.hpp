@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/errc.hpp"
+
+namespace vmic {
+
+/// Result<T>: value-or-Errc, in the spirit of std::expected (C++23).
+///
+/// Used pervasively on the block-layer hot paths where errors such as
+/// Errc::no_space are part of normal control flow and must not unwind.
+/// T must be movable; Result<void> carries only the status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit on purpose,
+  // mirrors std::expected's converting constructors.
+  Result(T value) : ok_(true) { new (&storage_) T(std::move(value)); }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Errc err) : ok_(false), err_(err) {
+    assert(err != Errc::ok && "error Result must carry a real error");
+  }
+
+  Result(const Result& other) : ok_(other.ok_), err_(other.err_) {
+    if (ok_) new (&storage_) T(other.ref());
+  }
+  Result(Result&& other) noexcept : ok_(other.ok_), err_(other.err_) {
+    if (ok_) new (&storage_) T(std::move(other.ref()));
+  }
+  Result& operator=(const Result& other) {
+    if (this != &other) {
+      destroy();
+      ok_ = other.ok_;
+      err_ = other.err_;
+      if (ok_) new (&storage_) T(other.ref());
+    }
+    return *this;
+  }
+  Result& operator=(Result&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      ok_ = other.ok_;
+      err_ = other.err_;
+      if (ok_) new (&storage_) T(std::move(other.ref()));
+    }
+    return *this;
+  }
+  ~Result() { destroy(); }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  explicit operator bool() const noexcept { return ok_; }
+
+  [[nodiscard]] Errc error() const noexcept { return ok_ ? Errc::ok : err_; }
+
+  T& value() & {
+    check();
+    return ref();
+  }
+  const T& value() const& {
+    check();
+    return ref();
+  }
+  T&& value() && {
+    check();
+    return std::move(ref());
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const& { return ok_ ? ref() : std::move(fallback); }
+
+ private:
+  void check() const {
+    if (!ok_) {
+      std::fprintf(stderr, "Result::value() on error: %.*s\n",
+                   static_cast<int>(to_string(err_).size()),
+                   to_string(err_).data());
+      std::abort();
+    }
+  }
+  T& ref() noexcept { return *std::launder(reinterpret_cast<T*>(&storage_)); }
+  const T& ref() const noexcept {
+    return *std::launder(reinterpret_cast<const T*>(&storage_));
+  }
+  void destroy() noexcept {
+    if (ok_) ref().~T();
+  }
+
+  alignas(T) unsigned char storage_[sizeof(T)];
+  bool ok_;
+  Errc err_ = Errc::ok;
+};
+
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Errc err) : err_(err) {}
+
+  [[nodiscard]] bool ok() const noexcept { return err_ == Errc::ok; }
+  explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] Errc error() const noexcept { return err_; }
+
+ private:
+  Errc err_ = Errc::ok;
+};
+
+/// Convenience: success for Result<void>.
+inline Result<void> ok_result() { return Result<void>{}; }
+
+/// Propagate an error from a Result expression, binding the value to a
+/// fresh `auto` variable on success. Usage:
+///   VMIC_TRY(n, backend.pread(off, buf));   // declares `auto n`
+#define VMIC_TRY_CAT2(a, b) a##b
+#define VMIC_TRY_CAT(a, b) VMIC_TRY_CAT2(a, b)
+
+#define VMIC_TRY(var, expr)                                            \
+  auto VMIC_TRY_CAT(vmic_try_, var) = (expr);                          \
+  if (!VMIC_TRY_CAT(vmic_try_, var).ok())                              \
+    return VMIC_TRY_CAT(vmic_try_, var).error();                       \
+  auto var = std::move(VMIC_TRY_CAT(vmic_try_, var)).value()
+
+/// Propagate an error from a Result<void> (or any Result whose value is
+/// discarded).
+#define VMIC_TRY_VOID(expr)                                            \
+  do {                                                                 \
+    auto vmic_try_tmp_ = (expr);                                       \
+    if (!vmic_try_tmp_.ok()) return vmic_try_tmp_.error();             \
+  } while (0)
+
+/// Coroutine flavours: same as above but usable inside Task<> coroutines,
+/// where plain `return` is ill-formed. The expression must yield a Result
+/// (typically `co_await some_task`).
+#define VMIC_CO_TRY(var, expr)                                         \
+  auto VMIC_TRY_CAT(vmic_try_, var) = (expr);                          \
+  if (!VMIC_TRY_CAT(vmic_try_, var).ok())                              \
+    co_return VMIC_TRY_CAT(vmic_try_, var).error();                    \
+  auto var = std::move(VMIC_TRY_CAT(vmic_try_, var)).value()
+
+#define VMIC_CO_TRY_VOID(expr)                                         \
+  do {                                                                 \
+    auto vmic_try_tmp_ = (expr);                                       \
+    if (!vmic_try_tmp_.ok()) co_return vmic_try_tmp_.error();          \
+  } while (0)
+
+}  // namespace vmic

@@ -1,0 +1,27 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace vmic {
+
+double Rng::exponential(double mean) noexcept {
+  assert(mean > 0);
+  // Inverse-CDF; clamp the argument away from 0 so log() stays finite.
+  double u = uniform();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+double Rng::lognormal(double mean, double sigma) noexcept {
+  assert(mean > 0);
+  // Box-Muller on two independent uniforms.
+  double u1 = uniform();
+  double u2 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  // Parameterise so that the *median* is `mean`; keeps tails modest.
+  return mean * std::exp(sigma * z);
+}
+
+}  // namespace vmic

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace vmic {
+
+/// SplitMix64: used to seed Xoshiro and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256** — fast, high-quality, deterministic PRNG.
+///
+/// The whole evaluation pipeline depends on determinism: the same seed
+/// must generate the same boot trace and the same simulated timings on
+/// every run (tested in test_determinism.cpp), so we own the generator
+/// instead of relying on unspecified std::mt19937 distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    assert(bound > 0);
+    // 128-bit multiply-shift; the tiny residual bias (< 2^-64) is
+    // irrelevant for workload generation.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    assert(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Exponentially distributed with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Log-normal-ish positive value with the given mean and sigma of the
+  /// underlying normal; used for service-time jitter.
+  double lognormal(double mean, double sigma) noexcept;
+
+  /// Fork a statistically independent child stream (for per-VM streams
+  /// whose draws must not depend on scheduling order).
+  Rng fork() noexcept { return Rng(next() ^ 0x9e3779b97f4a7c15ull); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace vmic

@@ -1,0 +1,80 @@
+#include "util/sparse_buffer.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/bytes.hpp"
+
+namespace vmic {
+
+void SparseBuffer::read(std::uint64_t off, std::span<std::uint8_t> dst) const {
+  std::uint8_t* out = dst.data();
+  std::uint64_t remaining = dst.size();
+  std::uint64_t pos = off;
+  while (remaining > 0) {
+    const std::uint64_t page = pos / kPageSize;
+    const std::uint64_t in_page = pos % kPageSize;
+    const std::uint64_t n = std::min(remaining, kPageSize - in_page);
+    auto it = pages_.find(page);
+    if (it != pages_.end()) {
+      std::memcpy(out, it->second.get() + in_page, n);
+    } else {
+      std::memset(out, 0, n);
+    }
+    out += n;
+    pos += n;
+    remaining -= n;
+  }
+}
+
+void SparseBuffer::write(std::uint64_t off, std::span<const std::uint8_t> src) {
+  const std::uint8_t* in = src.data();
+  std::uint64_t remaining = src.size();
+  std::uint64_t pos = off;
+  while (remaining > 0) {
+    const std::uint64_t page = pos / kPageSize;
+    const std::uint64_t in_page = pos % kPageSize;
+    const std::uint64_t n = std::min(remaining, kPageSize - in_page);
+    auto it = pages_.find(page);
+    if (it == pages_.end()) {
+      // Zero-page elision: absent pages already read back as zeros.
+      if (!is_all_zero({in, static_cast<std::size_t>(n)})) {
+        auto p = std::make_unique<std::uint8_t[]>(kPageSize);
+        std::memset(p.get(), 0, kPageSize);
+        std::memcpy(p.get() + in_page, in, n);
+        pages_.emplace(page, std::move(p));
+      }
+    } else {
+      std::memcpy(it->second.get() + in_page, in, n);
+    }
+    in += n;
+    pos += n;
+    remaining -= n;
+  }
+  size_ = std::max(size_, off + src.size());
+}
+
+void SparseBuffer::resize(std::uint64_t new_size) {
+  if (new_size < size_) {
+    // Drop whole pages past the boundary, zero the boundary tail.
+    const std::uint64_t first_dead_page =
+        (new_size + kPageSize - 1) / kPageSize;
+    for (auto it = pages_.begin(); it != pages_.end();) {
+      if (it->first >= first_dead_page) {
+        it = pages_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    const std::uint64_t in_page = new_size % kPageSize;
+    if (in_page != 0) {
+      auto it = pages_.find(new_size / kPageSize);
+      if (it != pages_.end()) {
+        std::memset(it->second.get() + in_page, 0, kPageSize - in_page);
+      }
+    }
+  }
+  size_ = new_size;
+}
+
+}  // namespace vmic

@@ -1,0 +1,28 @@
+#include "util/stats.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace vmic {
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Samples::percentile(double p) const {
+  assert(!xs_.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted = xs_;
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0.0) return sorted.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs_) sum += x;
+  return sum / static_cast<double>(xs_.size());
+}
+
+}  // namespace vmic

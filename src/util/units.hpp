@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vmic {
+
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * KiB;
+inline constexpr std::uint64_t GiB = 1024 * MiB;
+inline constexpr std::uint64_t TiB = 1024 * GiB;
+
+/// The disk sector size used throughout (and the minimum QCOW2 cluster
+/// size, the one the paper recommends for cache images).
+inline constexpr std::uint64_t kSectorSize = 512;
+
+namespace literals {
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * KiB; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * MiB; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * GiB; }
+}  // namespace literals
+
+/// "93.0 MiB", "1.4 GiB", "512 B" — human-readable byte counts.
+std::string format_bytes(std::uint64_t bytes);
+
+/// "1.25 s", "830 ms", "17.0 us" — human-readable durations in seconds.
+std::string format_seconds(double seconds);
+
+}  // namespace vmic

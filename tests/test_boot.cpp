@@ -1,0 +1,134 @@
+// Tests for the boot-workload model: trace generation (working-set
+// targets per Table 1, determinism, alignment) and trace replay.
+#include <gtest/gtest.h>
+
+#include "boot/profile.hpp"
+#include "boot/trace.hpp"
+#include "boot/vm.hpp"
+#include "io/mem_store.hpp"
+#include "qcow2/chain.hpp"
+#include "sim/run.hpp"
+#include "util/interval_set.hpp"
+#include "util/units.hpp"
+
+namespace vmic::boot {
+namespace {
+
+using vmic::literals::operator""_MiB;
+
+TEST(BootTrace, WorkingSetMatchesTable1Targets) {
+  // Table 1: CentOS 85.2 MB, Debian 24.9 MB, Windows 195.8 MB.
+  for (const auto& p : {centos63(), debian607(), windows2012()}) {
+    const auto t = generate_boot_trace(p);
+    const double rel =
+        static_cast<double>(t.unique_read_bytes) /
+        static_cast<double>(p.unique_read_bytes);
+    EXPECT_GT(rel, 0.99) << p.name;
+    EXPECT_LT(rel, 1.06) << p.name;  // slight overshoot from run rounding
+  }
+}
+
+TEST(BootTrace, UniqueBytesMatchIntervalRecount) {
+  const auto t = generate_boot_trace(centos63());
+  IntervalSet set;
+  for (const auto& op : t.ops) {
+    if (op.kind == BootOp::Kind::read) {
+      set.insert(op.offset, op.offset + op.length);
+    }
+  }
+  EXPECT_EQ(set.total(), t.unique_read_bytes);
+}
+
+TEST(BootTrace, DeterministicPerSalt) {
+  const auto a = generate_boot_trace(centos63(), 3);
+  const auto b = generate_boot_trace(centos63(), 3);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    ASSERT_EQ(a.ops[i].offset, b.ops[i].offset);
+    ASSERT_EQ(a.ops[i].length, b.ops[i].length);
+    ASSERT_EQ(a.ops[i].cpu_gap, b.ops[i].cpu_gap);
+  }
+}
+
+TEST(BootTrace, DifferentSaltsDiffer) {
+  const auto a = generate_boot_trace(centos63(), 0);
+  const auto b = generate_boot_trace(centos63(), 1);
+  // Different VMI copies must have different layouts (Fig 3 relies on
+  // their disk working sets being distinct).
+  bool differs = a.ops.size() != b.ops.size();
+  for (std::size_t i = 0; !differs && i < a.ops.size(); ++i) {
+    differs = a.ops[i].offset != b.ops[i].offset;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(BootTrace, AllOpsSectorAlignedAndInImage) {
+  const auto p = centos63();
+  const auto t = generate_boot_trace(p);
+  for (const auto& op : t.ops) {
+    ASSERT_EQ(op.offset % 512, 0u);
+    ASSERT_EQ(op.length % 512, 0u);
+    ASSERT_GT(op.length, 0u);
+    ASSERT_LE(op.offset + op.length, p.image_size);
+  }
+}
+
+TEST(BootTrace, CpuGapsSumToProfile) {
+  const auto p = centos63();
+  const auto t = generate_boot_trace(p);
+  sim::SimTime total = 0;
+  for (const auto& op : t.ops) total += op.cpu_gap;
+  EXPECT_NEAR(sim::to_seconds(total), p.cpu_seconds, 0.01);
+}
+
+TEST(BootTrace, HasWritesAndRereads) {
+  const auto p = centos63();
+  const auto t = generate_boot_trace(p);
+  EXPECT_GT(t.total_write_bytes, p.write_bytes / 3);
+  EXPECT_LE(t.total_write_bytes, p.write_bytes);
+  EXPECT_GT(t.total_read_bytes, t.unique_read_bytes);  // re-reads exist
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+TEST(BootVm, ReplayOnLocalChainMeasuresCpuAndIo) {
+  // Replay a scaled-down profile against an in-memory chain: boot time
+  // must be cpu_seconds plus (tiny) I/O wait.
+  OsProfile p = centos63();
+  p.unique_read_bytes = 4_MiB;
+  p.cpu_seconds = 2.0;
+  p.write_bytes = 1_MiB;
+  const auto trace = generate_boot_trace(p);
+
+  io::MemImageStore store;
+  {
+    auto be = store.create_file("base.img");
+    ASSERT_TRUE(be.ok());
+    ASSERT_TRUE(sim::sync_wait((*be)->truncate(p.image_size)).ok());
+  }
+  sim::SimEnv env;
+  const auto res = sim::run_sync(env, [&]() -> sim::Task<Result<BootResult>> {
+    VMIC_CO_TRY_VOID(co_await qcow2::create_cow_image(
+        store, "vm.cow", "base.img",
+        {.cluster_bits = 16, .virtual_size = p.image_size}));
+    VMIC_CO_TRY(dev, co_await qcow2::open_image(store, "vm.cow"));
+    auto r = co_await boot_vm(env, *dev, trace);
+    VMIC_CO_TRY_VOID(co_await dev->close());
+    co_return r;
+  }());
+  ASSERT_TRUE(res.ok()) << to_string(res.error());
+  EXPECT_NEAR(res->boot_seconds, 2.0, 0.1);  // cpu-bound: no simulated I/O
+  EXPECT_GE(res->bytes_read, trace.unique_read_bytes);
+  EXPECT_EQ(res->bytes_written, trace.total_write_bytes);
+  EXPECT_EQ(res->read_ops,
+            static_cast<std::uint64_t>(
+                std::count_if(trace.ops.begin(), trace.ops.end(),
+                              [](const BootOp& op) {
+                                return op.kind == BootOp::Kind::read;
+                              })));
+}
+
+}  // namespace
+}  // namespace vmic::boot

@@ -1,0 +1,160 @@
+// Tests for the cache-pool accounting and eviction policies (§3.4) and
+// the scheduler policies with the cache-aware heuristic.
+#include <gtest/gtest.h>
+
+#include "cache/pool.hpp"
+#include "cluster/scheduler.hpp"
+#include "util/units.hpp"
+
+namespace vmic {
+namespace {
+
+using cache::CachePool;
+using cache::EvictionPolicy;
+using vmic::literals::operator""_MiB;
+
+TEST(CachePool, AdmitAndContains) {
+  CachePool pool{300_MiB, EvictionPolicy::lru};
+  auto r = pool.admit("centos", 93_MiB);
+  EXPECT_TRUE(r.admitted);
+  EXPECT_TRUE(r.evicted.empty());
+  EXPECT_TRUE(pool.contains("centos"));
+  EXPECT_EQ(pool.used_bytes(), 93_MiB);
+}
+
+TEST(CachePool, ReAdmitUpdatesSize) {
+  CachePool pool{300_MiB, EvictionPolicy::lru};
+  pool.admit("centos", 10_MiB);
+  pool.admit("centos", 93_MiB);  // grew while warming
+  EXPECT_EQ(pool.used_bytes(), 93_MiB);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(CachePool, LruEvictsLeastRecentlyUsed) {
+  CachePool pool{250_MiB, EvictionPolicy::lru};
+  pool.admit("a", 93_MiB);
+  pool.admit("b", 93_MiB);
+  pool.touch("a");  // b becomes LRU
+  auto r = pool.admit("c", 93_MiB);
+  ASSERT_TRUE(r.admitted);
+  ASSERT_EQ(r.evicted.size(), 1u);
+  EXPECT_EQ(r.evicted[0], "b");
+  EXPECT_TRUE(pool.contains("a"));
+  EXPECT_TRUE(pool.contains("c"));
+  EXPECT_EQ(pool.evictions(), 1u);
+}
+
+TEST(CachePool, FifoIgnoresTouches) {
+  CachePool pool{250_MiB, EvictionPolicy::fifo};
+  pool.admit("a", 93_MiB);
+  pool.admit("b", 93_MiB);
+  pool.touch("a");  // irrelevant under FIFO
+  auto r = pool.admit("c", 93_MiB);
+  ASSERT_TRUE(r.admitted);
+  ASSERT_EQ(r.evicted.size(), 1u);
+  EXPECT_EQ(r.evicted[0], "a");
+}
+
+TEST(CachePool, NonePolicyRejectsWhenFull) {
+  CachePool pool{100_MiB, EvictionPolicy::none};
+  EXPECT_TRUE(pool.admit("a", 93_MiB).admitted);
+  auto r = pool.admit("b", 40_MiB);
+  EXPECT_FALSE(r.admitted);
+  EXPECT_TRUE(pool.contains("a"));
+}
+
+TEST(CachePool, OversizedEntryNeverFits) {
+  CachePool pool{50_MiB, EvictionPolicy::lru};
+  pool.admit("small", 10_MiB);
+  auto r = pool.admit("huge", 200_MiB);
+  EXPECT_FALSE(r.admitted);
+  EXPECT_TRUE(pool.contains("small"));  // nothing evicted in vain
+  EXPECT_EQ(pool.evictions(), 0u);
+}
+
+TEST(CachePool, UsedNeverExceedsCapacity) {
+  CachePool pool{300_MiB, EvictionPolicy::lru};
+  for (int i = 0; i < 50; ++i) {
+    pool.admit("vmi" + std::to_string(i), (30 + i % 60) * MiB);
+    ASSERT_LE(pool.used_bytes(), pool.capacity());
+  }
+}
+
+TEST(CachePool, RemoveFreesSpace) {
+  CachePool pool{200_MiB, EvictionPolicy::lru};
+  pool.admit("a", 150_MiB);
+  pool.remove("a");
+  EXPECT_EQ(pool.used_bytes(), 0u);
+  EXPECT_TRUE(pool.admit("b", 180_MiB).admitted);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler (§3.4)
+// ---------------------------------------------------------------------------
+
+using cluster::NodeState;
+using cluster::pick_node;
+using cluster::SchedPolicy;
+
+std::vector<NodeState> three_nodes() {
+  std::vector<NodeState> n(3);
+  for (int i = 0; i < 3; ++i) {
+    n[static_cast<std::size_t>(i)].id = i;
+    n[static_cast<std::size_t>(i)].vm_capacity = 4;
+  }
+  return n;
+}
+
+TEST(Scheduler, PackingFillsFullestFirst) {
+  auto nodes = three_nodes();
+  nodes[0].running_vms = 2;
+  nodes[1].running_vms = 3;
+  nodes[2].running_vms = 0;
+  EXPECT_EQ(pick_node(nodes, SchedPolicy::packing, "x", false), 1);
+  nodes[1].running_vms = 4;  // full
+  EXPECT_EQ(pick_node(nodes, SchedPolicy::packing, "x", false), 0);
+}
+
+TEST(Scheduler, StripingSpreadsOut) {
+  auto nodes = three_nodes();
+  nodes[0].running_vms = 2;
+  nodes[1].running_vms = 1;
+  nodes[2].running_vms = 1;
+  EXPECT_EQ(pick_node(nodes, SchedPolicy::striping, "x", false), 1);
+}
+
+TEST(Scheduler, LoadAwarePicksLightest) {
+  auto nodes = three_nodes();
+  nodes[0].load = 0.9;
+  nodes[1].load = 0.2;
+  nodes[2].load = 0.5;
+  EXPECT_EQ(pick_node(nodes, SchedPolicy::load_aware, "x", false), 1);
+}
+
+TEST(Scheduler, CacheAwarePrefersWarmNode) {
+  auto nodes = three_nodes();
+  nodes[0].running_vms = 0;
+  nodes[2].running_vms = 3;        // striping alone would avoid node 2
+  nodes[2].warm_vmis.insert("centos");
+  EXPECT_EQ(pick_node(nodes, SchedPolicy::striping, "centos", true), 2);
+  // Without the heuristic, striping picks the emptiest node.
+  EXPECT_EQ(pick_node(nodes, SchedPolicy::striping, "centos", false), 0);
+  // For a different VMI, no warm node exists: base policy applies.
+  EXPECT_EQ(pick_node(nodes, SchedPolicy::striping, "debian", true), 0);
+}
+
+TEST(Scheduler, CacheAwareRespectsCapacity) {
+  auto nodes = three_nodes();
+  nodes[1].warm_vmis.insert("centos");
+  nodes[1].running_vms = 4;  // warm but full
+  EXPECT_EQ(pick_node(nodes, SchedPolicy::striping, "centos", true), 0);
+}
+
+TEST(Scheduler, AllFullReturnsMinusOne) {
+  auto nodes = three_nodes();
+  for (auto& n : nodes) n.running_vms = n.vm_capacity;
+  EXPECT_EQ(pick_node(nodes, SchedPolicy::packing, "x", true), -1);
+}
+
+}  // namespace
+}  // namespace vmic

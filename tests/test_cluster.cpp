@@ -1,0 +1,250 @@
+// Integration tests for the cluster scenario engine (scaled-down
+// versions of the paper's experiments) and Algorithm 1 placement.
+#include <gtest/gtest.h>
+
+#include "cluster/placement.hpp"
+#include "cluster/scenario.hpp"
+#include "qcow2/chain.hpp"
+#include "sim/run.hpp"
+#include "util/units.hpp"
+
+namespace vmic::cluster {
+namespace {
+
+using vmic::literals::operator""_MiB;
+using vmic::literals::operator""_GiB;
+
+/// Scaled-down CentOS-ish profile: keeps the tests fast while exercising
+/// the full machinery.
+boot::OsProfile tiny_profile() {
+  boot::OsProfile p = boot::centos63();
+  p.image_size = 1 * GiB;
+  p.unique_read_bytes = 4_MiB;
+  p.cpu_seconds = 2.0;
+  p.write_bytes = 1_MiB;
+  return p;
+}
+
+ClusterParams small_cluster(int nodes, net::NetworkParams net) {
+  ClusterParams cp;
+  cp.compute_nodes = nodes;
+  cp.network = net;
+  return cp;
+}
+
+TEST(Scenario, SingleVmPlainQcow2) {
+  ScenarioConfig sc;
+  sc.profile = tiny_profile();
+  sc.num_vms = 1;
+  sc.num_vmis = 1;
+  sc.mode = CacheMode::none;
+  auto r = run_scenario(small_cluster(1, net::gigabit_ethernet()), sc);
+  ASSERT_EQ(r.vms.size(), 1u);
+  // cpu 2 s + remote I/O; sane bounds.
+  EXPECT_GT(r.mean_boot, 2.0);
+  EXPECT_LT(r.mean_boot, 10.0);
+  EXPECT_GT(r.storage_payload_bytes, sc.profile.unique_read_bytes);
+}
+
+TEST(Scenario, WarmComputeDiskCacheCutsStorageTraffic) {
+  ScenarioConfig cold;
+  cold.profile = tiny_profile();
+  cold.num_vms = 4;
+  cold.num_vmis = 1;
+  cold.mode = CacheMode::none;
+  auto base = run_scenario(small_cluster(4, net::gigabit_ethernet()), cold);
+
+  ScenarioConfig warm = cold;
+  warm.mode = CacheMode::compute_disk;
+  warm.state = CacheState::warm;
+  warm.cache_quota = 64_MiB;
+  auto cached = run_scenario(small_cluster(4, net::gigabit_ethernet()), warm);
+
+  // Warm caches almost eliminate measured-phase storage traffic...
+  EXPECT_LT(cached.storage_payload_bytes, base.storage_payload_bytes / 10);
+  // ...and never make boots slower.
+  EXPECT_LE(cached.mean_boot, base.mean_boot * 1.05);
+  EXPECT_GT(cached.warm_cache_file_bytes, tiny_profile().unique_read_bytes);
+}
+
+TEST(Scenario, ColdCacheBootsCloseToPlainQcow2) {
+  // Fig 8/11: cold cache on memory has near-zero overhead.
+  ScenarioConfig plain;
+  plain.profile = tiny_profile();
+  plain.num_vms = 4;
+  plain.num_vmis = 1;
+  plain.mode = CacheMode::none;
+  auto base = run_scenario(small_cluster(4, net::gigabit_ethernet()), plain);
+
+  ScenarioConfig cold = plain;
+  cold.mode = CacheMode::compute_disk;
+  cold.state = CacheState::cold;
+  cold.cache_quota = 64_MiB;
+  cold.cold_cache_on_mem = true;
+  auto c = run_scenario(small_cluster(4, net::gigabit_ethernet()), cold);
+
+  EXPECT_LT(c.mean_boot, base.mean_boot * 1.15);
+  // Cold caches end up flushed to the node disks after shutdown.
+}
+
+TEST(Scenario, ColdCacheOnDiskIsSlower) {
+  // Fig 8: synchronous cache writes on the compute disk slow the boot.
+  ScenarioConfig mem;
+  mem.profile = tiny_profile();
+  mem.num_vms = 1;
+  mem.num_vmis = 1;
+  mem.mode = CacheMode::compute_disk;
+  mem.state = CacheState::cold;
+  mem.cache_quota = 64_MiB;
+  mem.cache_cluster_bits = 16;
+  mem.cold_cache_on_mem = true;
+  auto on_mem = run_scenario(small_cluster(1, net::gigabit_ethernet()), mem);
+
+  ScenarioConfig disk = mem;
+  disk.cold_cache_on_mem = false;
+  auto on_disk = run_scenario(small_cluster(1, net::gigabit_ethernet()), disk);
+
+  EXPECT_GT(on_disk.mean_boot, on_mem.mean_boot * 1.3);
+}
+
+TEST(Scenario, StorageMemWarmAvoidsStorageDisk) {
+  // Fig 14: with warm caches in storage memory, the storage disk sees
+  // (almost) no reads even across many VMIs.
+  ScenarioConfig sc;
+  sc.profile = tiny_profile();
+  sc.num_vms = 4;
+  sc.num_vmis = 4;
+  sc.mode = CacheMode::storage_mem;
+  sc.state = CacheState::warm;
+  sc.cache_quota = 64_MiB;
+  auto r = run_scenario(small_cluster(4, net::infiniband_qdr()), sc);
+  EXPECT_EQ(r.storage_disk_reads, 0u);
+  EXPECT_GT(r.mean_boot, 2.0);
+}
+
+TEST(Scenario, StorageMemColdCreatorPushesBack) {
+  ScenarioConfig sc;
+  sc.profile = tiny_profile();
+  sc.num_vms = 3;
+  sc.num_vmis = 1;
+  sc.mode = CacheMode::storage_mem;
+  sc.state = CacheState::cold;
+  sc.cache_quota = 64_MiB;
+  auto r = run_scenario(small_cluster(3, net::gigabit_ethernet()), sc);
+  // VM 0 is the creator: it pays a transfer; others don't.
+  EXPECT_GT(r.vms[0].cache_transfer_seconds, 0.0);
+  EXPECT_EQ(r.vms[1].cache_transfer_seconds, 0.0);
+  EXPECT_EQ(r.vms[2].cache_transfer_seconds, 0.0);
+}
+
+TEST(Scenario, MoreVmisMoreStorageDiskTime) {
+  // The Fig 3 mechanism at small scale: distinct VMIs defeat the storage
+  // page cache, so disk reads grow with the number of VMIs.
+  ScenarioConfig one;
+  one.profile = tiny_profile();
+  one.num_vms = 4;
+  one.num_vmis = 1;
+  one.mode = CacheMode::none;
+  one.storage_cache_prewarmed = false;  // Fig 3 uses fresh image copies
+  auto r1 = run_scenario(small_cluster(4, net::infiniband_qdr()), one);
+
+  ScenarioConfig four = one;
+  four.num_vmis = 4;
+  auto r4 = run_scenario(small_cluster(4, net::infiniband_qdr()), four);
+
+  EXPECT_GT(r4.storage_disk_bytes_read, 3 * r1.storage_disk_bytes_read);
+  EXPECT_GE(r4.mean_boot, r1.mean_boot);
+}
+
+TEST(Scenario, DeterministicResults) {
+  ScenarioConfig sc;
+  sc.profile = tiny_profile();
+  sc.num_vms = 3;
+  sc.num_vmis = 2;
+  sc.mode = CacheMode::compute_disk;
+  sc.state = CacheState::warm;
+  sc.cache_quota = 64_MiB;
+  auto a = run_scenario(small_cluster(3, net::gigabit_ethernet()), sc);
+  auto b = run_scenario(small_cluster(3, net::gigabit_ethernet()), sc);
+  ASSERT_EQ(a.vms.size(), b.vms.size());
+  for (std::size_t i = 0; i < a.vms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.vms[i].boot.boot_seconds, b.vms[i].boot.boot_seconds);
+  }
+  EXPECT_EQ(a.storage_payload_bytes, b.storage_payload_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 (§6)
+// ---------------------------------------------------------------------------
+
+class PlacementTest : public ::testing::Test {
+ protected:
+  PlacementTest() : cl(small_cluster(2, net::gigabit_ethernet())) {
+    auto be = cl.storage.disk_dir.create_file("img-0");
+    EXPECT_TRUE(be.ok());
+    (*cl.storage.disk_dir.buffer("img-0"))->resize(1 * GiB);
+  }
+
+  PlacementOutcome place(int node, std::uint64_t quota = 64_MiB) {
+    auto r = sim::run_sync(
+        cl.env, chain_to_proper_cache(cl, *cl.nodes[node], "img-0", quota, 9,
+                                      1 * GiB));
+    EXPECT_TRUE(r.ok()) << to_string(r.error());
+    return *r;
+  }
+
+  Cluster cl;
+};
+
+TEST_F(PlacementTest, FreshCreatesLocallyAndMarksCopyBack) {
+  auto out = place(0);
+  EXPECT_EQ(out.action, PlacementOutcome::Action::created_fresh);
+  EXPECT_EQ(out.backing, "disk/cache-img-0.qcow2");
+  EXPECT_TRUE(out.copy_back_on_shutdown);
+  EXPECT_TRUE(cl.nodes[0]->disk_dir.exists("cache-img-0.qcow2"));
+}
+
+TEST_F(PlacementTest, LocalWarmCacheWins) {
+  place(0);
+  auto out = place(0);  // second placement on the same node
+  EXPECT_EQ(out.action, PlacementOutcome::Action::local_warm_hit);
+  EXPECT_FALSE(out.copy_back_on_shutdown);
+}
+
+TEST_F(PlacementTest, StorageMemCacheGetsChained) {
+  place(0);
+  // Simulate the shutdown copy-back.
+  ASSERT_TRUE(sim::run_sync(
+                  cl.env, copy_cache_back(cl, *cl.nodes[0], "img-0"))
+                  .ok());
+  ASSERT_TRUE(cl.storage.mem_dir.exists("cache-img-0.qcow2"));
+  // A different node now chains to the storage-memory cache.
+  auto out = place(1);
+  EXPECT_EQ(out.action, PlacementOutcome::Action::chained_to_storage);
+  EXPECT_FALSE(out.copy_back_on_shutdown);
+  EXPECT_FALSE(out.staged_disk_to_tmpfs);
+  // The new node-local cache chains to nfs-mem (check the header).
+  auto dev = sim::run_sync(
+      cl.env, qcow2::open_image(cl.nodes[1]->fs, "disk/cache-img-0.qcow2",
+                                /*writable=*/false));
+  ASSERT_TRUE(dev.ok());
+  auto* q = dynamic_cast<qcow2::Qcow2Device*>(dev->get());
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->backing_file(), "nfs-mem/cache-img-0.qcow2");
+}
+
+TEST_F(PlacementTest, DiskResidentStorageCacheStagedToTmpfs) {
+  // Put a cache on the storage node's *disk* only.
+  place(0);
+  ASSERT_TRUE(storage::SimDirectory::clone_file(
+                  cl.nodes[0]->disk_dir, "cache-img-0.qcow2",
+                  cl.storage.disk_dir, "cache-img-0.qcow2")
+                  .ok());
+  auto out = place(1);
+  EXPECT_EQ(out.action, PlacementOutcome::Action::chained_to_storage);
+  EXPECT_TRUE(out.staged_disk_to_tmpfs);
+  EXPECT_TRUE(cl.storage.mem_dir.exists("cache-img-0.qcow2"));
+}
+
+}  // namespace
+}  // namespace vmic::cluster

@@ -1,0 +1,158 @@
+// Tests for the content-addressed block store and deduplicated files
+// (§7.3 content-based block caching / §8 future work).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dedup/store.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace vmic::dedup {
+namespace {
+
+std::vector<std::uint8_t> pattern_bytes(std::uint64_t seed, std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  Rng rng{seed};
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next());
+  return v;
+}
+
+TEST(BlockStore, IdenticalBlocksStoredOnce) {
+  BlockStore store{4096};
+  const auto a = pattern_bytes(1, 4096);
+  const auto id1 = store.put(a);
+  const auto id2 = store.put(a);
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(store.unique_blocks(), 1u);
+  EXPECT_EQ(store.stored_bytes(), 4096u);
+  EXPECT_EQ(store.logical_bytes(), 8192u);
+  EXPECT_DOUBLE_EQ(store.dedup_ratio(), 2.0);
+  EXPECT_EQ(store.ref_count(id1), 2u);
+}
+
+TEST(BlockStore, DistinctBlocksStoredSeparately) {
+  BlockStore store{4096};
+  const auto id1 = store.put(pattern_bytes(1, 4096));
+  const auto id2 = store.put(pattern_bytes(2, 4096));
+  EXPECT_NE(id1, id2);
+  EXPECT_EQ(store.unique_blocks(), 2u);
+}
+
+TEST(BlockStore, GetReturnsExactContent) {
+  BlockStore store{4096};
+  const auto a = pattern_bytes(7, 4096);
+  const auto id = store.put(a);
+  const auto back = store.get(id);
+  ASSERT_EQ(back.size(), a.size());
+  EXPECT_EQ(0, std::memcmp(back.data(), a.data(), a.size()));
+}
+
+TEST(BlockStore, ReleaseFreesAtZero) {
+  BlockStore store{4096};
+  const auto a = pattern_bytes(1, 4096);
+  const auto id = store.put(a);
+  store.put(a);  // refs = 2
+  store.release(id);
+  EXPECT_EQ(store.ref_count(id), 1u);
+  EXPECT_EQ(store.stored_bytes(), 4096u);
+  store.release(id);
+  EXPECT_EQ(store.ref_count(id), 0u);
+  EXPECT_EQ(store.stored_bytes(), 0u);
+  EXPECT_EQ(store.unique_blocks(), 0u);
+  // Re-putting after free works and gets a fresh id.
+  const auto id2 = store.put(a);
+  EXPECT_EQ(store.ref_count(id2), 1u);
+}
+
+TEST(BlockStore, ShortTailBlocksSupported) {
+  BlockStore store{4096};
+  const auto tail = pattern_bytes(3, 100);
+  const auto id = store.put(tail);
+  EXPECT_EQ(store.get(id).size(), 100u);
+  EXPECT_EQ(store.stored_bytes(), 100u);
+}
+
+// Property: dedup must be byte-exact even under (synthetic) digest
+// collisions — content decides, not the hash.
+TEST(BlockStore, ManyRandomBlocksRoundTrip) {
+  BlockStore store{512};
+  Rng rng{99};
+  std::vector<std::pair<BlockStore::BlockId, std::vector<std::uint8_t>>> all;
+  for (int i = 0; i < 500; ++i) {
+    auto data = pattern_bytes(rng.below(100), 512);  // many duplicates
+    all.emplace_back(store.put(data), std::move(data));
+  }
+  for (const auto& [id, data] : all) {
+    const auto back = store.get(id);
+    ASSERT_EQ(0, std::memcmp(back.data(), data.data(), data.size()));
+  }
+  EXPECT_LE(store.unique_blocks(), 100u);
+  EXPECT_GE(store.dedup_ratio(), 4.9);
+}
+
+// ---------------------------------------------------------------------------
+// DedupFile
+// ---------------------------------------------------------------------------
+
+TEST(DedupFile, AppendReadRoundTrip) {
+  BlockStore store{4096};
+  DedupFile f{store};
+  const auto data = pattern_bytes(5, 100000);
+  // Append in awkward chunk sizes.
+  std::size_t off = 0;
+  Rng rng{1};
+  while (off < data.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(1 + rng.below(9000), data.size() - off);
+    f.append({data.data() + off, n});
+    off += n;
+  }
+  EXPECT_EQ(f.size(), data.size());
+  std::vector<std::uint8_t> out(33333);
+  f.read(12345, out);
+  EXPECT_EQ(0, std::memcmp(out.data(), data.data() + 12345, out.size()));
+}
+
+TEST(DedupFile, TwoIdenticalFilesShareBlocks) {
+  BlockStore store{4096};
+  const auto data = pattern_bytes(5, 1 * MiB);
+  DedupFile a{store}, b{store};
+  a.append(data);
+  b.append(data);
+  EXPECT_EQ(store.stored_bytes(), 1 * MiB);
+  EXPECT_EQ(store.logical_bytes(), 2 * MiB);
+  EXPECT_EQ(a.exclusive_bytes(), 0u);  // everything shared
+  b.clear();
+  EXPECT_EQ(a.exclusive_bytes(), 1 * MiB);  // now sole owner
+  EXPECT_EQ(store.stored_bytes(), 1 * MiB);
+}
+
+TEST(DedupFile, ClearReleasesStorage) {
+  BlockStore store{4096};
+  DedupFile f{store};
+  f.append(pattern_bytes(5, 1 * MiB));
+  f.clear();
+  EXPECT_EQ(store.stored_bytes(), 0u);
+  EXPECT_EQ(f.size(), 0u);
+}
+
+TEST(DedupFile, PartialOverlapAccounting) {
+  BlockStore store{4096};
+  const auto shared = pattern_bytes(1, 512 * KiB);
+  const auto only_a = pattern_bytes(2, 512 * KiB);
+  const auto only_b = pattern_bytes(3, 512 * KiB);
+  DedupFile a{store}, b{store};
+  a.append(shared);
+  a.append(only_a);
+  b.append(shared);
+  b.append(only_b);
+  // 3 distinct halves stored; 4 halves logical.
+  EXPECT_EQ(store.stored_bytes(), 3 * 512 * KiB);
+  EXPECT_EQ(store.logical_bytes(), 4 * 512 * KiB);
+  EXPECT_EQ(a.exclusive_bytes(), 512 * KiB);
+  EXPECT_EQ(b.exclusive_bytes(), 512 * KiB);
+}
+
+}  // namespace
+}  // namespace vmic::dedup

@@ -1,0 +1,119 @@
+// Tests for the processor-sharing link model: single-flow timing, fair
+// sharing, arrivals/departures, conservation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/run.hpp"
+
+namespace vmic::net {
+namespace {
+
+using sim::SimEnv;
+using sim::Task;
+
+Task<void> xfer(Link& l, std::uint64_t bytes) { co_await l.transfer(bytes); }
+
+Task<void> xfer_at(SimEnv& env, Link& l, sim::SimTime start,
+                   std::uint64_t bytes, sim::SimTime& done) {
+  co_await env.delay(start);
+  co_await l.transfer(bytes);
+  done = env.now();
+}
+
+TEST(Link, SingleFlowAtFullBandwidth) {
+  SimEnv env;
+  Link l{env, 125e6, sim::from_micros(50)};
+  run_sync(env, xfer(l, 125'000'000));
+  // 1 second of payload + 50 us latency.
+  EXPECT_NEAR(sim::to_seconds(env.now()), 1.0 + 50e-6, 1e-4);
+  EXPECT_EQ(l.stats().transfers, 1u);
+  EXPECT_EQ(l.stats().bytes, 125'000'000u);
+}
+
+TEST(Link, ZeroByteTransferIsLatencyOnly) {
+  SimEnv env;
+  Link l{env, 125e6, sim::from_micros(50)};
+  run_sync(env, xfer(l, 0));
+  EXPECT_NEAR(sim::to_seconds(env.now()), 50e-6, 1e-9);
+}
+
+TEST(Link, TwoFlowsShareFairly) {
+  SimEnv env;
+  Link l{env, 100e6, 0};
+  sim::SimTime d1 = 0, d2 = 0;
+  env.spawn(xfer_at(env, l, 0, 100'000'000, d1));
+  env.spawn(xfer_at(env, l, 0, 100'000'000, d2));
+  env.run();
+  // Each gets 50 MB/s => both finish at ~2 s.
+  EXPECT_NEAR(sim::to_seconds(d1), 2.0, 1e-3);
+  EXPECT_NEAR(sim::to_seconds(d2), 2.0, 1e-3);
+}
+
+TEST(Link, LateArrivalSlowsEarlyFlow) {
+  SimEnv env;
+  Link l{env, 100e6, 0};
+  sim::SimTime d1 = 0, d2 = 0;
+  env.spawn(xfer_at(env, l, 0, 100'000'000, d1));                      // 1s solo
+  env.spawn(xfer_at(env, l, sim::from_seconds(0.5), 50'000'000, d2));
+  env.run();
+  // Flow 1: 0.5 s at full rate (50 MB left), then shares: both have
+  // 50 MB at 50 MB/s => 1 s more. d1 = d2 = 1.5 s.
+  EXPECT_NEAR(sim::to_seconds(d1), 1.5, 1e-2);
+  EXPECT_NEAR(sim::to_seconds(d2), 1.5, 1e-2);
+}
+
+TEST(Link, ShortFlowDepartsAndRateRecovers) {
+  SimEnv env;
+  Link l{env, 100e6, 0};
+  sim::SimTime dl = 0, ds = 0;
+  env.spawn(xfer_at(env, l, 0, 150'000'000, dl));  // long
+  env.spawn(xfer_at(env, l, 0, 25'000'000, ds));   // short
+  env.run();
+  // Shared 50 MB/s: short finishes at 0.5 s (long has 125 MB left);
+  // long then runs at 100 MB/s: +1.25 s => 1.75 s.
+  EXPECT_NEAR(sim::to_seconds(ds), 0.5, 1e-2);
+  EXPECT_NEAR(sim::to_seconds(dl), 1.75, 1e-2);
+}
+
+TEST(Link, ManyFlowsAggregateToLinkRate) {
+  SimEnv env;
+  Link l{env, 125e6, sim::from_micros(50)};
+  const int n = 64;
+  const std::uint64_t each = 2'000'000;
+  for (int i = 0; i < n; ++i) env.spawn(xfer(l, each));
+  env.run();
+  // Total bytes / link rate, regardless of flow count.
+  const double expect = (static_cast<double>(n) * each) / 125e6;
+  EXPECT_NEAR(sim::to_seconds(env.now()), expect, 0.02 * expect);
+  EXPECT_EQ(l.stats().peak_flows, static_cast<std::size_t>(n));
+}
+
+TEST(Link, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    SimEnv env;
+    Link l{env, 125e6, sim::from_micros(10)};
+    std::vector<sim::SimTime> done(10);
+    for (int i = 0; i < 10; ++i) {
+      env.spawn(xfer_at(env, l, sim::from_millis(i), 1'000'000 * (i + 1),
+                        done[i]));
+    }
+    env.run();
+    return done;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Network, Presets) {
+  SimEnv env;
+  Network ge{env, gigabit_ethernet()};
+  Network ib{env, infiniband_qdr()};
+  EXPECT_EQ(ge.name(), "1GbE");
+  EXPECT_EQ(ib.name(), "32GbIB");
+  EXPECT_GT(ib.down.bandwidth(), 20 * ge.down.bandwidth());
+  EXPECT_LT(ib.down.latency(), ge.down.latency());
+}
+
+}  // namespace
+}  // namespace vmic::net

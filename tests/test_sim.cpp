@@ -1,0 +1,254 @@
+// Unit tests for the discrete-event engine: scheduling order, coroutine
+// task composition, synchronisation primitives, determinism.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/env.hpp"
+#include "sim/run.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace vmic::sim {
+namespace {
+
+TEST(SimEnv, StartsAtZero) {
+  SimEnv env;
+  EXPECT_EQ(env.now(), 0);
+  EXPECT_EQ(env.pending_events(), 0u);
+}
+
+TEST(SimEnv, CallbacksRunInTimeOrder) {
+  SimEnv env;
+  std::vector<int> order;
+  env.call_at(30, [&] { order.push_back(3); });
+  env.call_at(10, [&] { order.push_back(1); });
+  env.call_at(20, [&] { order.push_back(2); });
+  env.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(env.now(), 30);
+}
+
+TEST(SimEnv, TiesBreakByInsertionOrder) {
+  SimEnv env;
+  std::vector<int> order;
+  env.call_at(10, [&] { order.push_back(1); });
+  env.call_at(10, [&] { order.push_back(2); });
+  env.call_at(10, [&] { order.push_back(3); });
+  env.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimEnv, CancelledTimerDoesNotFire) {
+  SimEnv env;
+  bool fired = false;
+  auto id = env.call_at(10, [&] { fired = true; });
+  env.cancel(id);
+  env.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimEnv, RunUntilStopsAtDeadline) {
+  SimEnv env;
+  std::vector<int> order;
+  env.call_at(10, [&] { order.push_back(1); });
+  env.call_at(20, [&] { order.push_back(2); });
+  env.call_at(30, [&] { order.push_back(3); });
+  EXPECT_FALSE(env.run_until(20));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(env.now(), 20);
+  EXPECT_TRUE(env.run_until(100));
+  EXPECT_EQ(order.size(), 3u);
+}
+
+Task<int> return_42() { co_return 42; }
+
+TEST(Task, RunSyncReturnsValue) {
+  SimEnv env;
+  EXPECT_EQ(run_sync(env, return_42()), 42);
+}
+
+Task<int> add_after_delay(SimEnv& env, int a, int b) {
+  co_await env.delay(100);
+  co_return a + b;
+}
+
+TEST(Task, DelayAdvancesClock) {
+  SimEnv env;
+  EXPECT_EQ(run_sync(env, add_after_delay(env, 2, 3)), 5);
+  EXPECT_EQ(env.now(), 100);
+}
+
+Task<int> nested(SimEnv& env) {
+  const int x = co_await add_after_delay(env, 1, 2);
+  const int y = co_await add_after_delay(env, x, 10);
+  co_return y;
+}
+
+TEST(Task, NestedAwaitsCompose) {
+  SimEnv env;
+  EXPECT_EQ(run_sync(env, nested(env)), 13);
+  EXPECT_EQ(env.now(), 200);
+}
+
+TEST(Task, SyncWaitOnImmediateTask) {
+  // Host paths (no simulated time) can run without an environment.
+  EXPECT_EQ(sync_wait(return_42()), 42);
+}
+
+Task<void> append_after(SimEnv& env, std::vector<int>& log, SimTime t, int v) {
+  co_await env.delay(t);
+  log.push_back(v);
+}
+
+TEST(SimEnv, SpawnedTasksInterleaveDeterministically) {
+  SimEnv env;
+  std::vector<int> log;
+  env.spawn(append_after(env, log, 30, 1));
+  env.spawn(append_after(env, log, 10, 2));
+  env.spawn(append_after(env, log, 20, 3));
+  env.run();
+  EXPECT_EQ(log, (std::vector<int>{2, 3, 1}));
+  EXPECT_EQ(env.live_tasks(), 0u);
+}
+
+TEST(SimEnv, LiveTaskAccounting) {
+  SimEnv env;
+  std::vector<int> log;
+  env.spawn(append_after(env, log, 10, 1));
+  env.spawn(append_after(env, log, 20, 2));
+  EXPECT_EQ(env.live_tasks(), 2u);
+  env.run();
+  EXPECT_EQ(env.live_tasks(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Event
+// --------------------------------------------------------------------------
+
+Task<void> wait_and_log(SimEnv& env, Event& ev, std::vector<int>& log, int id) {
+  (void)env;
+  co_await ev.wait();
+  log.push_back(id);
+}
+
+Task<void> trigger_at(SimEnv& env, Event& ev, SimTime t) {
+  co_await env.delay(t);
+  ev.trigger();
+}
+
+TEST(Event, BroadcastWakesAllWaitersFifo) {
+  SimEnv env;
+  Event ev{env};
+  std::vector<int> log;
+  env.spawn(wait_and_log(env, ev, log, 1));
+  env.spawn(wait_and_log(env, ev, log, 2));
+  env.spawn(wait_and_log(env, ev, log, 3));
+  env.spawn(trigger_at(env, ev, 50));
+  env.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(env.now(), 50);
+}
+
+TEST(Event, WaitAfterTriggerCompletesImmediately) {
+  SimEnv env;
+  Event ev{env};
+  ev.trigger();
+  std::vector<int> log;
+  env.spawn(wait_and_log(env, ev, log, 7));
+  env.run();
+  EXPECT_EQ(log, (std::vector<int>{7}));
+  EXPECT_EQ(env.now(), 0);
+}
+
+// --------------------------------------------------------------------------
+// Mutex
+// --------------------------------------------------------------------------
+
+Task<void> critical(SimEnv& env, Mutex& m, std::vector<int>& log, int id,
+                    SimTime hold) {
+  auto guard = co_await m.lock();
+  log.push_back(id);
+  co_await env.delay(hold);
+  log.push_back(-id);
+}
+
+TEST(Mutex, SerializesInFifoOrder) {
+  SimEnv env;
+  Mutex m{env};
+  std::vector<int> log;
+  env.spawn(critical(env, m, log, 1, 100));
+  env.spawn(critical(env, m, log, 2, 100));
+  env.spawn(critical(env, m, log, 3, 100));
+  env.run();
+  // No interleaving inside critical sections, FIFO hand-off.
+  EXPECT_EQ(log, (std::vector<int>{1, -1, 2, -2, 3, -3}));
+  EXPECT_EQ(env.now(), 300);
+  EXPECT_FALSE(m.locked());
+}
+
+// --------------------------------------------------------------------------
+// Semaphore
+// --------------------------------------------------------------------------
+
+Task<void> sem_user(SimEnv& env, Semaphore& s, int& active, int& peak,
+                    SimTime hold) {
+  co_await s.acquire();
+  ++active;
+  peak = std::max(peak, active);
+  co_await env.delay(hold);
+  --active;
+  s.release();
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  SimEnv env;
+  Semaphore s{env, 2};
+  int active = 0, peak = 0;
+  for (int i = 0; i < 6; ++i) env.spawn(sem_user(env, s, active, peak, 100));
+  env.run();
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(active, 0);
+  // 6 holders, 2 at a time, 100 each => 300 total.
+  EXPECT_EQ(env.now(), 300);
+  EXPECT_EQ(s.available(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// Determinism
+// --------------------------------------------------------------------------
+
+Task<void> busy_worker(SimEnv& env, Mutex& m, std::vector<SimTime>& stamps,
+                       int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    auto g = co_await m.lock();
+    co_await env.delay(7);
+    stamps.push_back(env.now());
+  }
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalTimelines) {
+  auto run_once = [] {
+    SimEnv env;
+    Mutex m{env};
+    std::vector<SimTime> stamps;
+    for (int w = 0; w < 5; ++w) env.spawn(busy_worker(env, m, stamps, 10));
+    env.run();
+    return stamps;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 50u);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(from_seconds(1.5), 1'500'000'000);
+  EXPECT_EQ(from_millis(2.0), 2'000'000);
+  EXPECT_EQ(from_micros(3.0), 3'000);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+}
+
+}  // namespace
+}  // namespace vmic::sim

@@ -1,0 +1,377 @@
+// Unit tests for src/util: Result, alignment, endian helpers, buffers,
+// interval sets, RNG and stats.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "util/align.hpp"
+#include "util/bytes.hpp"
+#include "util/interval_set.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/sparse_buffer.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace vmic {
+namespace {
+
+// --------------------------------------------------------------------------
+// Result
+// --------------------------------------------------------------------------
+
+TEST(Result, HoldsValue) {
+  Result<int> r{42};
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.error(), Errc::ok);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r{Errc::no_space};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Errc::no_space);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r{std::make_unique<int>(5)};
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(Result, CopySemantics) {
+  Result<std::vector<int>> a{std::vector<int>{1, 2, 3}};
+  Result<std::vector<int>> b = a;
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->size(), 3u);
+  b = Result<std::vector<int>>{Errc::io_error};
+  EXPECT_FALSE(b.ok());
+  EXPECT_TRUE(a.ok());
+}
+
+TEST(Result, VoidVariant) {
+  Result<void> good = ok_result();
+  EXPECT_TRUE(good.ok());
+  Result<void> bad{Errc::read_only};
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), Errc::read_only);
+}
+
+Result<int> try_helper(Result<int> in) {
+  VMIC_TRY(v, std::move(in));
+  return v + 1;
+}
+
+TEST(Result, TryMacroPropagates) {
+  EXPECT_EQ(*try_helper(Result<int>{1}), 2);
+  EXPECT_EQ(try_helper(Result<int>{Errc::corrupt}).error(), Errc::corrupt);
+}
+
+TEST(Result, ErrcToString) {
+  EXPECT_EQ(to_string(Errc::no_space), "no_space");
+  EXPECT_EQ(to_string(Errc::ok), "ok");
+}
+
+// --------------------------------------------------------------------------
+// Alignment
+// --------------------------------------------------------------------------
+
+TEST(Align, PowersOfTwo) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(512));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+}
+
+TEST(Align, UpDown) {
+  EXPECT_EQ(align_down(1000, 512), 512u);
+  EXPECT_EQ(align_up(1000, 512), 1024u);
+  EXPECT_EQ(align_up(1024, 512), 1024u);
+  EXPECT_EQ(align_down(1024, 512), 1024u);
+  EXPECT_TRUE(is_aligned(65536, 65536));
+  EXPECT_FALSE(is_aligned(65537, 65536));
+}
+
+TEST(Align, DivCeilAndLog2) {
+  EXPECT_EQ(div_ceil(10, 3), 4u);
+  EXPECT_EQ(div_ceil(9, 3), 3u);
+  EXPECT_EQ(log2_exact(512), 9u);
+  EXPECT_EQ(log2_exact(65536), 16u);
+}
+
+// --------------------------------------------------------------------------
+// Endian / bytes
+// --------------------------------------------------------------------------
+
+TEST(Bytes, BigEndianRoundTrip) {
+  std::uint8_t buf[8];
+  store_be16(buf, 0xBEEF);
+  EXPECT_EQ(load_be16(buf), 0xBEEF);
+  EXPECT_EQ(buf[0], 0xBE);  // genuinely big-endian on disk
+  store_be32(buf, 0xDEADBEEF);
+  EXPECT_EQ(load_be32(buf), 0xDEADBEEFu);
+  EXPECT_EQ(buf[0], 0xDE);
+  store_be64(buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(load_be64(buf), 0x0123456789ABCDEFull);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0xEF);
+}
+
+TEST(Bytes, IsAllZero) {
+  std::vector<std::uint8_t> z(10000, 0);
+  EXPECT_TRUE(is_all_zero(z));
+  z[9999] = 1;
+  EXPECT_FALSE(is_all_zero(z));
+  z[9999] = 0;
+  z[0] = 1;
+  EXPECT_FALSE(is_all_zero(z));
+  EXPECT_TRUE(is_all_zero({z.data() + 1, 3}));  // unaligned short span
+}
+
+TEST(Bytes, Fnv1aStable) {
+  const std::uint8_t d[] = {'a', 'b', 'c'};
+  // Reference value for "abc" under 64-bit FNV-1a.
+  EXPECT_EQ(fnv1a(d), 0xe71fa2190541574bull);
+}
+
+// --------------------------------------------------------------------------
+// Units
+// --------------------------------------------------------------------------
+
+TEST(Units, Format) {
+  using namespace vmic::literals;
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(93_MiB), "93.0 MiB");
+  EXPECT_EQ(format_bytes(4_GiB), "4.0 GiB");
+  EXPECT_EQ(format_seconds(1.5), "1.50 s");
+  EXPECT_EQ(format_seconds(0.0171), "17.1 ms");
+}
+
+// --------------------------------------------------------------------------
+// IntervalSet
+// --------------------------------------------------------------------------
+
+TEST(IntervalSet, InsertAndTotal) {
+  IntervalSet s;
+  s.insert(0, 100);
+  s.insert(200, 300);
+  EXPECT_EQ(s.total(), 200u);
+  EXPECT_EQ(s.interval_count(), 2u);
+}
+
+TEST(IntervalSet, CoalescesOverlap) {
+  IntervalSet s;
+  s.insert(0, 100);
+  s.insert(50, 150);
+  EXPECT_EQ(s.total(), 150u);
+  EXPECT_EQ(s.interval_count(), 1u);
+}
+
+TEST(IntervalSet, CoalescesAdjacent) {
+  IntervalSet s;
+  s.insert(0, 100);
+  s.insert(100, 200);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.total(), 200u);
+}
+
+TEST(IntervalSet, BridgeMerge) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(20, 30);
+  s.insert(5, 25);  // bridges both
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.total(), 30u);
+}
+
+TEST(IntervalSet, CoversAndIntersects) {
+  IntervalSet s;
+  s.insert(100, 200);
+  EXPECT_TRUE(s.covers(100, 200));
+  EXPECT_TRUE(s.covers(150, 160));
+  EXPECT_FALSE(s.covers(50, 150));
+  EXPECT_TRUE(s.intersects(150, 250));
+  EXPECT_TRUE(s.intersects(50, 101));
+  EXPECT_FALSE(s.intersects(50, 100));  // half-open: touch is no overlap
+  EXPECT_FALSE(s.intersects(200, 300));
+  EXPECT_TRUE(s.covers(120, 120));     // empty range trivially covered
+  EXPECT_FALSE(s.intersects(120, 120));
+}
+
+TEST(IntervalSet, IdempotentReinsert) {
+  IntervalSet s;
+  for (int i = 0; i < 10; ++i) s.insert(1000, 2000);
+  EXPECT_EQ(s.total(), 1000u);
+  EXPECT_EQ(s.interval_count(), 1u);
+}
+
+// Property: total() always equals a brute-force bitmap count.
+TEST(IntervalSet, PropertyMatchesBitmap) {
+  Rng rng{123};
+  IntervalSet s;
+  std::vector<bool> bits(4096, false);
+  for (int i = 0; i < 500; ++i) {
+    const auto b = rng.below(4000);
+    const auto e = b + 1 + rng.below(96);
+    s.insert(b, e);
+    for (auto j = b; j < e; ++j) bits[j] = true;
+    std::uint64_t expect = 0;
+    for (bool bit : bits) expect += bit ? 1 : 0;
+    ASSERT_EQ(s.total(), expect) << "iteration " << i;
+  }
+}
+
+// --------------------------------------------------------------------------
+// SparseBuffer
+// --------------------------------------------------------------------------
+
+TEST(SparseBuffer, ReadsZeroWhenEmpty) {
+  SparseBuffer b;
+  std::vector<std::uint8_t> buf(100, 0xFF);
+  b.read(1234, buf);
+  EXPECT_TRUE(is_all_zero(buf));
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(SparseBuffer, WriteReadRoundTrip) {
+  SparseBuffer b;
+  std::vector<std::uint8_t> data(10000);
+  Rng rng{7};
+  for (auto& x : data) x = static_cast<std::uint8_t>(rng.next());
+  b.write(5000, data);
+  EXPECT_EQ(b.size(), 15000u);
+  std::vector<std::uint8_t> out(10000);
+  b.read(5000, out);
+  EXPECT_EQ(data, out);
+  // Straddling read: 4096 zeros then the first data bytes.
+  std::vector<std::uint8_t> straddle(2000);
+  b.read(4000, straddle);
+  EXPECT_TRUE(is_all_zero({straddle.data(), 1000}));
+  EXPECT_EQ(0, std::memcmp(straddle.data() + 1000, data.data(), 1000));
+}
+
+TEST(SparseBuffer, ZeroWritesNotMaterialized) {
+  SparseBuffer b;
+  std::vector<std::uint8_t> zeros(1 * MiB, 0);
+  b.write(0, zeros);
+  EXPECT_EQ(b.size(), 1 * MiB);
+  EXPECT_EQ(b.materialized_bytes(), 0u);
+  // But a subsequent non-zero write into the same region still works.
+  std::uint8_t one = 1;
+  b.write(12345, {&one, 1});
+  std::uint8_t out = 0;
+  b.read(12345, {&out, 1});
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(b.materialized_bytes(), SparseBuffer::kPageSize);
+}
+
+TEST(SparseBuffer, OverwriteWithZerosInMaterializedPage) {
+  SparseBuffer b;
+  std::uint8_t v = 42;
+  b.write(100, {&v, 1});
+  std::uint8_t z = 0;
+  b.write(100, {&z, 1});
+  std::uint8_t out = 9;
+  b.read(100, {&out, 1});
+  EXPECT_EQ(out, 0);
+}
+
+TEST(SparseBuffer, ResizeTruncates) {
+  SparseBuffer b;
+  std::vector<std::uint8_t> data(8192, 0xAB);
+  b.write(0, data);
+  b.resize(100);
+  EXPECT_EQ(b.size(), 100u);
+  b.resize(8192);
+  std::vector<std::uint8_t> out(8192);
+  b.read(0, out);
+  for (std::size_t i = 0; i < 100; ++i) ASSERT_EQ(out[i], 0xAB);
+  EXPECT_TRUE(is_all_zero({out.data() + 100, out.size() - 100}));
+}
+
+// --------------------------------------------------------------------------
+// Rng
+// --------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowInRange) {
+  Rng rng{9};
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(rng.below(17), 17u);
+    const auto v = rng.range(5, 10);
+    ASSERT_GE(v, 5u);
+    ASSERT_LE(v, 10u);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{11};
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{13};
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a{1};
+  Rng child = a.fork();
+  // The child stream should not replay the parent stream.
+  Rng b{1};
+  b.next();  // advance past the fork draw
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (child.next() == b.next()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+// --------------------------------------------------------------------------
+// Stats
+// --------------------------------------------------------------------------
+
+TEST(Stats, OnlineMeanVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+}  // namespace
+}  // namespace vmic

@@ -1,0 +1,48 @@
+#!/bin/sh
+# End-to-end exercise of the vmi-img CLI against real files: the paper's
+# §4.4 chaining workflow plus the extended subcommands.
+set -e
+
+VMI_IMG="$1"
+[ -x "$VMI_IMG" ] || { echo "usage: $0 <path-to-vmi-img>"; exit 2; }
+
+DIR=$(mktemp -d /tmp/vmi-img-cli-XXXXXX)
+trap 'rm -rf "$DIR"' EXIT
+cd "$DIR"
+
+echo "--- create chain (base <- cache <- cow)"
+"$VMI_IMG" create base.img 256M -f raw
+"$VMI_IMG" create centos.cache 256M -b base.img -q 32M -c 512
+"$VMI_IMG" create vm0.cow 256M -b centos.cache
+
+echo "--- info shows the cache extension"
+"$VMI_IMG" info centos.cache | grep -q "VMI cache: yes"
+"$VMI_IMG" info centos.cache | grep -q "cache quota: 32.0 MiB"
+
+echo "--- chain shows the permission dance"
+CHAIN=$("$VMI_IMG" chain vm0.cow)
+echo "$CHAIN" | grep -q "VMI cache, rw"   # cache keeps write permission
+echo "$CHAIN" | grep -q "raw, ro"         # base demoted read-only
+
+echo "--- check is clean on fresh images"
+"$VMI_IMG" check centos.cache
+"$VMI_IMG" check vm0.cow
+
+echo "--- map on an empty overlay"
+"$VMI_IMG" map vm0.cow | grep -q "0 B data"
+
+echo "--- resize grows the virtual disk"
+"$VMI_IMG" resize vm0.cow 512M
+"$VMI_IMG" info vm0.cow | grep -q "512.0 MiB"
+
+echo "--- invalid invocations fail"
+if "$VMI_IMG" create bad.qcow2 0 2>/dev/null; then exit 1; fi
+if "$VMI_IMG" info nonexistent.qcow2 2>/dev/null; then exit 1; fi
+if "$VMI_IMG" commit base.img 2>/dev/null; then exit 1; fi
+
+echo "--- commit a plain overlay"
+"$VMI_IMG" create mid.qcow2 64M
+"$VMI_IMG" create top.qcow2 64M -b mid.qcow2
+"$VMI_IMG" commit top.qcow2
+
+echo "ALL CLI CHECKS PASSED"

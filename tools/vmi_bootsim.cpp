@@ -1,0 +1,142 @@
+// vmi-bootsim — drive one cluster deployment scenario from the command
+// line and print per-VM results. The benches wrap the same engine; this
+// tool is for interactive exploration.
+//
+//   vmi-bootsim [options]
+//     --vms N            number of VMs             (default 64)
+//     --nodes N          compute nodes             (default = vms)
+//     --vmis N           distinct base images      (default 1)
+//     --net 1gbe|ib      network                   (default 1gbe)
+//     --mode none|fullcopy|disk|mem                (default none)
+//     --state cold|warm                            (default cold)
+//     --quota BYTES_MB   cache quota in MiB        (default 250)
+//     --cluster BYTES    cache cluster size        (default 512)
+//     --os centos|debian|windows|snapshot          (default centos)
+//     --prefetch KB      boot-time prefetch        (default 0)
+//     --warmfrac F       fraction of warm nodes    (default 1.0)
+//     --fresh            storage page cache starts cold
+//     --per-vm           print one line per VM
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cluster/scenario.hpp"
+#include "util/align.hpp"
+
+using namespace vmic;
+using namespace vmic::cluster;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: vmi-bootsim [--vms N] [--nodes N] [--vmis N] "
+               "[--net 1gbe|ib]\n"
+               "       [--mode none|fullcopy|disk|mem] [--state cold|warm]\n"
+               "       [--quota MiB] [--cluster BYTES] "
+               "[--os centos|debian|windows|snapshot]\n"
+               "       [--prefetch KB] [--warmfrac F] [--fresh] [--per-vm]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ScenarioConfig sc;
+  ClusterParams cp;
+  int nodes = -1;
+  bool per_vm = false;
+  std::string os = "centos";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--vms") {
+      sc.num_vms = std::atoi(next());
+    } else if (a == "--nodes") {
+      nodes = std::atoi(next());
+    } else if (a == "--vmis") {
+      sc.num_vmis = std::atoi(next());
+    } else if (a == "--net") {
+      const std::string n = next();
+      if (n == "1gbe") {
+        cp.network = net::gigabit_ethernet();
+      } else if (n == "ib") {
+        cp.network = net::infiniband_qdr();
+      } else {
+        usage();
+      }
+    } else if (a == "--mode") {
+      const std::string m = next();
+      if (m == "none") sc.mode = CacheMode::none;
+      else if (m == "fullcopy") sc.mode = CacheMode::full_copy;
+      else if (m == "disk") sc.mode = CacheMode::compute_disk;
+      else if (m == "mem") sc.mode = CacheMode::storage_mem;
+      else usage();
+    } else if (a == "--state") {
+      const std::string s = next();
+      if (s == "cold") sc.state = CacheState::cold;
+      else if (s == "warm") sc.state = CacheState::warm;
+      else usage();
+    } else if (a == "--quota") {
+      sc.cache_quota = static_cast<std::uint64_t>(std::atoi(next())) * MiB;
+    } else if (a == "--cluster") {
+      const std::uint64_t c = static_cast<std::uint64_t>(std::atoi(next()));
+      if (!is_pow2(c) || c < 512) usage();
+      sc.cache_cluster_bits = log2_exact(c);
+    } else if (a == "--os") {
+      os = next();
+    } else if (a == "--prefetch") {
+      sc.prefetch_bytes =
+          static_cast<std::uint32_t>(std::atoi(next())) * 1024;
+    } else if (a == "--warmfrac") {
+      sc.warm_node_fraction = std::atof(next());
+    } else if (a == "--fresh") {
+      sc.storage_cache_prewarmed = false;
+    } else if (a == "--per-vm") {
+      per_vm = true;
+    } else {
+      usage();
+    }
+  }
+
+  if (os == "centos") sc.profile = boot::centos63();
+  else if (os == "debian") sc.profile = boot::debian607();
+  else if (os == "windows") sc.profile = boot::windows2012();
+  else if (os == "snapshot") {
+    sc.profile = boot::snapshot_restore_profile(boot::centos63());
+  } else {
+    usage();
+  }
+
+  cp.compute_nodes = nodes > 0 ? nodes : sc.num_vms;
+
+  std::printf("scenario: %d VM(s) / %d node(s) / %d VMI(s), %s, os=%s\n",
+              sc.num_vms, cp.compute_nodes, sc.num_vmis,
+              cp.network.name.c_str(), sc.profile.name.c_str());
+  const auto r = run_scenario(cp, sc);
+
+  if (per_vm) {
+    for (const auto& vm : r.vms) {
+      std::printf("  vm %3d node %3d vmi %3d  boot %7.2f s  read-wait "
+                  "%6.2f s%s%s\n",
+                  vm.vm, vm.node, vm.vmi, vm.boot.boot_seconds,
+                  vm.boot.read_wait_seconds, vm.warm ? "  [warm]" : "",
+                  vm.cache_transfer_seconds > 0 ? "  [+transfer]" : "");
+    }
+  }
+  std::printf("boot time: mean %.2f s, min %.2f s, max %.2f s\n",
+              r.mean_boot, r.min_boot, r.max_boot);
+  std::printf("storage node: %.1f MB served, %llu disk reads\n",
+              static_cast<double>(r.storage_payload_bytes) / 1048576.0,
+              static_cast<unsigned long long>(r.storage_disk_reads));
+  if (r.warm_cache_file_bytes != 0) {
+    std::printf("warm cache file: %s\n",
+                format_bytes(r.warm_cache_file_bytes).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,324 @@
+// vmi-img — qemu-img-style tool for QCOW2 images with the VMI-cache
+// extension (paper §4.4). Operates on real files.
+//
+//   vmi-img create <file> <size>              plain qcow2 image
+//     [-b <backing>]                          copy-on-write overlay
+//     [-q <quota>]                            VMI cache image (CoR)
+//     [-c <cluster>]                          cluster size (512..2M)
+//     [-f raw]                                raw image instead of qcow2
+//   vmi-img info  <file>                      header / cache fields
+//   vmi-img check <file>                      metadata consistency walk
+//   vmi-img chain <file>                      print the backing chain
+//   vmi-img map   <file>                      allocation map (extents)
+//   vmi-img commit <file>                     merge overlay into backing
+//   vmi-img resize <file> <size>              grow the virtual disk
+//
+// Cache chaining (paper workflow):
+//   vmi-img create base.img 10G -f raw
+//   vmi-img create centos.cache 10G -b base.img -q 250M -c 512
+//   vmi-img create vm0.cow 10G -b centos.cache
+//   ...boot the VM from vm0.cow...
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "io/fs_directory.hpp"
+#include "qcow2/chain.hpp"
+#include "qcow2/device.hpp"
+#include "sim/task.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace vmic;
+
+void usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  vmi-img create <file> <size> [-b backing] [-q quota]"
+               " [-c cluster] [-f raw]\n"
+               "  vmi-img info  <file>\n"
+               "  vmi-img check <file>\n"
+               "  vmi-img chain <file>\n"
+               "  vmi-img map   <file>\n"
+               "  vmi-img commit <file>\n"
+               "  vmi-img resize <file> <size>\n");
+  std::exit(2);
+}
+
+/// Parse "10G", "512M", "64K", "512" into bytes.
+std::uint64_t parse_size(const std::string& s) {
+  if (s.empty()) usage();
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  std::uint64_t mult = 1;
+  if (*end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': mult = KiB; break;
+      case 'm': case 'M': mult = MiB; break;
+      case 'g': case 'G': mult = GiB; break;
+      case 't': case 'T': mult = TiB; break;
+      default:
+        std::fprintf(stderr, "bad size suffix: %s\n", s.c_str());
+        std::exit(2);
+    }
+  }
+  return static_cast<std::uint64_t>(v * static_cast<double>(mult));
+}
+
+/// Split "dir/file" -> {"dir", "file"} ({"", name} when no slash).
+std::pair<std::string, std::string> split_path(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return {"", path};
+  return {path.substr(0, slash + 1), path.substr(slash + 1)};
+}
+
+int cmd_create(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage();
+  const std::string path = args[0];
+  const std::uint64_t size = parse_size(args[1]);
+  std::string backing;
+  std::uint64_t quota = 0;
+  std::uint32_t cluster = 64 * KiB;
+  bool raw = false;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "-b" && i + 1 < args.size()) {
+      backing = args[++i];
+    } else if (args[i] == "-q" && i + 1 < args.size()) {
+      quota = parse_size(args[++i]);
+    } else if (args[i] == "-c" && i + 1 < args.size()) {
+      cluster = static_cast<std::uint32_t>(parse_size(args[++i]));
+    } else if (args[i] == "-f" && i + 1 < args.size()) {
+      raw = (args[++i] == "raw");
+    } else {
+      usage();
+    }
+  }
+
+  auto [dir_path, name] = split_path(path);
+  io::FsImageDirectory dir{dir_path};
+
+  if (raw) {
+    auto be = dir.create_file(name);
+    if (!be.ok() || !sim::sync_wait((*be)->truncate(size)).ok()) {
+      std::fprintf(stderr, "cannot create raw image %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("created raw image %s, %s\n", path.c_str(),
+                format_bytes(size).c_str());
+    return 0;
+  }
+
+  if (!is_pow2(cluster)) {
+    std::fprintf(stderr, "cluster size must be a power of two\n");
+    return 1;
+  }
+  auto be = dir.create_file(name);
+  if (!be.ok()) {
+    std::fprintf(stderr, "cannot create %s\n", path.c_str());
+    return 1;
+  }
+  qcow2::Qcow2Device::CreateOptions opt;
+  opt.virtual_size = size;
+  opt.cluster_bits = log2_exact(cluster);
+  opt.backing_file = backing;
+  opt.cache_quota = quota;
+  auto r = sim::sync_wait(qcow2::Qcow2Device::create(**be, opt));
+  if (!r.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 std::string(to_string(r.error())).c_str());
+    return 1;
+  }
+  std::printf("created %s image %s, virtual size %s, cluster %s%s%s%s\n",
+              quota != 0 ? "VMI-cache" : "qcow2", path.c_str(),
+              format_bytes(size).c_str(), format_bytes(cluster).c_str(),
+              backing.empty() ? "" : ", backing ",
+              backing.c_str(),
+              quota != 0
+                  ? (", quota " + format_bytes(quota)).c_str()
+                  : "");
+  return 0;
+}
+
+Result<block::DevicePtr> open_path(const std::string& path, bool writable) {
+  auto [dir_path, name] = split_path(path);
+  static io::FsImageDirectory* dir = nullptr;
+  // The directory must outlive the devices; leak one per invocation (the
+  // tool is short-lived).
+  dir = new io::FsImageDirectory{dir_path};
+  return sim::sync_wait(qcow2::open_image(*dir, name, writable));
+}
+
+int cmd_info(const std::string& path) {
+  auto dev = open_path(path, /*writable=*/false);
+  if (!dev.ok()) {
+    std::fprintf(stderr, "cannot open %s: %s\n", path.c_str(),
+                 std::string(to_string(dev.error())).c_str());
+    return 1;
+  }
+  std::printf("image: %s\n", path.c_str());
+  std::printf("format: %s\n", (*dev)->format_name().c_str());
+  std::printf("virtual size: %s\n", format_bytes((*dev)->size()).c_str());
+  if (auto* q = dynamic_cast<qcow2::Qcow2Device*>(dev->get())) {
+    std::printf("cluster size: %s\n",
+                format_bytes(q->cluster_size()).c_str());
+    if (!q->backing_file().empty()) {
+      std::printf("backing file: %s\n", q->backing_file().c_str());
+    }
+    if (q->is_cache_image()) {
+      std::printf("VMI cache: yes\n");
+      std::printf("cache quota: %s\n",
+                  format_bytes(q->cache_quota()).c_str());
+      std::printf("cache current size: %s\n",
+                  format_bytes(q->file_bytes()).c_str());
+    }
+  }
+  (void)sim::sync_wait((*dev)->close());
+  return 0;
+}
+
+int cmd_check(const std::string& path) {
+  auto dev = open_path(path, /*writable=*/false);
+  if (!dev.ok()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  auto* q = dynamic_cast<qcow2::Qcow2Device*>(dev->get());
+  if (q == nullptr) {
+    std::printf("%s: raw image, nothing to check\n", path.c_str());
+    return 0;
+  }
+  auto res = sim::sync_wait(q->check());
+  if (!res.ok()) {
+    std::fprintf(stderr, "check failed to run: %s\n",
+                 std::string(to_string(res.error())).c_str());
+    return 1;
+  }
+  std::printf("%s: %llu data clusters, %llu metadata clusters, "
+              "%llu leaked, %llu corruptions\n",
+              path.c_str(),
+              static_cast<unsigned long long>(res->data_clusters),
+              static_cast<unsigned long long>(res->metadata_clusters),
+              static_cast<unsigned long long>(res->leaked_clusters),
+              static_cast<unsigned long long>(res->corruptions));
+  return res->clean() ? 0 : 3;
+}
+
+int cmd_chain(const std::string& path) {
+  auto dev = open_path(path, /*writable=*/false);
+  if (!dev.ok()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  const block::BlockDevice* d = dev->get();
+  std::string name = path;
+  int depth = 0;
+  while (d != nullptr) {
+    std::printf("%*s%s (%s%s%s)\n", depth * 2, "", name.c_str(),
+                d->format_name().c_str(),
+                d->is_cache_image() ? ", VMI cache" : "",
+                d->read_only() ? ", ro" : ", rw");
+    if (auto* q = dynamic_cast<const qcow2::Qcow2Device*>(d)) {
+      name = q->backing_file();
+    } else {
+      name = "?";
+    }
+    d = d->backing();
+    ++depth;
+  }
+  return 0;
+}
+
+int cmd_map(const std::string& path) {
+  auto dev = open_path(path, /*writable=*/false);
+  if (!dev.ok()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  auto* q = dynamic_cast<qcow2::Qcow2Device*>(dev->get());
+  if (q == nullptr) {
+    std::printf("%s: raw image, fully allocated\n", path.c_str());
+    return 0;
+  }
+  std::uint64_t pos = 0;
+  std::uint64_t data = 0, zero = 0;
+  while (pos < q->size()) {
+    auto st = sim::sync_wait(q->map_status(pos, q->size() - pos));
+    if (!st.ok()) return 1;
+    const char* kind =
+        st->kind == qcow2::Qcow2Device::MapKind::data
+            ? "data"
+            : (st->kind == qcow2::Qcow2Device::MapKind::zero ? "zero"
+                                                             : "backing");
+    if (st->kind != qcow2::Qcow2Device::MapKind::unallocated) {
+      std::printf("  [%12llu, %12llu)  %s\n",
+                  static_cast<unsigned long long>(pos),
+                  static_cast<unsigned long long>(pos + st->len), kind);
+    }
+    if (st->kind == qcow2::Qcow2Device::MapKind::data) data += st->len;
+    if (st->kind == qcow2::Qcow2Device::MapKind::zero) zero += st->len;
+    pos += st->len;
+  }
+  std::printf("%s: %s data, %s zero, rest from backing/unallocated\n",
+              path.c_str(), format_bytes(data).c_str(),
+              format_bytes(zero).c_str());
+  return 0;
+}
+
+int cmd_commit(const std::string& path) {
+  auto [dir_path, name] = split_path(path);
+  io::FsImageDirectory dir{dir_path};
+  auto r = sim::sync_wait(qcow2::commit_image(dir, name));
+  if (!r.ok()) {
+    std::fprintf(stderr, "commit failed: %s\n",
+                 std::string(to_string(r.error())).c_str());
+    return 1;
+  }
+  std::printf("committed %s into its backing file\n",
+              format_bytes(*r).c_str());
+  return 0;
+}
+
+int cmd_resize(const std::string& path, const std::string& size_str) {
+  const std::uint64_t new_size = parse_size(size_str);
+  auto dev = open_path(path, /*writable=*/true);
+  if (!dev.ok()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  auto* q = dynamic_cast<qcow2::Qcow2Device*>(dev->get());
+  if (q == nullptr) {
+    std::fprintf(stderr, "resize only supports qcow2 images\n");
+    return 1;
+  }
+  auto r = sim::sync_wait(q->resize(new_size));
+  if (!r.ok()) {
+    std::fprintf(stderr, "resize failed: %s\n",
+                 std::string(to_string(r.error())).c_str());
+    return 1;
+  }
+  (void)sim::sync_wait(q->close());
+  std::printf("resized %s to %s\n", path.c_str(),
+              format_bytes(new_size).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "create") return cmd_create(args);
+  if (cmd == "info") return cmd_info(args[0]);
+  if (cmd == "check") return cmd_check(args[0]);
+  if (cmd == "chain") return cmd_chain(args[0]);
+  if (cmd == "map") return cmd_map(args[0]);
+  if (cmd == "commit") return cmd_commit(args[0]);
+  if (cmd == "resize" && args.size() >= 2) return cmd_resize(args[0], args[1]);
+  usage();
+  return 2;
+}
