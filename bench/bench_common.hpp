@@ -6,6 +6,7 @@
 // against the paper.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,26 @@ inline cluster::ClusterParams das4(const net::NetworkParams& net,
   cp.compute_nodes = nodes;
   cp.network = net;
   return cp;
+}
+
+/// Write a scenario's metrics snapshot to `path` when the bench was run
+/// with VMIC_BENCH_METRICS_DIR set — lets a plotting/CI pipeline consume
+/// the raw counters behind the printed table. `tag` names the data point
+/// (e.g. "fig09-cold-512-q40"). Format follows the extensionless rule of
+/// vmi-bootsim: always JSON here, one file per data point.
+inline void export_metrics(const obs::MetricsSnapshot& snap,
+                           const std::string& tag) {
+  const char* dir = std::getenv("VMIC_BENCH_METRICS_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + tag + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string body = snap.to_json();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
 }
 
 }  // namespace vmic::bench

@@ -24,6 +24,11 @@ double run_mb(CacheState state, std::uint32_t bits, std::uint64_t quota) {
   sc.cache_quota = quota;
   const auto r =
       run_scenario(vmic::bench::das4(net::gigabit_ethernet(), 1), sc);
+  vmic::bench::export_metrics(
+      r.metrics, "fig09-" +
+                     std::string(state == CacheState::warm ? "warm" : "cold") +
+                     "-" + std::to_string(1u << bits) + "-q" +
+                     std::to_string(quota / MiB));
   return static_cast<double>(r.storage_payload_bytes) / 1048576.0;
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "io/backend.hpp"
+#include "obs/hub.hpp"
 #include "sim/task.hpp"
 #include "util/result.hpp"
 
@@ -19,14 +20,16 @@ using DevicePtr = std::unique_ptr<BlockDevice>;
 /// storage-node / device stack (e.g. Fig 9's "observed traffic at the
 /// storage node" is the byte counters of the base image's backend).
 struct DeviceStats {
-  std::uint64_t guest_reads = 0;       ///< read() calls served
-  std::uint64_t guest_writes = 0;      ///< write() calls served
-  std::uint64_t bytes_read = 0;        ///< payload bytes returned
-  std::uint64_t bytes_written = 0;     ///< payload bytes accepted
-  std::uint64_t backing_reads = 0;     ///< recursions into the backing image
-  std::uint64_t bytes_from_backing = 0;
-  std::uint64_t cor_bytes = 0;         ///< bytes copied into a cache (CoR)
-  std::uint64_t cor_stopped = 0;       ///< quota exhaustion events (ENOSPC)
+  obs::Counter guest_reads;       ///< read() calls served
+  obs::Counter guest_writes;      ///< write() calls served
+  obs::Counter bytes_read;        ///< payload bytes returned
+  obs::Counter bytes_written;     ///< payload bytes accepted
+  obs::Counter backing_reads;     ///< recursions into the backing image
+  obs::Counter bytes_from_backing;
+  obs::Counter cor_fills;         ///< CoR population passes that stored data
+  obs::Counter cor_clusters;      ///< clusters copied into a cache (CoR)
+  obs::Counter cor_bytes;         ///< bytes copied into a cache (CoR)
+  obs::Counter cor_stopped;       ///< quota exhaustion events (ENOSPC)
 };
 
 /// A virtual block device: what the guest (or an overlay image) reads and
@@ -93,6 +96,10 @@ struct OpenOptions {
   /// attached by many VMs at once — a fully-warm cache takes no CoR
   /// writes anyway, and this guards the single-writer invariant.
   bool cache_backing_ro = false;
+  /// Observability sink. When set, drivers mirror per-device counters
+  /// into registry-owned aggregates (qcow2.*{image=...}) and trace CoR
+  /// fills; devices are too short-lived for per-instance attachment.
+  obs::Hub* hub = nullptr;
 };
 
 }  // namespace vmic::block

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/hub.hpp"
+
 namespace vmic::cache {
 
 /// Eviction policy for a pool of VMI cache images (§3.4: "eviction of VMI
@@ -30,6 +32,32 @@ class CachePool {
  public:
   CachePool(std::uint64_t capacity_bytes, EvictionPolicy policy)
       : capacity_(capacity_bytes), policy_(policy) {}
+
+  ~CachePool() {
+    if (hub_ != nullptr) hub_->registry.detach(this);
+  }
+
+  /// Export eviction/admission counters and quota-occupancy gauges as
+  /// cache.pool.* under the given labels.
+  void bind_obs(obs::Hub* hub, const obs::Labels& labels) {
+    hub_ = hub;
+    if (hub_ == nullptr) return;
+    hub_->registry.attach_counter("cache.pool.evictions", labels, &evictions_,
+                                  this);
+    hub_->registry.attach_counter("cache.pool.admissions", labels,
+                                  &admissions_, this);
+    hub_->registry.attach_counter("cache.pool.rejections", labels,
+                                  &rejections_, this);
+    hub_->registry.attach_gauge_fn(
+        "cache.pool.used_bytes", labels,
+        [this] { return static_cast<double>(used_); }, this);
+    hub_->registry.attach_gauge_fn(
+        "cache.pool.capacity_bytes", labels,
+        [this] { return static_cast<double>(capacity_); }, this);
+    hub_->registry.attach_gauge_fn(
+        "cache.pool.entries", labels,
+        [this] { return static_cast<double>(entries_.size()); }, this);
+  }
 
   [[nodiscard]] bool contains(const std::string& vmi) const {
     return entries_.count(vmi) != 0;
@@ -69,17 +97,27 @@ class CachePool {
       res.admitted = true;
       return res;
     }
-    if (bytes > capacity_) return res;  // can never fit
+    if (bytes > capacity_) {  // can never fit
+      ++rejections_;
+      return res;
+    }
     while (used_ + bytes > capacity_) {
-      if (policy_ == EvictionPolicy::none) return res;
+      if (policy_ == EvictionPolicy::none) {
+        ++rejections_;
+        return res;
+      }
       const auto victim = pick_victim();
-      if (victim.empty()) return res;
+      if (victim.empty()) {
+        ++rejections_;
+        return res;
+      }
       res.evicted.push_back(victim);
       remove(victim);
       ++evictions_;
     }
     entries_[vmi] = Entry{bytes, ++clock_, ++clock_};
     used_ += bytes;
+    ++admissions_;
     res.admitted = true;
     return res;
   }
@@ -117,7 +155,10 @@ class CachePool {
   std::map<std::string, Entry> entries_;
   std::uint64_t used_ = 0;
   std::uint64_t clock_ = 0;
-  std::uint64_t evictions_ = 0;
+  obs::Counter evictions_;
+  obs::Counter admissions_;
+  obs::Counter rejections_;
+  obs::Hub* hub_ = nullptr;
 };
 
 }  // namespace vmic::cache

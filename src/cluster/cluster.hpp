@@ -7,6 +7,7 @@
 #include "io/mount_table.hpp"
 #include "net/link.hpp"
 #include "nfs/nfs.hpp"
+#include "obs/hub.hpp"
 #include "sim/env.hpp"
 #include "storage/cached_medium.hpp"
 #include "storage/disk.hpp"
@@ -33,6 +34,10 @@ struct ClusterParams {
   /// Compute-node page cache over its local disk (24 GB RAM nodes).
   std::uint64_t node_page_cache = 16 * GiB;
   cache::EvictionPolicy eviction = cache::EvictionPolicy::lru;
+  /// External observability hub; nullptr = the Cluster owns a private one
+  /// (reachable via Cluster::obs). Counters are always live; tracing is
+  /// opt-in via hub->tracer.set_enabled(true).
+  obs::Hub* hub = nullptr;
 };
 
 /// The storage node: RAID-0 disks behind a page cache, tmpfs, and an NFS
@@ -50,6 +55,17 @@ class StorageNode {
         mem_pool(p.storage_page_cache / 2, p.eviction) {
     nfs.add_export("base", &disk_dir);
     nfs.add_export("tmpfs", &mem_dir);
+  }
+
+  /// Attach every component's counters under node="storage0" labels.
+  void bind_obs(obs::Hub* hub) {
+    const obs::Labels ls{{"node", "storage0"}};
+    disk_raw.bind_obs(hub, ls, "storage0/disk");
+    disk.bind_obs(hub, ls, "storage0/pagecache");
+    mem.bind_obs(hub, ls, "storage0/mem");
+    nfs.bind_obs(hub, "storage0");
+    mem_pool.bind_obs(hub, obs::Labels{{"node", "storage0"},
+                                       {"tier", "mem"}});
   }
 
   storage::RotationalDisk disk_raw;
@@ -90,6 +106,16 @@ class ComputeNode {
     fs.mount("nfs-mem", &tmpfs_mount);
   }
 
+  /// Attach every component's counters under node="compute<id>" labels.
+  void bind_obs(obs::Hub* hub) {
+    const std::string node = "compute" + std::to_string(id);
+    const obs::Labels ls{{"node", node}};
+    disk_raw.bind_obs(hub, ls, node + "/disk");
+    disk.bind_obs(hub, ls, node + "/pagecache");
+    mem.bind_obs(hub, ls, node + "/mem");
+    pool.bind_obs(hub, ls);
+  }
+
   int id;
   storage::RotationalDisk disk_raw;
   /// The node's disk behind its own page cache (readahead + residency).
@@ -114,13 +140,27 @@ class Cluster {
  public:
   explicit Cluster(const ClusterParams& p) : params(p), net(env, p.network),
                                              storage(env, p) {
+    obs = p.hub != nullptr ? p.hub : &obs_own_;
+    obs->tracer.bind(&env);
+    net.bind_obs(obs);
+    storage.bind_obs(obs);
     nodes.reserve(static_cast<std::size_t>(p.compute_nodes));
     for (int i = 0; i < p.compute_nodes; ++i) {
       nodes.push_back(std::make_unique<ComputeNode>(env, i, storage, net, p));
+      nodes.back()->bind_obs(obs);
     }
   }
 
   ClusterParams params;
+
+ private:
+  /// Declared before every bound component so it is destroyed after them
+  /// (their destructors detach from obs->registry).
+  obs::Hub obs_own_;
+
+ public:
+  /// The hub all components report into (params.hub or obs_own_).
+  obs::Hub* obs = nullptr;
   sim::SimEnv env;
   net::Network net;
   StorageNode storage;

@@ -162,7 +162,9 @@ struct Runner {
       ++failures;
       co_return;
     }
-    auto dev = co_await qcow2::open_image(node.fs, "mem/warm.cow");
+    auto dev = co_await qcow2::open_image(node.fs, "mem/warm.cow",
+                                          /*writable=*/true,
+                                          /*cache_backing_ro=*/false, cl.obs);
     if (!dev.ok()) {
       ++failures;
       co_return;
@@ -181,6 +183,15 @@ struct Runner {
     const sim::SimTime t0 = cl.env.now();
     ComputeNode& node = node_for(i);
     const int v = vmi_for(i);
+    std::uint32_t vm_track = 0;
+    obs::Span deploy_span;
+    obs::Span prep_span;
+    if (obs::tracing(cl.obs)) {
+      vm_track = cl.obs->tracer.track("vm/" + std::to_string(i));
+      deploy_span = cl.obs->tracer.span(vm_track, "vm.deploy", "cluster",
+                                        "\"vmi\":" + std::to_string(v));
+      prep_span = cl.obs->tracer.span(vm_track, "vm.prepare", "cluster");
+    }
     const std::string cow = "disk/vm-" + std::to_string(i) + ".cow";
     // Cold caches built on the compute disk see synchronous writes
     // (Fig 8's slow case); memory-built ones are flushed after shutdown.
@@ -264,15 +275,21 @@ struct Runner {
       co_return;
     }
     auto dev = co_await qcow2::open_image(node.fs, cow, /*writable=*/true,
-                                          shared_cache_ro);
+                                          shared_cache_ro, cl.obs);
     if (!dev.ok()) {
       ++failures;
       co_return;
     }
+    prep_span.end();
     boot::BootOptions bopt;
     bopt.prefetch_bytes = sc.prefetch_bytes;
+    obs::Span boot_span;
+    if (obs::tracing(cl.obs)) {
+      boot_span = cl.obs->tracer.span(vm_track, "vm.boot", "cluster");
+    }
     auto res = co_await boot::boot_vm(cl.env, **dev, traces[v], bopt);
     (void)co_await (*dev)->close();
+    boot_span.end();
     if (!res.ok()) {
       ++failures;
       co_return;
@@ -303,8 +320,13 @@ struct Runner {
     if (sc.mode == CacheMode::storage_mem && sc.state == CacheState::cold &&
         creator) {
       const sim::SimTime tx0 = cl.env.now();
+      obs::Span push_span;
+      if (obs::tracing(cl.obs)) {
+        push_span = cl.obs->tracer.span(vm_track, "vm.cache_push", "cluster");
+      }
       auto pushed = co_await push_cache_to_storage(node, my_cache,
                                                    cache_name(v));
+      push_span.end();
       if (pushed.ok()) {
         out.cache_transfer_seconds = sim::to_seconds(cl.env.now() - tx0);
         cl.storage.mem_pool.admit(img_name(v), *pushed);
@@ -347,13 +369,18 @@ ScenarioResult run_scenario(const ClusterParams& cp, const ScenarioConfig& sc) {
   out.storage_disk_bytes_read = r.cl.storage.disk_raw.stats().bytes_read;
   double sum = 0;
   out.min_boot = out.vms.empty() ? 0 : out.vms[0].boot.boot_seconds;
+  obs::Histogram& boot_hist = r.cl.obs->registry.histogram(
+      "cluster.boot_seconds", {},
+      {1, 2, 5, 10, 20, 30, 60, 120, 300, 600});
   for (const auto& vm : out.vms) {
     const double b = vm.boot.boot_seconds;
+    boot_hist.observe(b);
     sum += b;
     out.min_boot = std::min(out.min_boot, b);
     out.max_boot = std::max(out.max_boot, b);
   }
   out.mean_boot = out.vms.empty() ? 0 : sum / static_cast<double>(out.vms.size());
+  out.metrics = r.cl.obs->registry.snapshot();
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include "boot/profile.hpp"
 #include "boot/vm.hpp"
 #include "cluster/cluster.hpp"
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace vmic::cluster {
@@ -69,6 +70,10 @@ struct ScenarioResult {
   std::uint64_t storage_disk_bytes_read = 0;
   /// Warm cache image size per VMI after warming (Table 2), 0 if n/a.
   std::uint64_t warm_cache_file_bytes = 0;
+  /// Full metrics snapshot of the cluster's hub at scenario end — every
+  /// component counter (nfs.server.*, storage.*, qcow2.*, cache.pool.*,
+  /// net.link.*) plus the cluster.boot_seconds histogram.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Build a cluster, deploy `num_vms` VMs booting from `num_vmis` base

@@ -5,16 +5,19 @@
 #include <memory>
 #include <string>
 
+#include "obs/hub.hpp"
 #include "sim/env.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 
 namespace vmic::net {
 
+/// Per-link counters, registry-backed (obs instruments owned here; a
+/// bound registry exports them as net.link.*{link=<name>}).
 struct LinkStats {
-  std::uint64_t transfers = 0;
-  std::uint64_t bytes = 0;
-  std::size_t peak_flows = 0;
+  obs::Counter transfers;
+  obs::Counter bytes;
+  obs::Gauge peak_flows;
 };
 
 /// One direction of a shared network link, modelled as fluid processor
@@ -37,18 +40,41 @@ class Link {
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
+  ~Link() {
+    if (hub_ != nullptr) hub_->registry.detach(this);
+  }
+
+  /// Export this link's counters as net.link.*{link=<name>} and trace
+  /// transfers onto a per-link track.
+  void bind_obs(obs::Hub* hub) {
+    hub_ = hub;
+    if (hub_ == nullptr) return;
+    const obs::Labels ls{{"link", name_}};
+    hub_->registry.attach_counter("net.link.transfers", ls, &stats_.transfers,
+                                  this);
+    hub_->registry.attach_counter("net.link.bytes", ls, &stats_.bytes, this);
+    hub_->registry.attach_gauge("net.link.peak_flows", ls, &stats_.peak_flows,
+                                this);
+    track_ = hub_->tracer.track("net/" + name_);
+  }
+
   /// Move `bytes` across the link: one-way latency, then a fair share of
   /// the bandwidth until completion.
   sim::Task<void> transfer(std::uint64_t bytes) {
     ++stats_.transfers;
     stats_.bytes += bytes;
+    obs::Span sp;
+    if (obs::tracing(hub_)) {
+      sp = hub_->tracer.span(track_, "link.transfer", "net",
+                             "\"bytes\":" + std::to_string(bytes));
+    }
     co_await env_.delay(latency_);
     if (bytes == 0) co_return;
 
     advance();
     auto flow = std::make_shared<Flow>(static_cast<double>(bytes), env_);
     flows_.push_back(flow);
-    stats_.peak_flows = std::max(stats_.peak_flows, flows_.size());
+    stats_.peak_flows.set_max(static_cast<double>(flows_.size()));
     reschedule();
     co_await flow->done.wait();
   }
@@ -122,6 +148,8 @@ class Link {
   sim::SimTime last_update_ = 0;
   sim::SimEnv::TimerId timer_ = 0;
   LinkStats stats_;
+  obs::Hub* hub_ = nullptr;
+  std::uint32_t track_ = 0;
 };
 
 /// A full-duplex network between the storage node and the compute nodes:
@@ -142,6 +170,11 @@ class Network {
         name_(p.name) {}
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  void bind_obs(obs::Hub* hub) {
+    down.bind_obs(hub);
+    up.bind_obs(hub);
+  }
 
   Link down;
   Link up;

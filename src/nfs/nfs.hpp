@@ -8,6 +8,7 @@
 
 #include "io/directory.hpp"
 #include "net/link.hpp"
+#include "obs/hub.hpp"
 #include "sim/env.hpp"
 #include "storage/sim_directory.hpp"
 #include "util/align.hpp"
@@ -31,12 +32,15 @@ struct NfsParams {
   std::uint32_t rpc_overhead_bytes = 120;
 };
 
+/// Server-side RPC counters, registry-backed: a bound registry exports
+/// them as nfs.server.*{node=...} — nfs.server.bytes_tx is Fig 9/10's
+/// y-axis.
 struct NfsServerStats {
-  std::uint64_t read_rpcs = 0;
-  std::uint64_t write_rpcs = 0;
-  std::uint64_t other_rpcs = 0;
-  std::uint64_t tx_payload_bytes = 0;  ///< data served to clients
-  std::uint64_t rx_payload_bytes = 0;  ///< data written by clients
+  obs::Counter read_rpcs;
+  obs::Counter write_rpcs;
+  obs::Counter other_rpcs;
+  obs::Counter tx_payload_bytes;  ///< data served to clients
+  obs::Counter rx_payload_bytes;  ///< data written by clients
   /// Total observable traffic at the storage node (Fig 9/10's metric).
   [[nodiscard]] std::uint64_t total_payload() const noexcept {
     return tx_payload_bytes + rx_payload_bytes;
@@ -49,6 +53,32 @@ struct NfsServerStats {
 class NfsServer {
  public:
   NfsServer(sim::SimEnv& env, NfsParams params) : env_(env), p_(params) {}
+
+  ~NfsServer() {
+    if (hub_ != nullptr) hub_->registry.detach(this);
+  }
+
+  /// Export RPC counters as nfs.server.*{node=<node>} plus a per-READ
+  /// served-size histogram, and trace RPC service onto an "nfs/<node>"
+  /// track.
+  void bind_obs(obs::Hub* hub, const std::string& node) {
+    hub_ = hub;
+    if (hub_ == nullptr) return;
+    const obs::Labels ls{{"node", node}};
+    hub_->registry.attach_counter("nfs.server.read_rpcs", ls,
+                                  &stats_.read_rpcs, this);
+    hub_->registry.attach_counter("nfs.server.write_rpcs", ls,
+                                  &stats_.write_rpcs, this);
+    hub_->registry.attach_counter("nfs.server.other_rpcs", ls,
+                                  &stats_.other_rpcs, this);
+    hub_->registry.attach_counter("nfs.server.bytes_tx", ls,
+                                  &stats_.tx_payload_bytes, this);
+    hub_->registry.attach_counter("nfs.server.bytes_rx", ls,
+                                  &stats_.rx_payload_bytes, this);
+    hub_->registry.attach_histogram("nfs.server.read_rpc_bytes", ls,
+                                    &read_size_hist_, this);
+    track_ = hub_->tracer.track("nfs/" + node);
+  }
 
   void add_export(const std::string& name, storage::SimDirectory* dir) {
     exports_[name] = dir;
@@ -73,6 +103,12 @@ class NfsServer {
   NfsParams p_;
   std::map<std::string, storage::SimDirectory*> exports_;
   NfsServerStats stats_;
+  /// Distribution of per-READ served payload (b - a): the paper's §5
+  /// rwsize-tuning argument made measurable.
+  obs::Histogram read_size_hist_{
+      {512, 4096, 16384, 65536, 262144, 1048576}};
+  obs::Hub* hub_ = nullptr;
+  std::uint32_t track_ = 0;
 };
 
 /// Client-side handle to one file on an NFS export, speaking
@@ -96,6 +132,11 @@ class NfsFileBackend final : public io::BlockBackend {
     while (remaining > 0) {
       const std::uint64_t chunk =
           std::min<std::uint64_t>(remaining, server_.p_.rwsize);
+      obs::Span rpc;
+      if (obs::tracing(server_.hub_)) {
+        rpc = server_.hub_->tracer.span(server_.track_, "nfs.read_rpc", "nfs",
+                                        "\"bytes\":" + std::to_string(chunk));
+      }
       // Request over the wire.
       co_await net_.up.transfer(server_.p_.rpc_overhead_bytes);
       co_await env().delay(sim::from_micros(server_.p_.server_proc_us));
@@ -108,6 +149,9 @@ class NfsFileBackend final : public io::BlockBackend {
       VMIC_CO_TRY_VOID(co_await file_->pread(a, scratch));
       ++server_.stats_.read_rpcs;
       server_.stats_.tx_payload_bytes += b - a;
+      if (server_.hub_ != nullptr) {
+        server_.read_size_hist_.observe(static_cast<double>(b - a));
+      }
       // Response payload back over the wire.
       co_await net_.down.transfer((b - a) + server_.p_.rpc_overhead_bytes);
       std::memcpy(out, scratch.data() + (pos - a), chunk);
@@ -127,6 +171,12 @@ class NfsFileBackend final : public io::BlockBackend {
     while (remaining > 0) {
       const std::uint64_t chunk =
           std::min<std::uint64_t>(remaining, server_.p_.rwsize);
+      obs::Span rpc;
+      if (obs::tracing(server_.hub_)) {
+        rpc = server_.hub_->tracer.span(server_.track_, "nfs.write_rpc",
+                                        "nfs",
+                                        "\"bytes\":" + std::to_string(chunk));
+      }
       co_await net_.up.transfer(chunk + server_.p_.rpc_overhead_bytes);
       co_await env().delay(sim::from_micros(server_.p_.server_proc_us));
       VMIC_CO_TRY_VOID(co_await file_->pwrite(

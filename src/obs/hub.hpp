@@ -1,0 +1,28 @@
+#pragma once
+
+// The two halves of vmic::obs under one handle. Components take an
+// optional `Hub*` (null = observability off, zero further cost); a
+// Cluster owns one and threads it through every layer it builds.
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace vmic::obs {
+
+struct Hub {
+  Registry registry;
+  Tracer tracer;
+};
+
+/// Null-safe tracer access: `if (auto* t = tracer_of(hub)) ...`.
+[[nodiscard]] inline Tracer* tracer_of(Hub* hub) noexcept {
+  return hub != nullptr ? &hub->tracer : nullptr;
+}
+
+/// True when span recording is live (the only case worth paying string
+/// construction for).
+[[nodiscard]] inline bool tracing(const Hub* hub) noexcept {
+  return hub != nullptr && hub->tracer.enabled();
+}
+
+}  // namespace vmic::obs

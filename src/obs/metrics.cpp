@@ -1,0 +1,341 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vmic::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch;
+    }
+  }
+}
+
+Labels normalized(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+void append_json_labels(std::string& out, const Labels& labels) {
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, k);
+    out += "\":\"";
+    append_escaped(out, v);
+    out += '"';
+  }
+  out += '}';
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::string fmt_double(double v) {
+  char buf[40];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    double back = 0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  return buf;
+}
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// ===========================================================================
+// Registry
+// ===========================================================================
+
+std::string Registry::key_of(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x01';
+    key += k;
+    key += '\x02';
+    key += v;
+  }
+  return key;
+}
+
+Registry::Entry& Registry::add_entry(const std::string& name, Labels labels,
+                                     Kind kind, const void* owner) {
+  Entry e;
+  e.name = name;
+  e.labels = normalized(std::move(labels));
+  e.kind = kind;
+  e.owner = owner;
+  entries_.push_back(std::move(e));
+  return entries_.back();
+}
+
+Counter& Registry::counter(const std::string& name, Labels labels) {
+  labels = normalized(std::move(labels));
+  const std::string key = key_of(name, labels);
+  for (const auto& [k, idx] : owned_index_) {
+    if (k == key && entries_[idx].kind == Kind::counter) {
+      return *const_cast<Counter*>(entries_[idx].c);
+    }
+  }
+  owned_counters_.emplace_back();
+  Entry& e = add_entry(name, std::move(labels), Kind::counter, nullptr);
+  e.c = &owned_counters_.back();
+  owned_index_.emplace_back(key, entries_.size() - 1);
+  return owned_counters_.back();
+}
+
+Gauge& Registry::gauge(const std::string& name, Labels labels) {
+  labels = normalized(std::move(labels));
+  const std::string key = key_of(name, labels);
+  for (const auto& [k, idx] : owned_index_) {
+    if (k == key && entries_[idx].kind == Kind::gauge) {
+      return *const_cast<Gauge*>(entries_[idx].g);
+    }
+  }
+  owned_gauges_.emplace_back();
+  Entry& e = add_entry(name, std::move(labels), Kind::gauge, nullptr);
+  e.g = &owned_gauges_.back();
+  owned_index_.emplace_back(key, entries_.size() - 1);
+  return owned_gauges_.back();
+}
+
+Histogram& Registry::histogram(const std::string& name, Labels labels,
+                               std::vector<double> bounds) {
+  labels = normalized(std::move(labels));
+  const std::string key = key_of(name, labels);
+  for (const auto& [k, idx] : owned_index_) {
+    if (k == key && entries_[idx].kind == Kind::histogram) {
+      return *const_cast<Histogram*>(entries_[idx].h);
+    }
+  }
+  owned_histograms_.emplace_back(std::move(bounds));
+  Entry& e = add_entry(name, std::move(labels), Kind::histogram, nullptr);
+  e.h = &owned_histograms_.back();
+  owned_index_.emplace_back(key, entries_.size() - 1);
+  return owned_histograms_.back();
+}
+
+void Registry::attach_counter(const std::string& name, Labels labels,
+                              const Counter* c, const void* owner) {
+  add_entry(name, std::move(labels), Kind::counter, owner).c = c;
+}
+
+void Registry::attach_gauge(const std::string& name, Labels labels,
+                            const Gauge* g, const void* owner) {
+  add_entry(name, std::move(labels), Kind::gauge, owner).g = g;
+}
+
+void Registry::attach_gauge_fn(const std::string& name, Labels labels,
+                               std::function<double()> fn,
+                               const void* owner) {
+  add_entry(name, std::move(labels), Kind::gauge, owner).gauge_fn =
+      std::move(fn);
+}
+
+void Registry::attach_histogram(const std::string& name, Labels labels,
+                                const Histogram* h, const void* owner) {
+  add_entry(name, std::move(labels), Kind::histogram, owner).h = h;
+}
+
+void Registry::detach(const void* owner) {
+  if (owner == nullptr) return;
+  std::erase_if(entries_, [owner](const Entry& e) { return e.owner == owner; });
+  // owned_index_ indexes may have shifted; rebuild it.
+  owned_index_.clear();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].owner == nullptr) {
+      owned_index_.emplace_back(key_of(entries_[i].name, entries_[i].labels),
+                                i);
+    }
+  }
+}
+
+void Registry::reset_owned() {
+  for (auto& c : owned_counters_) c.reset();
+  for (auto& g : owned_gauges_) g.reset();
+  for (auto& h : owned_histograms_) h.reset();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.points.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricPoint p;
+    p.name = e.name;
+    p.labels = e.labels;
+    p.kind = e.kind;
+    switch (e.kind) {
+      case Kind::counter:
+        p.counter = e.c->value();
+        break;
+      case Kind::gauge:
+        p.gauge = e.gauge_fn ? e.gauge_fn() : e.g->value();
+        break;
+      case Kind::histogram:
+        p.bounds = e.h->bounds();
+        p.bucket_counts = e.h->bucket_counts();
+        p.sum = e.h->sum();
+        p.count = e.h->count();
+        break;
+    }
+    snap.points.push_back(std::move(p));
+  }
+  std::stable_sort(snap.points.begin(), snap.points.end(),
+                   [](const MetricPoint& a, const MetricPoint& b) {
+                     if (a.name != b.name) return a.name < b.name;
+                     return render_labels(a.labels) < render_labels(b.labels);
+                   });
+  return snap;
+}
+
+// ===========================================================================
+// MetricsSnapshot
+// ===========================================================================
+
+const MetricPoint* MetricsSnapshot::find(std::string_view name,
+                                         Labels labels) const {
+  labels = normalized(std::move(labels));
+  for (const auto& p : points) {
+    if (p.name == name && p.labels == labels) return &p;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter_total(std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const auto& p : points) {
+    if (p.kind == Kind::counter && p.name == name) total += p.counter;
+  }
+  return total;
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::string out;
+  for (const auto& p : points) {
+    const std::string ls = render_labels(p.labels);
+    switch (p.kind) {
+      case Kind::counter:
+        out += p.name;
+        out += ls;
+        out += ' ';
+        append_u64(out, p.counter);
+        out += '\n';
+        break;
+      case Kind::gauge:
+        out += p.name;
+        out += ls;
+        out += ' ';
+        out += fmt_double(p.gauge);
+        out += '\n';
+        break;
+      case Kind::histogram: {
+        // Prometheus le-buckets are cumulative; the instrument stores
+        // per-bucket counts.
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < p.bucket_counts.size(); ++i) {
+          Labels bl = p.labels;
+          bl.emplace_back("le", i < p.bounds.size() ? fmt_double(p.bounds[i])
+                                                    : "+inf");
+          cum += p.bucket_counts[i];
+          out += p.name;
+          out += "_bucket";
+          out += render_labels(bl);
+          out += ' ';
+          append_u64(out, cum);
+          out += '\n';
+        }
+        out += p.name;
+        out += "_sum";
+        out += ls;
+        out += ' ';
+        out += fmt_double(p.sum);
+        out += '\n';
+        out += p.name;
+        out += "_count";
+        out += ls;
+        out += ' ';
+        append_u64(out, p.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const auto& p : points) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, p.name);
+    out += "\",\"type\":\"";
+    out += to_string(p.kind);
+    out += "\",\"labels\":";
+    append_json_labels(out, p.labels);
+    switch (p.kind) {
+      case Kind::counter:
+        out += ",\"value\":";
+        append_u64(out, p.counter);
+        break;
+      case Kind::gauge:
+        out += ",\"value\":";
+        out += fmt_double(p.gauge);
+        break;
+      case Kind::histogram: {
+        out += ",\"buckets\":[";
+        for (std::size_t i = 0; i < p.bucket_counts.size(); ++i) {
+          if (i) out += ',';
+          out += "{\"le\":";
+          out += i < p.bounds.size() ? fmt_double(p.bounds[i]) : "\"+inf\"";
+          out += ",\"count\":";
+          append_u64(out, p.bucket_counts[i]);
+          out += '}';
+        }
+        out += "],\"sum\":";
+        out += fmt_double(p.sum);
+        out += ",\"count\":";
+        append_u64(out, p.count);
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace vmic::obs

@@ -8,15 +8,16 @@ sim::Task<Result<block::DevicePtr>> resolve_in_dir(io::ImageDirectory* dir,
                                                    std::string name,
                                                    bool writable,
                                                    bool cache_backing_ro,
+                                                   obs::Hub* hub,
                                                    int depth_left) {
   if (depth_left <= 0) co_return Errc::invalid_format;  // cycle / too deep
   VMIC_CO_TRY(backend, dir->open_file(name, writable));
-  block::OpenOptions o = chain_options(*dir, writable, cache_backing_ro);
+  block::OpenOptions o = chain_options(*dir, writable, cache_backing_ro, hub);
   o.max_chain_depth = depth_left;
   io::ImageDirectory* dirp = dir;
-  o.resolver = [dirp, cache_backing_ro, depth_left](const std::string& n,
-                                                    bool w) {
-    return resolve_in_dir(dirp, n, w, cache_backing_ro, depth_left - 1);
+  o.resolver = [dirp, cache_backing_ro, hub, depth_left](const std::string& n,
+                                                         bool w) {
+    return resolve_in_dir(dirp, n, w, cache_backing_ro, hub, depth_left - 1);
   };
   co_return co_await open_any(std::move(backend), o);
 }
@@ -34,15 +35,16 @@ sim::Task<Result<std::uint64_t>> backing_virtual_size(
 }  // namespace
 
 block::OpenOptions chain_options(io::ImageDirectory& dir, bool writable,
-                                 bool cache_backing_ro) {
+                                 bool cache_backing_ro, obs::Hub* hub) {
   block::OpenOptions o;
   o.writable = writable;
   o.cache_backing_ro = cache_backing_ro;
+  o.hub = hub;
   io::ImageDirectory* dirp = &dir;
   const int depth = o.max_chain_depth;
-  o.resolver = [dirp, cache_backing_ro, depth](const std::string& name,
-                                               bool w) {
-    return resolve_in_dir(dirp, name, w, cache_backing_ro, depth - 1);
+  o.resolver = [dirp, cache_backing_ro, hub, depth](const std::string& name,
+                                                    bool w) {
+    return resolve_in_dir(dirp, name, w, cache_backing_ro, hub, depth - 1);
   };
   return o;
 }
@@ -50,10 +52,11 @@ block::OpenOptions chain_options(io::ImageDirectory& dir, bool writable,
 sim::Task<Result<block::DevicePtr>> open_image(io::ImageDirectory& dir,
                                                const std::string& name,
                                                bool writable,
-                                               bool cache_backing_ro) {
+                                               bool cache_backing_ro,
+                                               obs::Hub* hub) {
   VMIC_CO_TRY(backend, dir.open_file(name, writable));
   co_return co_await open_any(
-      std::move(backend), chain_options(dir, writable, cache_backing_ro));
+      std::move(backend), chain_options(dir, writable, cache_backing_ro, hub));
 }
 
 sim::Task<Result<void>> create_cow_image(io::ImageDirectory& dir,

@@ -10,8 +10,10 @@ namespace vmic::qcow2 {
 
 /// Open options whose backing resolver looks files up in `dir` (which
 /// must outlive every device opened through it) and probes their format.
+/// `hub`, when set, flows to every device in the chain (obs aggregates).
 block::OpenOptions chain_options(io::ImageDirectory& dir, bool writable = true,
-                                 bool cache_backing_ro = false);
+                                 bool cache_backing_ro = false,
+                                 obs::Hub* hub = nullptr);
 
 /// Open `name` from `dir`, probing the format and recursively opening the
 /// backing chain. `cache_backing_ro` forces cache backings read-only —
@@ -19,7 +21,8 @@ block::OpenOptions chain_options(io::ImageDirectory& dir, bool writable = true,
 sim::Task<Result<block::DevicePtr>> open_image(io::ImageDirectory& dir,
                                                const std::string& name,
                                                bool writable = true,
-                                               bool cache_backing_ro = false);
+                                               bool cache_backing_ro = false,
+                                               obs::Hub* hub = nullptr);
 
 /// qemu-img-style chaining helpers (paper §4.4).
 ///

@@ -214,7 +214,26 @@ sim::Task<Result<block::DevicePtr>> Qcow2Device::open(
     }
   }
 
+  if (opt.hub != nullptr) dev->bind_obs(opt.hub);
+
   co_return block::DevicePtr{std::move(dev)};
+}
+
+void Qcow2Device::bind_obs(obs::Hub* hub) {
+  hub_ = hub;
+  const obs::Labels ls{{"image", is_cache_image() ? "cache" : "plain"}};
+  auto& r = hub_->registry;
+  agg_.guest_reads = &r.counter("qcow2.guest_reads", ls);
+  agg_.guest_writes = &r.counter("qcow2.guest_writes", ls);
+  agg_.bytes_read = &r.counter("qcow2.bytes_read", ls);
+  agg_.bytes_written = &r.counter("qcow2.bytes_written", ls);
+  agg_.backing_reads = &r.counter("qcow2.backing_reads", ls);
+  agg_.bytes_from_backing = &r.counter("qcow2.bytes_from_backing", ls);
+  agg_.cor_fills = &r.counter("qcow2.cor_fills", ls);
+  agg_.cor_clusters = &r.counter("qcow2.cor_clusters", ls);
+  agg_.cor_bytes = &r.counter("qcow2.cor_bytes", ls);
+  agg_.cor_stopped = &r.counter("qcow2.cor_stopped", ls);
+  track_ = hub_->tracer.track("qcow2");
 }
 
 sim::Task<Result<void>> Qcow2Device::load_refcounts() {
@@ -549,6 +568,8 @@ sim::Task<Result<void>> Qcow2Device::read_from_backing(
   }
   ++stats_.backing_reads;
   stats_.bytes_from_backing += dst.size();
+  bump(agg_.backing_reads);
+  bump(agg_.bytes_from_backing, dst.size());
   if (vaddr >= backing_->size()) {
     std::memset(dst.data(), 0, dst.size());
     co_return ok_result();
@@ -567,6 +588,8 @@ sim::Task<Result<void>> Qcow2Device::read(std::uint64_t off,
   if (off + dst.size() > h_.size) co_return Errc::out_of_range;
   ++stats_.guest_reads;
   stats_.bytes_read += dst.size();
+  bump(agg_.guest_reads);
+  bump(agg_.bytes_read, dst.size());
 
   std::uint64_t pos = off;
   const std::uint64_t end = off + dst.size();
@@ -581,12 +604,18 @@ sim::Task<Result<void>> Qcow2Device::read(std::uint64_t off,
       VMIC_CO_TRY_VOID(co_await read_from_backing(pos, sub));
       if (cache_ && cor_enabled_ && !read_only()) {
         auto guard = co_await alloc_mutex_.lock();
+        obs::Span fill;
+        if (obs::tracing(hub_)) {
+          fill = hub_->tracer.span(track_, "qcow2.cor_fill", "qcow2",
+                                   "\"bytes\":" + std::to_string(sub.size()));
+        }
         auto r = co_await cor_store(pos, sub);
         if (!r.ok()) {
           // Quota exhausted (or the medium failed): stop populating, but
           // the guest read itself has succeeded (§4.3 "read").
           cor_enabled_ = false;
           ++stats_.cor_stopped;
+          bump(agg_.cor_stopped);
           VMIC_LOG_DEBUG("cache population stopped: %s",
                          std::string(to_string(r.error())).c_str());
         }
@@ -628,6 +657,7 @@ sim::Task<Result<void>> Qcow2Device::cor_store(
 
   // Allocate and store runs of clusters that are still absent.
   std::uint64_t pos = lo;
+  bool stored = false;
   while (pos < hi && pos < h_.size) {
     VMIC_CO_TRY(ext, co_await map_range(pos, hi - pos));
     if (ext.kind != MapKind::unallocated) {
@@ -654,8 +684,16 @@ sim::Task<Result<void>> Qcow2Device::cor_store(
         *host, std::span(buf.data() + (pos - lo), nbytes)));
     VMIC_CO_TRY_VOID(co_await set_l2_entries(pos, *host, got));
     data_clusters_ += got;
+    stats_.cor_clusters += got;
     stats_.cor_bytes += nbytes;
+    bump(agg_.cor_clusters, got);
+    bump(agg_.cor_bytes, nbytes);
+    stored = true;
     pos += nbytes;
+  }
+  if (stored) {
+    ++stats_.cor_fills;
+    bump(agg_.cor_fills);
   }
   co_return ok_result();
 }
@@ -675,6 +713,8 @@ sim::Task<Result<void>> Qcow2Device::write(
   }
   ++stats_.guest_writes;
   stats_.bytes_written += src.size();
+  bump(agg_.guest_writes);
+  bump(agg_.bytes_written, src.size());
 
   std::uint64_t pos = off;
   const std::uint64_t end = off + src.size();
@@ -746,17 +786,20 @@ sim::Task<Result<void>> Qcow2Device::cow_write(
 // zero clusters / discard / resize
 // ===========================================================================
 
-sim::Task<Result<void>> Qcow2Device::free_cluster(std::uint64_t host_off) {
-  const std::uint64_t idx = host_off / ly_.cluster_size();
+sim::Task<Result<void>> Qcow2Device::free_clusters(std::uint64_t host_off,
+                                                   std::uint64_t count) {
+  const std::uint64_t first = host_off / ly_.cluster_size();
   if (!refcounts_loaded_) {
     VMIC_CO_TRY_VOID(co_await load_refcounts());
   }
-  if (idx >= refcounts_.size() || refcounts_[idx] == 0) {
-    co_return Errc::corrupt;
+  for (std::uint64_t i = first; i < first + count; ++i) {
+    if (i >= refcounts_.size() || refcounts_[i] == 0) {
+      co_return Errc::corrupt;
+    }
+    --refcounts_[i];
   }
-  --refcounts_[idx];
-  VMIC_CO_TRY_VOID(co_await write_refcount_entries(idx, 1));
-  free_guess_ = std::min(free_guess_, idx);
+  VMIC_CO_TRY_VOID(co_await write_refcount_entries(first, count));
+  free_guess_ = std::min(free_guess_, first);
   co_return ok_result();
 }
 
@@ -804,9 +847,7 @@ sim::Task<Result<void>> Qcow2Device::write_zeroes(std::uint64_t off,
     VMIC_CO_TRY(ext, co_await map_range(pos, hi - pos));
     const std::uint64_t clusters = div_ceil(ext.len, cs);
     if (ext.kind == MapKind::data) {
-      for (std::uint64_t k = 0; k < clusters; ++k) {
-        VMIC_CO_TRY_VOID(co_await free_cluster(ext.host_off + k * cs));
-      }
+      VMIC_CO_TRY_VOID(co_await free_clusters(ext.host_off, clusters));
       data_clusters_ -= clusters;
     }
     if (ext.kind != MapKind::zero) {
@@ -844,9 +885,7 @@ sim::Task<Result<void>> Qcow2Device::discard(std::uint64_t off,
     VMIC_CO_TRY(ext, co_await map_range(pos, hi - pos));
     const std::uint64_t clusters = div_ceil(ext.len, cs);
     if (ext.kind == MapKind::data) {
-      for (std::uint64_t k = 0; k < clusters; ++k) {
-        VMIC_CO_TRY_VOID(co_await free_cluster(ext.host_off + k * cs));
-      }
+      VMIC_CO_TRY_VOID(co_await free_clusters(ext.host_off, clusters));
       data_clusters_ -= clusters;
     }
     if (ext.kind != MapKind::unallocated) {
@@ -889,9 +928,7 @@ sim::Task<Result<void>> Qcow2Device::resize(std::uint64_t new_size) {
     store_be32(hdr, h_.l1_size);
     store_be64(hdr + 4, h_.l1_table_offset);
     VMIC_CO_TRY_VOID(co_await file_->pwrite(36, hdr));
-    for (std::uint64_t k = 0; k < old_clusters; ++k) {
-      VMIC_CO_TRY_VOID(co_await free_cluster(old_off + k * cs));
-    }
+    VMIC_CO_TRY_VOID(co_await free_clusters(old_off, old_clusters));
   }
 
   h_.size = new_size;

@@ -165,15 +165,42 @@ class Qcow2Device final : public block::BlockDevice {
  private:
   Qcow2Device(io::BackendPtr file, ParsedHeader parsed);
 
+  /// Registry-owned aggregate counters, shared by every device of the
+  /// same kind (label image="cache"/"plain"). Devices come and go with
+  /// each VM deployment, so per-instance attachment would churn the
+  /// registry; aggregates survive the device.
+  struct AggCounters {
+    obs::Counter* guest_reads = nullptr;
+    obs::Counter* guest_writes = nullptr;
+    obs::Counter* bytes_read = nullptr;
+    obs::Counter* bytes_written = nullptr;
+    obs::Counter* backing_reads = nullptr;
+    obs::Counter* bytes_from_backing = nullptr;
+    obs::Counter* cor_fills = nullptr;
+    obs::Counter* cor_clusters = nullptr;
+    obs::Counter* cor_bytes = nullptr;
+    obs::Counter* cor_stopped = nullptr;
+  };
+  static void bump(obs::Counter* c, std::uint64_t n = 1) {
+    if (c != nullptr) c->inc(n);
+  }
+
+  /// Fetch/Create the aggregates for this device's kind and open the
+  /// "qcow2" trace track. Called from open() once cache-ness is known.
+  void bind_obs(obs::Hub* hub);
+
   struct Extent {
     MapKind kind;
     std::uint64_t host_off;  // valid when kind == data
     std::uint64_t len;
   };
 
-  /// Release one cluster (refcount to zero) — used when a data cluster is
-  /// replaced by a zero flag.
-  sim::Task<Result<void>> free_cluster(std::uint64_t host_off);
+  /// Release a contiguous run of clusters (refcounts to zero) — used when
+  /// data clusters are replaced by a zero flag or deallocated. One ranged
+  /// refcount write per run: a per-cluster loop of awaits can exhaust the
+  /// native stack when symmetric transfer is not a tail call (sanitizers).
+  sim::Task<Result<void>> free_clusters(std::uint64_t host_off,
+                                        std::uint64_t count);
   /// Set raw L2 entry values for `count` clusters from `vaddr` (no
   /// COPIED/offset packing — caller passes the exact entry).
   sim::Task<Result<void>> set_l2_raw(std::uint64_t vaddr, std::uint64_t entry,
@@ -236,6 +263,10 @@ class Qcow2Device final : public block::BlockDevice {
   /// Serialises allocating paths (CoR) when several coroutines share this
   /// device — e.g. guest reads racing boot-time prefetch.
   sim::InlineMutex alloc_mutex_;
+
+  obs::Hub* hub_ = nullptr;
+  std::uint32_t track_ = 0;
+  AggCounters agg_;
 
   sim::Task<Result<void>> load_refcounts();
 };

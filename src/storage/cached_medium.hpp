@@ -83,6 +83,10 @@ class CachedMedium final : public Medium {
   [[nodiscard]] PageCache& page_cache() noexcept { return cache_; }
 
  private:
+  void on_bind_obs(const obs::Labels& labels) override {
+    cache_.bind_obs(hub_, labels);
+  }
+
   sim::Task<void> fault(std::uint64_t first_block, std::uint64_t count) {
     const std::uint64_t bs = cache_.block_size();
     auto ev = std::make_shared<sim::Event>(env_);

@@ -39,7 +39,14 @@ class RotationalDisk final : public Medium {
     auto guard = co_await queue_.lock();
     ++stats_.reads;
     stats_.bytes_read += len;
-    co_await env_.delay(service_time(pos, len, /*write=*/false));
+    obs::Span sp;
+    if (obs::tracing(hub_)) {
+      sp = hub_->tracer.span(track_, "disk.read", "storage",
+                             "\"bytes\":" + std::to_string(len));
+    }
+    const sim::SimTime t = service_time(pos, len, /*write=*/false);
+    if (hub_ != nullptr) service_hist_.observe(sim::to_seconds(t));
+    co_await env_.delay(t);
     last_end_ = pos + len;
   }
 
@@ -48,6 +55,11 @@ class RotationalDisk final : public Medium {
     auto guard = co_await queue_.lock();
     ++stats_.writes;
     stats_.bytes_written += len;
+    obs::Span sp;
+    if (obs::tracing(hub_)) {
+      sp = hub_->tracer.span(track_, "disk.write", "storage",
+                             "\"bytes\":" + std::to_string(len));
+    }
     if (sync) {
       // O_SYNC/flush-per-write: full positioning + media commit. This is
       // what a cache image created directly on disk pays (Fig 8).
@@ -71,6 +83,11 @@ class RotationalDisk final : public Medium {
   }
 
  private:
+  void on_bind_obs(const obs::Labels& labels) override {
+    hub_->registry.attach_histogram("storage.disk.service_seconds", labels,
+                                    &service_hist_, this);
+  }
+
   [[nodiscard]] sim::SimTime service_time(std::uint64_t pos,
                                           std::uint64_t len, bool write) {
     double seconds = static_cast<double>(len) / p_.transfer_bps;
@@ -91,6 +108,9 @@ class RotationalDisk final : public Medium {
   DiskParams p_;
   sim::Mutex queue_;
   std::uint64_t last_end_ = ~0ull;
+  /// Per-request service time distribution (seek-vs-stream mix).
+  obs::Histogram service_hist_{
+      {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0}};
 };
 
 /// Memory / tmpfs medium: latency + bandwidth, no queueing (memory

@@ -3,18 +3,20 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/hub.hpp"
 #include "sim/env.hpp"
 #include "sim/task.hpp"
 
 namespace vmic::storage {
 
-/// Per-medium operation counters.
+/// Per-medium operation counters, registry-backed (exported as
+/// storage.*{medium=...,node=...} when the medium is bound to a hub).
 struct MediumStats {
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
-  std::uint64_t bytes_read = 0;
-  std::uint64_t bytes_written = 0;
-  std::uint64_t positioning_ops = 0;  ///< ops that paid a seek (disks)
+  obs::Counter reads;
+  obs::Counter writes;
+  obs::Counter bytes_read;
+  obs::Counter bytes_written;
+  obs::Counter positioning_ops;  ///< ops that paid a seek (disks)
 };
 
 /// Timing model for a byte-addressable storage medium at a node. Callers
@@ -24,7 +26,9 @@ struct MediumStats {
 /// charges simulated time.
 class Medium {
  public:
-  virtual ~Medium() = default;
+  virtual ~Medium() {
+    if (hub_ != nullptr) hub_->registry.detach(this);
+  }
 
   /// Charge the time for reading `len` bytes at `pos`.
   virtual sim::Task<void> read(std::uint64_t pos, std::uint64_t len) = 0;
@@ -39,8 +43,35 @@ class Medium {
   [[nodiscard]] const MediumStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = MediumStats{}; }
 
+  /// Export this medium's counters under the given labels (a
+  /// `medium=<name()>` label is added automatically) and open a trace
+  /// track named `<track>` for per-request spans.
+  void bind_obs(obs::Hub* hub, obs::Labels labels, const std::string& track) {
+    hub_ = hub;
+    if (hub_ == nullptr) return;
+    labels.emplace_back("medium", name());
+    hub_->registry.attach_counter("storage.reads", labels, &stats_.reads,
+                                  this);
+    hub_->registry.attach_counter("storage.writes", labels, &stats_.writes,
+                                  this);
+    hub_->registry.attach_counter("storage.bytes_read", labels,
+                                  &stats_.bytes_read, this);
+    hub_->registry.attach_counter("storage.bytes_written", labels,
+                                  &stats_.bytes_written, this);
+    hub_->registry.attach_counter("storage.positioning_ops", labels,
+                                  &stats_.positioning_ops, this);
+    track_ = hub_->tracer.track(track);
+    on_bind_obs(labels);
+  }
+
  protected:
+  /// Hook for subclasses to attach extra instruments (histograms) under
+  /// the same labels; called only when a hub is bound.
+  virtual void on_bind_obs(const obs::Labels& labels) { (void)labels; }
+
   MediumStats stats_;
+  obs::Hub* hub_ = nullptr;     ///< null = observability off
+  std::uint32_t track_ = 0;     ///< trace track when bound
 };
 
 /// Compose a physical position from a file identity and an offset, so

@@ -5,6 +5,8 @@
 #include <memory>
 #include <unordered_map>
 
+#include "obs/hub.hpp"
+
 namespace vmic::storage {
 
 /// Byte-capacity LRU page cache index (presence only — the simulator
@@ -14,6 +16,26 @@ class PageCache {
   explicit PageCache(std::uint64_t capacity_bytes,
                      std::uint64_t block_size = 64 * 1024)
       : capacity_(capacity_bytes), block_(block_size) {}
+
+  ~PageCache() {
+    if (hub_ != nullptr) hub_->registry.detach(this);
+  }
+
+  /// Export hit/miss/eviction counters and an occupancy gauge as
+  /// storage.page_cache.* under the given labels.
+  void bind_obs(obs::Hub* hub, const obs::Labels& labels) {
+    hub_ = hub;
+    if (hub_ == nullptr) return;
+    hub_->registry.attach_counter("storage.page_cache.hits", labels, &hits_,
+                                  this);
+    hub_->registry.attach_counter("storage.page_cache.misses", labels,
+                                  &misses_, this);
+    hub_->registry.attach_counter("storage.page_cache.evictions", labels,
+                                  &evictions_, this);
+    hub_->registry.attach_gauge_fn(
+        "storage.page_cache.used_bytes", labels,
+        [this] { return static_cast<double>(used_bytes()); }, this);
+  }
 
   [[nodiscard]] std::uint64_t block_size() const noexcept { return block_; }
   [[nodiscard]] std::uint64_t used_bytes() const noexcept {
@@ -67,9 +89,10 @@ class PageCache {
   std::uint64_t block_;
   std::list<std::uint64_t> lru_;  // front = most recent; holds block keys
   std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Hub* hub_ = nullptr;
 };
 
 }  // namespace vmic::storage

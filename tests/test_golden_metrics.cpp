@@ -1,0 +1,152 @@
+// Golden-metrics suite: proves the obs refactor preserved simulation
+// behaviour and that metrics snapshots are deterministic.
+//
+//  * determinism: the same scenario run twice renders a byte-identical
+//    metrics snapshot (the simulation is single-threaded and seeded);
+//  * pinned values: a fixed 4-node Fig-2-style scenario must reproduce
+//    the exact byte counts and boot times captured from the pre-obs
+//    codebase — any drift means the instrumentation changed behaviour;
+//  * cross-checks: registry-backed series agree with the ad-hoc
+//    ScenarioResult fields they replaced.
+
+#include <gtest/gtest.h>
+
+#include "cluster/scenario.hpp"
+
+namespace vmic::cluster {
+namespace {
+
+ClusterParams fig2_params() {
+  ClusterParams cp;
+  cp.compute_nodes = 4;
+  return cp;
+}
+
+ScenarioConfig fig2_config(CacheMode mode, CacheState state) {
+  ScenarioConfig sc;
+  sc.num_vms = 4;
+  sc.num_vmis = 1;
+  sc.mode = mode;
+  sc.state = state;
+  return sc;
+}
+
+TEST(GoldenMetrics, SnapshotIsByteStableAcrossRuns) {
+  const auto r1 = run_scenario(fig2_params(),
+                               fig2_config(CacheMode::compute_disk,
+                                           CacheState::cold));
+  const auto r2 = run_scenario(fig2_params(),
+                               fig2_config(CacheMode::compute_disk,
+                                           CacheState::cold));
+  const std::string t1 = r1.metrics.to_text();
+  ASSERT_FALSE(t1.empty());
+  EXPECT_EQ(t1, r2.metrics.to_text());
+  EXPECT_EQ(r1.metrics.to_json(), r2.metrics.to_json());
+}
+
+// Values captured from the pre-obs codebase (plain uint64 counters) for
+// this exact scenario. They pin the simulation's observable behaviour:
+// the obs layer must be a pure reader.
+
+TEST(GoldenMetrics, PlainQcow2ColdPinnedValues) {
+  const auto r = run_scenario(fig2_params(),
+                              fig2_config(CacheMode::none, CacheState::cold));
+  EXPECT_EQ(r.storage_payload_bytes, 547434496u);
+  EXPECT_EQ(r.storage_disk_reads, 1u);
+  EXPECT_EQ(r.storage_disk_bytes_read, 65536u);
+  EXPECT_NEAR(r.mean_boot, 37.796041396, 1e-9);
+  EXPECT_NEAR(r.max_boot, 37.796041396, 1e-9);
+}
+
+TEST(GoldenMetrics, ComputeDiskColdPinnedValues) {
+  const auto r = run_scenario(fig2_params(),
+                              fig2_config(CacheMode::compute_disk,
+                                          CacheState::cold));
+  EXPECT_EQ(r.storage_payload_bytes, 479723520u);
+  EXPECT_NEAR(r.mean_boot, 37.389418298, 1e-9);
+}
+
+TEST(GoldenMetrics, ComputeDiskWarmPinnedValues) {
+  const auto r = run_scenario(fig2_params(),
+                              fig2_config(CacheMode::compute_disk,
+                                          CacheState::warm));
+  EXPECT_EQ(r.storage_payload_bytes, 16384u);
+  EXPECT_EQ(r.warm_cache_file_bytes, 95254016u);
+  EXPECT_NEAR(r.mean_boot, 32.998117296, 1e-9);
+}
+
+// The registry-backed series must agree with the ad-hoc counters they
+// replaced (ScenarioResult reads NfsServer/RotationalDisk stats directly;
+// the snapshot reads the same instruments through the registry).
+
+TEST(GoldenMetrics, RegistryAgreesWithAdHocCounters) {
+  const auto r = run_scenario(fig2_params(),
+                              fig2_config(CacheMode::none, CacheState::cold));
+  const obs::MetricsSnapshot& m = r.metrics;
+
+  const std::uint64_t tx = m.counter_total("nfs.server.bytes_tx");
+  const std::uint64_t rx = m.counter_total("nfs.server.bytes_rx");
+  EXPECT_EQ(tx + rx, r.storage_payload_bytes);
+
+  const obs::MetricPoint* disk_reads =
+      m.find("storage.reads", {{"node", "storage0"}, {"medium", "disk"}});
+  ASSERT_NE(disk_reads, nullptr);
+  EXPECT_EQ(disk_reads->counter, r.storage_disk_reads);
+
+  const obs::MetricPoint* disk_bytes = m.find(
+      "storage.bytes_read", {{"node", "storage0"}, {"medium", "disk"}});
+  ASSERT_NE(disk_bytes, nullptr);
+  EXPECT_EQ(disk_bytes->counter, r.storage_disk_bytes_read);
+
+  // Per-VM boot times all land in the boot-seconds histogram.
+  const obs::MetricPoint* hist = m.find("cluster.boot_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, static_cast<std::uint64_t>(r.vms.size()));
+
+  // The qcow2 aggregates saw every guest read of the scenario.
+  EXPECT_GT(m.counter_total("qcow2.guest_reads"), 0u);
+}
+
+TEST(GoldenMetrics, CacheModeExportsCorSeries) {
+  const auto r = run_scenario(fig2_params(),
+                              fig2_config(CacheMode::compute_disk,
+                                          CacheState::cold));
+  const obs::MetricsSnapshot& m = r.metrics;
+  const obs::MetricPoint* fills =
+      m.find("qcow2.cor_fills", {{"image", "cache"}});
+  ASSERT_NE(fills, nullptr);
+  EXPECT_GT(fills->counter, 0u);
+  // CoR stores whole clusters: bytes == clusters * 512 (cache images use
+  // the paper's 512-byte clusters by default).
+  const obs::MetricPoint* clusters =
+      m.find("qcow2.cor_clusters", {{"image", "cache"}});
+  const obs::MetricPoint* bytes =
+      m.find("qcow2.cor_bytes", {{"image", "cache"}});
+  ASSERT_NE(clusters, nullptr);
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(bytes->counter, clusters->counter * 512u);
+  // Plain overlays never copy-on-read.
+  EXPECT_EQ(m.counter_total("qcow2.cor_fills"), fills->counter);
+}
+
+TEST(GoldenMetrics, TracingDoesNotPerturbTiming) {
+  obs::Hub hub;
+  hub.tracer.set_enabled(true);
+  ClusterParams cp = fig2_params();
+  cp.hub = &hub;
+  const auto traced = run_scenario(cp, fig2_config(CacheMode::compute_disk,
+                                                   CacheState::cold));
+  const auto plain = run_scenario(fig2_params(),
+                                  fig2_config(CacheMode::compute_disk,
+                                              CacheState::cold));
+  EXPECT_EQ(traced.storage_payload_bytes, plain.storage_payload_bytes);
+  EXPECT_DOUBLE_EQ(traced.mean_boot, plain.mean_boot);
+  EXPECT_GT(hub.tracer.size(), 0u);
+  // Trace export is well-formed enough to start and end as one object.
+  const std::string json = hub.tracer.to_chrome_json();
+  EXPECT_EQ(json.substr(0, 16), "{\"traceEvents\":[");
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace vmic::cluster

@@ -35,20 +35,22 @@ TEST(Progress, WakesAtThreshold) {
   env.spawn(waiter(3, 1));
   env.spawn(waiter(1, 2));
   env.spawn(waiter(2, 3));
-  env.spawn([&]() -> Task<void> {
-    co_await env.delay(10);
-    p.advance_to(1);
-    co_await env.delay(10);
-    p.advance_to(3);  // wakes both 3 and 1
-  }());
+  // Coroutine parameters (not captures): a capturing lambda's closure
+  // would die at the end of the spawn statement, before the first resume.
+  env.spawn([](SimEnv& e, Progress& pr) -> Task<void> {
+    co_await e.delay(10);
+    pr.advance_to(1);
+    co_await e.delay(10);
+    pr.advance_to(3);  // wakes both 3 and 1
+  }(env, p));
   env.run();
   EXPECT_EQ(log, (std::vector<int>{2, 3, 1}));
   // Waiting for an already-reached count completes immediately.
   bool done = false;
-  env.spawn([&]() -> Task<void> {
-    co_await p.wait_for(2);
-    done = true;
-  }());
+  env.spawn([](Progress& pr, bool& d) -> Task<void> {
+    co_await pr.wait_for(2);
+    d = true;
+  }(p, done));
   env.run();
   EXPECT_TRUE(done);
 }

@@ -16,12 +16,18 @@
 //     --warmfrac F       fraction of warm nodes    (default 1.0)
 //     --fresh            storage page cache starts cold
 //     --per-vm           print one line per VM
+//     --metrics-out F    write the metrics snapshot to F
+//                        (.json => JSON, anything else => text exposition)
+//     --trace-out F      record a sim-time trace and write Chrome
+//                        trace_event JSON to F (load in chrome://tracing
+//                        or https://ui.perfetto.dev)
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "cluster/scenario.hpp"
+#include "obs/hub.hpp"
 #include "util/align.hpp"
 
 using namespace vmic;
@@ -36,8 +42,25 @@ namespace {
                "       [--mode none|fullcopy|disk|mem] [--state cold|warm]\n"
                "       [--quota MiB] [--cluster BYTES] "
                "[--os centos|debian|windows|snapshot]\n"
-               "       [--prefetch KB] [--warmfrac F] [--fresh] [--per-vm]\n");
+               "       [--prefetch KB] [--warmfrac F] [--fresh] [--per-vm]\n"
+               "       [--metrics-out FILE] [--trace-out FILE]\n");
   std::exit(2);
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "vmi-bootsim: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 }  // namespace
@@ -48,6 +71,8 @@ int main(int argc, char** argv) {
   int nodes = -1;
   bool per_vm = false;
   std::string os = "centos";
+  std::string metrics_out;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -99,6 +124,10 @@ int main(int argc, char** argv) {
       sc.storage_cache_prewarmed = false;
     } else if (a == "--per-vm") {
       per_vm = true;
+    } else if (a == "--metrics-out") {
+      metrics_out = next();
+    } else if (a == "--trace-out") {
+      trace_out = next();
     } else {
       usage();
     }
@@ -114,6 +143,12 @@ int main(int argc, char** argv) {
   }
 
   cp.compute_nodes = nodes > 0 ? nodes : sc.num_vms;
+
+  // The hub outlives the scenario's Cluster: counters are snapshotted
+  // inside run_scenario, trace events stay valid until we write them.
+  obs::Hub hub;
+  cp.hub = &hub;
+  if (!trace_out.empty()) hub.tracer.set_enabled(true);
 
   std::printf("scenario: %d VM(s) / %d node(s) / %d VMI(s), %s, os=%s\n",
               sc.num_vms, cp.compute_nodes, sc.num_vmis,
@@ -137,6 +172,19 @@ int main(int argc, char** argv) {
   if (r.warm_cache_file_bytes != 0) {
     std::printf("warm cache file: %s\n",
                 format_bytes(r.warm_cache_file_bytes).c_str());
+  }
+  if (!metrics_out.empty()) {
+    const std::string body = ends_with(metrics_out, ".json")
+                                 ? r.metrics.to_json()
+                                 : r.metrics.to_text();
+    if (!write_file(metrics_out, body)) return 1;
+    std::printf("metrics: %zu series -> %s\n", r.metrics.points.size(),
+                metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!write_file(trace_out, hub.tracer.to_chrome_json())) return 1;
+    std::printf("trace: %zu events -> %s\n", hub.tracer.size(),
+                trace_out.c_str());
   }
   return 0;
 }
