@@ -1,185 +1,49 @@
-// A day in the life of a small cloud: Poisson VM arrivals over several
-// simulated hours, a skewed VMI popularity mix, cache-aware scheduling
-// (§3.4), Algorithm 1 placement (§6), and LRU eviction under a tight
-// per-node cache budget — the paper's "future work" scheduler pieces
-// running together.
+// A day in the life of a small cloud, driven by vmic::cloud: Poisson VM
+// arrivals over several simulated hours, a Zipf-skewed VMI popularity
+// mix, cache-aware scheduling (§3.4), Algorithm 1 placement (§6), LRU
+// eviction under a tight per-node cache budget, plus a node crash and a
+// storage outage to show the control plane riding through failures.
 //
 //   $ ./cloud_longrun [hours]      (default: 2)
 
 #include <cstdio>
-#include <string>
-#include <vector>
+#include <cstdlib>
 
-#include "boot/trace.hpp"
-#include "boot/vm.hpp"
-#include "cluster/placement.hpp"
-#include "cluster/scheduler.hpp"
-#include "qcow2/chain.hpp"
-#include "sim/run.hpp"
-#include "util/rng.hpp"
-#include "util/stats.hpp"
+#include "cloud/engine.hpp"
 
 using namespace vmic;
-using namespace vmic::cluster;
-
-namespace {
-
-constexpr int kNodes = 8;
-constexpr int kVmis = 6;
-constexpr int kVmCapacity = 4;
-
-struct World {
-  World()
-      : params(make_params()), cl(params) {
-    prof = boot::centos63();
-    prof.image_size = 2 * GiB;
-    prof.unique_read_bytes = 24 * MiB;  // scaled-down working set
-    prof.cpu_seconds = 6.0;
-    prof.write_bytes = 2 * MiB;
-    for (int v = 0; v < kVmis; ++v) {
-      const std::string img = "img-" + std::to_string(v);
-      (void)cl.storage.disk_dir.create_file(img);
-      (*cl.storage.disk_dir.buffer(img))->resize(prof.image_size);
-      traces.push_back(boot::generate_boot_trace(prof, v));
-    }
-    sched.resize(kNodes);
-    for (int i = 0; i < kNodes; ++i) {
-      sched[i].id = i;
-      sched[i].vm_capacity = kVmCapacity;
-    }
-  }
-
-  static ClusterParams make_params() {
-    ClusterParams p;
-    p.compute_nodes = kNodes;
-    p.network = net::gigabit_ethernet();
-    // Tight cache budget: ~3 caches per node -> real eviction pressure.
-    p.node_cache_capacity = 128 * MiB;
-    p.eviction = cache::EvictionPolicy::lru;
-    return p;
-  }
-
-  ClusterParams params;
-  Cluster cl;
-  boot::OsProfile prof;
-  std::vector<boot::BootTrace> traces;
-  std::vector<NodeState> sched;
-
-  // stats
-  int launched = 0;
-  int warm_hits = 0;
-  int rejected = 0;
-  Samples warm_boots, cold_boots;
-};
-
-/// Zipf-ish VMI pick.
-int pick_vmi(Rng& rng) {
-  double total = 0;
-  for (int k = 0; k < kVmis; ++k) total += 1.0 / (k + 1);
-  double u = rng.uniform() * total;
-  for (int k = 0; k < kVmis; ++k) {
-    u -= 1.0 / (k + 1);
-    if (u <= 0) return k;
-  }
-  return kVmis - 1;
-}
-
-sim::Task<void> vm_lifecycle(World& w, int id, int vmi,
-                             sim::SimTime lifetime) {
-  const std::string img = "img-" + std::to_string(vmi);
-  const int ni = pick_node(w.sched, SchedPolicy::striping, img,
-                           /*cache_aware=*/true);
-  if (ni < 0) {
-    ++w.rejected;  // cloud full; a real scheduler would queue
-    co_return;
-  }
-  NodeState& ns = w.sched[static_cast<std::size_t>(ni)];
-  ComputeNode& node = *w.cl.nodes[static_cast<std::size_t>(ni)];
-  ns.running_vms++;
-
-  auto placed = co_await chain_to_proper_cache(w.cl, node, img, 48 * MiB, 9,
-                                               w.prof.image_size);
-  if (!placed.ok()) {
-    ns.running_vms--;
-    co_return;
-  }
-  const bool warm =
-      placed->action == PlacementOutcome::Action::local_warm_hit;
-  if (warm) ++w.warm_hits;
-
-  const std::string cow = "disk/vm-" + std::to_string(id) + ".cow";
-  const sim::SimTime t0 = w.cl.env.now();
-  auto r = co_await qcow2::create_cow_image(
-      node.fs, cow, placed->backing,
-      {.cluster_bits = 16, .virtual_size = w.prof.image_size});
-  if (r.ok()) {
-    auto dev = co_await qcow2::open_image(node.fs, cow);
-    if (dev.ok()) {
-      (void)co_await boot::boot_vm(w.cl.env, **dev,
-                                   w.traces[static_cast<std::size_t>(vmi)]);
-      (void)co_await (*dev)->close();
-      const double boot = sim::to_seconds(w.cl.env.now() - t0);
-      (warm ? w.warm_boots : w.cold_boots).add(boot);
-      ++w.launched;
-    }
-  }
-
-  // "Run" the service, then shut down.
-  co_await w.cl.env.delay(lifetime);
-  node.disk_dir.remove("vm-" + std::to_string(id) + ".cow");
-  if (placed->copy_back_on_shutdown &&
-      node.disk_dir.exists(cache_file_for(img))) {
-    (void)co_await copy_cache_back(w.cl, node, img);
-  }
-  // Scheduler bookkeeping: this node now (still) has a warm cache for img
-  // unless eviction removed it meanwhile.
-  if (node.disk_dir.exists(cache_file_for(img))) {
-    ns.warm_vmis.insert(img);
-  } else {
-    ns.warm_vmis.erase(img);
-  }
-  ns.running_vms--;
-}
-
-sim::Task<void> arrival_process(World& w, sim::SimTime horizon,
-                                Rng& rng) {
-  int id = 0;
-  while (w.cl.env.now() < horizon) {
-    co_await w.cl.env.delay(
-        sim::from_seconds(rng.exponential(45.0)));  // ~80 VMs/hour
-    const int vmi = pick_vmi(rng);
-    const auto lifetime = sim::from_seconds(60.0 + rng.exponential(240.0));
-    w.cl.env.spawn(vm_lifecycle(w, id++, vmi, lifetime));
-  }
-}
-
-}  // namespace
+using namespace vmic::cloud;
 
 int main(int argc, char** argv) {
   const double hours = argc > 1 ? std::atof(argv[1]) : 2.0;
-  World w;
-  Rng rng{2026};
-  w.cl.env.spawn(arrival_process(w, sim::from_seconds(hours * 3600), rng));
-  w.cl.env.run();
+
+  CloudConfig cfg;
+  cfg.seed = 2026;
+  cfg.horizon_s = hours * 3600.0;
+  Rng plan_rng(cfg.seed);
+  cfg.failures = plan_failures(/*node_crashes=*/1, /*storage_outages=*/1,
+                               cfg.cluster.compute_nodes, cfg.horizon_s,
+                               plan_rng);
+
+  const CloudResult r = run_cloud(cfg);
 
   std::printf("Simulated %.1f h on %d nodes, %d VMIs (zipf popularity), "
               "LRU cache pools of %s per node\n",
-              hours, kNodes, kVmis,
-              format_bytes(w.params.node_cache_capacity).c_str());
-  std::printf("VMs launched:      %d (+%d rejected at full capacity)\n",
-              w.launched, w.rejected);
-  std::printf("warm-cache boots:  %d (%.0f%%), mean %.1f s\n", w.warm_hits,
-              100.0 * w.warm_hits / std::max(1, w.launched),
-              w.warm_boots.count() ? w.warm_boots.mean() : 0.0);
-  std::printf("cold boots:        %d, mean %.1f s\n",
-              w.launched - w.warm_hits,
-              w.cold_boots.count() ? w.cold_boots.mean() : 0.0);
-  std::uint64_t evictions = 0;
-  for (const auto& n : w.cl.nodes) evictions += n->pool.evictions();
+              hours, cfg.cluster.compute_nodes, cfg.workload.num_vmis,
+              format_bytes(cfg.cluster.node_cache_capacity).c_str());
+  std::printf("VMs: %d arrived, %d deployed, %d aborted, %d rejected "
+              "(%d retries)\n",
+              r.arrivals, r.completed, r.aborted, r.rejected, r.retries);
+  std::printf("faults: %d node crash(es) -> %d attempt(s) killed, "
+              "%d running VM(s) lost\n",
+              r.node_crashes, r.crash_kills, r.vm_crashes);
+  std::printf("warm-cache deployments: %d (%.0f%% hit ratio)\n",
+              r.warm_hits, 100.0 * r.cache_hit_ratio);
+  std::printf("deployment latency: p50 %.1f s, p95 %.1f s, p99 %.1f s\n",
+              r.deploy.p50, r.deploy.p95, r.deploy.p99);
   std::printf("cache evictions:   %llu across all node pools\n",
-              static_cast<unsigned long long>(evictions));
+              static_cast<unsigned long long>(r.cache_evictions));
   std::printf("storage served:    %.1f GB over the whole run\n",
-              static_cast<double>(
-                  w.cl.storage.nfs.stats().total_payload()) / 1e9);
-  return 0;
+              static_cast<double>(r.storage_payload_bytes) / 1e9);
+  return r.leaked_slots == 0 ? 0 : 1;
 }

@@ -77,6 +77,24 @@ class CachePool {
     if (it != entries_.end()) it->second.last_use = ++clock_;
   }
 
+  /// Pin/unpin a cache entry while a running VM chains to its file: pinned
+  /// entries are never picked as eviction victims (their files are open as
+  /// backing images and cannot be deleted). Pins nest; unpinning an absent
+  /// or unpinned entry is a no-op, so callers may release after the entry
+  /// was invalidated (e.g. by a node crash).
+  void pin(const std::string& vmi) {
+    auto it = entries_.find(vmi);
+    if (it != entries_.end()) ++it->second.pins;
+  }
+  void unpin(const std::string& vmi) {
+    auto it = entries_.find(vmi);
+    if (it != entries_.end() && it->second.pins > 0) --it->second.pins;
+  }
+  [[nodiscard]] bool pinned(const std::string& vmi) const {
+    auto it = entries_.find(vmi);
+    return it != entries_.end() && it->second.pins > 0;
+  }
+
   /// Admit a cache image of `bytes`. Returns the list of VMIs evicted to
   /// make room — empty if none. If the policy is `none` (or the entry
   /// alone exceeds capacity) and there is no room, the admission fails
@@ -134,12 +152,14 @@ class CachePool {
     std::uint64_t bytes;
     std::uint64_t inserted;
     std::uint64_t last_use;
+    int pins = 0;
   };
 
   [[nodiscard]] std::string pick_victim() const {
     std::string victim;
     std::uint64_t best = ~0ull;
     for (const auto& [vmi, e] : entries_) {
+      if (e.pins > 0) continue;
       const std::uint64_t key =
           policy_ == EvictionPolicy::lru ? e.last_use : e.inserted;
       if (key < best) {

@@ -1,0 +1,605 @@
+#include "cloud/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "boot/trace.hpp"
+#include "boot/vm.hpp"
+#include "cluster/placement.hpp"
+#include "qcow2/chain.hpp"
+#include "sim/sync.hpp"
+#include "util/stats.hpp"
+
+namespace vmic::cloud {
+
+namespace {
+
+std::string img_name(int vmi) { return "img-" + std::to_string(vmi); }
+
+LatencyStats summarize(const Samples& s) {
+  LatencyStats l;
+  l.count = s.count();
+  l.mean = s.mean();
+  l.p50 = s.percentile(50);
+  l.p95 = s.percentile(95);
+  l.p99 = s.percentile(99);
+  l.max = s.percentile(100);
+  return l;
+}
+
+/// The control plane. One instance per run_cloud() call; everything is
+/// event-driven off the cluster's SimEnv, and the only coroutines left
+/// suspended when env.run() returns are none — arrivals finish, VM tasks
+/// drain, crash tasks expire — so the run leaks nothing.
+class Engine {
+ public:
+  Engine(const CloudConfig& cfg, std::vector<VmRequest> reqs, int num_vmis)
+      : cfg_(cfg),
+        num_vmis_(num_vmis),
+        reqs_(std::move(reqs)),
+        cl_(cfg.cluster),
+        gate_(&cl_.env, cfg.failures.outages) {
+    // Base images on the storage node + one boot trace per VMI, exactly
+    // like cluster::run_scenario sets them up.
+    for (int v = 0; v < num_vmis_; ++v) {
+      const std::string img = img_name(v);
+      (void)cl_.storage.disk_dir.create_file(img);
+      (*cl_.storage.disk_dir.buffer(img))->resize(cfg_.profile.image_size);
+      traces_.push_back(boot::generate_boot_trace(
+          cfg_.profile, static_cast<std::uint64_t>(v)));
+    }
+    // Interpose the outage gate on every node's view of the storage node:
+    // re-mounting the nfs-* prefixes swaps the wrapped directory in for
+    // every subsequent open/create on that node.
+    for (auto& node : cl_.nodes) {
+      flaky_.push_back(
+          std::make_unique<FlakyDirectory>(&node->base_mount, &gate_));
+      node->fs.mount("nfs-base", flaky_.back().get());
+      flaky_.push_back(
+          std::make_unique<FlakyDirectory>(&node->tmpfs_mount, &gate_));
+      node->fs.mount("nfs-mem", flaky_.back().get());
+    }
+    sched_.resize(cl_.nodes.size());
+    rt_.resize(cl_.nodes.size());
+    for (std::size_t i = 0; i < sched_.size(); ++i) {
+      sched_[i].id = static_cast<int>(i);
+      sched_[i].running_vms = 0;
+      sched_[i].vm_capacity = cfg_.vm_slots_per_node;
+    }
+    auto& reg = cl_.obs->registry;
+    c_arrivals_ = &reg.counter("cloud.arrivals");
+    c_completed_ = &reg.counter("cloud.completed");
+    c_aborted_ = &reg.counter("cloud.aborted");
+    c_rejected_ = &reg.counter("cloud.rejected");
+    c_retries_ = &reg.counter("cloud.retries");
+    c_deploy_failures_ = &reg.counter("cloud.deploy_failures");
+    c_crash_kills_ = &reg.counter("cloud.crash_kills");
+    c_vm_crashes_ = &reg.counter("cloud.vm_crashes");
+    c_warm_hits_ = &reg.counter("cloud.warm_hits");
+    c_copyback_skips_ = &reg.counter("cloud.copyback_skips");
+    c_node_crashes_ = &reg.counter("cloud.node_crashes");
+    c_node_recoveries_ = &reg.counter("cloud.node_recoveries");
+    const std::vector<double> bounds{0.5, 1,  2,  5,   10,  20,
+                                     30,  60, 120, 300, 600};
+    h_deploy_ = &reg.histogram("cloud.deploy_seconds", {}, bounds);
+    h_queue_wait_ = &reg.histogram("cloud.queue_wait_seconds", {}, bounds);
+    h_prepare_ = &reg.histogram("cloud.prepare_seconds", {}, bounds);
+    h_boot_ = &reg.histogram("cloud.boot_seconds", {}, bounds);
+  }
+
+  CloudResult run() {
+    for (const auto& c : cfg_.failures.crashes) {
+      if (c.node >= 0 && c.node < static_cast<int>(cl_.nodes.size())) {
+        cl_.env.spawn(crash_task(c));
+      }
+    }
+    cl_.env.spawn(arrivals());
+    cl_.env.run();
+
+    for (std::size_t i = 0; i < sched_.size(); ++i) {
+      res_.leaked_slots += sched_[i].running_vms + rt_[i].inflight;
+    }
+    res_.sim_seconds = sim::to_seconds(cl_.env.now());
+    res_.cache_hit_ratio =
+        res_.completed > 0
+            ? static_cast<double>(res_.warm_hits) /
+                  static_cast<double>(res_.completed)
+            : 0.0;
+    res_.goodput_vms_per_hour =
+        res_.sim_seconds > 0
+            ? static_cast<double>(res_.completed) / (res_.sim_seconds / 3600.0)
+            : 0.0;
+    for (const auto& node : cl_.nodes) {
+      res_.cache_evictions += node->pool.evictions();
+    }
+    res_.storage_payload_bytes = cl_.storage.nfs.stats().total_payload();
+    res_.deploy = summarize(deploy_);
+    res_.queue_wait = summarize(qwait_);
+    res_.prepare = summarize(prep_);
+    res_.boot = summarize(boot_);
+
+    auto& reg = cl_.obs->registry;
+    reg.gauge("cloud.cache_hit_ratio").set(res_.cache_hit_ratio);
+    reg.gauge("cloud.goodput_vms_per_hour").set(res_.goodput_vms_per_hour);
+    reg.gauge("cloud.peak_queue_depth")
+        .set(static_cast<double>(res_.peak_queue_depth));
+    reg.gauge("cloud.leaked_slots")
+        .set(static_cast<double>(res_.leaked_slots));
+    res_.metrics = reg.snapshot();
+    return std::move(res_);
+  }
+
+ private:
+  /// One queued deployment request (a VmRequest plus retry state).
+  struct Pending {
+    int id = 0;
+    int vmi = 0;
+    double lifetime_s = 0;
+    int attempts = 0;
+    sim::SimTime enqueued = 0;        ///< last (re-)enqueue
+    sim::SimTime first_enqueued = 0;  ///< original arrival
+  };
+
+  /// Per-node control-plane state the scheduler view doesn't carry.
+  struct NodeRuntime {
+    bool up = true;
+    /// Bumped on every crash; a task that captured an older epoch knows
+    /// its node died under it after any co_await.
+    std::uint64_t epoch = 0;
+    /// Tasks placed on this node that have not exited yet (slot audit).
+    int inflight = 0;
+    /// Open-file refcount per cache file name: a crash must not delete a
+    /// file some coroutine still has open (SimDirectory::remove destroys
+    /// the buffer under the open backend).
+    std::map<std::string, int> cache_users;
+    /// Cache files a crash invalidated but could not delete because they
+    /// were in use; reclaimed when the last user drops them, or
+    /// re-registered if a post-recovery placement warm-hits them first.
+    std::set<std::string> zombies;
+  };
+
+  // --- small helpers ---------------------------------------------------------
+
+  sim::Mutex& prep_mutex(int ni, int vmi) {
+    auto& p = prep_mx_[{ni, vmi}];
+    if (!p) p = std::make_unique<sim::Mutex>(cl_.env);
+    return *p;
+  }
+  sim::Mutex& push_mutex(int vmi) {
+    auto& p = push_mx_[vmi];
+    if (!p) p = std::make_unique<sim::Mutex>(cl_.env);
+    return *p;
+  }
+
+  void track_peak() {
+    res_.peak_queue_depth = std::max(res_.peak_queue_depth, queue_.size());
+  }
+
+  void hold_file(int ni, const std::string& cache) {
+    ++rt_[static_cast<std::size_t>(ni)].cache_users[cache];
+  }
+
+  /// Drop one user of a cache file; the last user out reclaims a zombie.
+  void drop_file(int ni, const std::string& cache) {
+    NodeRuntime& rt = rt_[static_cast<std::size_t>(ni)];
+    auto it = rt.cache_users.find(cache);
+    if (it != rt.cache_users.end()) {
+      if (--it->second > 0) return;
+      rt.cache_users.erase(it);
+    }
+    if (rt.zombies.count(cache) != 0) {
+      rt.zombies.erase(cache);
+      auto& dd = cl_.nodes[static_cast<std::size_t>(ni)]->disk_dir;
+      if (dd.exists(cache)) dd.remove(cache);
+    }
+  }
+
+  void release_cache(int ni, const std::string& img, bool pinned) {
+    if (pinned) cl_.nodes[static_cast<std::size_t>(ni)]->pool.unpin(img);
+    drop_file(ni, cluster::cache_file_for(img));
+  }
+
+  /// A warm hit on a file the pool does not account for: either a zombie
+  /// on a recovered node, or a file whose admission was once rejected.
+  /// Re-register it (the file is a valid cache; only the bookkeeping was
+  /// lost) and enforce any eviction the admission decides, mirroring
+  /// placement's apply_eviction. Victims are unpinned by construction,
+  /// so their files are safe to delete.
+  void readopt(int ni, const std::string& img) {
+    ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(ni)];
+    const std::string cache = cluster::cache_file_for(img);
+    rt_[static_cast<std::size_t>(ni)].zombies.erase(cache);
+    auto size = node.disk_dir.file_size(cache);
+    const auto ar =
+        node.pool.admit(img, size.ok() ? *size : cfg_.cache_quota);
+    for (const auto& victim : ar.evicted) {
+      const std::string vf = cluster::cache_file_for(victim);
+      if (node.disk_dir.exists(vf)) node.disk_dir.remove(vf);
+    }
+  }
+
+  /// After a failed placement: a partially-created cache file must not
+  /// masquerade as a warm cache on the next attempt. Only removable once
+  /// nobody holds it and the pool never admitted it.
+  void scrub_failed_cache(int ni, const std::string& img) {
+    NodeRuntime& rt = rt_[static_cast<std::size_t>(ni)];
+    ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(ni)];
+    const std::string cache = cluster::cache_file_for(img);
+    if (rt.cache_users.count(cache) != 0) return;
+    if (!node.pool.contains(img) && node.disk_dir.exists(cache)) {
+      rt.zombies.erase(cache);
+      node.disk_dir.remove(cache);
+    }
+  }
+
+  /// Rebuild the scheduler's warm-cache view of a node from what is
+  /// actually on its disk (evictions happen inside placement, out of the
+  /// scheduler's sight). Zombies don't count: the crash invalidated them.
+  void refresh_warm(int ni) {
+    NodeRuntime& rt = rt_[static_cast<std::size_t>(ni)];
+    if (!rt.up) return;
+    auto& ws = sched_[static_cast<std::size_t>(ni)].warm_vmis;
+    ws.clear();
+    for (int v = 0; v < num_vmis_; ++v) {
+      const std::string img = img_name(v);
+      const std::string cache = cluster::cache_file_for(img);
+      if (rt.zombies.count(cache) != 0) continue;
+      if (cl_.nodes[static_cast<std::size_t>(ni)]->disk_dir.exists(cache)) {
+        ws.insert(img);
+      }
+    }
+  }
+
+  // --- queueing --------------------------------------------------------------
+
+  /// Grant queued requests to nodes while capacity lasts. Plain function,
+  /// not a coroutine: called after every state change (arrival, VM exit,
+  /// requeue, node recovery), so no dispatcher task ever idles suspended.
+  /// FIFO with head-of-line blocking — if the head can't be placed,
+  /// nothing behind it jumps the queue (deterministic and fair).
+  void dispatch() {
+    while (!queue_.empty()) {
+      const int ni = cluster::pick_node(sched_, cfg_.policy,
+                                        img_name(queue_.front().vmi),
+                                        cfg_.cache_aware);
+      if (ni < 0) return;
+      Pending r = queue_.front();
+      queue_.pop_front();
+      ++sched_[static_cast<std::size_t>(ni)].running_vms;
+      ++rt_[static_cast<std::size_t>(ni)].inflight;
+      const double wait_s = sim::to_seconds(cl_.env.now() - r.enqueued);
+      qwait_.add(wait_s);
+      h_queue_wait_->observe(wait_s);
+      cl_.env.spawn(vm_task(r, ni));
+    }
+  }
+
+  /// Attempt failed: retry with exponential backoff, or abort for good.
+  void fail_attempt(Pending r) {
+    if (r.attempts >= cfg_.max_attempts) {
+      ++res_.aborted;
+      c_aborted_->inc();
+      return;
+    }
+    ++res_.retries;
+    c_retries_->inc();
+    cl_.env.spawn(requeue_after(r));
+  }
+
+  sim::Task<void> requeue_after(Pending r) {
+    const double backoff =
+        cfg_.retry_backoff_s *
+        static_cast<double>(1u << static_cast<unsigned>(r.attempts - 1));
+    co_await cl_.env.delay(sim::from_seconds(backoff));
+    // Retries always re-enter the queue: the depth bound applies to fresh
+    // arrivals only, so an admitted request cannot be bounced later.
+    r.enqueued = cl_.env.now();
+    queue_.push_back(r);
+    track_peak();
+    dispatch();
+  }
+
+  // --- failure injection -----------------------------------------------------
+
+  sim::Task<void> crash_task(NodeCrash c) {
+    co_await cl_.env.delay(sim::from_seconds(c.at_s));
+    NodeRuntime& rt = rt_[static_cast<std::size_t>(c.node)];
+    if (!rt.up) co_return;  // overlapping crash on a down node: no-op
+    ++res_.node_crashes;
+    c_node_crashes_->inc();
+    rt.up = false;
+    ++rt.epoch;
+    cluster::NodeState& ns = sched_[static_cast<std::size_t>(c.node)];
+    ns.running_vms = 0;  // every running VM died with the node
+    ns.vm_capacity = 0;  // no placements while down
+    ns.warm_vmis.clear();
+    // Cache invalidation: a crashed node's caches are not trustworthy.
+    // Files nobody holds open are deleted; in-use ones become zombies
+    // (SimDirectory::remove under an open backend is the one thing the
+    // engine must never do).
+    ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(c.node)];
+    for (int v = 0; v < num_vmis_; ++v) {
+      const std::string img = img_name(v);
+      const std::string cache = cluster::cache_file_for(img);
+      node.pool.remove(img);
+      if (node.disk_dir.exists(cache)) {
+        if (rt.cache_users.count(cache) == 0) {
+          node.disk_dir.remove(cache);
+        } else {
+          rt.zombies.insert(cache);
+        }
+      }
+    }
+    co_await cl_.env.delay(sim::from_seconds(c.down_s));
+    rt.up = true;
+    ++rt.epoch;  // a task that slept across down+up still sees a change
+    ns.vm_capacity = cfg_.vm_slots_per_node;
+    ++res_.node_recoveries;
+    c_node_recoveries_->inc();
+    refresh_warm(c.node);
+    dispatch();
+  }
+
+  // --- the deployment itself -------------------------------------------------
+
+  /// Exit paths for a task whose node crashed before its boot finished:
+  /// the slot count was already zeroed by the crash, so only the inflight
+  /// audit and the retry decision remain.
+  void exit_killed(Pending r, int ni) {
+    ++res_.crash_kills;
+    c_crash_kills_->inc();
+    --rt_[static_cast<std::size_t>(ni)].inflight;
+    fail_attempt(r);
+  }
+
+  /// Exit path for an attempt that failed on an I/O error while the node
+  /// stayed up: give the slot back and retry.
+  void exit_failed(Pending r, int ni) {
+    ++res_.deploy_failures;
+    c_deploy_failures_->inc();
+    --sched_[static_cast<std::size_t>(ni)].running_vms;
+    --rt_[static_cast<std::size_t>(ni)].inflight;
+    refresh_warm(ni);
+    fail_attempt(r);
+    dispatch();
+  }
+
+  sim::Task<void> vm_task(Pending r, int ni) {
+    ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(ni)];
+    NodeRuntime& rt = rt_[static_cast<std::size_t>(ni)];
+    const std::uint64_t epoch = rt.epoch;
+    ++r.attempts;
+    const std::string img = img_name(r.vmi);
+    const std::string cache = cluster::cache_file_for(img);
+    // Attempt-scoped CoW name: a retry of the same request must never
+    // create over a file a crashed-but-not-yet-cleaned attempt still has
+    // open somewhere.
+    const std::string cow_file = "vm-" + std::to_string(r.id) + "-a" +
+                                 std::to_string(r.attempts) + ".cow";
+    const std::string cow_path = "disk/" + cow_file;
+
+    const sim::SimTime prep0 = cl_.env.now();
+    cluster::PlacementOutcome outcome;
+    bool pinned = false;
+    block::DevicePtr dev;
+    {
+      // Serialise the whole prepare per (node, VMI): two concurrent cold
+      // misses must not both create the node cache; the loser waits and
+      // then warm-hits the winner's file.
+      auto lk = co_await prep_mutex(ni, r.vmi).lock();
+      hold_file(ni, cache);
+      auto placed = co_await cluster::chain_to_proper_cache(
+          cl_, node, img, cfg_.cache_quota, cfg_.cache_cluster_bits,
+          cfg_.profile.image_size);
+      if (rt.epoch != epoch) {
+        drop_file(ni, cache);
+        exit_killed(r, ni);
+        co_return;
+      }
+      if (!placed.ok()) {
+        drop_file(ni, cache);
+        scrub_failed_cache(ni, img);
+        exit_failed(r, ni);
+        co_return;
+      }
+      outcome = *placed;
+      // No suspension between placement returning and the pin: nothing
+      // can evict the entry in between (single-threaded simulation).
+      if (!node.pool.contains(img)) readopt(ni, img);
+      node.pool.pin(img);
+      pinned = true;
+      const bool shared_ro = rt.cache_users[cache] > 1;
+      qcow2::ChainImageOptions cow_opt{
+          .cluster_bits = 16, .virtual_size = cfg_.profile.image_size};
+      auto rcow = co_await qcow2::create_cow_image(node.fs, cow_path,
+                                                   outcome.backing, cow_opt);
+      if (rt.epoch != epoch || !rcow.ok()) {
+        if (node.disk_dir.exists(cow_file)) node.disk_dir.remove(cow_file);
+        release_cache(ni, img, pinned);
+        if (rt.epoch != epoch) {
+          exit_killed(r, ni);
+        } else {
+          exit_failed(r, ni);
+        }
+        co_return;
+      }
+      auto dv = co_await qcow2::open_image(node.fs, cow_path,
+                                           /*writable=*/true, shared_ro,
+                                           cl_.obs);
+      if (rt.epoch != epoch || !dv.ok()) {
+        if (node.disk_dir.exists(cow_file)) node.disk_dir.remove(cow_file);
+        release_cache(ni, img, pinned);
+        if (rt.epoch != epoch) {
+          exit_killed(r, ni);
+        } else {
+          exit_failed(r, ni);
+        }
+        co_return;
+      }
+      dev = std::move(*dv);
+    }  // prepare lock released
+    const double prep_s = sim::to_seconds(cl_.env.now() - prep0);
+    prep_.add(prep_s);
+    h_prepare_->observe(prep_s);
+    refresh_warm(ni);
+
+    const sim::SimTime boot0 = cl_.env.now();
+    auto br = co_await boot::boot_vm(cl_.env, *dev, traces_[
+        static_cast<std::size_t>(r.vmi)]);
+    (void)co_await dev->close();
+    dev.reset();
+    if (rt.epoch != epoch) {
+      if (node.disk_dir.exists(cow_file)) node.disk_dir.remove(cow_file);
+      release_cache(ni, img, pinned);
+      exit_killed(r, ni);
+      co_return;
+    }
+    if (!br.ok()) {
+      if (node.disk_dir.exists(cow_file)) node.disk_dir.remove(cow_file);
+      release_cache(ni, img, pinned);
+      exit_failed(r, ni);
+      co_return;
+    }
+
+    // Deployed. The SLO clock stops here: completed even if the node
+    // later crashes under the running VM.
+    const double boot_s = sim::to_seconds(cl_.env.now() - boot0);
+    boot_.add(boot_s);
+    h_boot_->observe(boot_s);
+    const double deploy_s =
+        sim::to_seconds(cl_.env.now() - r.first_enqueued);
+    deploy_.add(deploy_s);
+    h_deploy_->observe(deploy_s);
+    ++res_.completed;
+    c_completed_->inc();
+    if (outcome.action == cluster::PlacementOutcome::Action::local_warm_hit) {
+      ++res_.warm_hits;
+      c_warm_hits_->inc();
+    }
+
+    co_await cl_.env.delay(sim::from_seconds(r.lifetime_s));
+    if (rt.epoch != epoch) {
+      // Killed while running: already counted completed; just audit.
+      ++res_.vm_crashes;
+      c_vm_crashes_->inc();
+      if (node.disk_dir.exists(cow_file)) node.disk_dir.remove(cow_file);
+      release_cache(ni, img, pinned);
+      --rt.inflight;
+      co_return;
+    }
+
+    // Orderly shutdown: drop the CoW layer, push a freshly-created cache
+    // to the storage node (Algorithm 1's deferred copy-back), free the
+    // slot.
+    if (node.disk_dir.exists(cow_file)) node.disk_dir.remove(cow_file);
+    if (outcome.copy_back_on_shutdown && node.disk_dir.exists(cache)) {
+      if (gate_.down()) {
+        // Best-effort: the cache stays node-local; a later shutdown of
+        // another fresh creator (or a re-placement) tries again.
+        ++res_.copyback_skips;
+        c_copyback_skips_->inc();
+      } else {
+        // Serialised per VMI so two creators never write the storage-side
+        // file concurrently; the loser finds it present and skips.
+        auto plk = co_await push_mutex(r.vmi).lock();
+        if (rt.epoch == epoch && node.disk_dir.exists(cache) &&
+            !cl_.storage.mem_dir.exists(cache)) {
+          (void)co_await cluster::copy_cache_back(cl_, node, img);
+        } else if (cl_.storage.mem_dir.exists(cache)) {
+          cl_.storage.mem_pool.touch(img);
+        }
+        if (rt.epoch != epoch) {
+          ++res_.vm_crashes;
+          c_vm_crashes_->inc();
+          release_cache(ni, img, pinned);
+          --rt.inflight;
+          co_return;
+        }
+      }
+    }
+    --sched_[static_cast<std::size_t>(ni)].running_vms;
+    release_cache(ni, img, pinned);
+    refresh_warm(ni);
+    --rt.inflight;
+    dispatch();
+  }
+
+  // --- arrivals --------------------------------------------------------------
+
+  sim::Task<void> arrivals() {
+    for (const auto& req : reqs_) {
+      const sim::SimTime t = sim::from_seconds(req.arrival_s);
+      if (t > cl_.env.now()) co_await cl_.env.delay(t - cl_.env.now());
+      ++res_.arrivals;
+      c_arrivals_->inc();
+      if (queue_.size() >= cfg_.max_queue_depth) {
+        ++res_.rejected;
+        c_rejected_->inc();
+        continue;
+      }
+      Pending p;
+      p.id = next_id_++;
+      p.vmi = req.vmi;
+      p.lifetime_s = req.lifetime_s;
+      p.enqueued = p.first_enqueued = cl_.env.now();
+      queue_.push_back(p);
+      track_peak();
+      dispatch();
+    }
+  }
+
+  const CloudConfig& cfg_;
+  int num_vmis_;
+  std::vector<VmRequest> reqs_;
+  cluster::Cluster cl_;
+  OutageGate gate_;
+  std::vector<std::unique_ptr<FlakyDirectory>> flaky_;
+  std::vector<boot::BootTrace> traces_;
+  std::vector<cluster::NodeState> sched_;
+  std::vector<NodeRuntime> rt_;
+  std::deque<Pending> queue_;
+  std::map<std::pair<int, int>, std::unique_ptr<sim::Mutex>> prep_mx_;
+  std::map<int, std::unique_ptr<sim::Mutex>> push_mx_;
+  int next_id_ = 0;
+  CloudResult res_;
+  Samples deploy_, qwait_, prep_, boot_;
+  obs::Counter* c_arrivals_ = nullptr;
+  obs::Counter* c_completed_ = nullptr;
+  obs::Counter* c_aborted_ = nullptr;
+  obs::Counter* c_rejected_ = nullptr;
+  obs::Counter* c_retries_ = nullptr;
+  obs::Counter* c_deploy_failures_ = nullptr;
+  obs::Counter* c_crash_kills_ = nullptr;
+  obs::Counter* c_vm_crashes_ = nullptr;
+  obs::Counter* c_warm_hits_ = nullptr;
+  obs::Counter* c_copyback_skips_ = nullptr;
+  obs::Counter* c_node_crashes_ = nullptr;
+  obs::Counter* c_node_recoveries_ = nullptr;
+  obs::Histogram* h_deploy_ = nullptr;
+  obs::Histogram* h_queue_wait_ = nullptr;
+  obs::Histogram* h_prepare_ = nullptr;
+  obs::Histogram* h_boot_ = nullptr;
+
+  using ComputeNode = cluster::ComputeNode;
+};
+
+}  // namespace
+
+CloudResult run_cloud(const CloudConfig& cfg) {
+  Rng rng(cfg.seed);
+  std::vector<VmRequest> reqs = cfg.requests;
+  if (reqs.empty()) {
+    reqs = generate_workload(cfg.workload, cfg.horizon_s, rng);
+  }
+  int num_vmis = cfg.workload.num_vmis;
+  for (const auto& r : reqs) num_vmis = std::max(num_vmis, r.vmi + 1);
+  Engine eng(cfg, std::move(reqs), num_vmis);
+  return eng.run();
+}
+
+}  // namespace vmic::cloud

@@ -1,0 +1,159 @@
+#pragma once
+
+// vmic::cloud failure injection: scheduled node crashes and transient
+// storage outages. A crash kills the node's in-flight VMs and invalidates
+// its compute-disk caches (the paper's caches are not crash-consistent —
+// a half-warmed cache after power loss is garbage). A storage outage makes
+// the NFS-reached storage node error out for a window, exercising the
+// engine's retry-with-backoff path. The I/O wrappers follow the
+// FaultyBackend pattern from tests/test_fault_injection.cpp, but gate on
+// simulated wall-clock windows instead of operation budgets.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/backend.hpp"
+#include "io/directory.hpp"
+#include "sim/env.hpp"
+#include "sim/task.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace vmic::cloud {
+
+/// One scheduled node failure: at `at_s` the node drops every running VM
+/// and loses its cache contents; after `down_s` seconds it rejoins empty.
+struct NodeCrash {
+  double at_s = 0;
+  double down_s = 0;
+  int node = 0;
+};
+
+/// One transient storage-layer outage: every NFS read/write/open against
+/// the storage node fails with Errc::io_error inside the window.
+struct StorageOutage {
+  double at_s = 0;
+  double duration_s = 0;
+};
+
+struct FailurePlan {
+  std::vector<NodeCrash> crashes;
+  std::vector<StorageOutage> outages;
+};
+
+/// Draw a failure plan up front (like the workload: pre-materialised so
+/// the runtime draws nothing and stays deterministic). Crashes land in the
+/// middle [10%, 80%] of the horizon so their recoveries are observable.
+inline FailurePlan plan_failures(int node_crashes, int storage_outages,
+                                 int nodes, double horizon_s, Rng& rng) {
+  FailurePlan plan;
+  for (int i = 0; i < node_crashes; ++i) {
+    NodeCrash c;
+    c.at_s = horizon_s * (0.1 + 0.7 * rng.uniform());
+    c.down_s = 600.0 + rng.exponential(300.0);
+    c.node = static_cast<int>(rng.below(static_cast<std::uint64_t>(nodes)));
+    plan.crashes.push_back(c);
+  }
+  for (int i = 0; i < storage_outages; ++i) {
+    StorageOutage o;
+    o.at_s = horizon_s * (0.1 + 0.7 * rng.uniform());
+    o.duration_s = 30.0 + 90.0 * rng.uniform();
+    plan.outages.push_back(o);
+  }
+  return plan;
+}
+
+/// Answers "is the storage layer down right now?" against the simulated
+/// clock. Shared by every wrapped backend/directory of a run.
+class OutageGate {
+ public:
+  OutageGate(sim::SimEnv* env, std::vector<StorageOutage> outages)
+      : env_(env), outages_(std::move(outages)) {}
+
+  [[nodiscard]] bool down() const {
+    const double now = sim::to_seconds(env_->now());
+    for (const auto& o : outages_) {
+      if (now >= o.at_s && now < o.at_s + o.duration_s) return true;
+    }
+    return false;
+  }
+
+ private:
+  sim::SimEnv* env_;
+  std::vector<StorageOutage> outages_;
+};
+
+/// BlockBackend wrapper that fails reads and writes while the gate is
+/// down. Metadata ops (flush/truncate) fail too — the medium is gone.
+class GatedBackend final : public io::BlockBackend {
+ public:
+  GatedBackend(io::BackendPtr inner, const OutageGate* gate)
+      : inner_(std::move(inner)), gate_(gate) {}
+
+  sim::Task<Result<void>> pread(std::uint64_t off,
+                                std::span<std::uint8_t> dst) override {
+    if (gate_->down()) co_return Errc::io_error;
+    co_return co_await inner_->pread(off, dst);
+  }
+  sim::Task<Result<void>> pwrite(std::uint64_t off,
+                                 std::span<const std::uint8_t> src) override {
+    if (gate_->down()) co_return Errc::io_error;
+    co_return co_await inner_->pwrite(off, src);
+  }
+  sim::Task<Result<void>> flush() override {
+    if (gate_->down()) co_return Errc::io_error;
+    co_return co_await inner_->flush();
+  }
+  sim::Task<Result<void>> truncate(std::uint64_t s) override {
+    if (gate_->down()) co_return Errc::io_error;
+    co_return co_await inner_->truncate(s);
+  }
+  [[nodiscard]] std::uint64_t size() const override { return inner_->size(); }
+  [[nodiscard]] bool read_only() const noexcept override {
+    return inner_->read_only();
+  }
+  void set_read_only(bool ro) noexcept override { inner_->set_read_only(ro); }
+  [[nodiscard]] std::string describe() const override {
+    return "gated:" + inner_->describe();
+  }
+
+ private:
+  io::BackendPtr inner_;
+  const OutageGate* gate_;
+};
+
+/// ImageDirectory wrapper: opens and creates fail outright while the gate
+/// is down; otherwise every opened backend is gated, so an outage starting
+/// mid-transfer also fails in-flight chains.
+class FlakyDirectory final : public io::ImageDirectory {
+ public:
+  FlakyDirectory(io::ImageDirectory* inner, const OutageGate* gate)
+      : inner_(inner), gate_(gate) {}
+
+  Result<io::BackendPtr> open_file(const std::string& name,
+                                   bool writable) override {
+    if (gate_->down()) return Errc::io_error;
+    VMIC_TRY(be, inner_->open_file(name, writable));
+    return io::BackendPtr{
+        std::make_unique<GatedBackend>(std::move(be), gate_)};
+  }
+  Result<io::BackendPtr> create_file(const std::string& name) override {
+    if (gate_->down()) return Errc::io_error;
+    VMIC_TRY(be, inner_->create_file(name));
+    return io::BackendPtr{
+        std::make_unique<GatedBackend>(std::move(be), gate_)};
+  }
+  [[nodiscard]] bool exists(const std::string& name) const override {
+    return inner_->exists(name);
+  }
+
+ private:
+  io::ImageDirectory* inner_;
+  const OutageGate* gate_;
+};
+
+}  // namespace vmic::cloud

@@ -1,0 +1,125 @@
+#include "cloud/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace vmic::cloud {
+
+ZipfPicker::ZipfPicker(int n, double s) {
+  cdf_.reserve(static_cast<std::size_t>(n));
+  double total = 0;
+  for (int k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+int ZipfPicker::pick(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return static_cast<int>(cdf_.size()) - 1;
+  return static_cast<int>(it - cdf_.begin());
+}
+
+namespace {
+
+/// Instantaneous arrival rate at time t, in requests per second.
+double rate_at(const WorkloadConfig& cfg, double t) {
+  const double base = 1.0 / cfg.mean_interarrival_s;
+  switch (cfg.process) {
+    case ArrivalProcess::poisson:
+      return base;
+    case ArrivalProcess::diurnal:
+      return base * (1.0 + cfg.diurnal_amplitude *
+                               std::sin(2.0 * M_PI * t /
+                                        cfg.diurnal_period_s));
+    case ArrivalProcess::flash_crowd:
+      return t >= cfg.flash_at_s &&
+                     t < cfg.flash_at_s + cfg.flash_duration_s
+                 ? base * cfg.flash_factor
+                 : base;
+  }
+  return base;
+}
+
+/// Upper bound on rate_at over the whole horizon (the thinning envelope).
+double peak_rate(const WorkloadConfig& cfg) {
+  const double base = 1.0 / cfg.mean_interarrival_s;
+  switch (cfg.process) {
+    case ArrivalProcess::poisson: return base;
+    case ArrivalProcess::diurnal: return base * (1.0 + cfg.diurnal_amplitude);
+    case ArrivalProcess::flash_crowd: return base * cfg.flash_factor;
+  }
+  return base;
+}
+
+}  // namespace
+
+std::vector<VmRequest> generate_workload(const WorkloadConfig& cfg,
+                                         double horizon_s, Rng& rng) {
+  std::vector<VmRequest> out;
+  const ZipfPicker zipf(cfg.num_vmis, cfg.zipf_exponent);
+  const double lambda_max = peak_rate(cfg);
+  double t = 0;
+  while (true) {
+    t += rng.exponential(1.0 / lambda_max);
+    if (t >= horizon_s) break;
+    // Lewis-Shedler thinning: accept with probability rate(t)/lambda_max.
+    if (!rng.chance(rate_at(cfg, t) / lambda_max)) continue;
+    VmRequest r;
+    r.arrival_s = t;
+    r.vmi = zipf.pick(rng);
+    r.lifetime_s =
+        cfg.min_lifetime_s + rng.exponential(cfg.mean_extra_lifetime_s);
+    out.push_back(r);
+  }
+  return out;
+}
+
+Result<std::vector<VmRequest>> parse_trace_csv(std::string_view csv) {
+  std::vector<VmRequest> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t eol = csv.find('\n', pos);
+    if (eol == std::string_view::npos) eol = csv.size();
+    std::string_view line = csv.substr(pos, eol - pos);
+    pos = eol + 1;
+    // Trim trailing CR, skip blanks and comments.
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string_view::npos) continue;
+    if (line[first] == '#') continue;
+    const std::string row(line);
+    double arrival = 0, lifetime = 0;
+    int vmi = 0;
+    char tail = 0;
+    if (std::sscanf(row.c_str(), " %lf , %d , %lf %c", &arrival, &vmi,
+                    &lifetime, &tail) != 3) {
+      return Errc::invalid_argument;
+    }
+    if (arrival < 0 || vmi < 0 || lifetime < 0) {
+      return Errc::invalid_argument;
+    }
+    out.push_back(VmRequest{arrival, vmi, lifetime});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const VmRequest& a, const VmRequest& b) {
+                     return a.arrival_s < b.arrival_s;
+                   });
+  return out;
+}
+
+std::string render_trace_csv(const std::vector<VmRequest>& reqs) {
+  std::string out = "# arrival_s,vmi,lifetime_s\n";
+  char buf[96];
+  for (const auto& r : reqs) {
+    std::snprintf(buf, sizeof buf, "%.6f,%d,%.6f\n", r.arrival_s, r.vmi,
+                  r.lifetime_s);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace vmic::cloud

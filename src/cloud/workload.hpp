@@ -1,0 +1,93 @@
+#pragma once
+
+// vmic::cloud workload generation: deterministic VM arrival streams over a
+// Zipf-skewed VMI popularity mix. The paper evaluates one-shot boot storms;
+// the long-running engine needs the workload shape of a real cloud instead
+// (López García et al.: skewed image popularity, bursty request streams).
+// Arrivals are materialised up front into a request list, so the draws
+// never interleave with simulation scheduling — same seed, same workload,
+// regardless of what the engine does with it.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace vmic::cloud {
+
+/// Shape of the arrival process.
+enum class ArrivalProcess {
+  poisson,      ///< homogeneous Poisson at the base rate
+  diurnal,      ///< Poisson with a sinusoidal day/night rate modulation
+  flash_crowd,  ///< Poisson plus one rate spike (a release-day stampede)
+};
+
+constexpr const char* to_string(ArrivalProcess p) noexcept {
+  switch (p) {
+    case ArrivalProcess::poisson: return "poisson";
+    case ArrivalProcess::diurnal: return "diurnal";
+    case ArrivalProcess::flash_crowd: return "flash_crowd";
+  }
+  return "?";
+}
+
+/// One VM request: when it arrives, which VMI it boots, how long it runs
+/// after a successful deployment.
+struct VmRequest {
+  double arrival_s = 0;
+  int vmi = 0;
+  double lifetime_s = 0;
+};
+
+struct WorkloadConfig {
+  ArrivalProcess process = ArrivalProcess::poisson;
+  /// Base mean inter-arrival gap (45 s ~= 80 VMs/hour).
+  double mean_interarrival_s = 45.0;
+  /// Diurnal modulation: rate(t) = base * (1 + A * sin(2*pi*t/period)).
+  /// The default period compresses a "day" into 4 h so short runs still
+  /// see both the peak and the trough.
+  double diurnal_period_s = 4 * 3600.0;
+  double diurnal_amplitude = 0.6;  ///< A in [0, 1)
+  /// Flash crowd: the rate is multiplied by `flash_factor` inside
+  /// [flash_at_s, flash_at_s + flash_duration_s).
+  double flash_at_s = 1800.0;
+  double flash_duration_s = 300.0;
+  double flash_factor = 6.0;
+  /// VMI popularity: Zipf over `num_vmis` images with this exponent
+  /// (1.0 = classic Zipf; 0 = uniform).
+  int num_vmis = 6;
+  double zipf_exponent = 1.0;
+  /// Service lifetime after boot: min + Exp(mean_extra).
+  double min_lifetime_s = 60.0;
+  double mean_extra_lifetime_s = 240.0;
+};
+
+/// Zipf-distributed index picker over [0, n): P(k) proportional to
+/// 1/(k+1)^s, drawn by inverting a precomputed CDF.
+class ZipfPicker {
+ public:
+  ZipfPicker(int n, double s);
+  [[nodiscard]] int pick(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Materialise the arrival stream over [0, horizon_s). Non-homogeneous
+/// processes use Lewis-Shedler thinning against the peak rate, so every
+/// draw comes from `rng` in a fixed order — deterministic per seed.
+std::vector<VmRequest> generate_workload(const WorkloadConfig& cfg,
+                                         double horizon_s, Rng& rng);
+
+/// Parse a request trace from CSV text: one `arrival_s,vmi,lifetime_s`
+/// line per request; blank lines and `#` comments ignored. Requests are
+/// sorted by arrival time. Fails with Errc::invalid_argument on malformed
+/// lines, negative times, or a negative VMI index.
+Result<std::vector<VmRequest>> parse_trace_csv(std::string_view csv);
+
+/// Render a request list back to the CSV format parse_trace_csv accepts.
+std::string render_trace_csv(const std::vector<VmRequest>& reqs);
+
+}  // namespace vmic::cloud

@@ -8,8 +8,10 @@ namespace vmic {
 double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
 
 double Samples::percentile(double p) const {
-  assert(!xs_.empty());
   assert(p >= 0.0 && p <= 100.0);
+  // Like mean(): an empty sample set reports 0.0 instead of tripping
+  // undefined behaviour on sorted.front() when the assert compiles out.
+  if (xs_.empty()) return 0.0;
   std::vector<double> sorted = xs_;
   std::sort(sorted.begin(), sorted.end());
   if (p <= 0.0) return sorted.front();

@@ -80,6 +80,44 @@ TEST(CachePool, UsedNeverExceedsCapacity) {
   }
 }
 
+TEST(CachePool, PinnedEntriesAreNotEvicted) {
+  CachePool pool{250_MiB, EvictionPolicy::lru};
+  pool.admit("a", 93_MiB);
+  pool.admit("b", 93_MiB);
+  pool.pin("a");  // "a" is LRU, but a running VM chains to its file
+  auto r = pool.admit("c", 93_MiB);
+  ASSERT_TRUE(r.admitted);
+  ASSERT_EQ(r.evicted.size(), 1u);
+  EXPECT_EQ(r.evicted[0], "b");
+  EXPECT_TRUE(pool.contains("a"));
+  // Pins nest: one unpin of a doubly-pinned entry keeps it protected.
+  pool.pin("a");
+  pool.unpin("a");
+  EXPECT_TRUE(pool.pinned("a"));
+  pool.unpin("a");
+  EXPECT_FALSE(pool.pinned("a"));
+  // Fully unpinned, "a" is the LRU victim again.
+  auto r2 = pool.admit("d", 93_MiB);
+  ASSERT_TRUE(r2.admitted);
+  ASSERT_EQ(r2.evicted.size(), 1u);
+  EXPECT_EQ(r2.evicted[0], "a");
+  // Unpinning an absent entry is a harmless no-op.
+  pool.unpin("ghost");
+  EXPECT_FALSE(pool.pinned("ghost"));
+}
+
+TEST(CachePool, PinnedPoolMayExceedCapacityPolicy) {
+  // When everything resident is pinned, a new admission finds no victim
+  // and is rejected rather than corrupting in-use files.
+  CachePool pool{100_MiB, EvictionPolicy::lru};
+  pool.admit("a", 93_MiB);
+  pool.pin("a");
+  auto r = pool.admit("b", 40_MiB);
+  EXPECT_FALSE(r.admitted);
+  EXPECT_TRUE(pool.contains("a"));
+  EXPECT_EQ(pool.evictions(), 0u);
+}
+
 TEST(CachePool, RemoveFreesSpace) {
   CachePool pool{200_MiB, EvictionPolicy::lru};
   pool.admit("a", 150_MiB);

@@ -1,0 +1,245 @@
+// vmic::cloud tests: workload generation, trace round-trips, determinism
+// of whole cloud runs, crash/outage resilience (no lost or double-counted
+// VMs, no leaked slots), and SLO counter consistency.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "cloud/engine.hpp"
+
+namespace vmic::cloud {
+namespace {
+
+// Small, fast base config shared by the run tests: a short horizon and a
+// brisk arrival rate so every scenario finishes in well under a second.
+CloudConfig small_config(std::uint64_t seed) {
+  CloudConfig cfg;
+  cfg.seed = seed;
+  cfg.horizon_s = 900.0;                     // 15 simulated minutes
+  cfg.workload.mean_interarrival_s = 20.0;   // ~45 arrivals
+  cfg.workload.min_lifetime_s = 30.0;
+  cfg.workload.mean_extra_lifetime_s = 60.0;
+  return cfg;
+}
+
+void expect_terminal_accounting(const CloudResult& r) {
+  EXPECT_EQ(r.completed + r.aborted + r.rejected, r.arrivals);
+  EXPECT_EQ(r.leaked_slots, 0);
+  EXPECT_EQ(r.deploy.count, static_cast<std::size_t>(r.completed));
+  // Every cloud.* counter agrees with its CloudResult mirror.
+  const auto& m = r.metrics;
+  EXPECT_EQ(m.counter_total("cloud.arrivals"),
+            static_cast<std::uint64_t>(r.arrivals));
+  EXPECT_EQ(m.counter_total("cloud.completed"),
+            static_cast<std::uint64_t>(r.completed));
+  EXPECT_EQ(m.counter_total("cloud.aborted"),
+            static_cast<std::uint64_t>(r.aborted));
+  EXPECT_EQ(m.counter_total("cloud.rejected"),
+            static_cast<std::uint64_t>(r.rejected));
+  EXPECT_EQ(m.counter_total("cloud.retries"),
+            static_cast<std::uint64_t>(r.retries));
+  EXPECT_EQ(m.counter_total("cloud.warm_hits"),
+            static_cast<std::uint64_t>(r.warm_hits));
+  const obs::MetricPoint* hist = m.find("cloud.deploy_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, static_cast<std::uint64_t>(r.completed));
+}
+
+// --- workload ---------------------------------------------------------------
+
+TEST(Workload, DeterministicPerSeed) {
+  WorkloadConfig wc;
+  Rng a(77);
+  Rng b(77);
+  const auto w1 = generate_workload(wc, 3600.0, a);
+  const auto w2 = generate_workload(wc, 3600.0, b);
+  ASSERT_EQ(w1.size(), w2.size());
+  for (std::size_t i = 0; i < w1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(w1[i].arrival_s, w2[i].arrival_s);
+    EXPECT_EQ(w1[i].vmi, w2[i].vmi);
+    EXPECT_DOUBLE_EQ(w1[i].lifetime_s, w2[i].lifetime_s);
+  }
+  Rng c(78);
+  const auto w3 = generate_workload(wc, 3600.0, c);
+  EXPECT_NE(w1.size(), 0u);
+  // A different seed virtually always shifts the first arrival.
+  ASSERT_FALSE(w3.empty());
+  EXPECT_NE(w1[0].arrival_s, w3[0].arrival_s);
+}
+
+TEST(Workload, ArrivalsSortedWithinHorizonAndZipfSkewed) {
+  WorkloadConfig wc;
+  wc.mean_interarrival_s = 2.0;
+  wc.num_vmis = 4;
+  Rng rng(5);
+  const auto w = generate_workload(wc, 7200.0, rng);
+  ASSERT_GT(w.size(), 1000u);
+  std::map<int, int> by_vmi;
+  double prev = 0;
+  for (const auto& r : w) {
+    EXPECT_GE(r.arrival_s, prev);
+    EXPECT_LT(r.arrival_s, 7200.0);
+    EXPECT_GE(r.lifetime_s, wc.min_lifetime_s);
+    ASSERT_GE(r.vmi, 0);
+    ASSERT_LT(r.vmi, wc.num_vmis);
+    prev = r.arrival_s;
+    ++by_vmi[r.vmi];
+  }
+  // Zipf(1.0): image 0 is drawn about twice as often as image 1 and about
+  // four times as often as image 3.
+  EXPECT_GT(by_vmi[0], by_vmi[1]);
+  EXPECT_GT(by_vmi[1], by_vmi[3]);
+  EXPECT_GT(by_vmi[0], 2 * by_vmi[3]);
+}
+
+TEST(Workload, FlashCrowdConcentratesArrivals) {
+  WorkloadConfig wc;
+  wc.process = ArrivalProcess::flash_crowd;
+  wc.mean_interarrival_s = 30.0;
+  wc.flash_at_s = 1000.0;
+  wc.flash_duration_s = 500.0;
+  wc.flash_factor = 8.0;
+  Rng rng(11);
+  const auto w = generate_workload(wc, 3600.0, rng);
+  int inside = 0;
+  for (const auto& r : w) {
+    if (r.arrival_s >= 1000.0 && r.arrival_s < 1500.0) ++inside;
+  }
+  // The 500 s window is ~14% of the horizon but runs at 8x rate: it must
+  // hold well over a third of all arrivals.
+  EXPECT_GT(inside * 3, static_cast<int>(w.size()));
+}
+
+TEST(Workload, TraceCsvRoundTrip) {
+  WorkloadConfig wc;
+  Rng rng(13);
+  const auto w = generate_workload(wc, 1800.0, rng);
+  ASSERT_FALSE(w.empty());
+  const std::string csv = render_trace_csv(w);
+  const auto parsed = parse_trace_csv(csv);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR((*parsed)[i].arrival_s, w[i].arrival_s, 1e-6);
+    EXPECT_EQ((*parsed)[i].vmi, w[i].vmi);
+    EXPECT_NEAR((*parsed)[i].lifetime_s, w[i].lifetime_s, 1e-6);
+  }
+}
+
+TEST(Workload, TraceCsvRejectsMalformedInput) {
+  EXPECT_EQ(parse_trace_csv("1.0,0").error(), Errc::invalid_argument);
+  EXPECT_EQ(parse_trace_csv("a,b,c").error(), Errc::invalid_argument);
+  EXPECT_EQ(parse_trace_csv("-1.0,0,5.0").error(), Errc::invalid_argument);
+  EXPECT_EQ(parse_trace_csv("1.0,-2,5.0").error(), Errc::invalid_argument);
+  EXPECT_EQ(parse_trace_csv("1.0,0,5.0 trailing").error(),
+            Errc::invalid_argument);
+  // Comments, blank lines, CRLF, and out-of-order rows are all fine.
+  const auto ok = parse_trace_csv(
+      "# header\n\n10.0,1,5.0\r\n2.5,0,3.0\n");
+  ASSERT_TRUE(ok.ok());
+  ASSERT_EQ(ok->size(), 2u);
+  EXPECT_DOUBLE_EQ((*ok)[0].arrival_s, 2.5);  // sorted by arrival
+  EXPECT_EQ((*ok)[1].vmi, 1);
+}
+
+// --- cloud runs -------------------------------------------------------------
+
+TEST(Cloud, DeterministicPerSeed) {
+  const CloudResult r1 = run_cloud(small_config(21));
+  const CloudResult r2 = run_cloud(small_config(21));
+  EXPECT_EQ(r1.arrivals, r2.arrivals);
+  EXPECT_EQ(r1.completed, r2.completed);
+  EXPECT_EQ(r1.warm_hits, r2.warm_hits);
+  EXPECT_DOUBLE_EQ(r1.deploy.mean, r2.deploy.mean);
+  EXPECT_DOUBLE_EQ(r1.sim_seconds, r2.sim_seconds);
+  const std::string t1 = r1.metrics.to_text();
+  ASSERT_FALSE(t1.empty());
+  EXPECT_EQ(t1, r2.metrics.to_text());
+}
+
+TEST(Cloud, CleanRunDeploysEveryArrival) {
+  const CloudResult r = run_cloud(small_config(22));
+  ASSERT_GT(r.arrivals, 10);
+  EXPECT_EQ(r.completed, r.arrivals);
+  EXPECT_EQ(r.aborted, 0);
+  EXPECT_EQ(r.retries, 0);
+  EXPECT_EQ(r.node_crashes, 0);
+  // The skewed mix revisits images: the cache layer must convert that
+  // into a substantial warm-hit ratio.
+  EXPECT_GT(r.cache_hit_ratio, 0.3);
+  EXPECT_GT(r.deploy.p50, 0.0);
+  EXPECT_GE(r.deploy.p99, r.deploy.p50);
+  expect_terminal_accounting(r);
+}
+
+TEST(Cloud, NodeCrashesDegradeButNeverLoseVms) {
+  CloudConfig cfg = small_config(23);
+  // Two mid-run crashes on a 4-node cloud: plenty of collateral damage.
+  cfg.cluster.compute_nodes = 4;
+  cfg.failures.crashes.push_back({200.0, 300.0, 0});
+  cfg.failures.crashes.push_back({400.0, 200.0, 1});
+  const CloudResult r = run_cloud(cfg);
+  EXPECT_EQ(r.node_crashes, 2);
+  EXPECT_EQ(r.node_recoveries, 2);
+  // Crashes killed running or in-flight VMs...
+  EXPECT_GT(r.crash_kills + r.vm_crashes, 0);
+  // ...but every killed attempt was retried or aborted, never dropped.
+  expect_terminal_accounting(r);
+  EXPECT_EQ(r.metrics.counter_total("cloud.node_crashes"), 2u);
+  EXPECT_EQ(r.metrics.counter_total("cloud.crash_kills"),
+            static_cast<std::uint64_t>(r.crash_kills));
+}
+
+TEST(Cloud, StorageOutageForcesRetriesNotLosses) {
+  CloudConfig cfg = small_config(24);
+  // A 2-minute storage outage in the thick of the run.
+  cfg.failures.outages.push_back({300.0, 120.0});
+  const CloudResult r = run_cloud(cfg);
+  EXPECT_GT(r.deploy_failures, 0);
+  EXPECT_GT(r.retries, 0);
+  expect_terminal_accounting(r);
+}
+
+TEST(Cloud, AbortsAfterMaxAttemptsUnderPermanentOutage) {
+  CloudConfig cfg = small_config(25);
+  cfg.horizon_s = 120.0;
+  cfg.workload.mean_interarrival_s = 30.0;
+  cfg.max_attempts = 2;
+  cfg.retry_backoff_s = 1.0;
+  // Storage is dark for the whole run (and all backoffs): nothing cold
+  // can deploy, so every arrival burns its attempts and aborts.
+  cfg.failures.outages.push_back({0.0, 100000.0});
+  const CloudResult r = run_cloud(cfg);
+  ASSERT_GT(r.arrivals, 0);
+  EXPECT_EQ(r.completed, 0);
+  EXPECT_EQ(r.aborted, r.arrivals);
+  EXPECT_EQ(r.retries, r.arrivals * (cfg.max_attempts - 1));
+  expect_terminal_accounting(r);
+}
+
+TEST(Cloud, TraceReplayMatchesGeneratedWorkload) {
+  CloudConfig gen = small_config(26);
+  const CloudResult r1 = run_cloud(gen);
+  // Re-run with the same workload materialised up front: byte-identical.
+  Rng rng(gen.seed);
+  CloudConfig replay = gen;
+  replay.requests = generate_workload(gen.workload, gen.horizon_s, rng);
+  const CloudResult r2 = run_cloud(replay);
+  EXPECT_EQ(r1.metrics.to_text(), r2.metrics.to_text());
+}
+
+TEST(Cloud, RejectsWhenAdmissionQueueOverflows) {
+  CloudConfig cfg = small_config(27);
+  cfg.max_queue_depth = 2;
+  cfg.cluster.compute_nodes = 1;
+  cfg.vm_slots_per_node = 1;
+  cfg.workload.mean_interarrival_s = 5.0;
+  const CloudResult r = run_cloud(cfg);
+  EXPECT_GT(r.rejected, 0);
+  expect_terminal_accounting(r);
+}
+
+}  // namespace
+}  // namespace vmic::cloud

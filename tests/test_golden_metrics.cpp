@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cloud/engine.hpp"
 #include "cluster/scenario.hpp"
 
 namespace vmic::cluster {
@@ -127,6 +128,44 @@ TEST(GoldenMetrics, CacheModeExportsCorSeries) {
   EXPECT_EQ(bytes->counter, clusters->counter * 512u);
   // Plain overlays never copy-on-read.
   EXPECT_EQ(m.counter_total("qcow2.cor_fills"), fills->counter);
+}
+
+// A small fixed cloud scenario pins the cloud.* namespace the same way
+// the Fig-2 scenarios pin cluster.*: any drift in workload generation,
+// scheduling, placement, or SLO accounting shows up as a changed count.
+
+TEST(GoldenMetrics, CloudSmallScenarioPinnedValues) {
+  cloud::CloudConfig cfg;
+  cfg.seed = 7;
+  cfg.horizon_s = 600.0;
+  cfg.workload.mean_interarrival_s = 30.0;
+  cfg.workload.min_lifetime_s = 30.0;
+  cfg.workload.mean_extra_lifetime_s = 60.0;
+  const cloud::CloudResult r = cloud::run_cloud(cfg);
+
+  EXPECT_EQ(r.arrivals, 20);
+  EXPECT_EQ(r.completed, 20);
+  EXPECT_EQ(r.aborted, 0);
+  EXPECT_EQ(r.rejected, 0);
+  EXPECT_EQ(r.retries, 0);
+  EXPECT_EQ(r.warm_hits, 14);
+  EXPECT_EQ(r.leaked_slots, 0);
+  EXPECT_EQ(r.cache_evictions, 1u);
+  EXPECT_EQ(r.storage_payload_bytes, 396598784u);
+  EXPECT_NEAR(r.cache_hit_ratio, 0.7, 1e-9);
+  EXPECT_NEAR(r.deploy.mean, 7.815850577, 1e-9);
+  EXPECT_NEAR(r.deploy.p99, 12.352076311, 1e-9);
+  EXPECT_NEAR(r.sim_seconds, 657.417108547, 1e-9);
+
+  // The snapshot mirrors the result struct exactly.
+  const obs::MetricsSnapshot& m = r.metrics;
+  EXPECT_EQ(m.counter_total("cloud.arrivals"),
+            static_cast<std::uint64_t>(r.arrivals));
+  EXPECT_EQ(m.counter_total("cloud.completed"),
+            static_cast<std::uint64_t>(r.completed));
+  const obs::MetricPoint* hist = m.find("cloud.deploy_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, static_cast<std::uint64_t>(r.completed));
 }
 
 TEST(GoldenMetrics, TracingDoesNotPerturbTiming) {

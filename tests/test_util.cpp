@@ -363,6 +363,15 @@ TEST(Stats, OnlineMeanVariance) {
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
 }
 
+TEST(Stats, EmptySamplesReportZero) {
+  const Samples s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 0.0);
+}
+
 TEST(Stats, Percentiles) {
   Samples s;
   for (int i = 1; i <= 100; ++i) s.add(i);

@@ -1,0 +1,242 @@
+// vmi-cloudsim — run the long-running cloud workload engine from the
+// command line: an open VM arrival stream against a finite cluster, with
+// cache-aware scheduling, node crashes, storage outages, and SLO output.
+//
+//   vmi-cloudsim [options]
+//     --hours H          simulated horizon          (default 2)
+//     --seed N           run seed                   (default 7)
+//     --nodes N          compute nodes              (default 8)
+//     --slots N          VM slots per node          (default 4)
+//     --vmis N           distinct base images       (default 6)
+//     --rate R           arrivals per hour          (default 80)
+//     --process poisson|diurnal|flash               (default poisson)
+//     --zipf S           VMI popularity exponent    (default 1.0)
+//     --policy packing|striping|load                (default striping)
+//     --no-cache-aware   disable warm-cache-first scheduling
+//     --quota MiB        cache quota per VMI        (default 48)
+//     --cache-cap MiB    per-node cache budget      (default 128)
+//     --os centos|debian|windows|scaled             (default scaled)
+//     --attempts N       max deployment attempts    (default 4)
+//     --backoff S        first retry backoff        (default 5)
+//     --fail-nodes N     inject N node crashes      (default 0)
+//     --outages N        inject N storage outages   (default 0)
+//     --trace FILE       replay a request trace CSV instead of generating
+//     --trace-out FILE   write the generated workload as CSV and exit 0
+//     --metrics-out F    write the metrics snapshot to F
+//                        (.json => JSON, anything else => text exposition)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cloud/engine.hpp"
+#include "util/units.hpp"
+
+using namespace vmic;
+using namespace vmic::cloud;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: vmi-cloudsim [--hours H] [--seed N] [--nodes N] [--slots N]\n"
+      "       [--vmis N] [--rate PER_HOUR] [--process poisson|diurnal|flash]\n"
+      "       [--zipf S] [--policy packing|striping|load] [--no-cache-aware]\n"
+      "       [--quota MiB] [--cache-cap MiB] "
+      "[--os centos|debian|windows|scaled]\n"
+      "       [--attempts N] [--backoff S] [--fail-nodes N] [--outages N]\n"
+      "       [--trace FILE] [--trace-out FILE] [--metrics-out FILE]\n");
+  std::exit(2);
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "vmi-cloudsim: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "vmi-cloudsim: cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void print_latency(const char* name, const LatencyStats& l) {
+  std::printf("  %-12s n=%-5zu mean %7.2f s  p50 %7.2f s  p95 %7.2f s  "
+              "p99 %7.2f s  max %7.2f s\n",
+              name, l.count, l.mean, l.p50, l.p95, l.p99, l.max);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CloudConfig cfg;
+  cfg.seed = 7;
+  int fail_nodes = 0;
+  int outages = 0;
+  std::string os = "scaled";
+  std::string trace_in;
+  std::string trace_out;
+  std::string metrics_out;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--hours") {
+      cfg.horizon_s = std::atof(next()) * 3600.0;
+    } else if (a == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (a == "--nodes") {
+      cfg.cluster.compute_nodes = std::atoi(next());
+    } else if (a == "--slots") {
+      cfg.vm_slots_per_node = std::atoi(next());
+    } else if (a == "--vmis") {
+      cfg.workload.num_vmis = std::atoi(next());
+    } else if (a == "--rate") {
+      const double per_hour = std::atof(next());
+      if (per_hour <= 0) usage();
+      cfg.workload.mean_interarrival_s = 3600.0 / per_hour;
+    } else if (a == "--process") {
+      const std::string p = next();
+      if (p == "poisson") cfg.workload.process = ArrivalProcess::poisson;
+      else if (p == "diurnal") cfg.workload.process = ArrivalProcess::diurnal;
+      else if (p == "flash") cfg.workload.process = ArrivalProcess::flash_crowd;
+      else usage();
+    } else if (a == "--zipf") {
+      cfg.workload.zipf_exponent = std::atof(next());
+    } else if (a == "--policy") {
+      const std::string p = next();
+      if (p == "packing") cfg.policy = cluster::SchedPolicy::packing;
+      else if (p == "striping") cfg.policy = cluster::SchedPolicy::striping;
+      else if (p == "load") cfg.policy = cluster::SchedPolicy::load_aware;
+      else usage();
+    } else if (a == "--no-cache-aware") {
+      cfg.cache_aware = false;
+    } else if (a == "--quota") {
+      cfg.cache_quota = static_cast<std::uint64_t>(std::atoi(next())) * MiB;
+    } else if (a == "--cache-cap") {
+      cfg.cluster.node_cache_capacity =
+          static_cast<std::uint64_t>(std::atoi(next())) * MiB;
+    } else if (a == "--os") {
+      os = next();
+    } else if (a == "--attempts") {
+      cfg.max_attempts = std::atoi(next());
+    } else if (a == "--backoff") {
+      cfg.retry_backoff_s = std::atof(next());
+    } else if (a == "--fail-nodes") {
+      fail_nodes = std::atoi(next());
+    } else if (a == "--outages") {
+      outages = std::atoi(next());
+    } else if (a == "--trace") {
+      trace_in = next();
+    } else if (a == "--trace-out") {
+      trace_out = next();
+    } else if (a == "--metrics-out") {
+      metrics_out = next();
+    } else {
+      usage();
+    }
+  }
+
+  if (os == "centos") cfg.profile = boot::centos63();
+  else if (os == "debian") cfg.profile = boot::debian607();
+  else if (os == "windows") cfg.profile = boot::windows2012();
+  else if (os == "scaled") cfg.profile = scaled_down(boot::centos63());
+  else usage();
+
+  // Failure plan and workload draw from forks of the same seed, so
+  // --fail-nodes changes nothing about arrival timing.
+  Rng plan_rng(cfg.seed ^ 0xFA11'FA11'FA11'FA11ull);
+  cfg.failures = plan_failures(fail_nodes, outages, cfg.cluster.compute_nodes,
+                               cfg.horizon_s, plan_rng);
+
+  if (!trace_in.empty()) {
+    auto parsed = parse_trace_csv(read_file(trace_in));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "vmi-cloudsim: malformed trace %s\n",
+                   trace_in.c_str());
+      return 1;
+    }
+    cfg.requests = std::move(*parsed);
+  }
+
+  if (!trace_out.empty()) {
+    Rng wl_rng(cfg.seed);
+    const auto reqs = cfg.requests.empty()
+                          ? generate_workload(cfg.workload, cfg.horizon_s,
+                                              wl_rng)
+                          : cfg.requests;
+    if (!write_file(trace_out, render_trace_csv(reqs))) return 1;
+    std::printf("workload: %zu requests -> %s\n", reqs.size(),
+                trace_out.c_str());
+    return 0;
+  }
+
+  std::printf("cloud: %d node(s) x %d slot(s), %d VMI(s), %s arrivals, "
+              "%.1f h horizon, seed %llu\n",
+              cfg.cluster.compute_nodes, cfg.vm_slots_per_node,
+              cfg.workload.num_vmis, to_string(cfg.workload.process),
+              cfg.horizon_s / 3600.0,
+              static_cast<unsigned long long>(cfg.seed));
+  if (fail_nodes > 0 || outages > 0) {
+    std::printf("faults: %d node crash(es), %d storage outage(s)\n",
+                fail_nodes, outages);
+  }
+
+  const CloudResult r = run_cloud(cfg);
+
+  std::printf("arrivals %d: completed %d, aborted %d, rejected %d "
+              "(retries %d, deploy failures %d)\n",
+              r.arrivals, r.completed, r.aborted, r.rejected, r.retries,
+              r.deploy_failures);
+  std::printf("faults: %d crash(es), %d recovery(ies), %d attempt(s) "
+              "killed, %d running VM(s) lost, %d copy-back(s) skipped\n",
+              r.node_crashes, r.node_recoveries, r.crash_kills, r.vm_crashes,
+              r.copyback_skips);
+  std::printf("cache: hit ratio %.3f (%d warm hit(s)), %llu eviction(s)\n",
+              r.cache_hit_ratio, r.warm_hits,
+              static_cast<unsigned long long>(r.cache_evictions));
+  std::printf("goodput: %.1f VMs/hour over %.2f h sim; peak queue %zu; "
+              "leaked slots %d\n",
+              r.goodput_vms_per_hour, r.sim_seconds / 3600.0,
+              r.peak_queue_depth, r.leaked_slots);
+  std::printf("storage node served %s\n",
+              format_bytes(r.storage_payload_bytes).c_str());
+  print_latency("deploy", r.deploy);
+  print_latency("queue-wait", r.queue_wait);
+  print_latency("prepare", r.prepare);
+  print_latency("boot", r.boot);
+
+  if (!metrics_out.empty()) {
+    const std::string body = ends_with(metrics_out, ".json")
+                                 ? r.metrics.to_json()
+                                 : r.metrics.to_text();
+    if (!write_file(metrics_out, body)) return 1;
+    std::printf("metrics: %zu series -> %s\n", r.metrics.points.size(),
+                metrics_out.c_str());
+  }
+  return r.leaked_slots == 0 ? 0 : 1;
+}
