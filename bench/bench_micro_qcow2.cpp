@@ -98,6 +98,27 @@ void BM_Qcow2_CopyOnRead(benchmark::State& state) {
 }
 BENCHMARK(BM_Qcow2_CopyOnRead)->Arg(9)->Arg(12)->Arg(16);
 
+void BM_Qcow2_AllocAfterTableGrowthRewind(benchmark::State& state) {
+  // Allocator regression case: every refcount-table growth frees the old
+  // table (low in the file) and rewinds the first-fit cursor, after which
+  // the legacy linear scan re-walked the whole allocated prefix per
+  // allocation until the cursor caught up again — O(file size) spikes
+  // that worsen as the image fills. The free-run index must keep these
+  // sector-sized allocating writes flat across the growth points.
+  Rig rig(static_cast<std::uint32_t>(state.range(0)));
+  std::vector<std::uint8_t> buf(512, 0xCD);
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    auto r = sync_wait(rig.dev->write(off, buf));
+    if (!r.ok()) state.SkipWithError("write failed");
+    off += buf.size();
+    if (off >= 1 * GiB) off = 0;  // fully allocated from here on
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_Qcow2_AllocAfterTableGrowthRewind)->Arg(9)->Arg(12);
+
 void BM_Qcow2_L2LookupOnly(benchmark::State& state) {
   // Pure translation cost: 512 B reads over an allocated region.
   Rig rig(static_cast<std::uint32_t>(state.range(0)));

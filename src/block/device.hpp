@@ -30,6 +30,10 @@ struct DeviceStats {
   obs::Counter cor_clusters;      ///< clusters copied into a cache (CoR)
   obs::Counter cor_bytes;         ///< bytes copied into a cache (CoR)
   obs::Counter cor_stopped;       ///< quota exhaustion events (ENOSPC)
+  obs::Counter cor_inflight_waits;  ///< readers that queued behind a fill
+  obs::Counter cor_dedup_hits;    ///< clusters served locally after a wait
+                                  ///< instead of a duplicate backing fetch
+  obs::Counter alloc_lock_waits;  ///< contended allocator-mutex acquisitions
 };
 
 /// A virtual block device: what the guest (or an overlay image) reads and
@@ -100,6 +104,13 @@ struct OpenOptions {
   /// into registry-owned aggregates (qcow2.*{image=...}) and trace CoR
   /// fills; devices are too short-lived for per-instance attachment.
   obs::Hub* hub = nullptr;
+  /// Coalesce concurrent copy-on-read fills per cluster range: readers of
+  /// an in-flight cluster wait for the fill and are served locally instead
+  /// of issuing a duplicate backing fetch. Off = the legacy serialized
+  /// behaviour (one device-wide fill at a time, duplicate fetches) — kept
+  /// as an ablation baseline for bench_concurrency_cor. Applies to every
+  /// qcow2 device in the opened chain.
+  bool cor_single_flight = true;
 };
 
 }  // namespace vmic::block

@@ -166,6 +166,7 @@ sim::Task<Result<block::DevicePtr>> Qcow2Device::open(
   auto dev = std::unique_ptr<Qcow2Device>(
       new Qcow2Device(std::move(file), std::move(parsed)));
   dev->ro_mode_ = !opt.writable;
+  dev->cor_single_flight_ = opt.cor_single_flight;
 
   // Load the L1 table (QEMU keeps the whole L1 in memory as well).
   {
@@ -212,6 +213,16 @@ sim::Task<Result<block::DevicePtr>> Qcow2Device::open(
       // A CoW overlay may be larger than its backing (reads past the end
       // of the backing are zeros) — that is fine; nothing to check.
     }
+    // Resolvers rebuild their own OpenOptions, so push the fill-coalescing
+    // mode down the chain by hand — it must be uniform: a cache image in
+    // the middle of the chain does the actual CoR.
+    for (block::BlockDevice* b = dev->backing_.get(); b != nullptr;
+         b = b->backing()) {
+      if (b->format_name() == "qcow2") {
+        static_cast<Qcow2Device*>(b)->cor_single_flight_ =
+            opt.cor_single_flight;
+      }
+    }
   }
 
   if (opt.hub != nullptr) dev->bind_obs(opt.hub);
@@ -233,6 +244,9 @@ void Qcow2Device::bind_obs(obs::Hub* hub) {
   agg_.cor_clusters = &r.counter("qcow2.cor_clusters", ls);
   agg_.cor_bytes = &r.counter("qcow2.cor_bytes", ls);
   agg_.cor_stopped = &r.counter("qcow2.cor_stopped", ls);
+  agg_.cor_inflight_waits = &r.counter("qcow2.cor.inflight_waits", ls);
+  agg_.cor_dedup_hits = &r.counter("qcow2.cor.dedup_hits", ls);
+  agg_.alloc_lock_waits = &r.counter("qcow2.alloc_lock_waits", ls);
   track_ = hub_->tracer.track("qcow2");
 }
 
@@ -253,6 +267,7 @@ sim::Task<Result<void>> Qcow2Device::load_refcounts() {
     }
   }
   refcounts_loaded_ = true;
+  index_free_runs();
   co_return ok_result();
 }
 
@@ -268,6 +283,12 @@ sim::Task<Result<std::vector<std::uint64_t>*>> Qcow2Device::load_l2(
   const std::uint64_t cs = ly_.cluster_size();
   std::vector<std::uint8_t> buf(cs, 0);
   VMIC_CO_TRY_VOID(co_await file_->pread(l2_host_off, buf));
+  // Another coroutine may have loaded (and possibly mutated) this table
+  // while we awaited the read — keep theirs, or emplace() would silently
+  // fail and return a pointer the caller believes is cached.
+  if (auto again = l2_tables_.find(l2_host_off); again != l2_tables_.end()) {
+    co_return again->second.get();
+  }
   auto table = std::make_unique<std::vector<std::uint64_t>>(ly_.l2_entries());
   for (std::uint64_t i = 0; i < ly_.l2_entries(); ++i) {
     (*table)[i] = load_be64(buf.data() + i * 8);
@@ -388,25 +409,86 @@ Result<void> Qcow2Device::quota_check(std::uint64_t end_cluster) const {
   return ok_result();
 }
 
-std::optional<std::uint64_t> Qcow2Device::find_free_run(std::uint64_t n) {
-  // Scan the mirror for n consecutive free clusters; the region beyond
-  // the current end of file counts as free.
+void Qcow2Device::index_free_runs() {
+  free_runs_.clear();
   const std::uint64_t size = refcounts_.size();
-  std::uint64_t run = 0;
-  for (std::uint64_t i = free_guess_; i < size; ++i) {
-    if (refcounts_[i] == 0) {
-      if (++run == n) return i + 1 - n;
-    } else {
-      run = 0;
+  std::uint64_t i = 0;
+  while (i < size) {
+    if (refcounts_[i] != 0) {
+      ++i;
+      continue;
+    }
+    std::uint64_t j = i + 1;
+    while (j < size && refcounts_[j] == 0) ++j;
+    free_runs_.emplace(i, j);
+    i = j;
+  }
+}
+
+void Qcow2Device::claim_run(std::uint64_t first, std::uint64_t end) {
+  // Remove [first, end) from the index; runs are maximal and disjoint, so
+  // at most the straddling edges survive as clipped remainders.
+  auto it = free_runs_.upper_bound(first);
+  if (it != free_runs_.begin()) --it;
+  while (it != free_runs_.end() && it->first < end) {
+    const std::uint64_t s = it->first;
+    const std::uint64_t e = it->second;
+    if (e <= first) {
+      ++it;
+      continue;
+    }
+    it = free_runs_.erase(it);
+    if (s < first) free_runs_.emplace(s, first);
+    if (e > end) {
+      free_runs_.emplace(end, e);
+      break;
     }
   }
-  // Append at (or straddling) the end.
-  return size - run;
+}
+
+void Qcow2Device::release_run(std::uint64_t first, std::uint64_t end) {
+  // Insert [first, end), merging with adjacent or overlapping runs so the
+  // index stays maximal.
+  auto next = free_runs_.lower_bound(first);
+  if (next != free_runs_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->second >= first) {
+      first = prev->first;
+      end = std::max(end, prev->second);
+      free_runs_.erase(prev);
+    }
+  }
+  while (next != free_runs_.end() && next->first <= end) {
+    end = std::max(end, next->second);
+    next = free_runs_.erase(next);
+  }
+  free_runs_.emplace(first, end);
+}
+
+std::optional<std::uint64_t> Qcow2Device::find_free_run(std::uint64_t n) {
+  // First fit over the free-run index, reproducing the placement of the
+  // legacy linear scan exactly: candidates are considered from
+  // max(run start, free_guess_) upwards, and the run touching the end of
+  // the file always fits (the file grows underneath it). The region
+  // beyond the end of the file counts as free.
+  const std::uint64_t size = refcounts_.size();
+  auto it = free_runs_.upper_bound(free_guess_);
+  if (it != free_runs_.begin()) {
+    auto p = std::prev(it);
+    if (p->second > free_guess_) it = p;
+  }
+  for (; it != free_runs_.end(); ++it) {
+    const std::uint64_t s = std::max(it->first, free_guess_);
+    if (it->second == size) return s;  // trailing run: append/straddle
+    if (it->second - s >= n) return s;
+  }
+  return size;  // append at the end of the file
 }
 
 sim::Task<Result<std::uint64_t>> Qcow2Device::alloc_clusters(
     std::uint64_t n) {
   assert(n > 0);
+  assert(alloc_mutex_.locked() && "allocation requires alloc_mutex_");
   if (!refcounts_loaded_) {
     VMIC_CO_TRY_VOID(co_await load_refcounts());
   }
@@ -419,15 +501,18 @@ sim::Task<Result<std::uint64_t>> Qcow2Device::alloc_clusters(
   const std::uint64_t old_size = refcounts_.size();
   if (end > refcounts_.size()) refcounts_.resize(end, 0);
   for (std::uint64_t i = idx; i < end; ++i) refcounts_[i] = 1;
+  claim_run(idx, end);
 
   // Make sure every touched refcount block exists, then persist entries.
   const std::uint64_t rpb = ly_.refcounts_per_block();
   for (std::uint64_t bi = idx / rpb; bi <= (end - 1) / rpb; ++bi) {
     auto r = co_await ensure_refcount_block(bi * rpb);
     if (!r.ok()) {
-      // Roll back the marks so the mirror stays consistent.
+      // Roll back the marks so the mirror stays consistent. The rare
+      // failure path just rebuilds the free-run index from scratch.
       for (std::uint64_t i = idx; i < end; ++i) refcounts_[i] = 0;
       refcounts_.resize(std::max(old_size, idx));
+      index_free_runs();
       co_return r.error();
     }
   }
@@ -454,6 +539,7 @@ sim::Task<Result<void>> Qcow2Device::ensure_refcount_block(
       quota_check(std::max<std::uint64_t>(b + 1, refcounts_.size())));
   if (b + 1 > refcounts_.size()) refcounts_.resize(b + 1, 0);
   refcounts_[b] = 1;
+  claim_run(b, b + 1);
   rt_[bi] = b * ly_.cluster_size();
 
   // If the new block's own cluster is covered by a different (absent)
@@ -517,6 +603,7 @@ sim::Task<Result<void>> Qcow2Device::grow_refcount_table(
       quota_check(std::max<std::uint64_t>(end, refcounts_.size())));
   if (end > refcounts_.size()) refcounts_.resize(end, 0);
   for (std::uint64_t i = idx; i < end; ++i) refcounts_[i] = 1;
+  claim_run(idx, end);
 
   const std::uint64_t old_off = h_.refcount_table_offset;
   const std::uint64_t old_clusters = h_.refcount_table_clusters;
@@ -551,6 +638,7 @@ sim::Task<Result<void>> Qcow2Device::grow_refcount_table(
   for (std::uint64_t i = 0; i < old_clusters; ++i) {
     refcounts_[old_first + i] = 0;
   }
+  release_run(old_first, old_first + old_clusters);
   VMIC_CO_TRY_VOID(co_await write_refcount_entries(old_first, old_clusters));
   free_guess_ = std::min(free_guess_, old_first);
   co_return ok_result();
@@ -601,29 +689,124 @@ sim::Task<Result<void>> Qcow2Device::read(std::uint64_t off,
     } else if (ext.kind == MapKind::zero) {
       std::memset(sub.data(), 0, sub.size());
     } else if (backing_) {
-      VMIC_CO_TRY_VOID(co_await read_from_backing(pos, sub));
       if (cache_ && cor_enabled_ && !read_only()) {
-        auto guard = co_await alloc_mutex_.lock();
-        obs::Span fill;
-        if (obs::tracing(hub_)) {
-          fill = hub_->tracer.span(track_, "qcow2.cor_fill", "qcow2",
-                                   "\"bytes\":" + std::to_string(sub.size()));
-        }
-        auto r = co_await cor_store(pos, sub);
-        if (!r.ok()) {
-          // Quota exhausted (or the medium failed): stop populating, but
-          // the guest read itself has succeeded (§4.3 "read").
-          cor_enabled_ = false;
-          ++stats_.cor_stopped;
-          bump(agg_.cor_stopped);
-          VMIC_LOG_DEBUG("cache population stopped: %s",
-                         std::string(to_string(r.error())).c_str());
-        }
+        VMIC_CO_TRY_VOID(co_await cor_fill_read(pos, sub));
+      } else {
+        VMIC_CO_TRY_VOID(co_await read_from_backing(pos, sub));
       }
     } else {
       std::memset(sub.data(), 0, sub.size());
     }
     pos += ext.len;
+  }
+  co_return ok_result();
+}
+
+sim::InlineMutex::Awaiter Qcow2Device::lock_alloc() noexcept {
+  if (alloc_mutex_.locked()) {
+    ++stats_.alloc_lock_waits;
+    bump(agg_.alloc_lock_waits);
+  }
+  return alloc_mutex_.lock();
+}
+
+void Qcow2Device::cor_stop(Errc cause) {
+  // Transition-once: the first quota (or medium) failure disables
+  // population for the rest of this open; concurrent fills that fail in
+  // the same window must not double-count the stop event (§4.3 "read" —
+  // the guest reads themselves all succeed).
+  if (!cor_enabled_) return;
+  cor_enabled_ = false;
+  ++stats_.cor_stopped;
+  bump(agg_.cor_stopped);
+  VMIC_LOG_DEBUG("cache population stopped: %s",
+                 std::string(to_string(cause)).c_str());
+}
+
+/// Unallocated-extent read on a CoR-active cache image. With single-flight
+/// enabled the first reader of a cluster range becomes the fill owner:
+/// it holds the range in cor_inflight_ across backing fetch + store, so
+/// fills to disjoint ranges proceed in parallel while overlapping readers
+/// queue and are served locally afterwards — exactly one backing fetch
+/// per cluster. Legacy mode reproduces the pre-range-lock behaviour:
+/// every reader fetches from the backing image first (duplicates
+/// possible), then fills serialise device-wide.
+sim::Task<Result<void>> Qcow2Device::cor_fill_read(
+    std::uint64_t pos, std::span<std::uint8_t> dst) {
+  if (!cor_single_flight_) {
+    VMIC_CO_TRY_VOID(co_await read_from_backing(pos, dst));
+    if (!cor_enabled_) co_return ok_result();
+    auto guard = co_await cor_inflight_.acquire(0, ~std::uint64_t{0});
+    if (guard.waited()) {
+      ++stats_.cor_inflight_waits;
+      bump(agg_.cor_inflight_waits);
+      if (!cor_enabled_) co_return ok_result();
+    }
+    obs::Span fill;
+    if (obs::tracing(hub_)) {
+      fill = hub_->tracer.span(track_, "qcow2.cor_fill", "qcow2",
+                               "\"bytes\":" + std::to_string(dst.size()));
+    }
+    auto r = co_await cor_store(pos, dst);
+    if (!r.ok()) cor_stop(r.error());
+    co_return ok_result();
+  }
+
+  const std::uint64_t cs = ly_.cluster_size();
+  const std::uint64_t lo = align_down(pos, cs);
+  const std::uint64_t hi = align_up(pos + dst.size(), cs);
+  auto guard = co_await cor_inflight_.acquire(lo, hi);
+  if (guard.waited()) {
+    // Someone filled (or tried to fill) our clusters while we queued:
+    // serve from the cache where possible instead of re-fetching.
+    ++stats_.cor_inflight_waits;
+    bump(agg_.cor_inflight_waits);
+    co_return co_await cor_read_after_wait(pos, dst);
+  }
+  VMIC_CO_TRY_VOID(co_await read_from_backing(pos, dst));
+  if (!cor_enabled_) co_return ok_result();  // stop raced with our fetch
+  obs::Span fill;
+  if (obs::tracing(hub_)) {
+    fill = hub_->tracer.span(track_, "qcow2.cor_fill", "qcow2",
+                             "\"bytes\":" + std::to_string(dst.size()));
+  }
+  auto r = co_await cor_store(pos, dst);
+  if (!r.ok()) {
+    // Quota exhausted (or the medium failed): stop populating, but the
+    // guest read itself has succeeded (§4.3 "read").
+    cor_stop(r.error());
+  }
+  co_return ok_result();
+}
+
+/// Re-examine a range whose fill we waited out (we now own the range
+/// lock): allocated clusters are served locally (the dedup win), anything
+/// still absent — the fill failed or stopped at the quota edge — falls
+/// back to the backing image with a fill attempt of our own.
+sim::Task<Result<void>> Qcow2Device::cor_read_after_wait(
+    std::uint64_t pos, std::span<std::uint8_t> dst) {
+  const std::uint64_t cs = ly_.cluster_size();
+  std::uint64_t p = pos;
+  const std::uint64_t end = pos + dst.size();
+  while (p < end) {
+    VMIC_CO_TRY(ext, co_await map_range(p, end - p));
+    auto sub = dst.subspan(p - pos, ext.len);
+    if (ext.kind == MapKind::data) {
+      VMIC_CO_TRY_VOID(co_await file_->pread(ext.host_off, sub));
+      const std::uint64_t clusters =
+          (align_up(p + ext.len, cs) - align_down(p, cs)) / cs;
+      stats_.cor_dedup_hits += clusters;
+      bump(agg_.cor_dedup_hits, clusters);
+    } else if (ext.kind == MapKind::zero) {
+      std::memset(sub.data(), 0, sub.size());
+    } else {
+      VMIC_CO_TRY_VOID(co_await read_from_backing(p, sub));
+      if (cor_enabled_ && !read_only()) {
+        auto r = co_await cor_store(p, sub);
+        if (!r.ok()) cor_stop(r.error());
+      }
+    }
+    p += ext.len;
   }
   co_return ok_result();
 }
@@ -655,7 +838,13 @@ sim::Task<Result<void>> Qcow2Device::cor_store(
     }
   }
 
-  // Allocate and store runs of clusters that are still absent.
+  // Allocate and store runs of clusters that are still absent. Metadata
+  // (L2/refcount mutation) happens under alloc_mutex_; the payload write
+  // does not, so disjoint fills overlap on the bulk transfer. The L2
+  // entries are published only after the data landed (publish-after-
+  // write) — no reader can map a cluster whose bytes are still in
+  // flight, and readers of *this* range are excluded by the range lock
+  // anyway.
   std::uint64_t pos = lo;
   bool stored = false;
   while (pos < hi && pos < h_.size) {
@@ -666,23 +855,38 @@ sim::Task<Result<void>> Qcow2Device::cor_store(
     }
     const std::uint64_t want = div_ceil(ext.len, cs);
     assert(want > 0);
-    // The L2 table is created before the data clusters: a quota failure
-    // then never strands an unreferenced (leaked) data cluster.
-    VMIC_CO_TRY_VOID(co_await ensure_l2_table(pos));
-    // All-or-nothing allocation first; near the quota edge, degrade to
-    // one-cluster steps so the cache fills up to the quota exactly
-    // ("the first n blocks are stored until the quota is reached", §3.2).
     std::uint64_t got = want;
-    auto host = co_await alloc_clusters(want);
-    if (!host.ok() && host.error() == Errc::no_space && want > 1) {
-      got = 1;
-      host = co_await alloc_clusters(1);
+    std::uint64_t host = 0;
+    {
+      auto guard = co_await lock_alloc();
+      // The L2 table is created before the data clusters: a quota failure
+      // then never strands an unreferenced (leaked) data cluster.
+      VMIC_CO_TRY_VOID(co_await ensure_l2_table(pos));
+      // All-or-nothing allocation first; near the quota edge, degrade to
+      // one-cluster steps so the cache fills up to the quota exactly
+      // ("the first n blocks are stored until the quota is reached",
+      // §3.2).
+      auto r = co_await alloc_clusters(want);
+      if (!r.ok() && r.error() == Errc::no_space && want > 1) {
+        got = 1;
+        r = co_await alloc_clusters(1);
+      }
+      if (!r.ok()) co_return r.error();
+      host = *r;
     }
-    if (!host.ok()) co_return host.error();
     const std::uint64_t nbytes = got * cs;
-    VMIC_CO_TRY_VOID(co_await file_->pwrite(
-        *host, std::span(buf.data() + (pos - lo), nbytes)));
-    VMIC_CO_TRY_VOID(co_await set_l2_entries(pos, *host, got));
+    auto wr = co_await file_->pwrite(
+        host, std::span(buf.data() + (pos - lo), nbytes));
+    {
+      auto guard = co_await lock_alloc();
+      if (!wr.ok()) {
+        // The data never landed: release the clusters (nothing leaks)
+        // and surface the medium error.
+        VMIC_CO_TRY_VOID(co_await free_clusters(host, got));
+        co_return wr.error();
+      }
+      VMIC_CO_TRY_VOID(co_await set_l2_entries(pos, host, got));
+    }
     data_clusters_ += got;
     stats_.cor_clusters += got;
     stats_.cor_bytes += nbytes;
@@ -771,11 +975,20 @@ sim::Task<Result<void>> Qcow2Device::cow_write(
     const std::uint64_t chunk =
         std::min(hi - pos, l2_span - (pos & (l2_span - 1)));
     const std::uint64_t n = chunk / cs;
-    VMIC_CO_TRY_VOID(co_await ensure_l2_table(pos));
-    VMIC_CO_TRY(host, co_await alloc_clusters(n));
+    std::uint64_t host = 0;
+    {
+      auto guard = co_await lock_alloc();
+      VMIC_CO_TRY_VOID(co_await ensure_l2_table(pos));
+      auto r = co_await alloc_clusters(n);
+      if (!r.ok()) co_return r.error();
+      host = *r;
+    }
     VMIC_CO_TRY_VOID(co_await file_->pwrite(
         host, std::span(buf.data() + (pos - lo), chunk)));
-    VMIC_CO_TRY_VOID(co_await set_l2_entries(pos, host, n));
+    {
+      auto guard = co_await lock_alloc();
+      VMIC_CO_TRY_VOID(co_await set_l2_entries(pos, host, n));
+    }
     data_clusters_ += n;
     pos += chunk;
   }
@@ -788,6 +1001,7 @@ sim::Task<Result<void>> Qcow2Device::cow_write(
 
 sim::Task<Result<void>> Qcow2Device::free_clusters(std::uint64_t host_off,
                                                    std::uint64_t count) {
+  assert(alloc_mutex_.locked() && "freeing requires alloc_mutex_");
   const std::uint64_t first = host_off / ly_.cluster_size();
   if (!refcounts_loaded_) {
     VMIC_CO_TRY_VOID(co_await load_refcounts());
@@ -797,6 +1011,7 @@ sim::Task<Result<void>> Qcow2Device::free_clusters(std::uint64_t host_off,
       co_return Errc::corrupt;
     }
     --refcounts_[i];
+    if (refcounts_[i] == 0) release_run(i, i + 1);
   }
   VMIC_CO_TRY_VOID(co_await write_refcount_entries(first, count));
   free_guess_ = std::min(free_guess_, first);
@@ -842,19 +1057,25 @@ sim::Task<Result<void>> Qcow2Device::write_zeroes(std::uint64_t off,
     VMIC_CO_TRY_VOID(co_await write(off, zeros));
   }
   // Whole clusters: flip to the zero flag, releasing any data clusters.
-  std::uint64_t pos = lo;
-  while (pos < hi) {
-    VMIC_CO_TRY(ext, co_await map_range(pos, hi - pos));
-    const std::uint64_t clusters = div_ceil(ext.len, cs);
-    if (ext.kind == MapKind::data) {
-      VMIC_CO_TRY_VOID(co_await free_clusters(ext.host_off, clusters));
-      data_clusters_ -= clusters;
+  // Metadata mutation throughout — hold the allocator mutex for the loop
+  // (the head/tail write() fragments above/below must stay outside it:
+  // cow_write acquires it itself).
+  {
+    auto guard = co_await lock_alloc();
+    std::uint64_t pos = lo;
+    while (pos < hi) {
+      VMIC_CO_TRY(ext, co_await map_range(pos, hi - pos));
+      const std::uint64_t clusters = div_ceil(ext.len, cs);
+      if (ext.kind == MapKind::data) {
+        VMIC_CO_TRY_VOID(co_await free_clusters(ext.host_off, clusters));
+        data_clusters_ -= clusters;
+      }
+      if (ext.kind != MapKind::zero) {
+        // Extents from map_range never cross an L2 boundary.
+        VMIC_CO_TRY_VOID(co_await set_l2_raw(pos, kFlagZero, clusters));
+      }
+      pos += clusters * cs;
     }
-    if (ext.kind != MapKind::zero) {
-      // Extents from map_range never cross an L2 boundary.
-      VMIC_CO_TRY_VOID(co_await set_l2_raw(pos, kFlagZero, clusters));
-    }
-    pos += clusters * cs;
   }
   // Tail fragment.
   if (off + len > hi) {
@@ -880,6 +1101,7 @@ sim::Task<Result<void>> Qcow2Device::discard(std::uint64_t off,
     // backing data; leave zero clusters instead (QEMU does the same).
     co_return co_await write_zeroes(lo, hi - lo);
   }
+  auto guard = co_await lock_alloc();
   std::uint64_t pos = lo;
   while (pos < hi) {
     VMIC_CO_TRY(ext, co_await map_range(pos, hi - pos));
@@ -904,6 +1126,7 @@ sim::Task<Result<void>> Qcow2Device::resize(std::uint64_t new_size) {
   const std::uint32_t needed = ly_.l1_entries_for(new_size);
   if (needed > l1_.size()) {
     // Relocate the L1 table into a larger run of clusters.
+    auto guard = co_await lock_alloc();
     const std::uint64_t cs = ly_.cluster_size();
     const std::uint64_t new_clusters =
         div_ceil(std::uint64_t{needed} * 8, cs);

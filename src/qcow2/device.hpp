@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -107,6 +108,16 @@ class Qcow2Device final : public block::BlockDevice {
   /// False once a CoR write hit the quota (no further population).
   [[nodiscard]] bool cor_active() const noexcept { return cor_enabled_; }
 
+  /// Per-cluster-range single-flight CoR fills (default on): readers of an
+  /// in-flight cluster wait for the fill and are served locally. Off =
+  /// legacy behaviour — every reader fetches from the backing image
+  /// (duplicates possible) and fills serialise device-wide. Kept as an
+  /// ablation baseline for bench_concurrency_cor.
+  void set_cor_single_flight(bool on) noexcept { cor_single_flight_ = on; }
+  [[nodiscard]] bool cor_single_flight() const noexcept {
+    return cor_single_flight_;
+  }
+
   // --- format introspection ----------------------------------------------
   [[nodiscard]] std::uint32_t cluster_bits() const noexcept {
     return h_.cluster_bits;
@@ -180,6 +191,9 @@ class Qcow2Device final : public block::BlockDevice {
     obs::Counter* cor_clusters = nullptr;
     obs::Counter* cor_bytes = nullptr;
     obs::Counter* cor_stopped = nullptr;
+    obs::Counter* cor_inflight_waits = nullptr;
+    obs::Counter* cor_dedup_hits = nullptr;
+    obs::Counter* alloc_lock_waits = nullptr;
   };
   static void bump(obs::Counter* c, std::uint64_t n = 1) {
     if (c != nullptr) c->inc(n);
@@ -226,9 +240,24 @@ class Qcow2Device final : public block::BlockDevice {
   [[nodiscard]] std::optional<std::uint64_t> find_free_run(std::uint64_t n);
   [[nodiscard]] Result<void> quota_check(std::uint64_t end_cluster) const;
 
+  // Free-run index maintenance (mirror of zero entries in refcounts_).
+  void claim_run(std::uint64_t first, std::uint64_t end);
+  void release_run(std::uint64_t first, std::uint64_t end);
+  void index_free_runs();
+
+  /// Contention-counting acquisition of alloc_mutex_.
+  [[nodiscard]] sim::InlineMutex::Awaiter lock_alloc() noexcept;
+
   // Copy-on-read population (cache images).
+  sim::Task<Result<void>> cor_fill_read(std::uint64_t pos,
+                                        std::span<std::uint8_t> dst);
+  sim::Task<Result<void>> cor_read_after_wait(std::uint64_t pos,
+                                              std::span<std::uint8_t> dst);
   sim::Task<Result<void>> cor_store(std::uint64_t vaddr,
                                     std::span<const std::uint8_t> data);
+  /// Disable population permanently for this open (first failure wins;
+  /// concurrent failures count once).
+  void cor_stop(Errc cause);
 
   // Copy-on-write allocation for guest writes; `fill_from_backing` is
   // false when overwriting zero-flagged clusters (edges fill with zeros).
@@ -258,11 +287,23 @@ class Qcow2Device final : public block::BlockDevice {
   std::vector<std::uint16_t> refcounts_;  // per-host-cluster mirror
   bool refcounts_loaded_ = false;
   std::uint64_t free_guess_ = 0;
+  /// Maximal runs of free clusters (first -> end, exclusive), kept in sync
+  /// with refcounts_ so find_free_run is O(log n + runs skipped) instead
+  /// of a linear rescan — the old scan degraded to O(file clusters) per
+  /// allocation after any free rewound free_guess_ (refcount-table growth
+  /// does exactly that).
+  std::map<std::uint64_t, std::uint64_t> free_runs_;
   std::uint64_t data_clusters_ = 0;
   std::uint64_t l2_clusters_ = 0;
-  /// Serialises allocating paths (CoR) when several coroutines share this
-  /// device — e.g. guest reads racing boot-time prefetch.
+  /// Serialises metadata mutation (cluster allocation/free, L2 publish)
+  /// when several coroutines share this device — e.g. guest reads racing
+  /// boot-time prefetch. Payload writes happen outside it.
   sim::InlineMutex alloc_mutex_;
+  /// In-flight CoR fill tracking: cluster ranges being populated. The
+  /// fill owner holds its range; overlapping readers queue and are served
+  /// locally afterwards (single-flight, QEMU-style in-flight COW).
+  sim::RangeLock cor_inflight_;
+  bool cor_single_flight_ = true;
 
   obs::Hub* hub_ = nullptr;
   std::uint32_t track_ = 0;

@@ -2,7 +2,10 @@
 
 #include <cassert>
 #include <coroutine>
+#include <cstdint>
 #include <deque>
+#include <map>
+#include <vector>
 
 #include "sim/env.hpp"
 
@@ -172,6 +175,131 @@ class InlineMutex {
 
 inline InlineLockGuard::~InlineLockGuard() {
   if (m_ != nullptr) m_->unlock();
+}
+
+class RangeLock;
+
+/// RAII release for RangeLock; returned by `co_await lock.acquire(lo, hi)`.
+/// `waited()` tells the owner whether it had to queue behind an
+/// overlapping holder — the single-flight signal: a waiter should
+/// re-examine shared state (it may have been filled meanwhile) instead of
+/// repeating the holder's work.
+class [[nodiscard]] RangeGuard {
+ public:
+  RangeGuard() = default;
+  RangeGuard(RangeLock* l, std::uint64_t lo, std::uint64_t hi,
+             bool waited) noexcept
+      : l_(l), lo_(lo), hi_(hi), waited_(waited) {}
+  RangeGuard(RangeGuard&& o) noexcept
+      : l_(o.l_), lo_(o.lo_), hi_(o.hi_), waited_(o.waited_) {
+    o.l_ = nullptr;
+  }
+  RangeGuard(const RangeGuard&) = delete;
+  RangeGuard& operator=(const RangeGuard&) = delete;
+  RangeGuard& operator=(RangeGuard&&) = delete;
+  ~RangeGuard();
+
+  /// True when acquisition had to wait for an overlapping holder.
+  [[nodiscard]] bool waited() const noexcept { return waited_; }
+
+ private:
+  RangeLock* l_ = nullptr;
+  std::uint64_t lo_ = 0;
+  std::uint64_t hi_ = 0;
+  bool waited_ = false;
+};
+
+/// Exclusive lock over half-open [lo, hi) ranges, the in-flight map behind
+/// single-flight fills: disjoint ranges are held concurrently, overlapping
+/// acquisitions queue FIFO and are granted (deterministically, in arrival
+/// order) as soon as no held range overlaps theirs. Environment-free like
+/// InlineMutex — waiters resume inline from release(), so it works in
+/// host-side (sync_wait) contexts where there is no event queue. Used by
+/// the QCOW2 driver to coalesce concurrent copy-on-read fills per cluster
+/// range (QEMU-style in-flight COW tracking).
+class RangeLock {
+ public:
+  RangeLock() = default;
+  RangeLock(const RangeLock&) = delete;
+  RangeLock& operator=(const RangeLock&) = delete;
+
+  struct Awaiter {
+    RangeLock& l;
+    std::uint64_t lo, hi;
+    bool waited = false;
+
+    bool await_ready() {
+      if (l.overlaps(lo, hi)) return false;
+      l.held_.emplace(lo, hi);
+      return true;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      waited = true;
+      l.waiters_.push_back({lo, hi, h});
+    }
+    RangeGuard await_resume() noexcept {
+      // On the slow path release() inserted our range before resuming us.
+      return RangeGuard{&l, lo, hi, waited};
+    }
+  };
+
+  /// Acquire exclusive ownership of [lo, hi); hi must be > lo.
+  [[nodiscard]] Awaiter acquire(std::uint64_t lo, std::uint64_t hi) noexcept {
+    assert(lo < hi);
+    return Awaiter{*this, lo, hi};
+  }
+
+  [[nodiscard]] std::size_t held_count() const noexcept {
+    return held_.size();
+  }
+  [[nodiscard]] std::size_t waiting_count() const noexcept {
+    return waiters_.size();
+  }
+  [[nodiscard]] bool overlaps(std::uint64_t lo, std::uint64_t hi) const {
+    auto it = held_.upper_bound(lo);  // first held range starting past lo
+    if (it != held_.begin()) {
+      auto p = std::prev(it);
+      if (p->second > lo) return true;  // predecessor reaches into [lo, hi)
+    }
+    return it != held_.end() && it->first < hi;
+  }
+
+ private:
+  friend class RangeGuard;
+
+  struct Waiter {
+    std::uint64_t lo, hi;
+    std::coroutine_handle<> h;
+  };
+
+  void release(std::uint64_t lo, std::uint64_t hi) {
+    auto it = held_.find(lo);
+    assert(it != held_.end() && it->second == hi);
+    (void)hi;
+    held_.erase(it);
+    // FIFO grant pass: admit every queued waiter whose range is now clear,
+    // marking each range held *before* resuming anyone so later waiters in
+    // the same pass observe the grants. Resume after the scan — resuming
+    // inline mid-scan could re-enter release() and invalidate iterators.
+    std::vector<std::coroutine_handle<>> ready;
+    for (auto w = waiters_.begin(); w != waiters_.end();) {
+      if (!overlaps(w->lo, w->hi)) {
+        held_.emplace(w->lo, w->hi);
+        ready.push_back(w->h);
+        w = waiters_.erase(w);
+      } else {
+        ++w;
+      }
+    }
+    for (auto h : ready) h.resume();
+  }
+
+  std::map<std::uint64_t, std::uint64_t> held_;  // lo -> hi, disjoint
+  std::deque<Waiter> waiters_;
+};
+
+inline RangeGuard::~RangeGuard() {
+  if (l_ != nullptr) l_->release(lo_, hi_);
 }
 
 /// Counting semaphore with FIFO wakeup.

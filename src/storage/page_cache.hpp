@@ -63,12 +63,13 @@ class PageCache {
       lru_.splice(lru_.begin(), lru_, it->second);
       return;
     }
+    if (block_ > capacity_) return;  // degenerate: one block cannot ever
+                                     // fit — do not evict the resident set
     while (used_bytes() + block_ > capacity_ && !lru_.empty()) {
       map_.erase(lru_.back());
       lru_.pop_back();
       ++evictions_;
     }
-    if (block_ > capacity_) return;  // degenerate: cache too small
     lru_.push_front(key);
     map_[key] = lru_.begin();
   }

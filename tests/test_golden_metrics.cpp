@@ -11,11 +11,27 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <deque>
+#include <span>
+#include <vector>
+
 #include "cloud/engine.hpp"
 #include "cluster/scenario.hpp"
+#include "qcow2/chain.hpp"
+#include "qcow2/device.hpp"
+#include "sim/env.hpp"
+#include "sim/run.hpp"
+#include "storage/disk.hpp"
+#include "storage/sim_directory.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace vmic::cluster {
 namespace {
+
+using vmic::literals::operator""_KiB;
+using vmic::literals::operator""_MiB;
 
 ClusterParams fig2_params() {
   ClusterParams cp;
@@ -166,6 +182,98 @@ TEST(GoldenMetrics, CloudSmallScenarioPinnedValues) {
   const obs::MetricPoint* hist = m.find("cloud.deploy_seconds");
   ASSERT_NE(hist, nullptr);
   EXPECT_EQ(hist->count, static_cast<std::uint64_t>(r.completed));
+}
+
+// --------------------------------------------------------------------------
+// Pinned concurrent copy-on-read scenario. 16 readers race on one cold
+// cluster, then 8 more populate disjoint clusters, over a sim-timed
+// medium. Pins the single-flight protocol's observable behaviour — fetch
+// counts, wait/dedup counters, allocator contention, and the final sim
+// clock. Any drift means the range-lock/fill protocol changed timing or
+// I/O behaviour.
+// --------------------------------------------------------------------------
+
+sim::Task<bool> gm_pwrite_all(io::BlockBackend& be,
+                              std::span<const std::uint8_t> data) {
+  auto r = co_await be.pwrite(0, data);
+  co_return r.ok();
+}
+
+sim::Task<void> gm_reader(block::BlockDevice& dev, std::uint64_t off,
+                          std::span<std::uint8_t> dst, bool& ok) {
+  auto r = co_await dev.read(off, dst);
+  ok = r.ok();
+}
+
+TEST(GoldenMetrics, ConcurrentCorPinnedValues) {
+  constexpr std::uint64_t kSize = 4_MiB;
+  obs::Hub hub;
+  sim::SimEnv env;
+  storage::MemMedium mem{env, {.latency_us = 200.0, .bandwidth_bps = 200e6}};
+  storage::SimDirectory dir{mem};
+
+  std::vector<std::uint8_t> data(kSize);
+  Rng rng{42};
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  {
+    auto be = dir.create_file("base.img");
+    ASSERT_TRUE(be.ok());
+    ASSERT_TRUE(sim::run_sync(env, gm_pwrite_all(**be, data)));
+  }
+  ASSERT_TRUE(sim::run_sync(env, qcow2::create_cache_image(
+                                     dir, "vmi.cache", "base.img", 4_MiB,
+                                     {.cluster_bits = 16, .virtual_size = 0}))
+                  .ok());
+  ASSERT_TRUE(
+      sim::run_sync(env, qcow2::create_cow_image(dir, "vm.cow", "vmi.cache"))
+          .ok());
+  auto opened = sim::run_sync(
+      env, qcow2::open_image(dir, "vm.cow", /*writable=*/true,
+                             /*cache_backing_ro=*/false, &hub));
+  ASSERT_TRUE(opened.ok());
+  block::DevicePtr cow = std::move(*opened);
+
+  // Phase 1: 16 readers race on the same cold 64 KiB cluster.
+  std::vector<std::vector<std::uint8_t>> bufs(24);
+  std::deque<bool> oks(24, false);
+  for (int i = 0; i < 16; ++i) {
+    bufs[i].resize(64_KiB);
+    env.spawn(gm_reader(*cow, 0, bufs[i], oks[i]));
+  }
+  env.run();
+  // Phase 2: 8 readers populate disjoint cold clusters concurrently.
+  for (int i = 0; i < 8; ++i) {
+    bufs[16 + i].resize(64_KiB);
+    env.spawn(
+        gm_reader(*cow, 1_MiB + i * 256_KiB, bufs[16 + i], oks[16 + i]));
+  }
+  env.run();
+
+  for (int i = 0; i < 24; ++i) {
+    ASSERT_TRUE(oks[i]) << "reader " << i;
+    const std::uint64_t off = i < 16 ? 0 : 1_MiB + (i - 16) * 256_KiB;
+    EXPECT_EQ(0, std::memcmp(bufs[i].data(), data.data() + off, 64_KiB))
+        << "reader " << i;
+  }
+
+  const auto m = hub.registry.snapshot();
+  // Phase 1: one fetch, 15 queued behind it and served locally; phase 2:
+  // eight independent fetches, no waits.
+  const obs::MetricPoint* br =
+      m.find("qcow2.backing_reads", {{"image", "cache"}});
+  ASSERT_NE(br, nullptr);
+  EXPECT_EQ(br->counter, 9u);
+  const obs::MetricPoint* bfb =
+      m.find("qcow2.bytes_from_backing", {{"image", "cache"}});
+  ASSERT_NE(bfb, nullptr);
+  EXPECT_EQ(bfb->counter, 9u * 64_KiB);
+  EXPECT_EQ(m.counter_total("qcow2.cor.inflight_waits"), 15u);
+  EXPECT_EQ(m.counter_total("qcow2.cor.dedup_hits"), 15u);
+  EXPECT_EQ(m.counter_total("qcow2.cor_clusters"), 9u);
+  EXPECT_EQ(m.counter_total("qcow2.cor_stopped"), 0u);
+  // Captured from a reference run; pins allocator contention and timing.
+  EXPECT_EQ(m.counter_total("qcow2.alloc_lock_waits"), 15u);
+  EXPECT_EQ(env.now(), 44519441u);
 }
 
 TEST(GoldenMetrics, TracingDoesNotPerturbTiming) {

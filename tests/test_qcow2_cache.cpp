@@ -4,13 +4,18 @@
 // the cluster-granularity traffic amplification of §5.1/Fig 9.
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <string>
 #include <vector>
 
 #include "io/mem_store.hpp"
 #include "qcow2/chain.hpp"
 #include "qcow2/device.hpp"
+#include "sim/env.hpp"
+#include "sim/run.hpp"
 #include "sim/task.hpp"
+#include "storage/disk.hpp"
+#include "storage/sim_directory.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
@@ -318,6 +323,180 @@ INSTANTIATE_TEST_SUITE_P(
       return "cb" + std::to_string(std::get<0>(info.param)) + "_q" +
              std::to_string(std::get<1>(info.param)) + "mb";
     });
+
+// ---------------------------------------------------------------------------
+// Concurrent copy-on-read: K readers racing on one cache image, with
+// sim-timed I/O (SimDirectory over a MemMedium) so reads genuinely
+// overlap. Covers the single-flight in-flight-fill protocol, the legacy
+// (duplicate-fetch) ablation mode, determinism, and the quota edge.
+// ---------------------------------------------------------------------------
+
+struct ConcurrentResult {
+  std::uint64_t backing_reads = 0;
+  std::uint64_t inflight_waits = 0;
+  std::uint64_t dedup_hits = 0;
+  std::uint64_t bytes_from_backing = 0;
+  std::uint64_t cor_clusters = 0;
+  std::uint64_t cor_stopped = 0;
+  std::uint64_t file_bytes = 0;
+  sim::SimTime makespan = 0;
+  bool bytes_ok = false;
+  bool check_clean = false;
+
+  bool operator==(const ConcurrentResult&) const = default;
+};
+
+sim::Task<bool> write_file(io::BlockBackend& be,
+                           std::span<const std::uint8_t> data) {
+  auto r = co_await be.pwrite(0, data);
+  co_return r.ok();
+}
+
+sim::Task<void> reader_task(block::BlockDevice& dev, std::uint64_t off,
+                            std::span<std::uint8_t> dst, bool& ok) {
+  auto r = co_await dev.read(off, dst);
+  ok = r.ok();
+}
+
+/// Boot a base <- cache <- cow chain on a simulated medium and race `k`
+/// readers, reader i reading `read_len` bytes at offset i * stride.
+ConcurrentResult run_concurrent_readers(bool single_flight, int k,
+                                        std::uint64_t stride,
+                                        std::uint64_t read_len,
+                                        std::uint64_t quota = 4_MiB,
+                                        std::uint32_t cache_bits = 16) {
+  constexpr std::uint64_t kSize = 8_MiB;
+  constexpr std::uint64_t kSeed = 77;
+  ConcurrentResult res;
+
+  sim::SimEnv env;
+  storage::MemMedium mem{env, {.latency_us = 200.0, .bandwidth_bps = 200e6}};
+  storage::SimDirectory dir{mem};
+
+  const auto expect = pattern_bytes(kSeed, kSize);
+  {
+    auto be = dir.create_file("base.img");
+    EXPECT_TRUE(be.ok());
+    if (!be.ok()) return res;
+    EXPECT_TRUE(sim::run_sync(env, write_file(**be, expect)));
+  }
+  auto c = sim::run_sync(
+      env, create_cache_image(dir, "vmi.cache", "base.img", quota,
+                              {.cluster_bits = cache_bits, .virtual_size = 0}));
+  EXPECT_TRUE(c.ok()) << to_string(c.error());
+  auto w = sim::run_sync(env, create_cow_image(dir, "vm.cow", "vmi.cache"));
+  EXPECT_TRUE(w.ok());
+  auto opened = sim::run_sync(env, open_image(dir, "vm.cow"));
+  EXPECT_TRUE(opened.ok()) << to_string(opened.error());
+  if (!opened.ok()) return res;
+  DevicePtr cow = std::move(*opened);
+  for (block::BlockDevice* b = cow.get(); b != nullptr; b = b->backing())
+    if (auto* q = dynamic_cast<Qcow2Device*>(b))
+      q->set_cor_single_flight(single_flight);
+  auto* cache = dynamic_cast<Qcow2Device*>(cow->backing());
+  EXPECT_NE(cache, nullptr);
+  if (cache == nullptr) return res;
+
+  std::vector<std::vector<std::uint8_t>> bufs(k);
+  std::deque<bool> oks(k, false);  // deque: real bool lvalues, not proxies
+  const sim::SimTime start = env.now();
+  for (int i = 0; i < k; ++i) {
+    bufs[i].resize(read_len);
+    env.spawn(reader_task(*cow, i * stride, bufs[i], oks[i]));
+  }
+  env.run();
+  res.makespan = env.now() - start;
+
+  res.bytes_ok = true;
+  for (int i = 0; i < k; ++i) {
+    if (!oks[i] ||
+        std::memcmp(bufs[i].data(), expect.data() + i * stride, read_len) != 0)
+      res.bytes_ok = false;
+  }
+  const auto& st = cache->stats();
+  res.backing_reads = st.backing_reads;
+  res.inflight_waits = st.cor_inflight_waits;
+  res.dedup_hits = st.cor_dedup_hits;
+  res.bytes_from_backing = st.bytes_from_backing;
+  res.cor_clusters = st.cor_clusters;
+  res.cor_stopped = st.cor_stopped;
+  res.file_bytes = cache->file_bytes();
+  auto chk = sim::run_sync(env, cache->check());
+  EXPECT_TRUE(chk.ok());
+  res.check_clean = chk.ok() && chk->clean();
+  return res;
+}
+
+TEST(ConcurrentCoR, SameClusterSingleFlightFetchesOnce) {
+  // 16 readers of the same 64 KiB cluster: exactly one backing fetch; the
+  // other 15 queue on the in-flight range and are served locally.
+  const auto r = run_concurrent_readers(/*single_flight=*/true, 16,
+                                        /*stride=*/0, /*read_len=*/64_KiB);
+  EXPECT_TRUE(r.bytes_ok);
+  EXPECT_TRUE(r.check_clean);
+  EXPECT_EQ(r.backing_reads, 1u);
+  EXPECT_EQ(r.bytes_from_backing, 64_KiB);
+  EXPECT_EQ(r.inflight_waits, 15u);
+  EXPECT_EQ(r.dedup_hits, 15u);
+  EXPECT_EQ(r.cor_clusters, 1u);
+  EXPECT_EQ(r.cor_stopped, 0u);
+}
+
+TEST(ConcurrentCoR, LegacyModeDuplicatesFetches) {
+  // Ablation baseline: with single-flight off every reader fetches the
+  // cluster from the base for itself; only one copy lands in the cache.
+  const auto r = run_concurrent_readers(/*single_flight=*/false, 16,
+                                        /*stride=*/0, /*read_len=*/64_KiB);
+  EXPECT_TRUE(r.bytes_ok);
+  EXPECT_TRUE(r.check_clean);
+  EXPECT_EQ(r.backing_reads, 16u);
+  EXPECT_EQ(r.bytes_from_backing, 16 * 64_KiB);
+  EXPECT_EQ(r.dedup_hits, 0u);
+  EXPECT_EQ(r.cor_clusters, 1u);
+}
+
+TEST(ConcurrentCoR, DisjointClustersNoWaitsAndFasterThanLegacy) {
+  // 8 readers on 8 different clusters: no contention, one fetch each, and
+  // the cold population finishes sooner than the serialized legacy mode.
+  const auto on = run_concurrent_readers(/*single_flight=*/true, 8,
+                                         /*stride=*/1_MiB, /*read_len=*/64_KiB);
+  EXPECT_TRUE(on.bytes_ok);
+  EXPECT_TRUE(on.check_clean);
+  EXPECT_EQ(on.backing_reads, 8u);
+  EXPECT_EQ(on.inflight_waits, 0u);
+  EXPECT_EQ(on.dedup_hits, 0u);
+  EXPECT_EQ(on.cor_clusters, 8u);
+
+  const auto off = run_concurrent_readers(/*single_flight=*/false, 8,
+                                          /*stride=*/1_MiB,
+                                          /*read_len=*/64_KiB);
+  EXPECT_TRUE(off.bytes_ok);
+  EXPECT_EQ(off.cor_clusters, 8u);
+  EXPECT_LT(on.makespan, off.makespan);
+}
+
+TEST(ConcurrentCoR, DeterministicAcrossRuns) {
+  const auto a = run_concurrent_readers(/*single_flight=*/true, 12,
+                                        /*stride=*/256_KiB, /*read_len=*/96_KiB);
+  const auto b = run_concurrent_readers(/*single_flight=*/true, 12,
+                                        /*stride=*/256_KiB, /*read_len=*/96_KiB);
+  EXPECT_TRUE(a.bytes_ok);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(ConcurrentCoR, QuotaEdgeUnderConcurrency) {
+  // 16 racing readers want 1 MiB of 4 KiB clusters but the cache may only
+  // grow to 256 KiB: the quota stop must fire exactly once, the file must
+  // respect the quota, and every reader still gets correct bytes.
+  const auto r = run_concurrent_readers(/*single_flight=*/true, 16,
+                                        /*stride=*/64_KiB, /*read_len=*/64_KiB,
+                                        /*quota=*/256_KiB, /*cache_bits=*/12);
+  EXPECT_TRUE(r.bytes_ok);
+  EXPECT_TRUE(r.check_clean);
+  EXPECT_EQ(r.cor_stopped, 1u);
+  EXPECT_LE(r.file_bytes, 256_KiB);
+  EXPECT_GT(r.backing_reads, 0u);
+}
 
 }  // namespace
 }  // namespace vmic::qcow2

@@ -216,6 +216,75 @@ TEST(Semaphore, LimitsConcurrency) {
 }
 
 // --------------------------------------------------------------------------
+// RangeLock
+// --------------------------------------------------------------------------
+
+Task<void> range_user(SimEnv& env, RangeLock& rl, std::uint64_t lo,
+                      std::uint64_t hi, SimTime hold, std::vector<SimTime>& done,
+                      std::size_t id, std::vector<bool>& waited) {
+  auto guard = co_await rl.acquire(lo, hi);
+  waited[id] = guard.waited();
+  co_await env.delay(hold);
+  done[id] = env.now();
+}
+
+TEST(RangeLock, DisjointRangesProceedInParallel) {
+  SimEnv env;
+  RangeLock rl;
+  std::vector<SimTime> done(4, 0);
+  std::vector<bool> waited(4, true);
+  for (std::size_t i = 0; i < 4; ++i)
+    env.spawn(range_user(env, rl, i * 10, i * 10 + 10, 100, done, i, waited));
+  env.run();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(done[i], 100) << "user " << i;
+    EXPECT_FALSE(waited[i]) << "user " << i;
+  }
+  EXPECT_EQ(rl.held_count(), 0u);
+  EXPECT_EQ(rl.waiting_count(), 0u);
+}
+
+TEST(RangeLock, OverlappingAcquisitionsSerializeFifo) {
+  SimEnv env;
+  RangeLock rl;
+  std::vector<SimTime> done(3, 0);
+  std::vector<bool> waited(3, false);
+  env.spawn(range_user(env, rl, 0, 10, 100, done, 0, waited));
+  env.spawn(range_user(env, rl, 5, 15, 100, done, 1, waited));
+  env.spawn(range_user(env, rl, 8, 9, 100, done, 2, waited));
+  std::size_t held_mid = 0, waiting_mid = 0;
+  env.call_at(10, [&] {
+    held_mid = rl.held_count();
+    waiting_mid = rl.waiting_count();
+  });
+  env.run();
+  EXPECT_EQ(done, (std::vector<SimTime>{100, 200, 300}));
+  EXPECT_FALSE(waited[0]);
+  EXPECT_TRUE(waited[1]);
+  EXPECT_TRUE(waited[2]);
+  EXPECT_EQ(held_mid, 1u);
+  EXPECT_EQ(waiting_mid, 2u);
+}
+
+TEST(RangeLock, WaiterNeedsAllOverlapsClear) {
+  SimEnv env;
+  RangeLock rl;
+  std::vector<SimTime> done(3, 0);
+  std::vector<bool> waited(3, false);
+  env.spawn(range_user(env, rl, 0, 10, 50, done, 0, waited));    // A
+  env.spawn(range_user(env, rl, 10, 20, 150, done, 1, waited));  // B
+  env.spawn(range_user(env, rl, 5, 15, 10, done, 2, waited));    // C
+  env.run();
+  // C overlaps both A (done at 50) and B (done at 150); it can only start
+  // once the later of the two releases.
+  EXPECT_EQ(done[0], 50);
+  EXPECT_EQ(done[1], 150);
+  EXPECT_EQ(done[2], 160);
+  EXPECT_TRUE(waited[2]);
+  EXPECT_EQ(rl.held_count(), 0u);
+}
+
+// --------------------------------------------------------------------------
 // Determinism
 // --------------------------------------------------------------------------
 

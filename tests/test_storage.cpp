@@ -133,6 +133,18 @@ TEST(PageCache, UsedNeverExceedsCapacity) {
   EXPECT_LE(pc.used_bytes(), pc.capacity());
 }
 
+TEST(PageCache, OversizedBlockNeverInsertsOrEvicts) {
+  // Degenerate configuration: a single block is larger than the whole
+  // cache. insert() must refuse outright rather than evict the (empty)
+  // resident set and then over-commit.
+  PageCache pc{32_KiB, 64_KiB};
+  pc.insert(0);
+  pc.insert(64_KiB);
+  EXPECT_EQ(pc.used_bytes(), 0u);
+  EXPECT_EQ(pc.evictions(), 0u);
+  EXPECT_FALSE(pc.lookup(0));
+}
+
 // ---------------------------------------------------------------------------
 // CachedMedium
 // ---------------------------------------------------------------------------
