@@ -20,6 +20,7 @@ struct Row {
   ArrivalProcess process;
   int crashes;
   int outages;
+  bool salvage = true;
 };
 
 CloudResult run_row(const Row& row, double hours) {
@@ -29,6 +30,7 @@ CloudResult run_row(const Row& row, double hours) {
   cfg.workload.process = row.process;
   // Keep the flash inside short horizons.
   cfg.workload.flash_at_s = cfg.horizon_s * 0.4;
+  cfg.crash_salvage = row.salvage;
   Rng plan_rng(cfg.seed ^ 0xFA11ull);
   cfg.failures = plan_failures(row.crashes, row.outages,
                                cfg.cluster.compute_nodes, cfg.horizon_s,
@@ -49,21 +51,32 @@ int main(int argc, char** argv) {
       "digits; crashes and outages stretch the tail (p99) but abort few "
       "VMs and leak no slots");
   bench::row_header({"scenario", "arrivals", "completed", "aborted",
-                     "hit-ratio", "p50-dep", "p99-dep", "evict"});
+                     "hit-ratio", "p50-dep", "p99-dep", "stor-MiB"});
 
+  // "crashes" vs "crashes-nosalv" is the crash-recovery ablation: same
+  // seed, same failure plan; the only difference is whether a recovered
+  // node repairs + re-adopts its surviving caches or invalidates them
+  // all. Salvage should show fewer storage-node bytes (stor-MiB).
   const Row rows[] = {
       {"baseline", ArrivalProcess::poisson, 0, 0},
       {"diurnal", ArrivalProcess::diurnal, 0, 0},
       {"flash", ArrivalProcess::flash_crowd, 0, 0},
       {"crashes", ArrivalProcess::poisson, 2, 0},
+      {"crashes-nosalv", ArrivalProcess::poisson, 2, 0, /*salvage=*/false},
       {"outage", ArrivalProcess::poisson, 0, 1},
   };
   for (const Row& row : rows) {
     const CloudResult r = run_row(row, hours);
-    std::printf("%16s%16d%16d%16d%16.3f%16.2f%16.2f%16llu\n", row.tag,
+    std::printf("%16s%16d%16d%16d%16.3f%16.2f%16.2f%16.1f\n", row.tag,
                 r.arrivals, r.completed, r.aborted, r.cache_hit_ratio,
                 r.deploy.p50, r.deploy.p99,
-                static_cast<unsigned long long>(r.cache_evictions));
+                static_cast<double>(r.storage_payload_bytes) /
+                    static_cast<double>(MiB));
+    if (row.crashes > 0) {
+      std::printf("%16s  %d salvaged, %d invalidated after %d crash(es)\n",
+                  "", r.caches_salvaged, r.caches_invalidated,
+                  r.node_crashes);
+    }
     if (r.leaked_slots != 0) {
       std::fprintf(stderr, "bench: %s leaked %d VM slot(s)\n", row.tag,
                    r.leaked_slots);

@@ -111,6 +111,16 @@ struct OpenOptions {
   /// as an ablation baseline for bench_concurrency_cor. Applies to every
   /// qcow2 device in the opened chain.
   bool cor_single_flight = true;
+  /// Defer refcount *decrements* to memory while the image is dirty; the
+  /// clean-close path (or `repair()`) persists them. A crash can then
+  /// leave stale-high on-disk refcounts — leaks, never corruption — in
+  /// exchange for fewer metadata writes on the free/discard path.
+  bool lazy_refcounts = false;
+  /// Opening an image whose header carries the dirty bit writable runs
+  /// `repair()` automatically (qemu semantics). Tools that want to
+  /// observe or report the damage first (vmi-img check, crash::explore)
+  /// turn this off and call repair() explicitly.
+  bool auto_repair_dirty = true;
 };
 
 }  // namespace vmic::block

@@ -84,6 +84,8 @@ class Engine {
     c_copyback_skips_ = &reg.counter("cloud.copyback_skips");
     c_node_crashes_ = &reg.counter("cloud.node_crashes");
     c_node_recoveries_ = &reg.counter("cloud.node_recoveries");
+    c_cache_salvaged_ = &reg.counter("cloud.cache_salvaged");
+    c_cache_invalidated_ = &reg.counter("cloud.cache_invalidated");
     const std::vector<double> bounds{0.5, 1,  2,  5,   10,  20,
                                      30,  60, 120, 300, 600};
     h_deploy_ = &reg.histogram("cloud.deploy_seconds", {}, bounds);
@@ -319,25 +321,65 @@ class Engine {
     ns.vm_capacity = 0;  // no placements while down
     ns.warm_vmis.clear();
     // Cache invalidation: a crashed node's caches are not trustworthy.
-    // Files nobody holds open are deleted; in-use ones become zombies
-    // (SimDirectory::remove under an open backend is the one thing the
-    // engine must never do).
+    // In-use files become zombies either way (SimDirectory::remove under
+    // an open backend is the one thing the engine must never do, and a
+    // writer died mid-operation on them). Idle files are deleted outright
+    // in legacy mode; with crash_salvage they stay on disk as suspects
+    // for the recovery-time repair + check pass below.
     ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(c.node)];
+    std::vector<std::string> suspects;
     for (int v = 0; v < num_vmis_; ++v) {
       const std::string img = img_name(v);
       const std::string cache = cluster::cache_file_for(img);
       node.pool.remove(img);
-      if (node.disk_dir.exists(cache)) {
-        if (rt.cache_users.count(cache) == 0) {
-          node.disk_dir.remove(cache);
-        } else {
-          rt.zombies.insert(cache);
-        }
+      if (!node.disk_dir.exists(cache)) continue;
+      if (rt.cache_users.count(cache) != 0) {
+        rt.zombies.insert(cache);
+      } else if (cfg_.crash_salvage) {
+        suspects.push_back(img);
+      } else {
+        node.disk_dir.remove(cache);
       }
     }
     co_await cl_.env.delay(sim::from_seconds(c.down_s));
     rt.up = true;
     ++rt.epoch;  // a task that slept across down+up still sees a change
+    const std::uint64_t recovery_epoch = rt.epoch;
+    // Salvage pass (capacity still 0, so no placements race it): open each
+    // suspect writable — a dirty image auto-repairs — then check; clean
+    // caches are re-adopted with their warm clusters intact, anything else
+    // is deleted. The open/check reads charge the node's disk, so salvage
+    // pays a verification cost instead of the full re-warm cost.
+    for (const std::string& img : suspects) {
+      const std::string cache = cluster::cache_file_for(img);
+      if (!node.disk_dir.exists(cache) || rt.zombies.count(cache) != 0) {
+        continue;
+      }
+      hold_file(c.node, cache);
+      bool good = false;
+      auto dv = co_await qcow2::open_image(node.fs, "disk/" + cache,
+                                           /*writable=*/true,
+                                           /*cache_backing_ro=*/false, cl_.obs);
+      if (dv.ok()) {
+        auto* q = dynamic_cast<qcow2::Qcow2Device*>(dv->get());
+        if (q != nullptr) {
+          auto chk = co_await q->check();
+          good = chk.ok() && chk->clean();
+        }
+        (void)co_await (*dv)->close();
+      }
+      drop_file(c.node, cache);
+      if (rt.epoch != recovery_epoch) co_return;  // crashed again mid-pass
+      if (good) {
+        readopt(c.node, img);
+        ++res_.caches_salvaged;
+        c_cache_salvaged_->inc();
+      } else {
+        if (node.disk_dir.exists(cache)) node.disk_dir.remove(cache);
+        ++res_.caches_invalidated;
+        c_cache_invalidated_->inc();
+      }
+    }
     ns.vm_capacity = cfg_.vm_slots_per_node;
     ++res_.node_recoveries;
     c_node_recoveries_->inc();
@@ -580,6 +622,8 @@ class Engine {
   obs::Counter* c_copyback_skips_ = nullptr;
   obs::Counter* c_node_crashes_ = nullptr;
   obs::Counter* c_node_recoveries_ = nullptr;
+  obs::Counter* c_cache_salvaged_ = nullptr;
+  obs::Counter* c_cache_invalidated_ = nullptr;
   obs::Histogram* h_deploy_ = nullptr;
   obs::Histogram* h_queue_wait_ = nullptr;
   obs::Histogram* h_prepare_ = nullptr;

@@ -63,6 +63,12 @@ struct CloudConfig {
   /// Admission queue bound; arrivals beyond it are rejected outright.
   std::size_t max_queue_depth = 1024;
   FailurePlan failures;
+  /// On node recovery, run qcow2 repair + check over the caches that
+  /// survived the crash on disk and re-adopt the clean ones, instead of
+  /// wholesale invalidation at crash time. Salvaged caches keep their
+  /// warm clusters, cutting post-recovery backing-store traffic. Off =
+  /// the legacy invalidate-everything behaviour (ablation baseline).
+  bool crash_salvage = true;
   std::uint64_t seed = 1;
 };
 
@@ -91,6 +97,8 @@ struct CloudResult {
   int copyback_skips = 0;   ///< cache push-backs skipped (storage down)
   int node_crashes = 0;
   int node_recoveries = 0;
+  int caches_salvaged = 0;     ///< post-crash caches verified and re-adopted
+  int caches_invalidated = 0;  ///< post-crash caches deleted (failed check)
   /// VM slots still held after the run drained; must be 0.
   int leaked_slots = 0;
   std::uint64_t cache_evictions = 0;

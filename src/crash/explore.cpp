@@ -1,0 +1,410 @@
+#include "crash/explore.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "block/raw.hpp"
+#include "crash/crash_backend.hpp"
+#include "io/mem_backend.hpp"
+#include "qcow2/device.hpp"
+#include "sim/task.hpp"
+#include "util/rng.hpp"
+#include "util/sparse_buffer.hpp"
+
+namespace vmic::crash {
+
+namespace {
+
+constexpr std::size_t kNoFlush = ~std::size_t{0};
+
+/// One scripted guest operation. The same list replays against every
+/// crash point, so every run takes the identical path up to its cut.
+struct GuestOp {
+  enum class Kind { write, flush, zeroes, discard, read };
+  Kind kind;
+  std::uint64_t off = 0;
+  std::uint64_t len = 0;
+  std::uint64_t tag = 0;  ///< pattern seed for writes
+};
+
+void fill_pattern(std::uint64_t tag, std::span<std::uint8_t> dst) {
+  std::uint64_t sm = tag;
+  for (auto& b : dst) b = static_cast<std::uint8_t>(splitmix64(sm));
+}
+
+std::vector<GuestOp> make_ops(const ExploreConfig& cfg) {
+  std::vector<GuestOp> ops;
+  Rng rng(cfg.seed ^ 0x0b5e55edull);
+  const std::uint64_t cs = 1ull << cfg.cluster_bits;
+  for (int i = 0; i < cfg.guest_ops; ++i) {
+    const double roll = rng.uniform();
+    if (roll < cfg.flush_probability) {
+      ops.push_back({GuestOp::Kind::flush});
+      continue;
+    }
+    if (cfg.cor_chain) {
+      // Cache images reject guest writes; the workload that matters is
+      // reads pulling clusters in through copy-on-read.
+      const std::uint64_t len = 512 * rng.range(1, (2 * cs) / 512);
+      const std::uint64_t off = 512 * rng.below((cfg.image_size - len) / 512 + 1);
+      ops.push_back({GuestOp::Kind::read, off, len});
+      continue;
+    }
+    if (roll < cfg.flush_probability + cfg.zero_probability ||
+        roll < cfg.flush_probability + cfg.zero_probability +
+                   cfg.discard_probability) {
+      const bool zero = roll < cfg.flush_probability + cfg.zero_probability;
+      // Cluster-aligned so the guest-visible effect is exactly
+      // "range reads zero" in both the zero-flag and deallocation paths.
+      const std::uint64_t clusters = rng.range(1, 3);
+      const std::uint64_t off =
+          cs * rng.below(cfg.image_size / cs - clusters + 1);
+      ops.push_back({zero ? GuestOp::Kind::zeroes : GuestOp::Kind::discard, off,
+                     clusters * cs});
+      continue;
+    }
+    const std::uint64_t len = 512 * rng.range(1, (3 * cs) / 512);
+    const std::uint64_t off = 512 * rng.below((cfg.image_size - len) / 512 + 1);
+    ops.push_back({GuestOp::Kind::write, off, len, rng.next()});
+  }
+  // End on a barrier so the final crash point verifies the full content.
+  ops.push_back({GuestOp::Kind::flush});
+  return ops;
+}
+
+Result<void> create_image(SparseBuffer& disk, const ExploreConfig& cfg) {
+  io::MemBackend direct(&disk);
+  qcow2::Qcow2Device::CreateOptions copt;
+  copt.virtual_size = cfg.image_size;
+  copt.cluster_bits = cfg.cluster_bits;
+  if (cfg.cor_chain) {
+    copt.backing_file = "base";
+    copt.cache_quota = cfg.image_size * 4;
+  }
+  return sim::sync_wait(qcow2::Qcow2Device::create(direct, copt));
+}
+
+sim::Task<Result<block::DevicePtr>> open_base(SparseBuffer* buf,
+                                              std::uint64_t size) {
+  co_return block::RawDevice::open(
+      io::BackendPtr{std::make_unique<io::MemBackend>(buf)}, size);
+}
+
+Result<block::DevicePtr> open_image(io::BackendPtr file,
+                                    const ExploreConfig& cfg, SparseBuffer* base,
+                                    bool auto_repair) {
+  block::OpenOptions opt;
+  opt.writable = true;
+  opt.lazy_refcounts = cfg.lazy_refcounts;
+  opt.auto_repair_dirty = auto_repair;
+  opt.hub = cfg.hub;
+  if (cfg.cor_chain) {
+    opt.resolver = [base, size = cfg.image_size](const std::string&, bool) {
+      return open_base(base, size);
+    };
+  }
+  return sim::sync_wait(qcow2::Qcow2Device::open(std::move(file), opt));
+}
+
+struct RunOutcome {
+  std::size_t completed = 0;  ///< guest ops that returned ok
+  Errc err = Errc::ok;        ///< first failure (io_error = the cut)
+};
+
+RunOutcome run_ops(block::BlockDevice& dev, const std::vector<GuestOp>& ops,
+                   const SparseBuffer* base) {
+  auto& q = static_cast<qcow2::Qcow2Device&>(dev);
+  RunOutcome out;
+  std::vector<std::uint8_t> buf;
+  std::vector<std::uint8_t> want;
+  for (const GuestOp& op : ops) {
+    Result<void> r = ok_result();
+    switch (op.kind) {
+      case GuestOp::Kind::write:
+        buf.resize(op.len);
+        fill_pattern(op.tag, buf);
+        r = sim::sync_wait(dev.write(op.off, buf));
+        break;
+      case GuestOp::Kind::read:
+        buf.resize(op.len);
+        r = sim::sync_wait(dev.read(op.off, buf));
+        if (r.ok() && base != nullptr) {
+          // Pre-crash reads through the cache must already be faithful.
+          want.resize(op.len);
+          base->read(op.off, want);
+          if (buf != want) r = Errc::corrupt;
+        }
+        break;
+      case GuestOp::Kind::flush:
+        r = sim::sync_wait(dev.flush());
+        break;
+      case GuestOp::Kind::zeroes:
+        r = sim::sync_wait(q.write_zeroes(op.off, op.len));
+        break;
+      case GuestOp::Kind::discard:
+        r = sim::sync_wait(q.discard(op.off, op.len));
+        break;
+    }
+    if (!r.ok()) {
+      out.err = r.error();
+      return out;
+    }
+    ++out.completed;
+  }
+  return out;
+}
+
+/// Bytes of flush-covered guest data the reopened (repaired) image gets
+/// wrong. In cor_chain mode every byte must match the base — lost CoR
+/// fills are refetched through the backing chain, so there is no dirty
+/// window at all.
+std::uint64_t verify_content(block::BlockDevice& dev, const ExploreConfig& cfg,
+                             const std::vector<GuestOp>& ops,
+                             std::size_t completed, const SparseBuffer* base) {
+  const auto n = static_cast<std::size_t>(cfg.image_size);
+  std::vector<std::uint8_t> expect(n, 0);
+  std::vector<std::uint8_t> dirty;
+  if (base != nullptr) {
+    base->read(0, expect);
+  } else {
+    // A flush makes every guest op *before* it durable; anything after
+    // the last completed flush (including the op the cut interrupted) may
+    // hold old, new, or torn content — excluded from comparison.
+    std::size_t last_flush = kNoFlush;
+    for (std::size_t i = 0; i < completed; ++i) {
+      if (ops[i].kind == GuestOp::Kind::flush) last_flush = i;
+    }
+    dirty.assign(n, 0);
+    const std::size_t attempted = std::min(completed + 1, ops.size());
+    for (std::size_t i = 0; i < attempted; ++i) {
+      const GuestOp& op = ops[i];
+      if (op.kind == GuestOp::Kind::flush || op.kind == GuestOp::Kind::read) {
+        continue;
+      }
+      if (last_flush != kNoFlush && i < last_flush) {
+        if (op.kind == GuestOp::Kind::write) {
+          fill_pattern(op.tag, {expect.data() + op.off,
+                                static_cast<std::size_t>(op.len)});
+        } else {
+          std::memset(expect.data() + op.off, 0,
+                      static_cast<std::size_t>(op.len));
+        }
+      } else {
+        std::memset(dirty.data() + op.off, 1, static_cast<std::size_t>(op.len));
+      }
+    }
+  }
+  std::vector<std::uint8_t> buf(64 * 1024);
+  std::uint64_t mismatches = 0;
+  for (std::size_t off = 0; off < n; off += buf.size()) {
+    const std::size_t len = std::min(buf.size(), n - off);
+    auto r = sim::sync_wait(dev.read(off, {buf.data(), len}));
+    if (!r.ok()) {
+      mismatches += len;
+      continue;
+    }
+    for (std::size_t j = 0; j < len; ++j) {
+      if (!dirty.empty() && dirty[off + j] != 0) continue;
+      if (buf[j] != expect[off + j]) ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace
+
+ExploreReport explore(const ExploreConfig& cfg) {
+  assert(cfg.image_size % (1ull << cfg.cluster_bits) == 0);
+  ExploreReport rep;
+  const std::vector<GuestOp> ops = make_ops(cfg);
+
+  SparseBuffer base;
+  if (cfg.cor_chain) {
+    std::vector<std::uint8_t> tmp(64 * 1024);
+    std::uint64_t sm = cfg.seed ^ 0xba5eba11ull;
+    for (std::uint64_t off = 0; off < cfg.image_size; off += tmp.size()) {
+      for (auto& b : tmp) b = static_cast<std::uint8_t>(splitmix64(sm));
+      base.write(off, tmp);
+    }
+  }
+  SparseBuffer* base_p = cfg.cor_chain ? &base : nullptr;
+
+  // Recording run: never cut, count the backend events the workload
+  // produces. Every crash point k in [0, total] replays identically up to
+  // its cut (k = total models a crash after the last op, before close).
+  {
+    SparseBuffer disk;
+    if (!create_image(disk, cfg).ok()) {
+      ++rep.replay_failures;
+      return rep;
+    }
+    io::MemBackend inner(&disk);
+    auto cb = std::make_unique<CrashBackend>(inner, CrashPlan{}, nullptr);
+    CrashBackend* cbp = cb.get();
+    auto dev = open_image(io::BackendPtr{std::move(cb)}, cfg, base_p,
+                          /*auto_repair=*/true);
+    if (!dev.ok()) {
+      ++rep.replay_failures;
+      return rep;
+    }
+    const RunOutcome out = run_ops(**dev, ops, base_p);
+    if (out.err != Errc::ok) {
+      ++rep.replay_failures;
+      return rep;
+    }
+    rep.total_events = cbp->events();
+  }
+
+  std::vector<std::uint64_t> points;
+  const std::uint64_t all = rep.total_events + 1;
+  if (cfg.max_crash_points > 0 && all > cfg.max_crash_points) {
+    for (std::uint64_t i = 0; i + 1 < cfg.max_crash_points; ++i) {
+      points.push_back(i * all / cfg.max_crash_points);
+    }
+    points.push_back(rep.total_events);
+  } else {
+    for (std::uint64_t k = 0; k < all; ++k) points.push_back(k);
+  }
+  rep.crash_points = points.size();
+
+  std::uint64_t fnv = 0xcbf29ce484222325ull;
+  const auto mix = [&fnv](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      fnv ^= (v >> (8 * i)) & 0xff;
+      fnv *= 0x100000001b3ull;
+    }
+  };
+
+  for (const std::uint64_t k : points) {
+    bool point_ok = true;
+    SparseBuffer disk;
+    if (!create_image(disk, cfg).ok()) {
+      ++rep.replay_failures;
+      continue;
+    }
+    CrashStats cstats;
+    std::size_t completed = 0;
+    {
+      io::MemBackend inner(&disk);
+      auto cb = std::make_unique<CrashBackend>(
+          inner, CrashPlan{.cut_after_events = k, .seed = cfg.seed}, cfg.hub);
+      CrashBackend* cbp = cb.get();
+      auto dev = open_image(io::BackendPtr{std::move(cb)}, cfg, base_p,
+                            /*auto_repair=*/true);
+      if (!dev.ok()) {
+        ++rep.replay_failures;
+        continue;
+      }
+      const RunOutcome out = run_ops(**dev, ops, base_p);
+      completed = out.completed;
+      if (out.err != Errc::ok && out.err != Errc::io_error) {
+        ++rep.replay_failures;
+        point_ok = false;
+      }
+      // Points at/after the workload's end: force the cut, then drop the
+      // device without close() — the process just died.
+      if (cbp->alive()) (void)sim::sync_wait(cbp->power_cut());
+      cstats = cbp->stats();
+    }
+    rep.power_cuts += cstats.power_cuts;
+
+    auto reopened =
+        open_image(io::BackendPtr{std::make_unique<io::MemBackend>(&disk)}, cfg,
+                   base_p, /*auto_repair=*/false);
+    if (!reopened.ok()) {
+      ++rep.replay_failures;
+      continue;
+    }
+    auto* q = static_cast<qcow2::Qcow2Device*>(reopened->get());
+    if (q->dirty()) ++rep.dirty_images;
+
+    const auto pre = sim::sync_wait(q->check());
+    if (!pre.ok()) {
+      ++rep.replay_failures;
+      continue;
+    }
+    rep.pre_repair_corruptions += pre->corruptions;
+    rep.pre_repair_leaks += pre->leaked_clusters;
+    if (pre->corruptions != 0) point_ok = false;
+
+    const auto fixed = sim::sync_wait(q->repair());
+    if (!fixed.ok()) {
+      ++rep.replay_failures;
+      continue;
+    }
+    rep.entries_cleared += fixed->entries_cleared;
+    rep.leaks_dropped += fixed->leaks_dropped;
+    rep.corruptions_fixed += fixed->corruptions_fixed;
+
+    const auto post = sim::sync_wait(q->check());
+    if (!post.ok()) {
+      ++rep.replay_failures;
+      continue;
+    }
+    rep.post_repair_corruptions += post->corruptions;
+    rep.post_repair_leaks += post->leaked_clusters;
+    if (!post->clean()) point_ok = false;
+
+    const std::uint64_t lost =
+        verify_content(**reopened, cfg, ops, completed, base_p);
+    rep.lost_flushed_bytes += lost;
+    if (lost != 0) point_ok = false;
+    (void)sim::sync_wait((*reopened)->close());
+
+    if (point_ok) ++rep.verified_points;
+    mix(k);
+    mix(cstats.writes_kept);
+    mix(cstats.writes_dropped);
+    mix(cstats.writes_torn);
+    mix(pre->leaked_clusters);
+    mix(pre->corruptions);
+    mix(fixed->entries_cleared);
+    mix(fixed->leaks_dropped);
+    mix(fixed->corruptions_fixed);
+    mix(lost);
+  }
+  rep.digest = fnv;
+  return rep;
+}
+
+std::string to_json(const ExploreReport& r, const ExploreConfig& cfg) {
+  std::string s = "{\n";
+  const auto field = [&s](const char* k, std::uint64_t v, bool comma = true) {
+    s += "  \"";
+    s += k;
+    s += "\": ";
+    s += std::to_string(v);
+    if (comma) s += ",";
+    s += "\n";
+  };
+  field("seed", cfg.seed);
+  field("cluster_bits", cfg.cluster_bits);
+  field("image_size", cfg.image_size);
+  field("guest_ops", static_cast<std::uint64_t>(cfg.guest_ops));
+  field("lazy_refcounts", cfg.lazy_refcounts ? 1 : 0);
+  field("cor_chain", cfg.cor_chain ? 1 : 0);
+  field("max_crash_points", cfg.max_crash_points);
+  field("total_events", r.total_events);
+  field("crash_points", r.crash_points);
+  field("power_cuts", r.power_cuts);
+  field("replay_failures", r.replay_failures);
+  field("pre_repair_corruptions", r.pre_repair_corruptions);
+  field("pre_repair_leaks", r.pre_repair_leaks);
+  field("dirty_images", r.dirty_images);
+  field("entries_cleared", r.entries_cleared);
+  field("leaks_dropped", r.leaks_dropped);
+  field("corruptions_fixed", r.corruptions_fixed);
+  field("post_repair_corruptions", r.post_repair_corruptions);
+  field("post_repair_leaks", r.post_repair_leaks);
+  field("lost_flushed_bytes", r.lost_flushed_bytes);
+  field("verified_points", r.verified_points);
+  field("digest", r.digest);
+  field("pass", r.pass() ? 1 : 0, /*comma=*/false);
+  s += "}\n";
+  return s;
+}
+
+}  // namespace vmic::crash

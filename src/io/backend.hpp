@@ -35,7 +35,14 @@ class BlockBackend {
   virtual sim::Task<Result<void>> pwrite(
       std::uint64_t off, std::span<const std::uint8_t> src) = 0;
 
-  /// Durably persist prior writes.
+  /// Durability barrier. When flush() returns ok, every pwrite()/
+  /// truncate() that completed before the call is durable: a power cut
+  /// after the barrier cannot drop, reorder, or tear them (crash::
+  /// CrashBackend enforces exactly this model). Writes issued after the
+  /// barrier carry no ordering guarantee among themselves until the next
+  /// flush — individual writes may land partially (sector granularity)
+  /// or not at all. The qcow2 driver's crash consistency (DESIGN.md
+  /// "Durability") is built solely on this contract.
   virtual sim::Task<Result<void>> flush() = 0;
 
   /// Grow or shrink the file.

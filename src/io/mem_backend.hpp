@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "io/backend.hpp"
+#include "sim/env.hpp"
 #include "util/sparse_buffer.hpp"
 
 namespace vmic::io {
@@ -37,7 +38,25 @@ class MemBackend final : public BlockBackend {
     co_return ok_result();
   }
 
-  sim::Task<Result<void>> flush() override { co_return ok_result(); }
+  sim::Task<Result<void>> flush() override {
+    ++flushes_;
+    if (flush_env_ != nullptr && flush_cost_ns_ > 0) {
+      co_await flush_env_->delay(flush_cost_ns_);
+    }
+    co_return ok_result();
+  }
+
+  /// Barriers are free by default (memory is always "durable"). When the
+  /// backend is driven under a sim environment, charge `cost_ns` per
+  /// flush so barrier ordering becomes visible in sim time. Must not be
+  /// set for host-side use (sync_wait aborts on suspension).
+  void set_flush_barrier(sim::SimEnv* env, sim::SimTime cost_ns) noexcept {
+    flush_env_ = env;
+    flush_cost_ns_ = cost_ns;
+  }
+
+  /// Number of flush barriers issued against this backend.
+  [[nodiscard]] std::uint64_t flushes() const noexcept { return flushes_; }
 
   sim::Task<Result<void>> truncate(std::uint64_t new_size) override {
     VMIC_CO_TRY_VOID(check_writable());
@@ -54,6 +73,9 @@ class MemBackend final : public BlockBackend {
  private:
   std::unique_ptr<SparseBuffer> owned_;
   SparseBuffer* buf_;
+  std::uint64_t flushes_ = 0;
+  sim::SimEnv* flush_env_ = nullptr;
+  sim::SimTime flush_cost_ns_ = 0;
 };
 
 }  // namespace vmic::io

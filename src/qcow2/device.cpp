@@ -193,8 +193,26 @@ sim::Task<Result<block::DevicePtr>> Qcow2Device::open(
     }
   }
 
+  dev->lazy_ = opt.lazy_refcounts;
+  if (opt.hub != nullptr) dev->bind_obs(opt.hub);
+
   if (opt.writable && !dev->file_->read_only()) {
     VMIC_CO_TRY_VOID(co_await dev->load_refcounts());
+  }
+
+  // The dirty bit marks an unclean shutdown: on-disk refcounts may be
+  // stale (over-counted only — see the barrier argument in DESIGN.md).
+  // Writable opens rebuild them before trusting the allocator (qemu
+  // auto-repairs dirty images the same way); tools that want to report
+  // the damage first pass auto_repair_dirty = false.
+  if ((dev->h_.incompatible_features & kIncompatDirty) != 0) {
+    dev->dirty_ = true;
+    dev->dirty_inherited_ = true;
+    bump(dev->agg_.repair_dirty_opens);
+    if (opt.writable && !dev->file_->read_only() && opt.auto_repair_dirty) {
+      VMIC_CO_TRY(rep, co_await dev->repair());
+      (void)rep;
+    }
   }
 
   // Open the backing chain. Per the paper (§4.3): open writable first —
@@ -225,8 +243,6 @@ sim::Task<Result<block::DevicePtr>> Qcow2Device::open(
     }
   }
 
-  if (opt.hub != nullptr) dev->bind_obs(opt.hub);
-
   co_return block::DevicePtr{std::move(dev)};
 }
 
@@ -247,6 +263,12 @@ void Qcow2Device::bind_obs(obs::Hub* hub) {
   agg_.cor_inflight_waits = &r.counter("qcow2.cor.inflight_waits", ls);
   agg_.cor_dedup_hits = &r.counter("qcow2.cor.dedup_hits", ls);
   agg_.alloc_lock_waits = &r.counter("qcow2.alloc_lock_waits", ls);
+  agg_.repair_runs = &r.counter("qcow2.repair.runs", ls);
+  agg_.repair_dirty_opens = &r.counter("qcow2.repair.dirty_opens", ls);
+  agg_.repair_entries_cleared = &r.counter("qcow2.repair.entries_cleared", ls);
+  agg_.repair_leaks_dropped = &r.counter("qcow2.repair.leaks_dropped", ls);
+  agg_.repair_corruptions_fixed =
+      &r.counter("qcow2.repair.corruptions_fixed", ls);
   track_ = hub_->tracer.track("qcow2");
 }
 
@@ -367,6 +389,9 @@ sim::Task<Result<void>> Qcow2Device::ensure_l2_table(std::uint64_t vaddr) {
   VMIC_CO_TRY(l2_off, co_await alloc_clusters(1));
   std::vector<std::uint8_t> zeros(cs, 0);
   VMIC_CO_TRY_VOID(co_await file_->pwrite(l2_off, zeros));
+  // Barrier: the table must be durably zeroed before the L1 publishes it
+  // (a crash must never expose a table of leftover garbage entries).
+  VMIC_CO_TRY_VOID(co_await file_->flush());
   l2_tables_.emplace(
       l2_off, std::make_unique<std::vector<std::uint64_t>>(ly_.l2_entries()));
   l1_[i1] = l2_off | kFlagCopied;
@@ -492,6 +517,7 @@ sim::Task<Result<std::uint64_t>> Qcow2Device::alloc_clusters(
   if (!refcounts_loaded_) {
     VMIC_CO_TRY_VOID(co_await load_refcounts());
   }
+  VMIC_CO_TRY_VOID(co_await ensure_dirty());
   const auto found = find_free_run(n);
   assert(found.has_value());
   const std::uint64_t idx = *found;
@@ -560,6 +586,9 @@ sim::Task<Result<void>> Qcow2Device::ensure_refcount_block(
     }
   }
   VMIC_CO_TRY_VOID(co_await file_->pwrite(rt_[bi], buf));
+  // Barrier: the block's contents must be durable before the table entry
+  // publishes it.
+  VMIC_CO_TRY_VOID(co_await file_->flush());
   std::uint8_t be[8];
   store_be64(be, rt_[bi]);
   VMIC_CO_TRY_VOID(
@@ -626,6 +655,8 @@ sim::Task<Result<void>> Qcow2Device::grow_refcount_table(
     pack_be64(rt_.data(), rt_.size(), buf.data());
     VMIC_CO_TRY_VOID(co_await file_->pwrite(h_.refcount_table_offset, buf));
   }
+  // Barrier: the new table must be durable before the header points at it.
+  VMIC_CO_TRY_VOID(co_await file_->flush());
   // Point the header at it.
   {
     std::uint8_t be[12];
@@ -633,13 +664,19 @@ sim::Task<Result<void>> Qcow2Device::grow_refcount_table(
     store_be32(be + 8, h_.refcount_table_clusters);
     VMIC_CO_TRY_VOID(co_await file_->pwrite(48, be));
   }
+  // Barrier: the switch-over must be durable before the old table's
+  // clusters are released for reuse — a crash in between may leak the
+  // old table, never point at a reclaimed one.
+  VMIC_CO_TRY_VOID(co_await file_->flush());
   // Release the old table's clusters.
   const std::uint64_t old_first = old_off / cs;
   for (std::uint64_t i = 0; i < old_clusters; ++i) {
     refcounts_[old_first + i] = 0;
   }
   release_run(old_first, old_first + old_clusters);
-  VMIC_CO_TRY_VOID(co_await write_refcount_entries(old_first, old_clusters));
+  if (!lazy_) {
+    VMIC_CO_TRY_VOID(co_await write_refcount_entries(old_first, old_clusters));
+  }
   free_guess_ = std::min(free_guess_, old_first);
   co_return ok_result();
 }
@@ -877,6 +914,12 @@ sim::Task<Result<void>> Qcow2Device::cor_store(
     const std::uint64_t nbytes = got * cs;
     auto wr = co_await file_->pwrite(
         host, std::span(buf.data() + (pos - lo), nbytes));
+    if (wr.ok()) {
+      // Barrier: the payload must be durable before the L2 entry that
+      // publishes it — a crash may lose the cluster (leak), never expose
+      // a mapped cluster of torn bytes.
+      wr = co_await file_->flush();
+    }
     {
       auto guard = co_await lock_alloc();
       if (!wr.ok()) {
@@ -985,6 +1028,8 @@ sim::Task<Result<void>> Qcow2Device::cow_write(
     }
     VMIC_CO_TRY_VOID(co_await file_->pwrite(
         host, std::span(buf.data() + (pos - lo), chunk)));
+    // Barrier: payload before publish (same argument as cor_store).
+    VMIC_CO_TRY_VOID(co_await file_->flush());
     {
       auto guard = co_await lock_alloc();
       VMIC_CO_TRY_VOID(co_await set_l2_entries(pos, host, n));
@@ -1006,6 +1051,7 @@ sim::Task<Result<void>> Qcow2Device::free_clusters(std::uint64_t host_off,
   if (!refcounts_loaded_) {
     VMIC_CO_TRY_VOID(co_await load_refcounts());
   }
+  VMIC_CO_TRY_VOID(co_await ensure_dirty());
   for (std::uint64_t i = first; i < first + count; ++i) {
     if (i >= refcounts_.size() || refcounts_[i] == 0) {
       co_return Errc::corrupt;
@@ -1013,7 +1059,12 @@ sim::Task<Result<void>> Qcow2Device::free_clusters(std::uint64_t host_off,
     --refcounts_[i];
     if (refcounts_[i] == 0) release_run(i, i + 1);
   }
-  VMIC_CO_TRY_VOID(co_await write_refcount_entries(first, count));
+  // Lazy refcounts: decrements stay in the mirror while the dirty bit is
+  // set — a crash leaves the on-disk count stale-high (a leak repair()
+  // drops), never stale-low. Clean close persists the mirror.
+  if (!lazy_) {
+    VMIC_CO_TRY_VOID(co_await write_refcount_entries(first, count));
+  }
   free_guess_ = std::min(free_guess_, first);
   co_return ok_result();
 }
@@ -1021,6 +1072,7 @@ sim::Task<Result<void>> Qcow2Device::free_clusters(std::uint64_t host_off,
 sim::Task<Result<void>> Qcow2Device::set_l2_raw(std::uint64_t vaddr,
                                                 std::uint64_t entry,
                                                 std::uint64_t count) {
+  VMIC_CO_TRY_VOID(co_await ensure_dirty());
   VMIC_CO_TRY_VOID(co_await ensure_l2_table(vaddr));
   const std::uint64_t i1 = ly_.l1_index(vaddr);
   const std::uint64_t l2_off = l1_[i1] & kOffsetMask;
@@ -1066,13 +1118,17 @@ sim::Task<Result<void>> Qcow2Device::write_zeroes(std::uint64_t off,
     while (pos < hi) {
       VMIC_CO_TRY(ext, co_await map_range(pos, hi - pos));
       const std::uint64_t clusters = div_ceil(ext.len, cs);
-      if (ext.kind == MapKind::data) {
-        VMIC_CO_TRY_VOID(co_await free_clusters(ext.host_off, clusters));
-        data_clusters_ -= clusters;
-      }
       if (ext.kind != MapKind::zero) {
         // Extents from map_range never cross an L2 boundary.
         VMIC_CO_TRY_VOID(co_await set_l2_raw(pos, kFlagZero, clusters));
+      }
+      if (ext.kind == MapKind::data) {
+        // Barrier: the L2 dereference must be durable before the
+        // refcounts drop — the reverse order could persist the decrement
+        // alone and hand a still-referenced cluster to the allocator.
+        VMIC_CO_TRY_VOID(co_await file_->flush());
+        VMIC_CO_TRY_VOID(co_await free_clusters(ext.host_off, clusters));
+        data_clusters_ -= clusters;
       }
       pos += clusters * cs;
     }
@@ -1106,12 +1162,14 @@ sim::Task<Result<void>> Qcow2Device::discard(std::uint64_t off,
   while (pos < hi) {
     VMIC_CO_TRY(ext, co_await map_range(pos, hi - pos));
     const std::uint64_t clusters = div_ceil(ext.len, cs);
-    if (ext.kind == MapKind::data) {
-      VMIC_CO_TRY_VOID(co_await free_clusters(ext.host_off, clusters));
-      data_clusters_ -= clusters;
-    }
     if (ext.kind != MapKind::unallocated) {
       VMIC_CO_TRY_VOID(co_await set_l2_raw(pos, 0, clusters));
+    }
+    if (ext.kind == MapKind::data) {
+      // Barrier: dereference before free (same argument as write_zeroes).
+      VMIC_CO_TRY_VOID(co_await file_->flush());
+      VMIC_CO_TRY_VOID(co_await free_clusters(ext.host_off, clusters));
+      data_clusters_ -= clusters;
     }
     pos += clusters * cs;
   }
@@ -1139,6 +1197,9 @@ sim::Task<Result<void>> Qcow2Device::resize(std::uint64_t new_size) {
       store_be64(be.data() + i * 8, new_l1[i]);
     }
     VMIC_CO_TRY_VOID(co_await file_->pwrite(new_off, be));
+    // Barrier: the new table must be durable before the header points at
+    // it.
+    VMIC_CO_TRY_VOID(co_await file_->flush());
 
     // Release the old table and point the header at the new one.
     const std::uint64_t old_off = h_.l1_table_offset;
@@ -1151,6 +1212,9 @@ sim::Task<Result<void>> Qcow2Device::resize(std::uint64_t new_size) {
     store_be32(hdr, h_.l1_size);
     store_be64(hdr + 4, h_.l1_table_offset);
     VMIC_CO_TRY_VOID(co_await file_->pwrite(36, hdr));
+    // Barrier: the switch-over must be durable before the old table's
+    // clusters are reusable.
+    VMIC_CO_TRY_VOID(co_await file_->flush());
     VMIC_CO_TRY_VOID(co_await free_clusters(old_off, old_clusters));
   }
 
@@ -1180,11 +1244,251 @@ sim::Task<Result<void>> Qcow2Device::close() {
     VMIC_CO_TRY_VOID(
         co_await file_->pwrite(cache_ext_payload_offset_ + 8, be));
   }
+  if (dirty_ && !dirty_inherited_ && !file_->read_only()) {
+    // Clean shutdown: settle deferred refcounts (lazy mode), then drop
+    // the dirty mark behind a barrier. Inherited dirt (opened dirty with
+    // auto-repair off, never repaired) stays — only repair() earns it.
+    if (lazy_) {
+      VMIC_CO_TRY_VOID(co_await persist_refcounts());
+    }
+    VMIC_CO_TRY_VOID(co_await write_clean_bit());
+  }
   VMIC_CO_TRY_VOID(co_await file_->flush());
   if (backing_) {
     VMIC_CO_TRY_VOID(co_await backing_->close());
   }
   co_return ok_result();
+}
+
+// ===========================================================================
+// durability: dirty bit, lazy refcounts, repair
+// ===========================================================================
+
+sim::Task<Result<void>> Qcow2Device::ensure_dirty() {
+  if (dirty_) co_return ok_result();
+  assert(alloc_mutex_.locked() && "dirty transition requires alloc_mutex_");
+  h_.incompatible_features |= kIncompatDirty;
+  std::uint8_t be[8];
+  store_be64(be, h_.incompatible_features);
+  VMIC_CO_TRY_VOID(co_await file_->pwrite(72, be));
+  // Barrier: the dirty mark must be durable before any metadata mutation
+  // it covers — otherwise a crash could leave stale refcounts behind a
+  // header that claims the image is clean.
+  VMIC_CO_TRY_VOID(co_await file_->flush());
+  dirty_ = true;
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> Qcow2Device::persist_refcounts() {
+  assert(refcounts_loaded_);
+  const std::uint64_t rpb = ly_.refcounts_per_block();
+  for (std::size_t bi = 0; bi < rt_.size(); ++bi) {
+    if ((rt_[bi] & kOffsetMask) == 0) continue;
+    const std::uint64_t first = bi * rpb;
+    if (first >= refcounts_.size()) break;
+    const std::uint64_t count =
+        std::min<std::uint64_t>(rpb, refcounts_.size() - first);
+    VMIC_CO_TRY_VOID(co_await write_refcount_entries(first, count));
+  }
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> Qcow2Device::write_clean_bit() {
+  // Barrier: every metadata write of this session must be durable before
+  // the image may claim to be clean again.
+  VMIC_CO_TRY_VOID(co_await file_->flush());
+  h_.incompatible_features &= ~kIncompatDirty;
+  std::uint8_t be[8];
+  store_be64(be, h_.incompatible_features);
+  VMIC_CO_TRY_VOID(co_await file_->pwrite(72, be));
+  VMIC_CO_TRY_VOID(co_await file_->flush());
+  dirty_ = false;
+  co_return ok_result();
+}
+
+sim::Task<Result<RepairReport>> Qcow2Device::repair() {
+  if (file_->read_only()) co_return Errc::read_only;
+  RepairReport rep;
+  rep.was_dirty = dirty_ || (h_.incompatible_features & kIncompatDirty) != 0;
+
+  const std::uint64_t cs = ly_.cluster_size();
+  const std::uint64_t rpb = ly_.refcounts_per_block();
+  std::uint64_t file_clusters = div_ceil(file_->size(), cs);
+  std::vector<std::uint16_t> expected(file_clusters, 0);
+  std::uint64_t data_clusters = 0;
+  std::uint64_t l2_clusters = 0;
+
+  const auto valid = [&](std::uint64_t off) {
+    return off != 0 && off % cs == 0 && off / cs < file_clusters;
+  };
+  const auto mark = [&](std::uint64_t off, std::uint64_t clusters) {
+    const std::uint64_t first = off / cs;
+    for (std::uint64_t i = 0; i < clusters; ++i) {
+      if (expected[first + i] != 0xffff) ++expected[first + i];
+    }
+  };
+  const auto clear_l1_entry = [&](std::size_t i1) -> sim::Task<Result<void>> {
+    l1_[i1] = 0;
+    ++rep.entries_cleared;
+    const std::uint8_t be[8] = {0};
+    co_return co_await file_->pwrite(h_.l1_table_offset + i1 * 8, be);
+  };
+
+  // The fixed infrastructure (header area, refcount table, L1) must be
+  // sane — those offsets come from the header, which is only ever
+  // rewritten in single-sector (atomic) writes, so a crash cannot damage
+  // them. Anything else is beyond in-place repair.
+  const std::uint64_t header_clusters =
+      div_ceil(header_area_size(cache_, backing_path_), cs);
+  const std::uint64_t l1_clusters =
+      div_ceil(std::uint64_t{h_.l1_size} * 8, cs);
+  if (header_clusters > file_clusters ||
+      h_.refcount_table_offset % cs != 0 ||
+      h_.refcount_table_offset / cs + h_.refcount_table_clusters >
+          file_clusters ||
+      h_.l1_table_offset % cs != 0 ||
+      h_.l1_table_offset / cs + l1_clusters > file_clusters) {
+    co_return Errc::corrupt;
+  }
+  mark(0, header_clusters);
+  mark(h_.refcount_table_offset, h_.refcount_table_clusters);
+  mark(h_.l1_table_offset, l1_clusters);
+
+  // Walk L1 -> L2, dropping invalid pointers: a cleared entry reads from
+  // the backing chain / as zeros again, which is the only safe meaning
+  // left for a pointer into nowhere.
+  for (std::size_t i1 = 0; i1 < l1_.size(); ++i1) {
+    const std::uint64_t l2_off = l1_[i1] & kOffsetMask;
+    if (l2_off == 0) {
+      if (l1_[i1] != 0) VMIC_CO_TRY_VOID(co_await clear_l1_entry(i1));
+      continue;
+    }
+    if (!valid(l2_off)) {
+      VMIC_CO_TRY_VOID(co_await clear_l1_entry(i1));
+      continue;
+    }
+    mark(l2_off, 1);
+    ++l2_clusters;
+    VMIC_CO_TRY(l2, co_await load_l2(l2_off));
+    bool table_changed = false;
+    for (std::uint64_t i2 = 0; i2 < l2->size(); ++i2) {
+      const std::uint64_t e = (*l2)[i2];
+      const std::uint64_t off = e & kOffsetMask;
+      if ((e & kFlagCompressed) != 0 || (off != 0 && !valid(off))) {
+        (*l2)[i2] = 0;
+        table_changed = true;
+        ++rep.entries_cleared;
+        continue;
+      }
+      if (off != 0) {
+        mark(off, 1);
+        ++data_clusters;
+      }
+    }
+    if (table_changed) {
+      std::vector<std::uint8_t> be(l2->size() * 8);
+      pack_be64(l2->data(), l2->size(), be.data());
+      VMIC_CO_TRY_VOID(co_await file_->pwrite(l2_off, be));
+    }
+  }
+
+  // Keep valid existing refcount blocks (rebuilding reuses their
+  // clusters), drop pointers into nowhere.
+  for (std::size_t bi = 0; bi < rt_.size(); ++bi) {
+    const std::uint64_t off = rt_[bi] & kOffsetMask;
+    if (off == 0) {
+      if (rt_[bi] != 0) {
+        rt_[bi] = 0;
+        ++rep.entries_cleared;
+      }
+      continue;
+    }
+    if (!valid(off)) {
+      rt_[bi] = 0;
+      ++rep.entries_cleared;
+      continue;
+    }
+    mark(off, 1);
+  }
+
+  // Every referenced cluster needs a covering refcount block; allocate
+  // missing blocks from clusters the walk proved free. A new block may
+  // itself land in an uncovered range — iterate to the fixed point.
+  std::uint64_t scan = 0;
+  for (bool again = true; again;) {
+    again = false;
+    for (std::uint64_t i = 0; i < file_clusters; ++i) {
+      if (expected[i] == 0) continue;
+      const std::uint64_t bi = i / rpb;
+      if (bi >= rt_.size()) {
+        // Would need refcount-table growth: impossible for crash states
+        // (growth is barrier-ordered), so treat as unrepairable.
+        co_return Errc::corrupt;
+      }
+      if ((rt_[bi] & kOffsetMask) != 0) continue;
+      while (scan < file_clusters && expected[scan] != 0) ++scan;
+      std::uint64_t b = scan;
+      if (b == file_clusters) {
+        ++file_clusters;
+        expected.resize(file_clusters, 0);
+      }
+      expected[b] = 1;
+      rt_[bi] = b * cs;
+      again = true;
+    }
+  }
+
+  // Diff the rebuilt counts against the on-disk ones for the report.
+  if (!refcounts_loaded_) {
+    VMIC_CO_TRY_VOID(co_await load_refcounts());
+  }
+  for (std::uint64_t i = 0; i < file_clusters; ++i) {
+    const std::uint16_t actual =
+        i < refcounts_.size() ? refcounts_[i] : std::uint16_t{0};
+    if (actual > expected[i]) {
+      ++rep.leaks_dropped;
+    } else if (actual < expected[i]) {
+      ++rep.corruptions_fixed;
+    }
+  }
+
+  // Persist: every allocated block from the rebuilt mirror, then the
+  // table, then clear the dirty bit behind a barrier.
+  refcounts_ = std::move(expected);
+  refcounts_loaded_ = true;
+  std::vector<std::uint8_t> buf(cs, 0);
+  for (std::size_t bi = 0; bi < rt_.size(); ++bi) {
+    const std::uint64_t off = rt_[bi] & kOffsetMask;
+    if (off == 0) continue;
+    std::memset(buf.data(), 0, buf.size());
+    const std::uint64_t first = bi * rpb;
+    for (std::uint64_t k = 0; k < rpb; ++k) {
+      if (first + k < refcounts_.size() && refcounts_[first + k] != 0) {
+        store_be16(buf.data() + k * 2, refcounts_[first + k]);
+      }
+    }
+    VMIC_CO_TRY_VOID(co_await file_->pwrite(off, buf));
+  }
+  {
+    std::vector<std::uint8_t> tbuf(
+        std::uint64_t{h_.refcount_table_clusters} * cs, 0);
+    pack_be64(rt_.data(), rt_.size(), tbuf.data());
+    VMIC_CO_TRY_VOID(co_await file_->pwrite(h_.refcount_table_offset, tbuf));
+  }
+  VMIC_CO_TRY_VOID(co_await write_clean_bit());
+  dirty_inherited_ = false;
+
+  // Refresh the allocator's view of the world.
+  data_clusters_ = data_clusters;
+  l2_clusters_ = l2_clusters;
+  free_guess_ = 0;
+  index_free_runs();
+
+  bump(agg_.repair_runs);
+  bump(agg_.repair_entries_cleared, rep.entries_cleared);
+  bump(agg_.repair_leaks_dropped, rep.leaks_dropped);
+  bump(agg_.repair_corruptions_fixed, rep.corruptions_fixed);
+  co_return rep;
 }
 
 // ===========================================================================

@@ -28,6 +28,21 @@ struct CheckResult {
   }
 };
 
+/// What repair() did to an image (vmi-img check --repair, crash sweep).
+struct RepairReport {
+  bool was_dirty = false;             ///< dirty bit was set on entry
+  std::uint64_t entries_cleared = 0;  ///< invalid L1/L2/refcount-table
+                                      ///< pointers zeroed
+  std::uint64_t leaks_dropped = 0;    ///< clusters whose refcount was
+                                      ///< rebuilt downward (freed)
+  std::uint64_t corruptions_fixed = 0;  ///< clusters whose refcount was
+                                        ///< rebuilt upward
+  [[nodiscard]] bool changed_anything() const noexcept {
+    return was_dirty || entries_cleared != 0 || leaks_dropped != 0 ||
+           corruptions_fixed != 0;
+  }
+};
+
 /// QCOW2 block driver with the paper's VMI-cache extension.
 ///
 /// A device is a *cache image* when its header carries the cache extension
@@ -146,6 +161,20 @@ class Qcow2Device final : public block::BlockDevice {
   /// Metadata consistency walk. Read-only; safe on any open image.
   sim::Task<Result<CheckResult>> check();
 
+  /// In-place repair (requires a writable image): clears invalid L1/L2/
+  /// refcount-table pointers, rebuilds every refcount from L1/L2
+  /// reachability (dropping leaks, fixing under-counts), persists the
+  /// rebuilt metadata and clears the dirty bit. Handles every state a
+  /// power cut can leave behind (see DESIGN.md "Durability"); it does
+  /// not untangle cross-linked clusters (two L2 entries sharing a data
+  /// cluster), which barrier ordering makes unreachable by crash.
+  sim::Task<Result<RepairReport>> repair();
+
+  /// True while the on-disk header carries the dirty bit.
+  [[nodiscard]] bool dirty() const noexcept { return dirty_; }
+  /// True when refcount decrements are deferred behind the dirty bit.
+  [[nodiscard]] bool lazy_refcounts() const noexcept { return lazy_; }
+
   /// Allocation classes a virtual range can be in.
   enum class MapKind { unallocated, zero, data };
 
@@ -194,6 +223,11 @@ class Qcow2Device final : public block::BlockDevice {
     obs::Counter* cor_inflight_waits = nullptr;
     obs::Counter* cor_dedup_hits = nullptr;
     obs::Counter* alloc_lock_waits = nullptr;
+    obs::Counter* repair_runs = nullptr;
+    obs::Counter* repair_dirty_opens = nullptr;
+    obs::Counter* repair_entries_cleared = nullptr;
+    obs::Counter* repair_leaks_dropped = nullptr;
+    obs::Counter* repair_corruptions_fixed = nullptr;
   };
   static void bump(obs::Counter* c, std::uint64_t n = 1) {
     if (c != nullptr) c->inc(n);
@@ -230,6 +264,16 @@ class Qcow2Device final : public block::BlockDevice {
   sim::Task<Result<void>> set_l2_entries(std::uint64_t vaddr,
                                          std::uint64_t host_off,
                                          std::uint64_t count);
+
+  /// Make sure the on-disk header carries the dirty bit before the first
+  /// metadata mutation of this session (pwrite + flush barrier, then the
+  /// mutation may proceed). Caller holds alloc_mutex_.
+  sim::Task<Result<void>> ensure_dirty();
+  /// Write every allocated refcount block back from the in-memory mirror
+  /// (the lazy-refcounts clean-close path).
+  sim::Task<Result<void>> persist_refcounts();
+  /// Clear the dirty bit after a flush barrier (clean close / repair).
+  sim::Task<Result<void>> write_clean_bit();
 
   // Allocation.
   sim::Task<Result<std::uint64_t>> alloc_clusters(std::uint64_t n);
@@ -277,6 +321,12 @@ class Qcow2Device final : public block::BlockDevice {
   std::string backing_path_;
   bool cor_enabled_ = true;
   bool ro_mode_ = false;
+  bool dirty_ = false;  ///< on-disk header carries kIncompatDirty
+  /// The dirty bit predates this session (opened with auto_repair_dirty
+  /// off and not yet repaired): close() must NOT clear it — only a
+  /// repair() earns a clean mark for damage we merely inherited.
+  bool dirty_inherited_ = false;
+  bool lazy_ = false;  ///< defer refcount decrements while dirty
 
   std::vector<std::uint64_t> l1_;  // host-endian mirror of the L1 table
   // L2 tables cached for the lifetime of the device (QEMU caches these

@@ -105,7 +105,10 @@ Result<ParsedHeader> parse_header_area(std::span<const std::uint8_t> buf) {
     h.autoclear_features = load_be64(p + 88);
     h.refcount_order = load_be32(p + 96);
     h.header_length = load_be32(p + 100);
-    if (h.incompatible_features != 0) return Errc::unsupported;
+    // The dirty bit is the one incompatible feature we understand: it
+    // marks an unclean shutdown and is handled by open()/repair().
+    if ((h.incompatible_features & ~kIncompatDirty) != 0)
+      return Errc::unsupported;
     if (h.refcount_order != kRefcountOrder) return Errc::unsupported;
     if (h.header_length < kHeaderLength) return Errc::invalid_format;
   } else {

@@ -37,6 +37,20 @@ inline constexpr std::uint32_t kExtEnd = 0x00000000;
 /// (§4.3: "to ensure backward compatibility with normal QCOW2 images").
 inline constexpr std::uint32_t kExtVmiCache = 0x76634143;  // "vcAC"
 
+/// Incompatible-feature bits (header offset 72). Bit 0 is the QCOW2
+/// "dirty bit": set before the first metadata mutation of a writable
+/// session and cleared on clean close. An image carrying it was not shut
+/// down cleanly — its refcounts may be stale (always over-counted, never
+/// under-counted, thanks to flush-barrier ordering; see DESIGN.md) and
+/// must be rebuilt by `repair()` before the image is trusted again.
+inline constexpr std::uint64_t kIncompatDirty = 1ull << 0;
+
+/// Compatible-feature bits (header offset 80). Lazy refcounts defer
+/// refcount *decrements* behind the dirty bit; readers that don't know
+/// the bit can still open the image safely (leaks only, never
+/// corruption), which is what makes it a compatible feature.
+inline constexpr std::uint64_t kCompatLazyRefcounts = 1ull << 0;
+
 /// L1/L2 table entry bit layout.
 inline constexpr std::uint64_t kOffsetMask = 0x00fffffffffffe00ull;
 inline constexpr std::uint64_t kFlagCopied = 1ull << 63;

@@ -36,6 +36,13 @@ class SimDirectory final : public io::ImageDirectory {
   void remove(const std::string& name) { files_.erase(name); }
   [[nodiscard]] Medium& medium() noexcept { return medium_; }
 
+  /// Cost of a flush barrier, expressed as a synchronous write of this
+  /// many bytes charged to the medium (0 = barriers are free, the
+  /// default — sim media persist every write immediately, so a barrier
+  /// only orders). Making it non-zero makes flush ordering visible in
+  /// sim time, e.g. to measure what the qcow2 barrier discipline costs.
+  void set_flush_cost_bytes(std::uint64_t n) noexcept { flush_cost_bytes_ = n; }
+
   /// Instant, timing-free copy of a file's bytes between directories
   /// (setup plumbing; timed transfers go through NFS / links).
   static Result<void> clone_file(SimDirectory& from, const std::string& src,
@@ -50,6 +57,7 @@ class SimDirectory final : public io::ImageDirectory {
 
   Medium& medium_;
   bool sync_writes_;
+  std::uint64_t flush_cost_bytes_ = 0;
   std::map<std::string, std::unique_ptr<File>> files_;
   std::uint64_t next_id_ = 1;
 };
@@ -79,7 +87,13 @@ class SimFileBackend final : public io::BlockBackend {
     co_return ok_result();
   }
 
-  sim::Task<Result<void>> flush() override { co_return ok_result(); }
+  sim::Task<Result<void>> flush() override {
+    if (dir_.flush_cost_bytes_ > 0) {
+      co_await dir_.medium_.write(file_pos(file_.id, 0),
+                                  dir_.flush_cost_bytes_, /*sync=*/true);
+    }
+    co_return ok_result();
+  }
 
   sim::Task<Result<void>> truncate(std::uint64_t new_size) override {
     VMIC_CO_TRY_VOID(check_writable());

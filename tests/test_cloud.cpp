@@ -192,6 +192,34 @@ TEST(Cloud, NodeCrashesDegradeButNeverLoseVms) {
             static_cast<std::uint64_t>(r.crash_kills));
 }
 
+TEST(Cloud, CrashSalvageReadoptsCleanCachesAndCutsTraffic) {
+  CloudConfig cfg = small_config(23);
+  cfg.cluster.compute_nodes = 4;
+  // Late, short crashes: by then the nodes hold warm caches, and most
+  // are idle at crash time — the salvageable case.
+  cfg.failures.crashes.push_back({500.0, 60.0, 0});
+  cfg.failures.crashes.push_back({650.0, 60.0, 1});
+  const CloudResult rs = run_cloud(cfg);
+  cfg.crash_salvage = false;
+  const CloudResult rn = run_cloud(cfg);
+
+  // Legacy mode deletes idle caches at crash time: nothing to salvage.
+  EXPECT_EQ(rn.caches_salvaged, 0);
+  EXPECT_EQ(rn.caches_invalidated, 0);
+  // Salvage mode adjudicated every surviving idle cache, one way or the
+  // other, and the counters mirror the result fields.
+  EXPECT_GT(rs.caches_salvaged + rs.caches_invalidated, 0);
+  EXPECT_EQ(rs.metrics.counter_total("cloud.cache_salvaged"),
+            static_cast<std::uint64_t>(rs.caches_salvaged));
+  EXPECT_EQ(rs.metrics.counter_total("cloud.cache_invalidated"),
+            static_cast<std::uint64_t>(rs.caches_invalidated));
+  expect_terminal_accounting(rs);
+  expect_terminal_accounting(rn);
+  // Re-adopted caches keep their warm clusters, so the storage node
+  // serves no more bytes than under wholesale invalidation.
+  EXPECT_LE(rs.storage_payload_bytes, rn.storage_payload_bytes);
+}
+
 TEST(Cloud, StorageOutageForcesRetriesNotLosses) {
   CloudConfig cfg = small_config(24);
   // A 2-minute storage outage in the thick of the run.

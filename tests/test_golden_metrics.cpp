@@ -18,6 +18,7 @@
 
 #include "cloud/engine.hpp"
 #include "cluster/scenario.hpp"
+#include "crash/explore.hpp"
 #include "qcow2/chain.hpp"
 #include "qcow2/device.hpp"
 #include "sim/env.hpp"
@@ -63,7 +64,9 @@ TEST(GoldenMetrics, SnapshotIsByteStableAcrossRuns) {
 
 // Values captured from the pre-obs codebase (plain uint64 counters) for
 // this exact scenario. They pin the simulation's observable behaviour:
-// the obs layer must be a pure reader.
+// the obs layer must be a pure reader. Boot times were re-captured when
+// the durability work added the dirty-bit header write (one extra 8-byte
+// metadata pwrite per image session, ~100 us on the simulated media).
 
 TEST(GoldenMetrics, PlainQcow2ColdPinnedValues) {
   const auto r = run_scenario(fig2_params(),
@@ -71,8 +74,8 @@ TEST(GoldenMetrics, PlainQcow2ColdPinnedValues) {
   EXPECT_EQ(r.storage_payload_bytes, 547434496u);
   EXPECT_EQ(r.storage_disk_reads, 1u);
   EXPECT_EQ(r.storage_disk_bytes_read, 65536u);
-  EXPECT_NEAR(r.mean_boot, 37.796041396, 1e-9);
-  EXPECT_NEAR(r.max_boot, 37.796041396, 1e-9);
+  EXPECT_NEAR(r.mean_boot, 37.796141462, 1e-9);
+  EXPECT_NEAR(r.max_boot, 37.796141462, 1e-9);
 }
 
 TEST(GoldenMetrics, ComputeDiskColdPinnedValues) {
@@ -80,7 +83,7 @@ TEST(GoldenMetrics, ComputeDiskColdPinnedValues) {
                               fig2_config(CacheMode::compute_disk,
                                           CacheState::cold));
   EXPECT_EQ(r.storage_payload_bytes, 479723520u);
-  EXPECT_NEAR(r.mean_boot, 37.389418298, 1e-9);
+  EXPECT_NEAR(r.mean_boot, 37.389519366, 1e-9);
 }
 
 TEST(GoldenMetrics, ComputeDiskWarmPinnedValues) {
@@ -89,7 +92,7 @@ TEST(GoldenMetrics, ComputeDiskWarmPinnedValues) {
                                           CacheState::warm));
   EXPECT_EQ(r.storage_payload_bytes, 16384u);
   EXPECT_EQ(r.warm_cache_file_bytes, 95254016u);
-  EXPECT_NEAR(r.mean_boot, 32.998117296, 1e-9);
+  EXPECT_NEAR(r.mean_boot, 32.998217362, 1e-9);
 }
 
 // The registry-backed series must agree with the ad-hoc counters they
@@ -167,11 +170,11 @@ TEST(GoldenMetrics, CloudSmallScenarioPinnedValues) {
   EXPECT_EQ(r.warm_hits, 14);
   EXPECT_EQ(r.leaked_slots, 0);
   EXPECT_EQ(r.cache_evictions, 1u);
-  EXPECT_EQ(r.storage_payload_bytes, 396598784u);
+  EXPECT_EQ(r.storage_payload_bytes, 396725760u);
   EXPECT_NEAR(r.cache_hit_ratio, 0.7, 1e-9);
-  EXPECT_NEAR(r.deploy.mean, 7.815850577, 1e-9);
-  EXPECT_NEAR(r.deploy.p99, 12.352076311, 1e-9);
-  EXPECT_NEAR(r.sim_seconds, 657.417108547, 1e-9);
+  EXPECT_NEAR(r.deploy.mean, 7.81614396925, 1e-9);
+  EXPECT_NEAR(r.deploy.p99, 12.35222641, 1e-9);
+  EXPECT_NEAR(r.sim_seconds, 657.417208613, 1e-9);
 
   // The snapshot mirrors the result struct exactly.
   const obs::MetricsSnapshot& m = r.metrics;
@@ -273,7 +276,7 @@ TEST(GoldenMetrics, ConcurrentCorPinnedValues) {
   EXPECT_EQ(m.counter_total("qcow2.cor_stopped"), 0u);
   // Captured from a reference run; pins allocator contention and timing.
   EXPECT_EQ(m.counter_total("qcow2.alloc_lock_waits"), 15u);
-  EXPECT_EQ(env.now(), 44519441u);
+  EXPECT_EQ(env.now(), 44719481u);
 }
 
 TEST(GoldenMetrics, TracingDoesNotPerturbTiming) {
@@ -293,6 +296,68 @@ TEST(GoldenMetrics, TracingDoesNotPerturbTiming) {
   const std::string json = hub.tracer.to_chrome_json();
   EXPECT_EQ(json.substr(0, 16), "{\"traceEvents\":[");
   EXPECT_EQ(json.back(), '}');
+}
+
+// --------------------------------------------------------------------------
+// Pinned crash-consistency counters. A fixed crash::explore sweep is
+// fully deterministic, so the crash.* and qcow2.repair.* namespaces pin
+// exactly: any drift means the fault-injection schedule, the barrier
+// placement, or the repair rules changed behaviour.
+// --------------------------------------------------------------------------
+
+TEST(GoldenMetrics, CrashExplorePinnedValues) {
+  obs::Hub hub;
+  crash::ExploreConfig cfg;
+  cfg.seed = 1;
+  cfg.guest_ops = 20;
+  cfg.max_crash_points = 12;
+  cfg.hub = &hub;
+  const crash::ExploreReport r = crash::explore(cfg);
+  ASSERT_TRUE(r.pass()) << crash::to_json(r, cfg);
+
+  EXPECT_EQ(r.total_events, 67u);
+  EXPECT_EQ(r.crash_points, 12u);
+  EXPECT_EQ(r.dirty_images, 11u);
+  EXPECT_EQ(r.pre_repair_leaks, 16u);
+  EXPECT_EQ(r.leaks_dropped, 16u);
+  EXPECT_EQ(r.digest, 14649543974109951761ull);
+
+  const auto m = hub.registry.snapshot();
+  EXPECT_EQ(m.counter_total("crash.power_cuts"), r.power_cuts);
+  EXPECT_EQ(m.counter_total("crash.writes_kept"), 11u);
+  EXPECT_EQ(m.counter_total("crash.writes_dropped"), 3u);
+  EXPECT_EQ(m.counter_total("crash.writes_torn"), 1u);
+  EXPECT_EQ(m.counter_total("qcow2.repair.runs"), 12u);
+  EXPECT_EQ(m.counter_total("qcow2.repair.dirty_opens"), 11u);
+  EXPECT_EQ(m.counter_total("qcow2.repair.leaks_dropped"), r.leaks_dropped);
+}
+
+// A small crashy cloud run pins the salvage path: one node crash, whose
+// recovery repairs and re-adopts the surviving caches.
+
+TEST(GoldenMetrics, CloudCrashSalvagePinnedValues) {
+  cloud::CloudConfig cfg;
+  cfg.seed = 7;
+  cfg.horizon_s = 600.0;
+  cfg.workload.mean_interarrival_s = 30.0;
+  cfg.workload.min_lifetime_s = 30.0;
+  cfg.workload.mean_extra_lifetime_s = 60.0;
+  // A late crash on node 0: by then its caches are warm and idle, prime
+  // salvage material.
+  cfg.failures.crashes.push_back({400.0, 60.0, 0});
+  const cloud::CloudResult r = cloud::run_cloud(cfg);
+
+  EXPECT_EQ(r.node_crashes, 1);
+  EXPECT_EQ(r.node_recoveries, 1);
+  EXPECT_EQ(r.leaked_slots, 0);
+  EXPECT_EQ(r.caches_salvaged, 1);
+  EXPECT_EQ(r.caches_invalidated, 0);
+
+  const obs::MetricsSnapshot& m = r.metrics;
+  EXPECT_EQ(m.counter_total("cloud.cache_salvaged"),
+            static_cast<std::uint64_t>(r.caches_salvaged));
+  EXPECT_EQ(m.counter_total("cloud.cache_invalidated"),
+            static_cast<std::uint64_t>(r.caches_invalidated));
 }
 
 }  // namespace

@@ -45,4 +45,38 @@ echo "--- commit a plain overlay"
 "$VMI_IMG" create top.qcow2 64M -b mid.qcow2
 "$VMI_IMG" commit top.qcow2
 
+# A fresh 64M image with 64 KiB clusters lays out: cluster 0 header,
+# cluster 1 refcount table (0x10000), cluster 2 refcount block (0x20000),
+# cluster 3 L1 table (0x30000). The pokes below rely on that layout.
+echo "--- corruption: out-of-file L1 pointer -> check exits 2"
+"$VMI_IMG" create scratch.qcow2 64M
+cp scratch.qcow2 corrupt.qcow2
+printf '\200\000\001\000\000\000\000\000' \
+  | dd of=corrupt.qcow2 bs=1 seek=196608 conv=notrunc 2>/dev/null
+RC=0; "$VMI_IMG" check corrupt.qcow2 >/dev/null || RC=$?
+[ "$RC" -eq 2 ] || { echo "expected exit 2, got $RC"; exit 1; }
+"$VMI_IMG" check corrupt.qcow2 --json | grep -q '"corruptions": 1'
+
+echo "--- check --repair clears the bad pointer and exits 0"
+"$VMI_IMG" check corrupt.qcow2 --repair | grep -q "1 entries cleared"
+"$VMI_IMG" check corrupt.qcow2
+
+echo "--- leak: stray refcount on an unreferenced cluster -> exits 3"
+cp scratch.qcow2 leak.qcow2
+dd if=/dev/zero of=leak.qcow2 bs=1 seek=327679 count=1 conv=notrunc \
+  2>/dev/null
+printf '\000\001' | dd of=leak.qcow2 bs=1 seek=131080 conv=notrunc \
+  2>/dev/null
+RC=0; "$VMI_IMG" check leak.qcow2 >/dev/null || RC=$?
+[ "$RC" -eq 3 ] || { echo "expected exit 3, got $RC"; exit 1; }
+"$VMI_IMG" check leak.qcow2 --repair | grep -q "1 leaks dropped"
+"$VMI_IMG" check leak.qcow2
+
+echo "--- dirty bit reported by check --json, cleared by --repair"
+cp scratch.qcow2 dirty.qcow2
+printf '\001' | dd of=dirty.qcow2 bs=1 seek=79 conv=notrunc 2>/dev/null
+"$VMI_IMG" check dirty.qcow2 --json | grep -q '"dirty": 1'
+"$VMI_IMG" check dirty.qcow2 --repair --json | grep -q '"repaired": 1'
+"$VMI_IMG" check dirty.qcow2 --json | grep -q '"dirty": 0'
+
 echo "ALL CLI CHECKS PASSED"

@@ -20,6 +20,8 @@
 //     --backoff S        first retry backoff        (default 5)
 //     --fail-nodes N     inject N node crashes      (default 0)
 //     --outages N        inject N storage outages   (default 0)
+//     --no-salvage       invalidate all caches on crash instead of
+//                        repairing + re-adopting clean ones on recovery
 //     --trace FILE       replay a request trace CSV instead of generating
 //     --trace-out FILE   write the generated workload as CSV and exit 0
 //     --metrics-out F    write the metrics snapshot to F
@@ -47,7 +49,8 @@ namespace {
       "       [--quota MiB] [--cache-cap MiB] "
       "[--os centos|debian|windows|scaled]\n"
       "       [--attempts N] [--backoff S] [--fail-nodes N] [--outages N]\n"
-      "       [--trace FILE] [--trace-out FILE] [--metrics-out FILE]\n");
+      "       [--no-salvage] [--trace FILE] [--trace-out FILE]"
+      " [--metrics-out FILE]\n");
   std::exit(2);
 }
 
@@ -150,6 +153,8 @@ int main(int argc, char** argv) {
       fail_nodes = std::atoi(next());
     } else if (a == "--outages") {
       outages = std::atoi(next());
+    } else if (a == "--no-salvage") {
+      cfg.crash_salvage = false;
     } else if (a == "--trace") {
       trace_in = next();
     } else if (a == "--trace-out") {
@@ -216,6 +221,11 @@ int main(int argc, char** argv) {
               "killed, %d running VM(s) lost, %d copy-back(s) skipped\n",
               r.node_crashes, r.node_recoveries, r.crash_kills, r.vm_crashes,
               r.copyback_skips);
+  if (r.node_crashes > 0) {
+    std::printf("salvage: %d cache(s) re-adopted after repair, "
+                "%d invalidated\n",
+                r.caches_salvaged, r.caches_invalidated);
+  }
   std::printf("cache: hit ratio %.3f (%d warm hit(s)), %llu eviction(s)\n",
               r.cache_hit_ratio, r.warm_hits,
               static_cast<unsigned long long>(r.cache_evictions));

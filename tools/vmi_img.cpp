@@ -8,6 +8,10 @@
 //     [-f raw]                                raw image instead of qcow2
 //   vmi-img info  <file>                      header / cache fields
 //   vmi-img check <file>                      metadata consistency walk
+//     [--repair]                              rebuild refcounts, drop leaks,
+//                                             clear the dirty bit
+//     [--json]                                machine-readable report
+//     exit: 0 clean, 2 corruptions, 3 leaks (post-repair state with --repair)
 //   vmi-img chain <file>                      print the backing chain
 //   vmi-img map   <file>                      allocation map (extents)
 //   vmi-img commit <file>                     merge overlay into backing
@@ -41,7 +45,7 @@ void usage() {
                "  vmi-img create <file> <size> [-b backing] [-q quota]"
                " [-c cluster] [-f raw]\n"
                "  vmi-img info  <file>\n"
-               "  vmi-img check <file>\n"
+               "  vmi-img check <file> [--repair] [--json]\n"
                "  vmi-img chain <file>\n"
                "  vmi-img map   <file>\n"
                "  vmi-img commit <file>\n"
@@ -180,10 +184,46 @@ int cmd_info(const std::string& path) {
   return 0;
 }
 
-int cmd_check(const std::string& path) {
-  auto dev = open_path(path, /*writable=*/false);
-  if (!dev.ok()) {
+void print_check_json(const char* key, const qcow2::CheckResult& c) {
+  std::printf("  \"%s\": {\"data_clusters\": %llu, "
+              "\"metadata_clusters\": %llu, \"leaked_clusters\": %llu, "
+              "\"corruptions\": %llu},\n",
+              key, static_cast<unsigned long long>(c.data_clusters),
+              static_cast<unsigned long long>(c.metadata_clusters),
+              static_cast<unsigned long long>(c.leaked_clusters),
+              static_cast<unsigned long long>(c.corruptions));
+}
+
+int cmd_check(const std::vector<std::string>& args) {
+  if (args.empty()) usage();
+  const std::string path = args[0];
+  bool do_repair = false;
+  bool json = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--repair") {
+      do_repair = true;
+    } else if (args[i] == "--json") {
+      json = true;
+    } else {
+      usage();
+    }
+  }
+
+  // Open without auto-repair so the pre-repair damage is reportable;
+  // writable only when asked to fix it (qemu-img check semantics).
+  auto [dir_path, name] = split_path(path);
+  auto* dir = new io::FsImageDirectory{dir_path};  // outlives the device
+  auto be = dir->open_file(name, /*writable=*/do_repair);
+  if (!be.ok()) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  auto opt = qcow2::chain_options(*dir, /*writable=*/do_repair);
+  opt.auto_repair_dirty = false;
+  auto dev = sim::sync_wait(qcow2::open_any(std::move(*be), opt));
+  if (!dev.ok()) {
+    std::fprintf(stderr, "cannot open %s: %s\n", path.c_str(),
+                 std::string(to_string(dev.error())).c_str());
     return 1;
   }
   auto* q = dynamic_cast<qcow2::Qcow2Device*>(dev->get());
@@ -191,20 +231,72 @@ int cmd_check(const std::string& path) {
     std::printf("%s: raw image, nothing to check\n", path.c_str());
     return 0;
   }
-  auto res = sim::sync_wait(q->check());
-  if (!res.ok()) {
+  const bool was_dirty = q->dirty();
+  auto pre = sim::sync_wait(q->check());
+  if (!pre.ok()) {
     std::fprintf(stderr, "check failed to run: %s\n",
-                 std::string(to_string(res.error())).c_str());
+                 std::string(to_string(pre.error())).c_str());
     return 1;
   }
-  std::printf("%s: %llu data clusters, %llu metadata clusters, "
-              "%llu leaked, %llu corruptions\n",
-              path.c_str(),
-              static_cast<unsigned long long>(res->data_clusters),
-              static_cast<unsigned long long>(res->metadata_clusters),
-              static_cast<unsigned long long>(res->leaked_clusters),
-              static_cast<unsigned long long>(res->corruptions));
-  return res->clean() ? 0 : 3;
+  qcow2::RepairReport rep;
+  qcow2::CheckResult post = *pre;
+  if (do_repair) {
+    auto r = sim::sync_wait(q->repair());
+    if (!r.ok()) {
+      std::fprintf(stderr, "repair failed: %s\n",
+                   std::string(to_string(r.error())).c_str());
+      return 1;
+    }
+    rep = *r;
+    auto pc = sim::sync_wait(q->check());
+    if (!pc.ok()) {
+      std::fprintf(stderr, "post-repair check failed: %s\n",
+                   std::string(to_string(pc.error())).c_str());
+      return 1;
+    }
+    post = *pc;
+  }
+  (void)sim::sync_wait(q->close());
+
+  if (json) {
+    std::printf("{\n  \"image\": \"%s\",\n  \"dirty\": %d,\n", path.c_str(),
+                was_dirty ? 1 : 0);
+    print_check_json("check", *pre);
+    std::printf("  \"repaired\": %d,\n", do_repair ? 1 : 0);
+    if (do_repair) {
+      std::printf("  \"repair\": {\"entries_cleared\": %llu, "
+                  "\"leaks_dropped\": %llu, \"corruptions_fixed\": %llu},\n",
+                  static_cast<unsigned long long>(rep.entries_cleared),
+                  static_cast<unsigned long long>(rep.leaks_dropped),
+                  static_cast<unsigned long long>(rep.corruptions_fixed));
+      print_check_json("post", post);
+    }
+    std::printf("  \"clean\": %d\n}\n", post.clean() ? 1 : 0);
+  } else {
+    if (was_dirty) {
+      std::printf("%s: image is dirty (unclean shutdown)\n", path.c_str());
+    }
+    std::printf("%s: %llu data clusters, %llu metadata clusters, "
+                "%llu leaked, %llu corruptions\n",
+                path.c_str(),
+                static_cast<unsigned long long>(pre->data_clusters),
+                static_cast<unsigned long long>(pre->metadata_clusters),
+                static_cast<unsigned long long>(pre->leaked_clusters),
+                static_cast<unsigned long long>(pre->corruptions));
+    if (do_repair && rep.changed_anything()) {
+      std::printf("%s: repaired — %llu entries cleared, %llu leaks dropped, "
+                  "%llu refcounts fixed; now %llu leaked, %llu corruptions\n",
+                  path.c_str(),
+                  static_cast<unsigned long long>(rep.entries_cleared),
+                  static_cast<unsigned long long>(rep.leaks_dropped),
+                  static_cast<unsigned long long>(rep.corruptions_fixed),
+                  static_cast<unsigned long long>(post.leaked_clusters),
+                  static_cast<unsigned long long>(post.corruptions));
+    }
+  }
+  if (post.corruptions != 0) return 2;
+  if (post.leaked_clusters != 0) return 3;
+  return 0;
 }
 
 int cmd_chain(const std::string& path) {
@@ -314,7 +406,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 2, argv + argc);
   if (cmd == "create") return cmd_create(args);
   if (cmd == "info") return cmd_info(args[0]);
-  if (cmd == "check") return cmd_check(args[0]);
+  if (cmd == "check") return cmd_check(args);
   if (cmd == "chain") return cmd_chain(args[0]);
   if (cmd == "map") return cmd_map(args[0]);
   if (cmd == "commit") return cmd_commit(args[0]);
