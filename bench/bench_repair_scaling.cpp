@@ -1,0 +1,250 @@
+// bench_repair_scaling — the journal's core claim, measured: crash-repair
+// I/O for a journaled image is O(journal), flat in the image size, while
+// the full refcount rebuild walks L1/L2 and every refcount block and so
+// grows linearly. For each image size the same crashed state is repaired
+// twice — once by journal replay, once forced onto the rebuild path by
+// corrupting the journal header — and the backend I/O of repair() alone
+// is counted.
+//
+// Exits non-zero when the scaling claim does not hold (CI gate):
+//   * replay I/O spread (max/min bytes) must stay under kReplayFlatRatio;
+//   * rebuild I/O must grow by at least kRebuildGrowth across the 8x
+//     size sweep.
+//
+//   bench_repair_scaling [--json-out FILE]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "io/mem_backend.hpp"
+#include "qcow2/device.hpp"
+#include "qcow2/format.hpp"
+#include "sim/task.hpp"
+#include "util/sparse_buffer.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace vmic;
+using sim::sync_wait;
+
+constexpr double kReplayFlatRatio = 3.0;
+constexpr double kRebuildGrowth = 2.0;
+
+/// BlockBackend wrapper that counts the I/O passing through it.
+class CountingBackend final : public io::BlockBackend {
+ public:
+  explicit CountingBackend(io::BlockBackend& inner) : inner_(inner) {}
+
+  sim::Task<Result<void>> pread(std::uint64_t off,
+                                std::span<std::uint8_t> dst) override {
+    ++reads_;
+    read_bytes_ += dst.size();
+    co_return co_await inner_.pread(off, dst);
+  }
+  sim::Task<Result<void>> pwrite(
+      std::uint64_t off, std::span<const std::uint8_t> src) override {
+    ++writes_;
+    write_bytes_ += src.size();
+    co_return co_await inner_.pwrite(off, src);
+  }
+  sim::Task<Result<void>> flush() override {
+    ++flushes_;
+    co_return co_await inner_.flush();
+  }
+  sim::Task<Result<void>> truncate(std::uint64_t n) override {
+    co_return co_await inner_.truncate(n);
+  }
+  [[nodiscard]] std::uint64_t size() const override { return inner_.size(); }
+  [[nodiscard]] bool read_only() const noexcept override {
+    return inner_.read_only();
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "counting:" + inner_.describe();
+  }
+
+  void reset() { reads_ = writes_ = flushes_ = read_bytes_ = write_bytes_ = 0; }
+  [[nodiscard]] std::uint64_t ops() const { return reads_ + writes_; }
+  [[nodiscard]] std::uint64_t bytes() const {
+    return read_bytes_ + write_bytes_;
+  }
+
+ private:
+  io::BlockBackend& inner_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t read_bytes_ = 0;
+  std::uint64_t write_bytes_ = 0;
+};
+
+struct RepairCost {
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;
+  bool replayed = false;
+};
+
+/// Build a crashed journaled image of `image_size`: bulk-allocate half the
+/// clusters (the part that scales), then a burst of recent writes whose
+/// journal records are the only thing replay should have to pay for, and
+/// drop the device without close() — dirty bit set, journal live.
+SparseBuffer make_crashed_image(std::uint64_t image_size) {
+  SparseBuffer disk;
+  constexpr std::uint32_t kClusterBits = 12;
+  const std::uint64_t cs = 1ull << kClusterBits;
+  {
+    io::MemBackend be(&disk);
+    qcow2::Qcow2Device::CreateOptions copt;
+    copt.virtual_size = image_size;
+    copt.cluster_bits = kClusterBits;
+    copt.journal_sectors = 256;
+    if (!sync_wait(qcow2::Qcow2Device::create(be, copt)).ok()) std::abort();
+  }
+  block::OpenOptions opt;
+  opt.writable = true;
+  auto dev = sync_wait(qcow2::open_any(
+      io::BackendPtr{std::make_unique<io::MemBackend>(&disk)}, opt));
+  if (!dev.ok()) std::abort();
+  std::vector<std::uint8_t> buf(cs, 0xAB);
+  const std::uint64_t clusters = image_size / cs;
+  for (std::uint64_t c = 0; c < clusters; c += 2) {
+    buf[0] = static_cast<std::uint8_t>(c);
+    if (!sync_wait((*dev)->write(c * cs, buf)).ok()) std::abort();
+    if (c % 512 == 0 && !sync_wait((*dev)->flush()).ok()) std::abort();
+  }
+  if (!sync_wait((*dev)->flush()).ok()) std::abort();
+  // Recent dirt: a fixed-size burst regardless of image size.
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    if (!sync_wait((*dev)->write((1 + 2 * i) * cs, buf)).ok()) std::abort();
+  }
+  // No close(): the dirty bit and the journal tail stay on disk, exactly
+  // the state a power loss leaves behind.
+  return disk;
+}
+
+RepairCost measure_repair(SparseBuffer disk, bool corrupt_journal_header) {
+  if (corrupt_journal_header) {
+    std::vector<std::uint8_t> hdr(4096);
+    disk.read(0, hdr);
+    auto parsed = qcow2::parse_header_area(hdr);
+    if (!parsed.ok() || !parsed->journal.has_value()) std::abort();
+    disk.write(parsed->journal->offset, std::vector<std::uint8_t>(512, 0xEE));
+  }
+  io::MemBackend mem(&disk);
+  auto counting = std::make_unique<CountingBackend>(mem);
+  CountingBackend* cb = counting.get();
+  block::OpenOptions opt;
+  opt.writable = true;
+  opt.auto_repair_dirty = false;
+  auto dev = sync_wait(qcow2::open_any(
+      io::BackendPtr{std::move(counting)}, opt));
+  if (!dev.ok()) std::abort();
+  auto* q = dynamic_cast<qcow2::Qcow2Device*>(dev->get());
+  if (q == nullptr || !q->dirty()) std::abort();
+  cb->reset();
+  auto rep = sync_wait(q->repair());
+  if (!rep.ok()) std::abort();
+  RepairCost cost{cb->ops(), cb->bytes(), rep->journal_replayed};
+  auto chk = sync_wait(q->check());
+  if (!chk.ok() || !chk->clean()) std::abort();
+  (void)sync_wait(q->close());
+  return cost;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_repair_scaling [--json-out FILE]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<std::uint64_t> sizes = {16 * MiB, 32 * MiB, 64 * MiB,
+                                            128 * MiB};
+  std::vector<RepairCost> replay;
+  std::vector<RepairCost> rebuild;
+  std::printf("%10s %14s %14s %16s %16s\n", "image", "replay-ops",
+              "replay-bytes", "rebuild-ops", "rebuild-bytes");
+  for (const std::uint64_t size : sizes) {
+    const SparseBuffer crashed = make_crashed_image(size);
+    RepairCost a = measure_repair(crashed.clone(), false);
+    RepairCost b = measure_repair(crashed.clone(), true);
+    if (!a.replayed || b.replayed) {
+      std::fprintf(stderr, "wrong repair path taken (replay=%d/%d)\n",
+                   a.replayed ? 1 : 0, b.replayed ? 1 : 0);
+      return 1;
+    }
+    std::printf("%9lluM %14llu %14llu %16llu %16llu\n",
+                static_cast<unsigned long long>(size / MiB),
+                static_cast<unsigned long long>(a.ops),
+                static_cast<unsigned long long>(a.bytes),
+                static_cast<unsigned long long>(b.ops),
+                static_cast<unsigned long long>(b.bytes));
+    replay.push_back(a);
+    rebuild.push_back(b);
+  }
+
+  std::uint64_t rmin = ~std::uint64_t{0};
+  std::uint64_t rmax = 0;
+  for (const RepairCost& c : replay) {
+    rmin = std::min(rmin, c.bytes);
+    rmax = std::max(rmax, c.bytes);
+  }
+  const double spread =
+      static_cast<double>(rmax) / static_cast<double>(rmin ? rmin : 1);
+  const double growth = static_cast<double>(rebuild.back().bytes) /
+                        static_cast<double>(rebuild.front().bytes
+                                                ? rebuild.front().bytes
+                                                : 1);
+  std::printf("replay spread (max/min bytes): %.2fx (gate < %.1fx)\n", spread,
+              kReplayFlatRatio);
+  std::printf("rebuild growth over 8x sizes:  %.2fx (gate >= %.1fx)\n", growth,
+              kRebuildGrowth);
+
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"sizes_mib\": [");
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      std::fprintf(f, "%s%llu", i != 0 ? ", " : "",
+                   static_cast<unsigned long long>(sizes[i] / MiB));
+    }
+    std::fprintf(f, "],\n  \"replay_bytes\": [");
+    for (std::size_t i = 0; i < replay.size(); ++i) {
+      std::fprintf(f, "%s%llu", i != 0 ? ", " : "",
+                   static_cast<unsigned long long>(replay[i].bytes));
+    }
+    std::fprintf(f, "],\n  \"rebuild_bytes\": [");
+    for (std::size_t i = 0; i < rebuild.size(); ++i) {
+      std::fprintf(f, "%s%llu", i != 0 ? ", " : "",
+                   static_cast<unsigned long long>(rebuild[i].bytes));
+    }
+    std::fprintf(f, "],\n  \"replay_spread\": %.3f,\n  \"rebuild_growth\":"
+                 " %.3f\n}\n", spread, growth);
+    std::fclose(f);
+  }
+
+  if (spread >= kReplayFlatRatio) {
+    std::fprintf(stderr,
+                 "GATE FAILED: journal replay I/O is not flat in image size\n");
+    return 1;
+  }
+  if (growth < kRebuildGrowth) {
+    std::fprintf(stderr,
+                 "GATE FAILED: full rebuild I/O did not grow with image size "
+                 "(benchmark no longer separates the paths)\n");
+    return 1;
+  }
+  return 0;
+}

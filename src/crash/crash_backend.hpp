@@ -26,6 +26,25 @@ struct CrashPlan {
   std::uint32_t sector = 512;
 };
 
+class CrashBackend;
+
+/// One shared power rail for several CrashBackends (several files of one
+/// system — e.g. a cache image and a CoW overlay). The domain owns the
+/// event clock: event k is the k-th successful mutating operation on ANY
+/// member, and when the cut fires every member's unflushed window is
+/// destroyed at the same instant. That is what a host power loss does —
+/// per-file cuts cannot catch ordering bugs that span files.
+///
+/// Members register themselves at construction and must outlive the
+/// domain's last use; the domain is borrowed, not owned.
+struct CrashDomain {
+  std::uint64_t cut_after_events = ~std::uint64_t{0};
+  std::uint64_t seed = 1;
+  std::uint64_t events = 0;
+  bool dead = false;
+  std::vector<CrashBackend*> members;
+};
+
 /// What a power cut did to the unflushed window (for counters/tests).
 struct CrashStats {
   std::uint64_t events = 0;         ///< mutating ops completed
@@ -55,6 +74,24 @@ class CrashBackend final : public io::BlockBackend {
                obs::Hub* hub = nullptr)
       : inner_(inner), plan_(plan), shadow_size_(inner.size()) {
     ro_ = inner.read_only();
+    bind_hub(hub);
+  }
+
+  /// Domain member: the cut schedule and event clock live in `dom`,
+  /// shared with every other member; `plan.sector` still applies
+  /// per-backend. `dom` must outlive this wrapper.
+  CrashBackend(io::BlockBackend& inner, CrashDomain& dom,
+               std::uint32_t sector = 512, obs::Hub* hub = nullptr)
+      : inner_(inner),
+        plan_{dom.cut_after_events, dom.seed, sector},
+        shadow_size_(inner.size()),
+        domain_(&dom) {
+    ro_ = inner.read_only();
+    dom.members.push_back(this);
+    bind_hub(hub);
+  }
+
+  void bind_hub(obs::Hub* hub) {
     if (hub != nullptr) {
       c_cuts_ = &hub->registry.counter("crash.power_cuts", {});
       c_kept_ = &hub->registry.counter("crash.writes_kept", {});
@@ -87,7 +124,7 @@ class CrashBackend final : public io::BlockBackend {
     pending_.push_back(
         Op{false, off, {src.begin(), src.end()}});
     shadow_size_ = std::max(shadow_size_, off + src.size());
-    ++stats_.events;
+    tick();
     co_return ok_result();
   }
 
@@ -102,7 +139,7 @@ class CrashBackend final : public io::BlockBackend {
     }
     pending_.clear();
     VMIC_CO_TRY_VOID(co_await inner_.flush());
-    ++stats_.events;
+    tick();
     ++stats_.flushes;
     bump(c_flushes_);
     co_return ok_result();
@@ -113,7 +150,7 @@ class CrashBackend final : public io::BlockBackend {
     VMIC_CO_TRY_VOID(check_writable());
     pending_.push_back(Op{true, new_size, {}});
     shadow_size_ = new_size;
-    ++stats_.events;
+    tick();
     co_return ok_result();
   }
 
@@ -123,9 +160,14 @@ class CrashBackend final : public io::BlockBackend {
     return "crash:" + inner_.describe();
   }
 
-  /// Cut the power now, regardless of the schedule. Idempotent.
+  /// Cut the power now, regardless of the schedule. Idempotent. For a
+  /// domain member this fells the whole domain — one rail, one cut.
   sim::Task<Result<void>> power_cut() {
-    if (!dead_) {
+    if (domain_ != nullptr) {
+      if (!domain_->dead) {
+        VMIC_CO_TRY_VOID(co_await cut_domain());
+      }
+    } else if (!dead_) {
       VMIC_CO_TRY_VOID(co_await apply_cut());
     }
     co_return ok_result();
@@ -167,12 +209,36 @@ class CrashBackend final : public io::BlockBackend {
     }
   }
 
+  /// Count a completed mutating op on the local and (if any) domain clock.
+  void tick() {
+    ++stats_.events;
+    if (domain_ != nullptr) ++domain_->events;
+  }
+
   /// Check the schedule before a mutating op; fires the cut when due.
   sim::Task<Result<void>> gate() {
-    if (!dead_ && stats_.events >= plan_.cut_after_events) {
+    if (domain_ != nullptr) {
+      if (!domain_->dead && domain_->events >= domain_->cut_after_events) {
+        VMIC_CO_TRY_VOID(co_await cut_domain());
+      }
+    } else if (!dead_ && stats_.events >= plan_.cut_after_events) {
       VMIC_CO_TRY_VOID(co_await apply_cut());
     }
     if (dead_) co_return Errc::io_error;
+    co_return ok_result();
+  }
+
+  /// Fell every member of the domain at this instant.
+  sim::Task<Result<void>> cut_domain() {
+    domain_->dead = true;
+    for (std::size_t i = 0; i < domain_->members.size(); ++i) {
+      CrashBackend* m = domain_->members[i];
+      if (!m->dead_) {
+        VMIC_CO_TRY_VOID(co_await m->apply_cut_seeded(
+            domain_->seed ^ 0xCA54C0DEull ^ domain_->events ^
+            (i * 0x9E3779B97F4A7C15ull)));
+      }
+    }
     co_return ok_result();
   }
 
@@ -182,7 +248,12 @@ class CrashBackend final : public io::BlockBackend {
   /// still overwrites a kept earlier one (reordering only manifests as
   /// drops in between — the observable difference on a linear store).
   sim::Task<Result<void>> apply_cut() {
-    Rng rng(plan_.seed ^ 0xCA54C0DEull ^ stats_.events);
+    co_return co_await apply_cut_seeded(plan_.seed ^ 0xCA54C0DEull ^
+                                        stats_.events);
+  }
+
+  sim::Task<Result<void>> apply_cut_seeded(std::uint64_t seed) {
+    Rng rng(seed);
     for (const Op& op : pending_) {
       if (op.is_trunc) {
         if (rng.chance(0.5)) {
@@ -242,6 +313,7 @@ class CrashBackend final : public io::BlockBackend {
   io::BlockBackend& inner_;
   CrashPlan plan_;
   std::uint64_t shadow_size_;
+  CrashDomain* domain_ = nullptr;
   std::vector<Op> pending_;
   bool dead_ = false;
   CrashStats stats_;

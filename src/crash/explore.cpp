@@ -53,6 +53,19 @@ std::vector<GuestOp> make_ops(const ExploreConfig& cfg) {
       ops.push_back({GuestOp::Kind::read, off, len});
       continue;
     }
+    if (cfg.two_file) {
+      // Overlay-over-cache: reads pull clusters into the cache (CoR
+      // writes file 1), writes CoW into the overlay (writes file 2) —
+      // both files mutate, so a shared cut exercises their interplay.
+      const std::uint64_t len = 512 * rng.range(1, (2 * cs) / 512);
+      const std::uint64_t off = 512 * rng.below((cfg.image_size - len) / 512 + 1);
+      if (rng.chance(0.5)) {
+        ops.push_back({GuestOp::Kind::read, off, len});
+      } else {
+        ops.push_back({GuestOp::Kind::write, off, len, rng.next()});
+      }
+      continue;
+    }
     if (roll < cfg.flush_probability + cfg.zero_probability ||
         roll < cfg.flush_probability + cfg.zero_probability +
                    cfg.discard_probability) {
@@ -80,10 +93,36 @@ Result<void> create_image(SparseBuffer& disk, const ExploreConfig& cfg) {
   qcow2::Qcow2Device::CreateOptions copt;
   copt.virtual_size = cfg.image_size;
   copt.cluster_bits = cfg.cluster_bits;
+  copt.journal_sectors = cfg.journal_sectors;
   if (cfg.cor_chain) {
     copt.backing_file = "base";
     copt.cache_quota = cfg.image_size * 4;
   }
+  return sim::sync_wait(qcow2::Qcow2Device::create(direct, copt));
+}
+
+/// Two files: a copy-on-read cache over the raw base, and a CoW overlay
+/// whose backing is the cache.
+Result<void> create_two_file(SparseBuffer& cache_disk,
+                             SparseBuffer& overlay_disk,
+                             const ExploreConfig& cfg) {
+  {
+    io::MemBackend direct(&cache_disk);
+    qcow2::Qcow2Device::CreateOptions copt;
+    copt.virtual_size = cfg.image_size;
+    copt.cluster_bits = cfg.cluster_bits;
+    copt.journal_sectors = cfg.journal_sectors;
+    copt.backing_file = "base";
+    copt.cache_quota = cfg.image_size * 4;
+    auto r = sim::sync_wait(qcow2::Qcow2Device::create(direct, copt));
+    if (!r.ok()) return r;
+  }
+  io::MemBackend direct(&overlay_disk);
+  qcow2::Qcow2Device::CreateOptions copt;
+  copt.virtual_size = cfg.image_size;
+  copt.cluster_bits = cfg.cluster_bits;
+  copt.journal_sectors = cfg.journal_sectors;
+  copt.backing_file = "cache";
   return sim::sync_wait(qcow2::Qcow2Device::create(direct, copt));
 }
 
@@ -107,6 +146,44 @@ Result<block::DevicePtr> open_image(io::BackendPtr file,
     };
   }
   return sim::sync_wait(qcow2::Qcow2Device::open(std::move(file), opt));
+}
+
+/// Middle link of the two-file chain (everything by value: the coroutine
+/// must not reference a resolver lambda that may be gone by resume time).
+sim::Task<Result<block::DevicePtr>> open_cache_link(io::BackendPtr file,
+                                                    std::uint64_t size,
+                                                    SparseBuffer* base,
+                                                    bool lazy, bool auto_repair,
+                                                    obs::Hub* hub) {
+  block::OpenOptions opt;
+  opt.writable = true;
+  opt.lazy_refcounts = lazy;
+  opt.auto_repair_dirty = auto_repair;
+  opt.hub = hub;
+  opt.resolver = [base, size](const std::string&, bool) {
+    return open_base(base, size);
+  };
+  co_return co_await qcow2::Qcow2Device::open(std::move(file), opt);
+}
+
+Result<block::DevicePtr> open_overlay_chain(io::BackendPtr overlay_file,
+                                            io::BackendPtr cache_file,
+                                            const ExploreConfig& cfg,
+                                            SparseBuffer* base,
+                                            bool auto_repair) {
+  block::OpenOptions opt;
+  opt.writable = true;
+  opt.lazy_refcounts = cfg.lazy_refcounts;
+  opt.auto_repair_dirty = auto_repair;
+  opt.hub = cfg.hub;
+  auto holder = std::make_shared<io::BackendPtr>(std::move(cache_file));
+  opt.resolver = [holder, size = cfg.image_size, base,
+                  lazy = cfg.lazy_refcounts, auto_repair,
+                  hub = cfg.hub](const std::string&, bool) {
+    return open_cache_link(std::move(*holder), size, base, lazy, auto_repair,
+                           hub);
+  };
+  return sim::sync_wait(qcow2::Qcow2Device::open(std::move(overlay_file), opt));
 }
 
 struct RunOutcome {
@@ -166,35 +243,34 @@ std::uint64_t verify_content(block::BlockDevice& dev, const ExploreConfig& cfg,
                              std::size_t completed, const SparseBuffer* base) {
   const auto n = static_cast<std::size_t>(cfg.image_size);
   std::vector<std::uint8_t> expect(n, 0);
-  std::vector<std::uint8_t> dirty;
-  if (base != nullptr) {
-    base->read(0, expect);
-  } else {
-    // A flush makes every guest op *before* it durable; anything after
-    // the last completed flush (including the op the cut interrupted) may
-    // hold old, new, or torn content — excluded from comparison.
-    std::size_t last_flush = kNoFlush;
-    for (std::size_t i = 0; i < completed; ++i) {
-      if (ops[i].kind == GuestOp::Kind::flush) last_flush = i;
+  std::vector<std::uint8_t> dirty(n, 0);
+  // Unwritten regions read as the base through the chain (or as zeros
+  // standalone). A flush makes every guest op *before* it durable;
+  // anything after the last completed flush (including the op the cut
+  // interrupted) may hold old, new, or torn content — excluded from
+  // comparison. Pure-read workloads (cor_chain) mark nothing dirty, so
+  // every byte must match the base.
+  if (base != nullptr) base->read(0, expect);
+  std::size_t last_flush = kNoFlush;
+  for (std::size_t i = 0; i < completed; ++i) {
+    if (ops[i].kind == GuestOp::Kind::flush) last_flush = i;
+  }
+  const std::size_t attempted = std::min(completed + 1, ops.size());
+  for (std::size_t i = 0; i < attempted; ++i) {
+    const GuestOp& op = ops[i];
+    if (op.kind == GuestOp::Kind::flush || op.kind == GuestOp::Kind::read) {
+      continue;
     }
-    dirty.assign(n, 0);
-    const std::size_t attempted = std::min(completed + 1, ops.size());
-    for (std::size_t i = 0; i < attempted; ++i) {
-      const GuestOp& op = ops[i];
-      if (op.kind == GuestOp::Kind::flush || op.kind == GuestOp::Kind::read) {
-        continue;
-      }
-      if (last_flush != kNoFlush && i < last_flush) {
-        if (op.kind == GuestOp::Kind::write) {
-          fill_pattern(op.tag, {expect.data() + op.off,
-                                static_cast<std::size_t>(op.len)});
-        } else {
-          std::memset(expect.data() + op.off, 0,
-                      static_cast<std::size_t>(op.len));
-        }
+    if (last_flush != kNoFlush && i < last_flush) {
+      if (op.kind == GuestOp::Kind::write) {
+        fill_pattern(op.tag, {expect.data() + op.off,
+                              static_cast<std::size_t>(op.len)});
       } else {
-        std::memset(dirty.data() + op.off, 1, static_cast<std::size_t>(op.len));
+        std::memset(expect.data() + op.off, 0,
+                    static_cast<std::size_t>(op.len));
       }
+    } else {
+      std::memset(dirty.data() + op.off, 1, static_cast<std::size_t>(op.len));
     }
   }
   std::vector<std::uint8_t> buf(64 * 1024);
@@ -214,11 +290,15 @@ std::uint64_t verify_content(block::BlockDevice& dev, const ExploreConfig& cfg,
   return mismatches;
 }
 
+ExploreReport explore_two_file(const ExploreConfig& cfg);
+
 }  // namespace
 
 ExploreReport explore(const ExploreConfig& cfg) {
   assert(cfg.image_size % (1ull << cfg.cluster_bits) == 0);
+  if (cfg.two_file) return explore_two_file(cfg);
   ExploreReport rep;
+  rep.leaks_allowed = cfg.journal_sectors > 0;
   const std::vector<GuestOp> ops = make_ops(cfg);
 
   SparseBuffer base;
@@ -311,6 +391,11 @@ ExploreReport explore(const ExploreConfig& cfg) {
     }
     rep.power_cuts += cstats.power_cuts;
 
+    // Snapshot the crashed state before the primary repair mutates it —
+    // the repair-of-repair loop below replays repair from this state.
+    SparseBuffer crashed;
+    if (cfg.crash_during_repair) crashed = disk.clone();
+
     auto reopened =
         open_image(io::BackendPtr{std::make_unique<io::MemBackend>(&disk)}, cfg,
                    base_p, /*auto_repair=*/false);
@@ -338,6 +423,8 @@ ExploreReport explore(const ExploreConfig& cfg) {
     rep.entries_cleared += fixed->entries_cleared;
     rep.leaks_dropped += fixed->leaks_dropped;
     rep.corruptions_fixed += fixed->corruptions_fixed;
+    if (fixed->journal_replayed) ++rep.journal_replays;
+    if (fixed->journal_fallback) ++rep.journal_fallbacks;
 
     const auto post = sim::sync_wait(q->check());
     if (!post.ok()) {
@@ -346,13 +433,77 @@ ExploreReport explore(const ExploreConfig& cfg) {
     }
     rep.post_repair_corruptions += post->corruptions;
     rep.post_repair_leaks += post->leaked_clusters;
-    if (!post->clean()) point_ok = false;
+    if (post->corruptions != 0 ||
+        (post->leaked_clusters != 0 && !rep.leaks_allowed)) {
+      point_ok = false;
+    }
 
     const std::uint64_t lost =
         verify_content(**reopened, cfg, ops, completed, base_p);
     rep.lost_flushed_bytes += lost;
     if (lost != 0) point_ok = false;
     (void)sim::sync_wait((*reopened)->close());
+
+    // Repair-of-repair: the power can fail again at any instant of the
+    // repair the crash forced. Replay that repair against a clone of the
+    // crashed disk, cutting at every one of its own mutating events; the
+    // half-repaired image must reopen, repair, and verify like any other
+    // crash state.
+    if (cfg.crash_during_repair) {
+      for (std::uint64_t j = 0; j < 100000; ++j) {
+        SparseBuffer rdisk = crashed.clone();
+        bool cut_fired = false;
+        {
+          io::MemBackend rinner(&rdisk);
+          auto rcb = std::make_unique<CrashBackend>(
+              rinner,
+              CrashPlan{.cut_after_events = j, .seed = cfg.seed ^ 0x5ec0ecull},
+              nullptr);
+          CrashBackend* rcbp = rcb.get();
+          auto rdev = open_image(io::BackendPtr{std::move(rcb)}, cfg, base_p,
+                                 /*auto_repair=*/true);
+          if (rdev.ok()) {
+            cut_fired = !rcbp->alive();
+            // Drop without close(): the process died with the cut (or we
+            // only cared about the repair window).
+          } else if (rdev.error() == Errc::io_error) {
+            cut_fired = true;
+          } else {
+            ++rep.replay_failures;
+            point_ok = false;
+            break;
+          }
+        }
+        if (!cut_fired) break;  // repair ran to completion before event j
+        ++rep.repair_crash_points;
+        auto r2 = open_image(
+            io::BackendPtr{std::make_unique<io::MemBackend>(&rdisk)}, cfg,
+            base_p, /*auto_repair=*/true);
+        if (!r2.ok()) {
+          ++rep.replay_failures;
+          point_ok = false;
+          break;
+        }
+        auto* q2 = static_cast<qcow2::Qcow2Device*>(r2->get());
+        const auto chk = sim::sync_wait(q2->check());
+        if (!chk.ok()) {
+          ++rep.replay_failures;
+          point_ok = false;
+          break;
+        }
+        rep.post_repair_corruptions += chk->corruptions;
+        rep.post_repair_leaks += chk->leaked_clusters;
+        if (chk->corruptions != 0 ||
+            (chk->leaked_clusters != 0 && !rep.leaks_allowed)) {
+          point_ok = false;
+        }
+        const std::uint64_t rlost =
+            verify_content(**r2, cfg, ops, completed, base_p);
+        rep.lost_flushed_bytes += rlost;
+        if (rlost != 0) point_ok = false;
+        (void)sim::sync_wait((*r2)->close());
+      }
+    }
 
     if (point_ok) ++rep.verified_points;
     mix(k);
@@ -365,10 +516,201 @@ ExploreReport explore(const ExploreConfig& cfg) {
     mix(fixed->leaks_dropped);
     mix(fixed->corruptions_fixed);
     mix(lost);
+    if (cfg.journal_sectors > 0) {
+      mix(fixed->journal_replayed ? 1 : 0);
+      mix(fixed->journal_entries);
+    }
   }
   rep.digest = fnv;
   return rep;
 }
+
+namespace {
+
+/// Two-file sweep: overlay + cache fall off the same power rail. The
+/// invariants are the single-file ones on *both* images, plus content:
+/// flushed guest writes survive in the overlay, and everything else must
+/// still read as the base through the (repaired) chain.
+ExploreReport explore_two_file(const ExploreConfig& cfg) {
+  ExploreReport rep;
+  rep.leaks_allowed = cfg.journal_sectors > 0;
+  const std::vector<GuestOp> ops = make_ops(cfg);
+
+  SparseBuffer base;
+  {
+    std::vector<std::uint8_t> tmp(64 * 1024);
+    std::uint64_t sm = cfg.seed ^ 0xba5eba11ull;
+    for (std::uint64_t off = 0; off < cfg.image_size; off += tmp.size()) {
+      for (auto& b : tmp) b = static_cast<std::uint8_t>(splitmix64(sm));
+      base.write(off, tmp);
+    }
+  }
+
+  // Recording run across the shared event clock.
+  {
+    SparseBuffer cache_disk;
+    SparseBuffer overlay_disk;
+    if (!create_two_file(cache_disk, overlay_disk, cfg).ok()) {
+      ++rep.replay_failures;
+      return rep;
+    }
+    CrashDomain dom;
+    io::MemBackend cache_inner(&cache_disk);
+    io::MemBackend overlay_inner(&overlay_disk);
+    auto ccb = std::make_unique<CrashBackend>(cache_inner, dom);
+    auto ocb = std::make_unique<CrashBackend>(overlay_inner, dom);
+    auto dev = open_overlay_chain(io::BackendPtr{std::move(ocb)},
+                                  io::BackendPtr{std::move(ccb)}, cfg, &base,
+                                  /*auto_repair=*/true);
+    if (!dev.ok()) {
+      ++rep.replay_failures;
+      return rep;
+    }
+    const RunOutcome out = run_ops(**dev, ops, nullptr);
+    if (out.err != Errc::ok) {
+      ++rep.replay_failures;
+      return rep;
+    }
+    rep.total_events = dom.events;
+  }
+
+  std::vector<std::uint64_t> points;
+  const std::uint64_t all = rep.total_events + 1;
+  if (cfg.max_crash_points > 0 && all > cfg.max_crash_points) {
+    for (std::uint64_t i = 0; i + 1 < cfg.max_crash_points; ++i) {
+      points.push_back(i * all / cfg.max_crash_points);
+    }
+    points.push_back(rep.total_events);
+  } else {
+    for (std::uint64_t k = 0; k < all; ++k) points.push_back(k);
+  }
+  rep.crash_points = points.size();
+
+  std::uint64_t fnv = 0xcbf29ce484222325ull;
+  const auto mix = [&fnv](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      fnv ^= (v >> (8 * i)) & 0xff;
+      fnv *= 0x100000001b3ull;
+    }
+  };
+
+  for (const std::uint64_t k : points) {
+    bool point_ok = true;
+    SparseBuffer cache_disk;
+    SparseBuffer overlay_disk;
+    if (!create_two_file(cache_disk, overlay_disk, cfg).ok()) {
+      ++rep.replay_failures;
+      continue;
+    }
+    CrashStats cache_stats;
+    CrashStats overlay_stats;
+    std::size_t completed = 0;
+    {
+      CrashDomain dom;
+      dom.cut_after_events = k;
+      dom.seed = cfg.seed;
+      io::MemBackend cache_inner(&cache_disk);
+      io::MemBackend overlay_inner(&overlay_disk);
+      auto ccb = std::make_unique<CrashBackend>(cache_inner, dom, 512,
+                                                cfg.hub);
+      auto ocb = std::make_unique<CrashBackend>(overlay_inner, dom, 512,
+                                                cfg.hub);
+      CrashBackend* ccbp = ccb.get();
+      CrashBackend* ocbp = ocb.get();
+      auto dev = open_overlay_chain(io::BackendPtr{std::move(ocb)},
+                                    io::BackendPtr{std::move(ccb)}, cfg, &base,
+                                    /*auto_repair=*/true);
+      if (!dev.ok()) {
+        ++rep.replay_failures;
+        continue;
+      }
+      const RunOutcome out = run_ops(**dev, ops, nullptr);
+      completed = out.completed;
+      if (out.err != Errc::ok && out.err != Errc::io_error) {
+        ++rep.replay_failures;
+        point_ok = false;
+      }
+      if (ocbp->alive()) (void)sim::sync_wait(ocbp->power_cut());
+      cache_stats = ccbp->stats();
+      overlay_stats = ocbp->stats();
+      rep.power_cuts += 1;
+    }
+
+    auto reopened = open_overlay_chain(
+        io::BackendPtr{std::make_unique<io::MemBackend>(&overlay_disk)},
+        io::BackendPtr{std::make_unique<io::MemBackend>(&cache_disk)}, cfg,
+        &base, /*auto_repair=*/false);
+    if (!reopened.ok()) {
+      ++rep.replay_failures;
+      continue;
+    }
+    auto* overlay = static_cast<qcow2::Qcow2Device*>(reopened->get());
+    auto* cache = static_cast<qcow2::Qcow2Device*>(overlay->backing());
+    if (overlay->dirty()) ++rep.dirty_images;
+    if (cache->dirty()) ++rep.dirty_images;
+
+    bool failed = false;
+    for (qcow2::Qcow2Device* q : {overlay, cache}) {
+      const auto pre = sim::sync_wait(q->check());
+      if (!pre.ok()) {
+        ++rep.replay_failures;
+        failed = true;
+        break;
+      }
+      rep.pre_repair_corruptions += pre->corruptions;
+      rep.pre_repair_leaks += pre->leaked_clusters;
+      if (pre->corruptions != 0) point_ok = false;
+      mix(pre->leaked_clusters);
+      mix(pre->corruptions);
+
+      const auto fixed = sim::sync_wait(q->repair());
+      if (!fixed.ok()) {
+        ++rep.replay_failures;
+        failed = true;
+        break;
+      }
+      rep.entries_cleared += fixed->entries_cleared;
+      rep.leaks_dropped += fixed->leaks_dropped;
+      rep.corruptions_fixed += fixed->corruptions_fixed;
+      if (fixed->journal_replayed) ++rep.journal_replays;
+      if (fixed->journal_fallback) ++rep.journal_fallbacks;
+      mix(fixed->entries_cleared);
+      mix(fixed->leaks_dropped);
+      mix(fixed->corruptions_fixed);
+
+      const auto post = sim::sync_wait(q->check());
+      if (!post.ok()) {
+        ++rep.replay_failures;
+        failed = true;
+        break;
+      }
+      rep.post_repair_corruptions += post->corruptions;
+      rep.post_repair_leaks += post->leaked_clusters;
+      if (post->corruptions != 0 ||
+          (post->leaked_clusters != 0 && !rep.leaks_allowed)) {
+        point_ok = false;
+      }
+    }
+    if (failed) continue;
+
+    const std::uint64_t lost =
+        verify_content(**reopened, cfg, ops, completed, &base);
+    rep.lost_flushed_bytes += lost;
+    if (lost != 0) point_ok = false;
+    (void)sim::sync_wait((*reopened)->close());
+
+    if (point_ok) ++rep.verified_points;
+    mix(k);
+    mix(cache_stats.writes_kept + overlay_stats.writes_kept);
+    mix(cache_stats.writes_dropped + overlay_stats.writes_dropped);
+    mix(cache_stats.writes_torn + overlay_stats.writes_torn);
+    mix(lost);
+  }
+  rep.digest = fnv;
+  return rep;
+}
+
+}  // namespace
 
 std::string to_json(const ExploreReport& r, const ExploreConfig& cfg) {
   std::string s = "{\n";
@@ -386,6 +728,9 @@ std::string to_json(const ExploreReport& r, const ExploreConfig& cfg) {
   field("guest_ops", static_cast<std::uint64_t>(cfg.guest_ops));
   field("lazy_refcounts", cfg.lazy_refcounts ? 1 : 0);
   field("cor_chain", cfg.cor_chain ? 1 : 0);
+  field("journal_sectors", cfg.journal_sectors);
+  field("crash_during_repair", cfg.crash_during_repair ? 1 : 0);
+  field("two_file", cfg.two_file ? 1 : 0);
   field("max_crash_points", cfg.max_crash_points);
   field("total_events", r.total_events);
   field("crash_points", r.crash_points);
@@ -401,6 +746,10 @@ std::string to_json(const ExploreReport& r, const ExploreConfig& cfg) {
   field("post_repair_leaks", r.post_repair_leaks);
   field("lost_flushed_bytes", r.lost_flushed_bytes);
   field("verified_points", r.verified_points);
+  field("journal_replays", r.journal_replays);
+  field("journal_fallbacks", r.journal_fallbacks);
+  field("repair_crash_points", r.repair_crash_points);
+  field("leaks_allowed", r.leaks_allowed ? 1 : 0);
   field("digest", r.digest);
   field("pass", r.pass() ? 1 : 0, /*comma=*/false);
   s += "}\n";

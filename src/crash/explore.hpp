@@ -28,6 +28,19 @@ struct ExploreConfig {
   /// the recording run, i.e. every flush boundary and every point in
   /// between (intra-write states are covered by sector tearing).
   std::uint64_t max_crash_points = 0;
+  /// Create the image with a refcount journal of this many sectors
+  /// (0 = no journal). Small values force checkpoints under the sweep,
+  /// so checkpoint-under-crash windows get covered too.
+  std::uint32_t journal_sectors = 0;
+  /// After each primary cut, also cut the power at every event *inside*
+  /// the auto-repair that follows (repair-of-repair): repair itself must
+  /// be crash-safe at every instant.
+  bool crash_during_repair = false;
+  /// Two-file chain: a CoW overlay (guest writes) over a cache image
+  /// (copy-on-read) over a raw base, with BOTH qcow2 files behind one
+  /// CrashDomain — the cut fells them at the same instant, the only way
+  /// to catch ordering bugs that span files.
+  bool two_file = false;
   /// Optional sink for crash.* counters.
   obs::Hub* hub = nullptr;
 };
@@ -50,11 +63,20 @@ struct ExploreReport {
   std::uint64_t post_repair_leaks = 0;        ///< must be 0
   std::uint64_t lost_flushed_bytes = 0;       ///< must be 0
   std::uint64_t verified_points = 0;   ///< points whose content verified
+  std::uint64_t journal_replays = 0;   ///< repairs served by O(journal) replay
+  std::uint64_t journal_fallbacks = 0; ///< repairs that fell back to rebuild
+  std::uint64_t repair_crash_points = 0;  ///< nested cuts inside repair
+  /// Journal images may keep leaks across replay (a free record that never
+  /// became durable — the dereference did, so it is a leak, never a
+  /// corruption; the next full check/rebuild drops it). explore() sets
+  /// this so pass() tolerates exactly that.
+  bool leaks_allowed = false;
   std::uint64_t digest = 0;  ///< FNV-1a over per-point outcomes (determinism)
 
   [[nodiscard]] bool pass() const noexcept {
     return replay_failures == 0 && pre_repair_corruptions == 0 &&
-           post_repair_corruptions == 0 && post_repair_leaks == 0 &&
+           post_repair_corruptions == 0 &&
+           (post_repair_leaks == 0 || leaks_allowed) &&
            lost_flushed_bytes == 0 && verified_points == crash_points;
   }
 };

@@ -42,7 +42,10 @@ class BlockBackend {
   /// barrier carry no ordering guarantee among themselves until the next
   /// flush — individual writes may land partially (sector granularity)
   /// or not at all. The qcow2 driver's crash consistency (DESIGN.md
-  /// "Durability") is built solely on this contract.
+  /// "Durability") is built solely on this contract. The barrier covers
+  /// data plus whatever metadata is needed to read it back (file size on
+  /// extension); implementations need not persist timestamps, so
+  /// fdatasync() suffices for files.
   virtual sim::Task<Result<void>> flush() = 0;
 
   /// Grow or shrink the file.

@@ -96,7 +96,11 @@ sim::Task<Result<void>> FileBackend::pwrite(
 }
 
 sim::Task<Result<void>> FileBackend::flush() {
-  if (::fsync(fd_) != 0) co_return Errc::io_error;
+  // fdatasync: the durability barrier needs the data and any metadata
+  // required to read it back (file size on extension — POSIX guarantees
+  // that much). Skipping mtime/atime journaling roughly halves barrier
+  // latency on ext4, and qcow2 ordering never depends on timestamps.
+  if (::fdatasync(fd_) != 0) co_return Errc::io_error;
   co_return ok_result();
 }
 

@@ -73,6 +73,7 @@ sim::Task<Result<void>> create_cow_image(io::ImageDirectory& dir,
   c.virtual_size = size;
   c.cluster_bits = opt.cluster_bits;
   c.backing_file = backing_name;
+  c.journal_sectors = opt.journal_sectors;
   co_return co_await Qcow2Device::create(*backend, c);
 }
 
@@ -93,6 +94,7 @@ sim::Task<Result<void>> create_cache_image(io::ImageDirectory& dir,
   c.cluster_bits = opt.cluster_bits;
   c.backing_file = backing_name;
   c.cache_quota = quota;
+  c.journal_sectors = opt.journal_sectors;
   c.expected_file_size = quota + 16 * 1024 * 1024;
   co_return co_await Qcow2Device::create(*backend, c);
 }

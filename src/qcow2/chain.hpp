@@ -39,6 +39,10 @@ struct ChainImageOptions {
   std::uint32_t cluster_bits = kDefaultClusterBits;
   /// Override for the virtual size; 0 = inherit from the backing image.
   std::uint64_t virtual_size = 0;
+  /// Refcount-journal sectors (0 = no journal). Off by default so the
+  /// cloud-sim golden metrics stay byte-stable; deployments that want
+  /// O(journal) crash repair opt in per image.
+  std::uint32_t journal_sectors = 0;
 };
 
 /// Create a copy-on-write overlay backed by `backing_name`.

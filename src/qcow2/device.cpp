@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <limits>
 
 #include "block/raw.hpp"
+#include "qcow2/journal.hpp"
 #include "util/align.hpp"
 #include "util/bytes.hpp"
 #include "util/log.hpp"
@@ -42,8 +44,17 @@ sim::Task<Result<void>> Qcow2Device::create(io::BlockBackend& file,
   if (opt.cache_quota != 0) {
     cache = CacheExtension{opt.cache_quota, 0};
   }
+  std::optional<JournalExtension> journal;
+  if (opt.journal_sectors != 0) {
+    if (opt.journal_sectors < 2) co_return Errc::invalid_argument;
+    // Offset is filled in below once the layout is known; the header-area
+    // size only depends on the extension's presence.
+    journal = JournalExtension{
+        0, std::uint64_t{opt.journal_sectors} * kJournalSectorSize};
+  }
 
-  const std::uint64_t header_bytes = header_area_size(cache, opt.backing_file);
+  const std::uint64_t header_bytes =
+      header_area_size(cache, journal, opt.backing_file);
   const std::uint64_t header_clusters = div_ceil(header_bytes, cs);
 
   const std::uint32_t l1_entries = ly.l1_entries_for(opt.virtual_size);
@@ -64,17 +75,21 @@ sim::Task<Result<void>> Qcow2Device::create(io::BlockBackend& file,
       1, div_ceil(div_ceil(expected_clusters, ly.refcounts_per_block()),
                   ly.rt_entries_per_cluster()));
 
+  const std::uint64_t journal_clusters =
+      journal ? div_ceil(journal->size, cs) : 0;
+
   // Initial refcount blocks must cover all initial clusters, whose count
   // depends on the block count — iterate to the fixed point.
   std::uint64_t nrb = 1;
   std::uint64_t total = 0;
   for (int iter = 0; iter < 8; ++iter) {
-    total = header_clusters + rt_clusters + nrb + l1_clusters;
+    total =
+        header_clusters + rt_clusters + nrb + l1_clusters + journal_clusters;
     const std::uint64_t need = div_ceil(total, ly.refcounts_per_block());
     if (need == nrb) break;
     nrb = need;
   }
-  total = header_clusters + rt_clusters + nrb + l1_clusters;
+  total = header_clusters + rt_clusters + nrb + l1_clusters + journal_clusters;
 
   if (opt.cache_quota != 0 && opt.cache_quota < total * cs) {
     // Quota cannot even hold the metadata skeleton.
@@ -84,6 +99,8 @@ sim::Task<Result<void>> Qcow2Device::create(io::BlockBackend& file,
   const std::uint64_t rt_off = header_clusters * cs;
   const std::uint64_t rb_off = rt_off + rt_clusters * cs;
   const std::uint64_t l1_off = rb_off + nrb * cs;
+  const std::uint64_t journal_off = l1_off + l1_clusters * cs;
+  if (journal) journal->offset = journal_off;
 
   Header h;
   h.cluster_bits = opt.cluster_bits;
@@ -92,6 +109,7 @@ sim::Task<Result<void>> Qcow2Device::create(io::BlockBackend& file,
   h.l1_table_offset = l1_off;
   h.refcount_table_offset = rt_off;
   h.refcount_table_clusters = static_cast<std::uint32_t>(rt_clusters);
+  if (journal) h.incompatible_features |= kIncompatJournal;
   if (!opt.backing_file.empty()) {
     h.backing_file_offset = header_bytes - opt.backing_file.size();
     h.backing_file_size =
@@ -101,7 +119,7 @@ sim::Task<Result<void>> Qcow2Device::create(io::BlockBackend& file,
 
   // Header area (cluster 0 .. header_clusters-1).
   std::vector<std::uint8_t> hdr(header_clusters * cs, 0);
-  write_header_area(h, cache, opt.backing_file, hdr);
+  write_header_area(h, cache, journal, opt.backing_file, hdr);
   VMIC_CO_TRY_VOID(co_await file.pwrite(0, hdr));
 
   // Refcount table: first nrb entries point at the initial blocks.
@@ -132,6 +150,16 @@ sim::Task<Result<void>> Qcow2Device::create(io::BlockBackend& file,
     VMIC_CO_TRY_VOID(co_await file.pwrite(l1_off, zeros));
   }
 
+  // Journal region: header sector at generation 0, all record slots
+  // zeroed (zero sectors fail the record magic check and are ignored).
+  if (journal) {
+    std::vector<std::uint8_t> jr(journal_clusters * cs, 0);
+    encode_journal_header(
+        JournalHeader{0, journal->size / kJournalSectorSize},
+        std::span(jr.data(), kJournalSectorSize));
+    VMIC_CO_TRY_VOID(co_await file.pwrite(journal_off, jr));
+  }
+
   VMIC_CO_TRY_VOID(co_await file.truncate(total * cs));
   VMIC_CO_TRY_VOID(co_await file.flush());
   co_return ok_result();
@@ -146,8 +174,11 @@ Qcow2Device::Qcow2Device(io::BackendPtr file, ParsedHeader parsed)
       h_(parsed.h),
       ly_(parsed.h.cluster_bits),
       cache_(parsed.cache),
+      journal_(parsed.journal),
       cache_ext_payload_offset_(parsed.cache_ext_payload_offset),
-      backing_path_(std::move(parsed.backing_file)) {}
+      backing_path_(std::move(parsed.backing_file)) {
+  if (journal_) journal_sector_count_ = journal_->size / kJournalSectorSize;
+}
 
 sim::Task<Result<block::DevicePtr>> Qcow2Device::open(
     io::BackendPtr file, const block::OpenOptions& opt) {
@@ -196,15 +227,44 @@ sim::Task<Result<block::DevicePtr>> Qcow2Device::open(
   dev->lazy_ = opt.lazy_refcounts;
   if (opt.hub != nullptr) dev->bind_obs(opt.hub);
 
-  if (opt.writable && !dev->file_->read_only()) {
-    VMIC_CO_TRY_VOID(co_await dev->load_refcounts());
+  // Read the journal header (one sector). It is only ever rewritten as a
+  // single atomic sector, so a crash leaves either the old or the new
+  // header — a failed decode means external corruption and forces repair
+  // onto the full-rebuild path.
+  if (dev->journal_) {
+    std::uint8_t sec[kJournalSectorSize];
+    VMIC_CO_TRY_VOID(co_await dev->file_->pread(dev->journal_->offset, sec));
+    JournalHeader jh;
+    if (decode_journal_header(sec, jh) &&
+        jh.sector_count == dev->journal_sector_count_) {
+      dev->journal_gen_ = jh.generation;
+    } else {
+      dev->journal_header_bad_ = true;
+      // Recover a safe generation floor: any future bump must not
+      // collide with a surviving record's generation (a collision could
+      // replay a stale record against state it no longer describes).
+      std::vector<std::uint8_t> region(dev->journal_->size, 0);
+      VMIC_CO_TRY_VOID(co_await dev->file_->pread(dev->journal_->offset,
+                                                  region));
+      for (std::uint64_t s = 1; s < dev->journal_sector_count_; ++s) {
+        JournalRecord r;
+        if (decode_journal_record(
+                std::span(region.data() + s * kJournalSectorSize,
+                          kJournalSectorSize),
+                r)) {
+          dev->journal_gen_ = std::max(dev->journal_gen_, r.generation);
+        }
+      }
+    }
   }
 
   // The dirty bit marks an unclean shutdown: on-disk refcounts may be
   // stale (over-counted only — see the barrier argument in DESIGN.md).
   // Writable opens rebuild them before trusting the allocator (qemu
-  // auto-repairs dirty images the same way); tools that want to report
-  // the damage first pass auto_repair_dirty = false.
+  // auto-repairs dirty images the same way); journaled images replay the
+  // journal instead — O(journal), which is why repair runs *before*
+  // load_refcounts pays the O(image) mirror load. Tools that want to
+  // report the damage first pass auto_repair_dirty = false.
   if ((dev->h_.incompatible_features & kIncompatDirty) != 0) {
     dev->dirty_ = true;
     dev->dirty_inherited_ = true;
@@ -213,6 +273,10 @@ sim::Task<Result<block::DevicePtr>> Qcow2Device::open(
       VMIC_CO_TRY(rep, co_await dev->repair());
       (void)rep;
     }
+  }
+
+  if (opt.writable && !dev->file_->read_only()) {
+    VMIC_CO_TRY_VOID(co_await dev->load_refcounts());
   }
 
   // Open the backing chain. Per the paper (§4.3): open writable first —
@@ -269,6 +333,12 @@ void Qcow2Device::bind_obs(obs::Hub* hub) {
   agg_.repair_leaks_dropped = &r.counter("qcow2.repair.leaks_dropped", ls);
   agg_.repair_corruptions_fixed =
       &r.counter("qcow2.repair.corruptions_fixed", ls);
+  agg_.journal_appends = &r.counter("qcow2.journal.appends", ls);
+  agg_.journal_checkpoints = &r.counter("qcow2.journal.checkpoints", ls);
+  agg_.journal_replays = &r.counter("qcow2.journal.replays", ls);
+  agg_.journal_entries_replayed =
+      &r.counter("qcow2.journal.entries_replayed", ls);
+  agg_.journal_fallbacks = &r.counter("qcow2.journal.fallbacks", ls);
   track_ = hub_->tracer.track("qcow2");
 }
 
@@ -286,6 +356,20 @@ sim::Task<Result<void>> Qcow2Device::load_refcounts() {
       const std::uint64_t idx = first + k;
       if (idx >= refcounts_.size()) break;
       refcounts_[idx] = load_be16(buf.data() + k * 2);
+    }
+  }
+  // Dirty journaled image: the on-disk blocks are stale for every
+  // journaled mutation since the last checkpoint. Overlay the journal's
+  // verified effective counts so the mirror (and check()) see the real
+  // durable state mid-window.
+  if (journal_ && (h_.incompatible_features & kIncompatDirty) != 0 &&
+      !journal_header_bad_) {
+    VMIC_CO_TRY(scan, co_await journal_scan());
+    if (scan.header_ok) {
+      for (const auto& [c, v] : scan.effective) {
+        if (c >= refcounts_.size()) refcounts_.resize(c + 1, 0);
+        refcounts_[c] = v;
+      }
     }
   }
   refcounts_loaded_ = true;
@@ -386,7 +470,9 @@ sim::Task<Result<void>> Qcow2Device::ensure_l2_table(std::uint64_t vaddr) {
   if ((l1_[i1] & kOffsetMask) != 0) co_return ok_result();
 
   // Allocate and zero a fresh L2 table, then hook it into the L1.
-  VMIC_CO_TRY(l2_off, co_await alloc_clusters(1));
+  VMIC_CO_TRY(l2_off,
+              co_await alloc_clusters(
+                  1, RefHint{h_.l1_table_offset + i1 * 8, /*run=*/true}));
   std::vector<std::uint8_t> zeros(cs, 0);
   VMIC_CO_TRY_VOID(co_await file_->pwrite(l2_off, zeros));
   // Barrier: the table must be durably zeroed before the L1 publishes it
@@ -511,7 +597,7 @@ std::optional<std::uint64_t> Qcow2Device::find_free_run(std::uint64_t n) {
 }
 
 sim::Task<Result<std::uint64_t>> Qcow2Device::alloc_clusters(
-    std::uint64_t n) {
+    std::uint64_t n, RefHint hint) {
   assert(n > 0);
   assert(alloc_mutex_.locked() && "allocation requires alloc_mutex_");
   if (!refcounts_loaded_) {
@@ -542,7 +628,14 @@ sim::Task<Result<std::uint64_t>> Qcow2Device::alloc_clusters(
       co_return r.error();
     }
   }
-  VMIC_CO_TRY_VOID(co_await write_refcount_entries(idx, n));
+  if (journal_) {
+    // Journal mode: the record IS the persistence — the blocks are only
+    // written back at checkpoints. Rides the caller's publish barrier.
+    VMIC_CO_TRY_VOID(co_await journal_append(
+        kJournalOpAlloc | (hint.run ? kJournalRefRun : 0), idx, n, hint));
+  } else {
+    VMIC_CO_TRY_VOID(co_await write_refcount_entries(idx, n));
+  }
   free_guess_ = end;
   co_return idx * ly_.cluster_size();
 }
@@ -573,6 +666,24 @@ sim::Task<Result<void>> Qcow2Device::ensure_refcount_block(
   // covers rpb clusters.
   if (b / rpb != bi) {
     VMIC_CO_TRY_VOID(co_await ensure_refcount_block(b));
+    // b's own refcount lives in the covering block. When the recursion
+    // created that block just now it snapshotted the mirror (including
+    // b); but when the block already existed nothing persisted b's
+    // count — write it explicitly (idempotent in the first case).
+    if (journal_) {
+      VMIC_CO_TRY_VOID(co_await journal_append(
+          kJournalOpAlloc | kJournalRefRun, b, 1,
+          RefHint{h_.refcount_table_offset + bi * 8, /*run=*/true}));
+    } else {
+      VMIC_CO_TRY_VOID(co_await write_refcount_entries(b, 1));
+    }
+  } else if (journal_) {
+    // b is covered by the very block being created: the full-block write
+    // below persists it, but the record still retires correctly at the
+    // next checkpoint and lets replay verify the allocation.
+    VMIC_CO_TRY_VOID(co_await journal_append(
+        kJournalOpAlloc | kJournalRefRun, b, 1,
+        RefHint{h_.refcount_table_offset + bi * 8, /*run=*/true}));
   }
 
   // Persist the whole new block from the mirror, then its table entry.
@@ -647,7 +758,15 @@ sim::Task<Result<void>> Qcow2Device::grow_refcount_table(
   for (std::uint64_t bi = idx / rpb; bi <= (end - 1) / rpb; ++bi) {
     VMIC_CO_TRY_VOID(co_await ensure_refcount_block(bi * rpb));
   }
-  VMIC_CO_TRY_VOID(co_await write_refcount_entries(idx, new_clusters));
+  if (journal_) {
+    // The new table's clusters are referenced by the header's own
+    // refcount-table pointer (offset 48) once the switch-over publishes.
+    VMIC_CO_TRY_VOID(co_await journal_append(
+        kJournalOpAlloc | kJournalRefRun, idx, new_clusters,
+        RefHint{48, /*run=*/true}));
+  } else {
+    VMIC_CO_TRY_VOID(co_await write_refcount_entries(idx, new_clusters));
+  }
 
   // Persist the full new table.
   {
@@ -674,7 +793,19 @@ sim::Task<Result<void>> Qcow2Device::grow_refcount_table(
     refcounts_[old_first + i] = 0;
   }
   release_run(old_first, old_first + old_clusters);
-  if (!lazy_) {
+  if (journal_) {
+    if (!lazy_) {
+      VMIC_CO_TRY_VOID(co_await journal_append(
+          kJournalOpFree | kJournalRefRun, old_first, old_clusters,
+          RefHint{48, /*run=*/true}));
+    }
+    // Earlier records may reference slots inside the *old* table (every
+    // refcount-block record names its table entry by file offset). Those
+    // clusters are free for reuse now, and reused bytes would break the
+    // records' reference checks — checkpoint to retire every record
+    // before any reuse can happen.
+    VMIC_CO_TRY_VOID(co_await journal_checkpoint());
+  } else if (!lazy_) {
     VMIC_CO_TRY_VOID(co_await write_refcount_entries(old_first, old_clusters));
   }
   free_guess_ = std::min(free_guess_, old_first);
@@ -894,19 +1025,22 @@ sim::Task<Result<void>> Qcow2Device::cor_store(
     assert(want > 0);
     std::uint64_t got = want;
     std::uint64_t host = 0;
+    RefHint slots{};
     {
       auto guard = co_await lock_alloc();
       // The L2 table is created before the data clusters: a quota failure
       // then never strands an unreferenced (leaked) data cluster.
       VMIC_CO_TRY_VOID(co_await ensure_l2_table(pos));
+      slots.ref_off = (l1_[ly_.l1_index(pos)] & kOffsetMask) +
+                      ly_.l2_index(pos) * 8;
       // All-or-nothing allocation first; near the quota edge, degrade to
       // one-cluster steps so the cache fills up to the quota exactly
       // ("the first n blocks are stored until the quota is reached",
       // §3.2).
-      auto r = co_await alloc_clusters(want);
+      auto r = co_await alloc_clusters(want, slots);
       if (!r.ok() && r.error() == Errc::no_space && want > 1) {
         got = 1;
-        r = co_await alloc_clusters(1);
+        r = co_await alloc_clusters(1, slots);
       }
       if (!r.ok()) co_return r.error();
       host = *r;
@@ -925,7 +1059,7 @@ sim::Task<Result<void>> Qcow2Device::cor_store(
       if (!wr.ok()) {
         // The data never landed: release the clusters (nothing leaks)
         // and surface the medium error.
-        VMIC_CO_TRY_VOID(co_await free_clusters(host, got));
+        VMIC_CO_TRY_VOID(co_await free_clusters(host, got, slots));
         co_return wr.error();
       }
       VMIC_CO_TRY_VOID(co_await set_l2_entries(pos, host, got));
@@ -1022,7 +1156,10 @@ sim::Task<Result<void>> Qcow2Device::cow_write(
     {
       auto guard = co_await lock_alloc();
       VMIC_CO_TRY_VOID(co_await ensure_l2_table(pos));
-      auto r = co_await alloc_clusters(n);
+      const RefHint slots{(l1_[ly_.l1_index(pos)] & kOffsetMask) +
+                              ly_.l2_index(pos) * 8,
+                          /*run=*/false};
+      auto r = co_await alloc_clusters(n, slots);
       if (!r.ok()) co_return r.error();
       host = *r;
     }
@@ -1045,7 +1182,8 @@ sim::Task<Result<void>> Qcow2Device::cow_write(
 // ===========================================================================
 
 sim::Task<Result<void>> Qcow2Device::free_clusters(std::uint64_t host_off,
-                                                   std::uint64_t count) {
+                                                   std::uint64_t count,
+                                                   RefHint hint) {
   assert(alloc_mutex_.locked() && "freeing requires alloc_mutex_");
   const std::uint64_t first = host_off / ly_.cluster_size();
   if (!refcounts_loaded_) {
@@ -1061,9 +1199,18 @@ sim::Task<Result<void>> Qcow2Device::free_clusters(std::uint64_t host_off,
   }
   // Lazy refcounts: decrements stay in the mirror while the dirty bit is
   // set — a crash leaves the on-disk count stale-high (a leak repair()
-  // drops), never stale-low. Clean close persists the mirror.
+  // drops), never stale-low. Clean close persists the mirror. The same
+  // holds in journal mode: a free record that never becomes durable
+  // leaves a replay-surviving leak, never a corruption (the dereference
+  // was flushed before the record was appended).
   if (!lazy_) {
-    VMIC_CO_TRY_VOID(co_await write_refcount_entries(first, count));
+    if (journal_) {
+      VMIC_CO_TRY_VOID(co_await journal_append(
+          kJournalOpFree | (hint.run ? kJournalRefRun : 0), first, count,
+          hint));
+    } else {
+      VMIC_CO_TRY_VOID(co_await write_refcount_entries(first, count));
+    }
   }
   free_guess_ = std::min(free_guess_, first);
   co_return ok_result();
@@ -1127,7 +1274,11 @@ sim::Task<Result<void>> Qcow2Device::write_zeroes(std::uint64_t off,
         // refcounts drop — the reverse order could persist the decrement
         // alone and hand a still-referenced cluster to the allocator.
         VMIC_CO_TRY_VOID(co_await file_->flush());
-        VMIC_CO_TRY_VOID(co_await free_clusters(ext.host_off, clusters));
+        const RefHint slots{(l1_[ly_.l1_index(pos)] & kOffsetMask) +
+                                ly_.l2_index(pos) * 8,
+                            /*run=*/false};
+        VMIC_CO_TRY_VOID(
+            co_await free_clusters(ext.host_off, clusters, slots));
         data_clusters_ -= clusters;
       }
       pos += clusters * cs;
@@ -1168,7 +1319,10 @@ sim::Task<Result<void>> Qcow2Device::discard(std::uint64_t off,
     if (ext.kind == MapKind::data) {
       // Barrier: dereference before free (same argument as write_zeroes).
       VMIC_CO_TRY_VOID(co_await file_->flush());
-      VMIC_CO_TRY_VOID(co_await free_clusters(ext.host_off, clusters));
+      const RefHint slots{(l1_[ly_.l1_index(pos)] & kOffsetMask) +
+                              ly_.l2_index(pos) * 8,
+                          /*run=*/false};
+      VMIC_CO_TRY_VOID(co_await free_clusters(ext.host_off, clusters, slots));
       data_clusters_ -= clusters;
     }
     pos += clusters * cs;
@@ -1188,7 +1342,11 @@ sim::Task<Result<void>> Qcow2Device::resize(std::uint64_t new_size) {
     const std::uint64_t cs = ly_.cluster_size();
     const std::uint64_t new_clusters =
         div_ceil(std::uint64_t{needed} * 8, cs);
-    VMIC_CO_TRY(new_off, co_await alloc_clusters(new_clusters));
+    // The relocated L1 is referenced by the header's l1_table_offset
+    // field (offset 40) once the switch-over publishes.
+    VMIC_CO_TRY(new_off,
+                co_await alloc_clusters(new_clusters,
+                                        RefHint{40, /*run=*/true}));
 
     std::vector<std::uint64_t> new_l1(new_clusters * cs / 8, 0);
     std::copy(l1_.begin(), l1_.end(), new_l1.begin());
@@ -1215,7 +1373,14 @@ sim::Task<Result<void>> Qcow2Device::resize(std::uint64_t new_size) {
     // Barrier: the switch-over must be durable before the old table's
     // clusters are reusable.
     VMIC_CO_TRY_VOID(co_await file_->flush());
-    VMIC_CO_TRY_VOID(co_await free_clusters(old_off, old_clusters));
+    VMIC_CO_TRY_VOID(co_await free_clusters(old_off, old_clusters,
+                                            RefHint{40, /*run=*/true}));
+    if (journal_) {
+      // Earlier L2-table records name their L1 slot by file offset —
+      // inside the *old* table, whose clusters are reusable now. Retire
+      // every record before reuse can scramble their reference checks.
+      VMIC_CO_TRY_VOID(co_await journal_checkpoint());
+    }
   }
 
   h_.size = new_size;
@@ -1245,10 +1410,18 @@ sim::Task<Result<void>> Qcow2Device::close() {
         co_await file_->pwrite(cache_ext_payload_offset_ + 8, be));
   }
   if (dirty_ && !dirty_inherited_ && !file_->read_only()) {
-    // Clean shutdown: settle deferred refcounts (lazy mode), then drop
-    // the dirty mark behind a barrier. Inherited dirt (opened dirty with
-    // auto-repair off, never repaired) stays — only repair() earns it.
-    if (lazy_) {
+    // Clean shutdown: settle deferred refcounts, then drop the dirty
+    // mark behind a barrier. In journal mode the on-disk blocks are
+    // stale for every journaled mutation — a checkpoint writes them back
+    // and retires the records; in lazy mode the mirror holds deferred
+    // decrements. Inherited dirt (opened dirty with auto-repair off,
+    // never repaired) stays — only repair() earns it.
+    if (journal_) {
+      VMIC_CO_TRY_VOID(co_await journal_checkpoint());
+      if (lazy_) {
+        VMIC_CO_TRY_VOID(co_await persist_refcounts());
+      }
+    } else if (lazy_) {
       VMIC_CO_TRY_VOID(co_await persist_refcounts());
     }
     VMIC_CO_TRY_VOID(co_await write_clean_bit());
@@ -1271,6 +1444,20 @@ sim::Task<Result<void>> Qcow2Device::ensure_dirty() {
   std::uint8_t be[8];
   store_be64(be, h_.incompatible_features);
   VMIC_CO_TRY_VOID(co_await file_->pwrite(72, be));
+  // New session generation: retires any record a previous session left
+  // behind (e.g. after a clean close, which does not rewind the journal).
+  // The bump rides the same flush as the dirty bit, so every record this
+  // session appends — all issued after this flush — sees a durable
+  // generation; a cut before the flush leaves only stale-generation
+  // records, which replay as no-ops against the cleanly persisted state.
+  if (journal_) {
+    ++journal_gen_;
+    journal_seq_ = 0;
+    journal_head_ = 1;
+    journal_dirty_blocks_.clear();
+    journal_header_bad_ = false;
+    VMIC_CO_TRY_VOID(co_await journal_write_header());
+  }
   // Barrier: the dirty mark must be durable before any metadata mutation
   // it covers — otherwise a crash could leave stale refcounts behind a
   // header that claims the image is clean.
@@ -1306,10 +1493,250 @@ sim::Task<Result<void>> Qcow2Device::write_clean_bit() {
   co_return ok_result();
 }
 
+// ===========================================================================
+// refcount journal
+// ===========================================================================
+
+sim::Task<Result<void>> Qcow2Device::journal_write_header() {
+  assert(journal_);
+  std::uint8_t sec[kJournalSectorSize];
+  encode_journal_header(JournalHeader{journal_gen_, journal_sector_count_},
+                        sec);
+  VMIC_CO_TRY_VOID(co_await file_->pwrite(journal_->offset, sec));
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> Qcow2Device::journal_append(std::uint32_t flags,
+                                                    std::uint64_t first_cluster,
+                                                    std::uint64_t count,
+                                                    RefHint hint) {
+  assert(journal_);
+  assert(alloc_mutex_.locked() && "journal append requires alloc_mutex_");
+  if (journal_head_ >= journal_sector_count_) {
+    VMIC_CO_TRY_VOID(co_await journal_checkpoint());
+  }
+  JournalRecord r;
+  r.flags = flags;
+  r.generation = journal_gen_;
+  r.seq = journal_seq_++;
+  r.first_cluster = first_cluster;
+  r.count = count;
+  r.ref_off = hint.ref_off;
+  std::uint8_t sec[kJournalSectorSize];
+  encode_journal_record(r, sec);
+  VMIC_CO_TRY_VOID(co_await file_->pwrite(
+      journal_->offset + journal_head_ * std::uint64_t{kJournalSectorSize},
+      sec));
+  ++journal_head_;
+  // The on-disk refcount blocks covering this run are stale until the
+  // next checkpoint writes them back.
+  const std::uint64_t rpb = ly_.refcounts_per_block();
+  for (std::uint64_t bi = first_cluster / rpb;
+       bi <= (first_cluster + count - 1) / rpb; ++bi) {
+    journal_dirty_blocks_.insert(bi);
+  }
+  bump(agg_.journal_appends);
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> Qcow2Device::journal_checkpoint() {
+  assert(journal_);
+  assert(refcounts_loaded_);
+  // Write every stale block back from the mirror, then retire the records
+  // behind a barrier by bumping the header generation. Ordering: a cut
+  // that keeps the bump but drops a block write-back is impossible — the
+  // flush below makes the blocks durable before the header write is even
+  // issued; a cut the other way round simply replays the (idempotent)
+  // records again.
+  const std::uint64_t rpb = ly_.refcounts_per_block();
+  for (const std::uint64_t bi : journal_dirty_blocks_) {
+    const std::uint64_t first = bi * rpb;
+    if (first >= refcounts_.size()) continue;
+    const std::uint64_t count =
+        std::min<std::uint64_t>(rpb, refcounts_.size() - first);
+    VMIC_CO_TRY_VOID(co_await write_refcount_entries(first, count));
+  }
+  VMIC_CO_TRY_VOID(co_await file_->flush());
+  ++journal_gen_;
+  journal_seq_ = 0;
+  journal_head_ = 1;
+  journal_dirty_blocks_.clear();
+  VMIC_CO_TRY_VOID(co_await journal_write_header());
+  bump(agg_.journal_checkpoints);
+  co_return ok_result();
+}
+
+sim::Task<Result<Qcow2Device::JournalScan>> Qcow2Device::journal_scan() {
+  assert(journal_);
+  JournalScan out;
+  std::vector<std::uint8_t> region(journal_->size, 0);
+  VMIC_CO_TRY_VOID(co_await file_->pread(journal_->offset, region));
+
+  JournalHeader jh;
+  if (!decode_journal_header(std::span(region.data(), kJournalSectorSize),
+                             jh) ||
+      jh.sector_count != journal_sector_count_) {
+    co_return out;  // header_ok stays false
+  }
+  out.header_ok = true;
+  out.generation = jh.generation;
+
+  const std::uint64_t cs = ly_.cluster_size();
+  const std::uint64_t file_size = file_->size();
+  const std::uint64_t file_clusters = div_ceil(file_size, cs);
+
+  for (std::uint64_t s = 1; s < journal_sector_count_; ++s) {
+    JournalRecord r;
+    if (!decode_journal_record(
+            std::span(region.data() + s * kJournalSectorSize,
+                      kJournalSectorSize),
+            r)) {
+      continue;  // torn/stale/garbage sector: discard
+    }
+    if (r.generation != jh.generation) continue;  // retired record
+    ++out.entries;
+    if (r.count == 0 ||
+        r.count > file_clusters + ly_.refcounts_per_block()) {
+      out.inconsistent = true;  // checksum-valid but nonsensical
+      continue;
+    }
+    // Verified recompute: a cluster's effective refcount is 1 iff its
+    // recorded reference slot durably points at it. Barrier ordering
+    // guarantees at most one slot can (publishes ride a flush that makes
+    // the record durable first), so any-match accumulation is sound and
+    // replay is order-independent and idempotent.
+    if ((r.flags & kJournalRefRun) != 0) {
+      bool referenced = false;
+      if (r.ref_off + 8 <= file_size) {
+        std::uint8_t be[8];
+        VMIC_CO_TRY_VOID(co_await file_->pread(r.ref_off, be));
+        referenced = (load_be64(be) & kOffsetMask) == r.first_cluster * cs;
+      }
+      for (std::uint64_t k = 0; k < r.count; ++k) {
+        auto& e = out.effective[r.first_cluster + k];
+        if (referenced) e = 1;
+      }
+      if (referenced && r.first_cluster + r.count > file_clusters) {
+        out.inconsistent = true;  // durable reference past EOF
+      }
+    } else {
+      for (std::uint64_t k = 0; k < r.count; ++k) {
+        const std::uint64_t c = r.first_cluster + k;
+        bool referenced = false;
+        const std::uint64_t slot = r.ref_off + k * 8;
+        if (slot + 8 <= file_size) {
+          std::uint8_t be[8];
+          VMIC_CO_TRY_VOID(co_await file_->pread(slot, be));
+          referenced = (load_be64(be) & kOffsetMask) == c * cs;
+        }
+        auto& e = out.effective[c];
+        if (referenced) {
+          e = 1;
+          if (c >= file_clusters) out.inconsistent = true;
+        }
+      }
+    }
+  }
+  co_return out;
+}
+
+sim::Task<Result<bool>> Qcow2Device::journal_repair_fast(RepairReport& rep) {
+  assert(journal_);
+  if (journal_header_bad_) co_return false;
+  VMIC_CO_TRY(scan, co_await journal_scan());
+  if (!scan.header_ok || scan.inconsistent) co_return false;
+
+  const std::uint64_t cs = ly_.cluster_size();
+  const std::uint64_t rpb = ly_.refcounts_per_block();
+
+  // Patch the touched refcount blocks — O(journal) I/O, no L1/L2 walk.
+  // scan.effective is ordered by cluster, so blocks load at most once.
+  std::vector<std::uint8_t> buf(cs, 0);
+  std::uint64_t cur_bi = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t cur_off = 0;
+  bool block_dirty = false;
+  const auto flush_block = [&]() -> sim::Task<Result<void>> {
+    if (block_dirty) {
+      VMIC_CO_TRY_VOID(co_await file_->pwrite(cur_off, buf));
+      block_dirty = false;
+    }
+    co_return ok_result();
+  };
+  for (const auto& [c, v] : scan.effective) {
+    const std::uint64_t bi = c / rpb;
+    if (bi >= rt_.size() || (rt_[bi] & kOffsetMask) == 0) {
+      // No block to patch. A durable reference with nowhere to store its
+      // count means the journal cannot prove consistency — fall back.
+      if (v != 0) co_return false;
+      continue;  // absent block already reads as refcount 0
+    }
+    if (bi != cur_bi) {
+      VMIC_CO_TRY_VOID(co_await flush_block());
+      cur_bi = bi;
+      cur_off = rt_[bi] & kOffsetMask;
+      VMIC_CO_TRY_VOID(co_await file_->pread(cur_off, buf));
+    }
+    const std::uint64_t k = c - bi * rpb;
+    const std::uint16_t old = load_be16(buf.data() + k * 2);
+    if (old == v) continue;
+    if (old > v) {
+      ++rep.leaks_dropped;
+    } else {
+      ++rep.corruptions_fixed;
+    }
+    store_be16(buf.data() + k * 2, v);
+    block_dirty = true;
+  }
+  VMIC_CO_TRY_VOID(co_await flush_block());
+
+  // Barrier: the patched blocks must be durable before the generation
+  // bump retires the records they were derived from — a cut that kept the
+  // bump but dropped a patch would silence the journal over a stale
+  // block. The header write itself rides write_clean_bit()'s flush.
+  VMIC_CO_TRY_VOID(co_await file_->flush());
+  journal_gen_ = scan.generation + 1;
+  journal_seq_ = 0;
+  journal_head_ = 1;
+  journal_dirty_blocks_.clear();
+  VMIC_CO_TRY_VOID(co_await journal_write_header());
+  VMIC_CO_TRY_VOID(co_await write_clean_bit());
+  dirty_inherited_ = false;
+
+  // Drop any stale in-memory mirror so the allocator reloads the repaired
+  // truth (repair() at open runs before load_refcounts, but an explicit
+  // repair() mid-session must refresh).
+  if (refcounts_loaded_) {
+    refcounts_loaded_ = false;
+    refcounts_.clear();
+    free_runs_.clear();
+    free_guess_ = 0;
+    VMIC_CO_TRY_VOID(co_await load_refcounts());
+  }
+
+  rep.journal_replayed = true;
+  rep.journal_entries = scan.entries;
+  bump(agg_.repair_runs);
+  bump(agg_.journal_replays);
+  bump(agg_.journal_entries_replayed, scan.entries);
+  bump(agg_.repair_leaks_dropped, rep.leaks_dropped);
+  bump(agg_.repair_corruptions_fixed, rep.corruptions_fixed);
+  co_return true;
+}
+
 sim::Task<Result<RepairReport>> Qcow2Device::repair() {
   if (file_->read_only()) co_return Errc::read_only;
   RepairReport rep;
   rep.was_dirty = dirty_ || (h_.incompatible_features & kIncompatDirty) != 0;
+
+  // O(journal) fast path: a dirty journaled image is repaired by
+  // replaying the journal — no L1/L2 walk, no full refcount rebuild.
+  // Falls through to the rebuild when replay cannot prove consistency.
+  if (journal_ && rep.was_dirty) {
+    VMIC_CO_TRY(done, co_await journal_repair_fast(rep));
+    if (done) co_return rep;
+    rep.journal_fallback = true;
+    bump(agg_.journal_fallbacks);
+  }
 
   const std::uint64_t cs = ly_.cluster_size();
   const std::uint64_t rpb = ly_.refcounts_per_block();
@@ -1339,20 +1766,25 @@ sim::Task<Result<RepairReport>> Qcow2Device::repair() {
   // rewritten in single-sector (atomic) writes, so a crash cannot damage
   // them. Anything else is beyond in-place repair.
   const std::uint64_t header_clusters =
-      div_ceil(header_area_size(cache_, backing_path_), cs);
+      div_ceil(header_area_size(cache_, journal_, backing_path_), cs);
   const std::uint64_t l1_clusters =
       div_ceil(std::uint64_t{h_.l1_size} * 8, cs);
+  const std::uint64_t journal_clusters =
+      journal_ ? div_ceil(journal_->size, cs) : 0;
   if (header_clusters > file_clusters ||
       h_.refcount_table_offset % cs != 0 ||
       h_.refcount_table_offset / cs + h_.refcount_table_clusters >
           file_clusters ||
       h_.l1_table_offset % cs != 0 ||
-      h_.l1_table_offset / cs + l1_clusters > file_clusters) {
+      h_.l1_table_offset / cs + l1_clusters > file_clusters ||
+      (journal_ &&
+       journal_->offset / cs + journal_clusters > file_clusters)) {
     co_return Errc::corrupt;
   }
   mark(0, header_clusters);
   mark(h_.refcount_table_offset, h_.refcount_table_clusters);
   mark(h_.l1_table_offset, l1_clusters);
+  if (journal_) mark(journal_->offset, journal_clusters);
 
   // Walk L1 -> L2, dropping invalid pointers: a cleared entry reads from
   // the backing chain / as zeros again, which is the only safe meaning
@@ -1454,6 +1886,13 @@ sim::Task<Result<RepairReport>> Qcow2Device::repair() {
 
   // Persist: every allocated block from the rebuilt mirror, then the
   // table, then clear the dirty bit behind a barrier.
+  //
+  // Barrier: the L1/L2 entry clears above must be durable before any
+  // lowered refcount lands — a cut that kept the lowered count but
+  // dropped the clear would leave a referenced cluster the allocator
+  // hands out again (refcount < references). Repair must survive a cut
+  // mid-repair as well as any other writer.
+  VMIC_CO_TRY_VOID(co_await file_->flush());
   refcounts_ = std::move(expected);
   refcounts_loaded_ = true;
   std::vector<std::uint8_t> buf(cs, 0);
@@ -1469,11 +1908,30 @@ sim::Task<Result<RepairReport>> Qcow2Device::repair() {
     }
     VMIC_CO_TRY_VOID(co_await file_->pwrite(off, buf));
   }
+  // Barrier: block contents before the table that publishes them — the
+  // rebuild may have pointed table entries at fresh block clusters, and
+  // a cut that kept such a pointer but dropped the block's contents
+  // would publish a block of garbage counts.
+  VMIC_CO_TRY_VOID(co_await file_->flush());
   {
     std::vector<std::uint8_t> tbuf(
         std::uint64_t{h_.refcount_table_clusters} * cs, 0);
     pack_be64(rt_.data(), rt_.size(), tbuf.data());
     VMIC_CO_TRY_VOID(co_await file_->pwrite(h_.refcount_table_offset, tbuf));
+  }
+  if (journal_) {
+    // Retire every record: the rebuilt state is authoritative now.
+    // Barrier first — the generation bump must not outlive a cut that
+    // dropped part of the rebuild, or a re-open would trust a clean
+    // journal over a half-persisted rebuild. The header write itself
+    // rides write_clean_bit()'s leading flush.
+    VMIC_CO_TRY_VOID(co_await file_->flush());
+    ++journal_gen_;
+    journal_seq_ = 0;
+    journal_head_ = 1;
+    journal_dirty_blocks_.clear();
+    journal_header_bad_ = false;
+    VMIC_CO_TRY_VOID(co_await journal_write_header());
   }
   VMIC_CO_TRY_VOID(co_await write_clean_bit());
   dirty_inherited_ = false;
@@ -1521,7 +1979,10 @@ sim::Task<Result<CheckResult>> Qcow2Device::check() {
   };
 
   // Header area.
-  mark(0, div_ceil(header_area_size(cache_, backing_path_), cs), true);
+  mark(0, div_ceil(header_area_size(cache_, journal_, backing_path_), cs),
+       true);
+  // Journal region.
+  if (journal_) mark(journal_->offset, div_ceil(journal_->size, cs), true);
   // Refcount table and blocks.
   mark(h_.refcount_table_offset, h_.refcount_table_clusters, true);
   for (const std::uint64_t e : rt_) {

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +38,10 @@ struct RepairReport {
                                       ///< rebuilt downward (freed)
   std::uint64_t corruptions_fixed = 0;  ///< clusters whose refcount was
                                         ///< rebuilt upward
+  bool journal_replayed = false;  ///< O(journal) replay fast path taken
+  bool journal_fallback = false;  ///< replay found an inconsistency and
+                                  ///< fell back to the full rebuild
+  std::uint64_t journal_entries = 0;  ///< valid records replayed
   [[nodiscard]] bool changed_anything() const noexcept {
     return was_dirty || entries_cleared != 0 || leaks_dropped != 0 ||
            corruptions_fixed != 0;
@@ -71,6 +76,13 @@ class Qcow2Device final : public block::BlockDevice {
     /// from virtual_size (the table itself is cheap; it can also grow at
     /// runtime).
     std::uint64_t expected_file_size = 0;
+    /// Non-zero adds a refcount journal of this many 512-byte sectors
+    /// (sector 0 is the journal header, the rest hold one record each;
+    /// minimum 2). Refcount mutations append records instead of writing
+    /// refcount blocks in place, and a dirty image is repaired by
+    /// replaying the journal — O(journal) instead of O(image). Sets the
+    /// kIncompatJournal feature bit.
+    std::uint32_t journal_sectors = 0;
   };
 
   /// Format `file` as a new QCOW2 image. Writes header (+ cache
@@ -175,6 +187,20 @@ class Qcow2Device final : public block::BlockDevice {
   /// True when refcount decrements are deferred behind the dirty bit.
   [[nodiscard]] bool lazy_refcounts() const noexcept { return lazy_; }
 
+  // --- journal introspection --------------------------------------------
+  /// True when the image carries a refcount journal (kIncompatJournal).
+  [[nodiscard]] bool has_journal() const noexcept {
+    return journal_.has_value();
+  }
+  /// Total journal sectors (header + record slots); 0 without a journal.
+  [[nodiscard]] std::uint64_t journal_sector_count() const noexcept {
+    return journal_sector_count_;
+  }
+  /// Current journal generation (from the on-disk journal header).
+  [[nodiscard]] std::uint64_t journal_generation() const noexcept {
+    return journal_gen_;
+  }
+
   /// Allocation classes a virtual range can be in.
   enum class MapKind { unallocated, zero, data };
 
@@ -228,6 +254,11 @@ class Qcow2Device final : public block::BlockDevice {
     obs::Counter* repair_entries_cleared = nullptr;
     obs::Counter* repair_leaks_dropped = nullptr;
     obs::Counter* repair_corruptions_fixed = nullptr;
+    obs::Counter* journal_appends = nullptr;
+    obs::Counter* journal_checkpoints = nullptr;
+    obs::Counter* journal_replays = nullptr;
+    obs::Counter* journal_entries_replayed = nullptr;
+    obs::Counter* journal_fallbacks = nullptr;
   };
   static void bump(obs::Counter* c, std::uint64_t n = 1) {
     if (c != nullptr) c->inc(n);
@@ -243,12 +274,24 @@ class Qcow2Device final : public block::BlockDevice {
     std::uint64_t len;
   };
 
+  /// Where the table slot(s) referencing a cluster run live on disk —
+  /// recorded in journal entries so replay can *verify* each reference
+  /// instead of trusting a count delta. `run` means one 8-byte slot whose
+  /// pointer covers the whole run (L1 entry, refcount-table entry, or a
+  /// header pointer field); otherwise slot k of the run is the 8-byte
+  /// entry at ref_off + k*8 (contiguous L2 entries). Ignored without a
+  /// journal.
+  struct RefHint {
+    std::uint64_t ref_off = 0;
+    bool run = false;
+  };
+
   /// Release a contiguous run of clusters (refcounts to zero) — used when
   /// data clusters are replaced by a zero flag or deallocated. One ranged
   /// refcount write per run: a per-cluster loop of awaits can exhaust the
   /// native stack when symmetric transfer is not a tail call (sanitizers).
   sim::Task<Result<void>> free_clusters(std::uint64_t host_off,
-                                        std::uint64_t count);
+                                        std::uint64_t count, RefHint hint);
   /// Set raw L2 entry values for `count` clusters from `vaddr` (no
   /// COPIED/offset packing — caller passes the exact entry).
   sim::Task<Result<void>> set_l2_raw(std::uint64_t vaddr, std::uint64_t entry,
@@ -276,13 +319,45 @@ class Qcow2Device final : public block::BlockDevice {
   sim::Task<Result<void>> write_clean_bit();
 
   // Allocation.
-  sim::Task<Result<std::uint64_t>> alloc_clusters(std::uint64_t n);
+  sim::Task<Result<std::uint64_t>> alloc_clusters(std::uint64_t n,
+                                                  RefHint hint);
   sim::Task<Result<void>> ensure_refcount_block(std::uint64_t cluster_idx);
   sim::Task<Result<void>> write_refcount_entries(std::uint64_t first,
                                                  std::uint64_t count);
   sim::Task<Result<void>> grow_refcount_table(std::uint64_t min_block_index);
   [[nodiscard]] std::optional<std::uint64_t> find_free_run(std::uint64_t n);
   [[nodiscard]] Result<void> quota_check(std::uint64_t end_cluster) const;
+
+  // Refcount journal (see qcow2/journal.hpp and DESIGN.md).
+  /// Append one record for a cluster run (caller holds alloc_mutex_).
+  /// Checkpoints first when the journal is full. Rides the caller's
+  /// flush barriers — no flush of its own.
+  sim::Task<Result<void>> journal_append(std::uint32_t flags,
+                                         std::uint64_t first_cluster,
+                                         std::uint64_t count,
+                                         RefHint hint);
+  /// Write the journaled refcount blocks back from the mirror, flush,
+  /// then retire every record by bumping the header generation.
+  sim::Task<Result<void>> journal_checkpoint();
+  /// Rewrite the journal header sector (atomic 512-byte publish).
+  sim::Task<Result<void>> journal_write_header();
+
+  /// One pass over the journal region: decoded header + the *verified*
+  /// effective refcount of every cluster touched by a current-generation
+  /// record (1 iff some recorded table slot durably references it).
+  struct JournalScan {
+    bool header_ok = false;
+    std::uint64_t generation = 0;
+    std::uint64_t entries = 0;  ///< valid current-generation records
+    std::map<std::uint64_t, std::uint16_t> effective;
+    bool inconsistent = false;  ///< record out of bounds — needs rebuild
+  };
+  sim::Task<Result<JournalScan>> journal_scan();
+  /// O(journal) repair: replay the journal into the refcount blocks.
+  /// Returns false when replay cannot prove consistency (bad journal
+  /// header, record out of bounds, touched cluster without a covering
+  /// refcount block) — the caller falls back to the full rebuild.
+  sim::Task<Result<bool>> journal_repair_fast(RepairReport& rep);
 
   // Free-run index maintenance (mirror of zero entries in refcounts_).
   void claim_run(std::uint64_t first, std::uint64_t end);
@@ -317,6 +392,7 @@ class Qcow2Device final : public block::BlockDevice {
   Header h_;
   Layout ly_;
   std::optional<CacheExtension> cache_;
+  std::optional<JournalExtension> journal_;
   std::uint64_t cache_ext_payload_offset_ = 0;
   std::string backing_path_;
   bool cor_enabled_ = true;
@@ -327,6 +403,17 @@ class Qcow2Device final : public block::BlockDevice {
   /// repair() earns a clean mark for damage we merely inherited.
   bool dirty_inherited_ = false;
   bool lazy_ = false;  ///< defer refcount decrements while dirty
+
+  // Journal session state. journal_head_ is the next record sector
+  // (1-based; sector 0 is the header); journal_dirty_blocks_ holds the
+  // refcount-block indices with journaled-but-not-checkpointed changes —
+  // exactly what a checkpoint must write back.
+  std::uint64_t journal_sector_count_ = 0;
+  std::uint64_t journal_gen_ = 0;
+  std::uint64_t journal_seq_ = 0;
+  std::uint64_t journal_head_ = 1;
+  std::set<std::uint64_t> journal_dirty_blocks_;
+  bool journal_header_bad_ = false;  ///< on-disk header failed to decode
 
   std::vector<std::uint64_t> l1_;  // host-endian mirror of the L1 table
   // L2 tables cached for the lifetime of the device (QEMU caches these

@@ -12,14 +12,19 @@ namespace {
 
 constexpr std::uint64_t kExtHeaderBytes = 8;  // magic + length
 constexpr std::uint64_t kCacheExtPayload = 16;
+constexpr std::uint64_t kJournalExtPayload = 16;
 
 }  // namespace
 
 std::uint64_t header_area_size(const std::optional<CacheExtension>& cache,
+                               const std::optional<JournalExtension>& journal,
                                const std::string& backing_file) {
   std::uint64_t n = kHeaderLength;
   if (cache.has_value()) {
     n += kExtHeaderBytes + align_up(kCacheExtPayload, 8);
+  }
+  if (journal.has_value()) {
+    n += kExtHeaderBytes + align_up(kJournalExtPayload, 8);
   }
   n += kExtHeaderBytes;  // end-of-extensions marker
   n += backing_file.size();
@@ -28,9 +33,10 @@ std::uint64_t header_area_size(const std::optional<CacheExtension>& cache,
 
 std::uint64_t write_header_area(const Header& h,
                                 const std::optional<CacheExtension>& cache,
+                                const std::optional<JournalExtension>& journal,
                                 const std::string& backing_file,
                                 std::span<std::uint8_t> out) {
-  assert(out.size() >= header_area_size(cache, backing_file));
+  assert(out.size() >= header_area_size(cache, journal, backing_file));
   std::memset(out.data(), 0, out.size());
   std::uint8_t* p = out.data();
 
@@ -62,6 +68,13 @@ std::uint64_t write_header_area(const Header& h,
     store_be64(p + cache_payload_off, cache->quota);
     store_be64(p + cache_payload_off + 8, cache->current_size);
     off = cache_payload_off + align_up(kCacheExtPayload, 8);
+  }
+  if (journal.has_value()) {
+    store_be32(p + off, kExtVmiJournal);
+    store_be32(p + off + 4, static_cast<std::uint32_t>(kJournalExtPayload));
+    store_be64(p + off + kExtHeaderBytes, journal->offset);
+    store_be64(p + off + kExtHeaderBytes + 8, journal->size);
+    off += kExtHeaderBytes + align_up(kJournalExtPayload, 8);
   }
   store_be32(p + off, kExtEnd);
   store_be32(p + off + 4, 0);
@@ -105,9 +118,10 @@ Result<ParsedHeader> parse_header_area(std::span<const std::uint8_t> buf) {
     h.autoclear_features = load_be64(p + 88);
     h.refcount_order = load_be32(p + 96);
     h.header_length = load_be32(p + 100);
-    // The dirty bit is the one incompatible feature we understand: it
-    // marks an unclean shutdown and is handled by open()/repair().
-    if ((h.incompatible_features & ~kIncompatDirty) != 0)
+    // Incompatible features we understand: the dirty bit (unclean
+    // shutdown, handled by open()/repair()) and the refcount journal
+    // (stale refcount blocks, replayed by repair()).
+    if ((h.incompatible_features & ~(kIncompatDirty | kIncompatJournal)) != 0)
       return Errc::unsupported;
     if (h.refcount_order != kRefcountOrder) return Errc::unsupported;
     if (h.header_length < kHeaderLength) return Errc::invalid_format;
@@ -139,10 +153,27 @@ Result<ParsedHeader> parse_header_area(std::span<const std::uint8_t> buf) {
       ce.current_size = load_be64(p + off + 8);
       out.cache = ce;
       out.cache_ext_payload_offset = off;
+    } else if (magic == kExtVmiJournal) {
+      if (len != 16) return Errc::corrupt;
+      JournalExtension je;
+      je.offset = load_be64(p + off);
+      je.size = load_be64(p + off + 8);
+      out.journal = je;
     } else {
       out.unknown_extensions.push_back(magic);
     }
     off += align_up(len, 8);
+  }
+
+  // The journal bit and extension travel together: the bit without the
+  // region (or vice versa) means a writer only half-understood us.
+  const bool journal_bit = (h.incompatible_features & kIncompatJournal) != 0;
+  if (journal_bit != out.journal.has_value()) return Errc::corrupt;
+  if (out.journal.has_value()) {
+    if (!is_aligned(out.journal->offset, cluster_size) ||
+        out.journal->size == 0 || out.journal->size % 512 != 0) {
+      return Errc::corrupt;
+    }
   }
 
   if (h.backing_file_offset != 0) {

@@ -36,6 +36,11 @@ inline constexpr std::uint32_t kExtEnd = 0x00000000;
 /// as an *extension* for backward compatibility with plain QCOW2 readers
 /// (§4.3: "to ensure backward compatibility with normal QCOW2 images").
 inline constexpr std::uint32_t kExtVmiCache = 0x76634143;  // "vcAC"
+/// Refcount-journal extension: {u64 journal_offset, u64 journal_size}.
+/// Points at a fixed-size region of sector-aligned journal records (see
+/// qcow2/journal.hpp). Always paired with kIncompatJournal: a reader that
+/// skipped the extension would trust stale refcount blocks.
+inline constexpr std::uint32_t kExtVmiJournal = 0x764A524E;  // "vJRN"
 
 /// Incompatible-feature bits (header offset 72). Bit 0 is the QCOW2
 /// "dirty bit": set before the first metadata mutation of a writable
@@ -44,6 +49,14 @@ inline constexpr std::uint32_t kExtVmiCache = 0x76634143;  // "vcAC"
 /// under-counted, thanks to flush-barrier ordering; see DESIGN.md) and
 /// must be rebuilt by `repair()` before the image is trusted again.
 inline constexpr std::uint64_t kIncompatDirty = 1ull << 0;
+
+/// Refcount-journal feature bit (incompatible): refcount mutations are
+/// appended to the on-disk journal region and written back into the
+/// refcount blocks only at checkpoints, so a reader that ignored the
+/// journal would see stale refcounts. Repair of a dirty journaled image
+/// replays the journal (O(journal)) instead of rebuilding every refcount
+/// from L1/L2 reachability (O(image)).
+inline constexpr std::uint64_t kIncompatJournal = 1ull << 1;
 
 /// Compatible-feature bits (header offset 80). Lazy refcounts defer
 /// refcount *decrements* behind the dirty bit; readers that don't know
@@ -88,10 +101,17 @@ struct CacheExtension {
   std::uint64_t current_size = 0;  ///< persisted on close (§4.3 "close")
 };
 
+/// Refcount-journal extension payload.
+struct JournalExtension {
+  std::uint64_t offset = 0;  ///< cluster-aligned start of the journal region
+  std::uint64_t size = 0;    ///< region size in bytes (multiple of 512)
+};
+
 /// Fully parsed header area: fixed fields + extensions + backing name.
 struct ParsedHeader {
   Header h;
   std::optional<CacheExtension> cache;
+  std::optional<JournalExtension> journal;
   std::string backing_file;  ///< empty if none
   /// File offset of the cache extension's payload, so close() can update
   /// current_size in place without rewriting the whole header.
@@ -101,17 +121,19 @@ struct ParsedHeader {
   std::vector<std::uint32_t> unknown_extensions;
 };
 
-/// Serialise a header area (fixed header, optional cache extension, end
-/// marker, backing file name) into `out`, which the caller sizes to at
-/// least header_area_size(). Returns the payload offset of the cache
-/// extension (0 if absent).
+/// Serialise a header area (fixed header, optional cache/journal
+/// extensions, end marker, backing file name) into `out`, which the
+/// caller sizes to at least header_area_size(). Returns the payload
+/// offset of the cache extension (0 if absent).
 std::uint64_t write_header_area(const Header& h,
                                 const std::optional<CacheExtension>& cache,
+                                const std::optional<JournalExtension>& journal,
                                 const std::string& backing_file,
                                 std::span<std::uint8_t> out);
 
 /// Bytes needed for the serialized header area.
 std::uint64_t header_area_size(const std::optional<CacheExtension>& cache,
+                               const std::optional<JournalExtension>& journal,
                                const std::string& backing_file);
 
 /// Parse and validate a header area read from the start of a file.

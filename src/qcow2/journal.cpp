@@ -1,0 +1,99 @@
+#include "qcow2/journal.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/bytes.hpp"
+
+namespace vmic::qcow2 {
+
+namespace {
+
+// Sector layouts (all integers big-endian, rest of the sector zero):
+//   header: [0:4) magic  [8:16) generation  [16:24) sector_count
+//           [24:32) checksum
+//   record: [0:4) magic  [4:8) flags  [8:16) generation  [16:24) seq
+//           [24:32) first_cluster  [32:40) count  [40:48) ref_off
+//           [48:56) checksum
+constexpr std::size_t kHeaderChecksumOff = 24;
+constexpr std::size_t kRecordChecksumOff = 48;
+
+std::uint64_t checksum_with_zeroed(std::span<const std::uint8_t> sector,
+                                   std::size_t checksum_off) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < sector.size(); ++i) {
+    const bool in_checksum = i >= checksum_off && i < checksum_off + 8;
+    h ^= in_checksum ? std::uint8_t{0} : sector[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t journal_checksum(std::span<const std::uint8_t> sector) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::uint8_t b : sector) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void encode_journal_header(const JournalHeader& h,
+                           std::span<std::uint8_t> sector) {
+  assert(sector.size() == kJournalSectorSize);
+  std::memset(sector.data(), 0, sector.size());
+  store_be32(sector.data() + 0, kJournalHeaderMagic);
+  store_be64(sector.data() + 8, h.generation);
+  store_be64(sector.data() + 16, h.sector_count);
+  store_be64(sector.data() + kHeaderChecksumOff,
+             checksum_with_zeroed(sector, kHeaderChecksumOff));
+}
+
+bool decode_journal_header(std::span<const std::uint8_t> sector,
+                           JournalHeader& out) {
+  if (sector.size() != kJournalSectorSize) return false;
+  if (load_be32(sector.data() + 0) != kJournalHeaderMagic) return false;
+  if (load_be64(sector.data() + kHeaderChecksumOff) !=
+      checksum_with_zeroed(sector, kHeaderChecksumOff)) {
+    return false;
+  }
+  out.generation = load_be64(sector.data() + 8);
+  out.sector_count = load_be64(sector.data() + 16);
+  return true;
+}
+
+void encode_journal_record(const JournalRecord& r,
+                           std::span<std::uint8_t> sector) {
+  assert(sector.size() == kJournalSectorSize);
+  std::memset(sector.data(), 0, sector.size());
+  store_be32(sector.data() + 0, kJournalRecordMagic);
+  store_be32(sector.data() + 4, r.flags);
+  store_be64(sector.data() + 8, r.generation);
+  store_be64(sector.data() + 16, r.seq);
+  store_be64(sector.data() + 24, r.first_cluster);
+  store_be64(sector.data() + 32, r.count);
+  store_be64(sector.data() + 40, r.ref_off);
+  store_be64(sector.data() + kRecordChecksumOff,
+             checksum_with_zeroed(sector, kRecordChecksumOff));
+}
+
+bool decode_journal_record(std::span<const std::uint8_t> sector,
+                           JournalRecord& out) {
+  if (sector.size() != kJournalSectorSize) return false;
+  if (load_be32(sector.data() + 0) != kJournalRecordMagic) return false;
+  if (load_be64(sector.data() + kRecordChecksumOff) !=
+      checksum_with_zeroed(sector, kRecordChecksumOff)) {
+    return false;
+  }
+  out.flags = load_be32(sector.data() + 4);
+  out.generation = load_be64(sector.data() + 8);
+  out.seq = load_be64(sector.data() + 16);
+  out.first_cluster = load_be64(sector.data() + 24);
+  out.count = load_be64(sector.data() + 32);
+  out.ref_off = load_be64(sector.data() + 40);
+  return true;
+}
+
+}  // namespace vmic::qcow2

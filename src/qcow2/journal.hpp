@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace vmic::qcow2 {
+
+// ---------------------------------------------------------------------------
+// Refcount-journal on-disk records (see DESIGN.md "Refcount journal").
+//
+// The journal region (located by the kExtVmiJournal header extension) is a
+// flat array of 512-byte sectors: sector 0 is the journal header, sectors
+// 1..N-1 hold one record each. A 512-byte write is never torn by the crash
+// model (and is a single atomic sector on real disks), so each append is an
+// all-or-nothing publish. Every sector carries an FNV-1a checksum over the
+// whole sector with the checksum field zeroed, so a dropped/garbage sector
+// is detected and discarded during replay rather than trusted.
+//
+// Records are self-describing and replay is a *verified recompute*: a record
+// names the cluster run it touched and the file offset of the table slot(s)
+// that should reference it, so replay derives the correct refcount from
+// what actually became durable instead of trusting a count delta. This
+// makes replay order-independent and idempotent — holes in the record
+// array (a dropped append between two durable ones) are harmless.
+//
+// The header's generation retires stale records: every writable session and
+// every checkpoint bumps it, and replay ignores records whose generation
+// does not match the header's.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint32_t kJournalSectorSize = 512;
+inline constexpr std::uint32_t kJournalHeaderMagic = 0x764A4844;  // "vJHD"
+inline constexpr std::uint32_t kJournalRecordMagic = 0x764A5243;  // "vJRC"
+
+/// Record flags: operation …
+inline constexpr std::uint32_t kJournalOpAlloc = 0x1;
+inline constexpr std::uint32_t kJournalOpFree = 0x2;
+/// … and reference shape. kJournalRefRun: `ref_off` holds ONE 8-byte table
+/// slot whose pointer covers the whole run (L1 entry, refcount-table entry,
+/// or the header's own L1/refcount-table pointer). Without it, slot k of
+/// the run is referenced by the 8-byte slot at `ref_off + k*8` (contiguous
+/// L2 entries).
+inline constexpr std::uint32_t kJournalRefRun = 0x4;
+
+struct JournalHeader {
+  std::uint64_t generation = 0;
+  std::uint64_t sector_count = 0;  ///< total sectors including this header
+};
+
+struct JournalRecord {
+  std::uint32_t flags = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t seq = 0;            ///< monotonic within a generation
+  std::uint64_t first_cluster = 0;  ///< first cluster index of the run
+  std::uint64_t count = 0;          ///< clusters in the run
+  std::uint64_t ref_off = 0;        ///< file offset of referencing slot(s)
+};
+
+/// FNV-1a over a full sector (the encode helpers zero the checksum field
+/// before hashing).
+std::uint64_t journal_checksum(std::span<const std::uint8_t> sector);
+
+void encode_journal_header(const JournalHeader& h,
+                           std::span<std::uint8_t> sector);
+/// Returns false when magic or checksum don't match.
+bool decode_journal_header(std::span<const std::uint8_t> sector,
+                           JournalHeader& out);
+
+void encode_journal_record(const JournalRecord& r,
+                           std::span<std::uint8_t> sector);
+/// Returns false when magic or checksum don't match (torn/stale sector).
+bool decode_journal_record(std::span<const std::uint8_t> sector,
+                           JournalRecord& out);
+
+}  // namespace vmic::qcow2

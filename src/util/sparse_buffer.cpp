@@ -54,6 +54,18 @@ void SparseBuffer::write(std::uint64_t off, std::span<const std::uint8_t> src) {
   size_ = std::max(size_, off + src.size());
 }
 
+SparseBuffer SparseBuffer::clone() const {
+  SparseBuffer out;
+  out.size_ = size_;
+  out.pages_.reserve(pages_.size());
+  for (const auto& [idx, page] : pages_) {
+    auto p = std::make_unique<std::uint8_t[]>(kPageSize);
+    std::memcpy(p.get(), page.get(), kPageSize);
+    out.pages_.emplace(idx, std::move(p));
+  }
+  return out;
+}
+
 void SparseBuffer::resize(std::uint64_t new_size) {
   if (new_size < size_) {
     // Drop whole pages past the boundary, zero the boundary tail.

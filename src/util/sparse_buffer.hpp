@@ -46,6 +46,11 @@ class SparseBuffer {
     return pages_.size() * kPageSize;
   }
 
+  /// Deep copy (the type is move-only to keep accidental copies out of
+  /// hot paths; crash exploration clones disks deliberately, e.g. to
+  /// replay repair-time cuts against one post-crash state).
+  [[nodiscard]] SparseBuffer clone() const;
+
  private:
   using Page = std::unique_ptr<std::uint8_t[]>;
   std::unordered_map<std::uint64_t, Page> pages_;  // key: page index

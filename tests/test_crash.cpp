@@ -312,6 +312,272 @@ TEST_F(RepairTest, InheritedDirtyBitSurvivesCloseWithoutRepair) {
   EXPECT_NE(header_u64("d.qcow2", 72) & qcow2::kIncompatDirty, 0u);
 }
 
+// Crash the power at every instant *inside* repair itself, starting from
+// an artificially corrupted image (out-of-file L1 pointer + dirty bit) so
+// the rebuild's entry-clearing and refcount-lowering paths actually run —
+// natural crash states never corrupt (the barriers see to that), so a
+// sweep over them alone cannot reach those paths. After each nested cut
+// the half-repaired image must reopen, repair again, and check clean.
+TEST_F(RepairTest, RepairIsRestartableFromEveryInternalCrashPoint) {
+  make_image("rr.qcow2");
+  const std::uint64_t l1_off = header_u64("rr.qcow2", 40);
+  poke_u64("rr.qcow2", l1_off + 8, (1ull << 40) | qcow2::kFlagCopied);
+  poke_u64("rr.qcow2", 72,
+           header_u64("rr.qcow2", 72) | qcow2::kIncompatDirty);
+  const SparseBuffer& corrupted = raw("rr.qcow2");
+
+  std::uint64_t nested = 0;
+  for (std::uint64_t j = 0; j < 10000; ++j) {
+    SparseBuffer disk = corrupted.clone();
+    bool cut_fired = false;
+    {
+      io::MemBackend inner(&disk);
+      auto cb = std::make_unique<CrashBackend>(
+          inner, CrashPlan{.cut_after_events = j, .seed = 13});
+      CrashBackend* cbp = cb.get();
+      block::OpenOptions opt;
+      opt.writable = true;
+      auto dev = sync_wait(qcow2::open_any(io::BackendPtr{std::move(cb)},
+                                           opt));
+      if (dev.ok()) {
+        cut_fired = !cbp->alive();
+      } else {
+        ASSERT_EQ(dev.error(), Errc::io_error);
+        cut_fired = true;
+      }
+    }
+    if (!cut_fired) break;
+    ++nested;
+    block::OpenOptions opt;
+    opt.writable = true;
+    auto dev = sync_wait(qcow2::open_any(
+        io::BackendPtr{std::make_unique<io::MemBackend>(&disk)}, opt));
+    ASSERT_TRUE(dev.ok()) << "nested crash point " << j;
+    auto* q = dynamic_cast<qcow2::Qcow2Device*>(dev->get());
+    ASSERT_NE(q, nullptr);
+    auto chk = sync_wait(q->check());
+    ASSERT_TRUE(chk.ok());
+    EXPECT_TRUE(chk->clean())
+        << "nested crash point " << j << ": leaked=" << chk->leaked_clusters
+        << " corrupt=" << chk->corruptions;
+    // The surviving data cluster is untouched by any repair prefix.
+    std::vector<std::uint8_t> out(64_KiB);
+    ASSERT_TRUE(sync_wait((*dev)->read(0, out)).ok());
+    EXPECT_EQ(out, filled(64_KiB, 0x5A));
+    ASSERT_TRUE(sync_wait((*dev)->close()).ok());
+  }
+  EXPECT_GT(nested, 0u);  // the sweep must have covered real cut points
+}
+
+// --- qcow2 refcount journal --------------------------------------------
+
+class JournalRepairTest : public RepairTest {
+ protected:
+  // Like make_image, but with a refcount journal.
+  void make_journal_image(const std::string& name,
+                          std::uint32_t sectors = 64) {
+    auto be = store_.create_file(name);
+    ASSERT_TRUE(be.ok());
+    qcow2::Qcow2Device::CreateOptions opt;
+    opt.virtual_size = 8_MiB;
+    opt.cluster_bits = 16;
+    opt.journal_sectors = sectors;
+    ASSERT_TRUE(sync_wait(qcow2::Qcow2Device::create(**be, opt)).ok());
+    auto dev = sync_wait(qcow2::open_image(store_, name));
+    ASSERT_TRUE(dev.ok());
+    ASSERT_TRUE(sync_wait((*dev)->write(0, filled(64_KiB, 0x5A))).ok());
+    ASSERT_TRUE(sync_wait((*dev)->close()).ok());
+  }
+
+  std::uint64_t journal_offset(const std::string& name) {
+    std::vector<std::uint8_t> hdr(4096);
+    raw(name).read(0, hdr);
+    auto parsed = qcow2::parse_header_area(hdr);
+    EXPECT_TRUE(parsed.ok());
+    EXPECT_TRUE(parsed->journal.has_value());
+    return parsed->journal->offset;
+  }
+
+  qcow2::Qcow2Device* as_q(const Result<block::DevicePtr>& dev) {
+    return dynamic_cast<qcow2::Qcow2Device*>(dev->get());
+  }
+};
+
+TEST_F(JournalRepairTest, DirtyJournaledImageRepairsByReplay) {
+  make_journal_image("j.qcow2");
+  poke_u64("j.qcow2", 72,
+           header_u64("j.qcow2", 72) | qcow2::kIncompatDirty);
+
+  auto be = store_.open_file("j.qcow2", /*writable=*/true);
+  ASSERT_TRUE(be.ok());
+  block::OpenOptions opt;
+  opt.auto_repair_dirty = false;
+  auto dev = sync_wait(qcow2::open_any(std::move(*be), opt));
+  ASSERT_TRUE(dev.ok());
+  auto* q = as_q(dev);
+  ASSERT_NE(q, nullptr);
+  EXPECT_TRUE(q->has_journal());
+
+  auto rep = sync_wait(q->repair());
+  ASSERT_TRUE(rep.ok());
+  EXPECT_TRUE(rep->journal_replayed);
+  EXPECT_FALSE(rep->journal_fallback);
+  // The clean close checkpointed: every surviving record is stale.
+  EXPECT_EQ(rep->journal_entries, 0u);
+
+  auto post = sync_wait(q->check());
+  ASSERT_TRUE(post.ok());
+  EXPECT_TRUE(post->clean());
+  ASSERT_TRUE(sync_wait((*dev)->close()).ok());
+}
+
+TEST_F(JournalRepairTest, TornRecordSectorsAreDiscarded) {
+  make_journal_image("t.qcow2");
+  // Garbage in two record sectors (checksum cannot match) plus the dirty
+  // bit: replay must discard them and still prove consistency.
+  const std::uint64_t joff = journal_offset("t.qcow2");
+  std::vector<std::uint8_t> garbage(512);
+  for (std::size_t i = 0; i < garbage.size(); ++i) {
+    garbage[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  raw("t.qcow2").write(joff + 512, garbage);
+  raw("t.qcow2").write(joff + 3 * 512, garbage);
+  poke_u64("t.qcow2", 72,
+           header_u64("t.qcow2", 72) | qcow2::kIncompatDirty);
+
+  auto be = store_.open_file("t.qcow2", /*writable=*/true);
+  ASSERT_TRUE(be.ok());
+  block::OpenOptions opt;
+  opt.auto_repair_dirty = false;
+  auto dev = sync_wait(qcow2::open_any(std::move(*be), opt));
+  ASSERT_TRUE(dev.ok());
+  auto* q = as_q(dev);
+  ASSERT_NE(q, nullptr);
+
+  auto rep = sync_wait(q->repair());
+  ASSERT_TRUE(rep.ok());
+  EXPECT_TRUE(rep->journal_replayed);
+  EXPECT_EQ(rep->journal_entries, 0u);  // garbage never counts as a record
+
+  auto post = sync_wait(q->check());
+  ASSERT_TRUE(post.ok());
+  EXPECT_TRUE(post->clean());
+  ASSERT_TRUE(sync_wait((*dev)->close()).ok());
+}
+
+TEST_F(JournalRepairTest, CorruptJournalHeaderFallsBackToRebuild) {
+  make_journal_image("f.qcow2");
+  const std::uint64_t joff = journal_offset("f.qcow2");
+  std::vector<std::uint8_t> garbage(512, 0xEE);
+  raw("f.qcow2").write(joff, garbage);
+  poke_u64("f.qcow2", 72,
+           header_u64("f.qcow2", 72) | qcow2::kIncompatDirty);
+
+  auto be = store_.open_file("f.qcow2", /*writable=*/true);
+  ASSERT_TRUE(be.ok());
+  block::OpenOptions opt;
+  opt.auto_repair_dirty = false;
+  auto dev = sync_wait(qcow2::open_any(std::move(*be), opt));
+  ASSERT_TRUE(dev.ok());
+  auto* q = as_q(dev);
+  ASSERT_NE(q, nullptr);
+
+  auto rep = sync_wait(q->repair());
+  ASSERT_TRUE(rep.ok());
+  EXPECT_FALSE(rep->journal_replayed);
+  EXPECT_TRUE(rep->journal_fallback);
+
+  auto post = sync_wait(q->check());
+  ASSERT_TRUE(post.ok());
+  EXPECT_TRUE(post->clean());
+
+  // The rebuild rewrote a valid journal header; data survived.
+  std::vector<std::uint8_t> out(64_KiB);
+  ASSERT_TRUE(sync_wait((*dev)->read(0, out)).ok());
+  EXPECT_EQ(out, filled(64_KiB, 0x5A));
+  ASSERT_TRUE(sync_wait((*dev)->close()).ok());
+
+  // And the next dirty open replays instead of falling back again.
+  poke_u64("f.qcow2", 72,
+           header_u64("f.qcow2", 72) | qcow2::kIncompatDirty);
+  auto again = sync_wait(qcow2::open_image(store_, "f.qcow2"));
+  ASSERT_TRUE(again.ok());
+  auto chk = sync_wait(as_q(again)->check());
+  ASSERT_TRUE(chk.ok());
+  EXPECT_TRUE(chk->clean());
+  ASSERT_TRUE(sync_wait((*again)->close()).ok());
+}
+
+// The fallback rebuild on a journaled image must also be restartable from
+// every internal crash point. The sharp edge is the journal generation
+// bump at the rebuild's end: if it became durable while part of the
+// rebuild did not, the next open's O(journal) fast path would see an
+// empty (retired) journal and bless a half-rebuilt image — prevented by
+// the flush barrier ahead of the bump.
+TEST_F(JournalRepairTest, FallbackRebuildIsRestartableFromEveryCrashPoint) {
+  make_journal_image("rr2.qcow2");
+  const std::uint64_t joff = journal_offset("rr2.qcow2");
+  std::vector<std::uint8_t> garbage(512, 0xEE);
+  raw("rr2.qcow2").write(joff, garbage);  // header bad -> fallback path
+  // Point the first refcount-table entry into nowhere, so the rebuild has
+  // a real table change to persist (it must clear the bogus pointer and
+  // publish a replacement block) — a content-no-op rebuild cannot expose
+  // ordering bugs between the rebuild writes and the journal retirement.
+  const std::uint64_t rt_off = header_u64("rr2.qcow2", 48);
+  poke_u64("rr2.qcow2", rt_off, 1ull << 40);
+  poke_u64("rr2.qcow2", 72,
+           header_u64("rr2.qcow2", 72) | qcow2::kIncompatDirty);
+  const SparseBuffer& corrupted = raw("rr2.qcow2");
+
+  // The dangerous window holds exactly two unflushed writes (the rebuilt
+  // refcount table and the journal generation bump), adjudicated by one
+  // RNG draw per cut point — so sweep many seeds to hit every keep/drop
+  // combination, in particular "keep the bump, drop the table".
+  std::uint64_t nested = 0;
+  for (std::uint64_t seed = 17; seed < 17 + 32; ++seed) {
+  for (std::uint64_t j = 0; j < 10000; ++j) {
+    SparseBuffer disk = corrupted.clone();
+    bool cut_fired = false;
+    {
+      io::MemBackend inner(&disk);
+      auto cb = std::make_unique<CrashBackend>(
+          inner, CrashPlan{.cut_after_events = j, .seed = seed});
+      CrashBackend* cbp = cb.get();
+      block::OpenOptions opt;
+      opt.writable = true;
+      auto dev = sync_wait(qcow2::open_any(io::BackendPtr{std::move(cb)},
+                                           opt));
+      if (dev.ok()) {
+        cut_fired = !cbp->alive();
+      } else {
+        ASSERT_EQ(dev.error(), Errc::io_error);
+        cut_fired = true;
+      }
+    }
+    if (!cut_fired) break;
+    ++nested;
+    block::OpenOptions opt;
+    opt.writable = true;
+    auto dev = sync_wait(qcow2::open_any(
+        io::BackendPtr{std::make_unique<io::MemBackend>(&disk)}, opt));
+    ASSERT_TRUE(dev.ok()) << "nested crash point " << j;
+    auto* q = dynamic_cast<qcow2::Qcow2Device*>(dev->get());
+    ASSERT_NE(q, nullptr);
+    auto chk = sync_wait(q->check());
+    ASSERT_TRUE(chk.ok());
+    EXPECT_TRUE(chk->clean())
+        << "nested crash point " << j << ": leaked=" << chk->leaked_clusters
+        << " corrupt=" << chk->corruptions;
+    std::vector<std::uint8_t> out(64_KiB);
+    ASSERT_TRUE(sync_wait((*dev)->read(0, out)).ok());
+    EXPECT_EQ(out, filled(64_KiB, 0x5A));
+    ASSERT_TRUE(sync_wait((*dev)->close()).ok());
+    if (HasFailure()) return;
+  }
+  }
+  EXPECT_GT(nested, 0u);
+}
+
 // --- crash::explore sweeps ---------------------------------------------
 
 TEST(Explore, EagerSweepPasses) {
@@ -350,6 +616,88 @@ TEST(Explore, CorChainSweepPasses) {
   const ExploreReport r = explore(cfg);
   EXPECT_TRUE(r.pass()) << to_json(r, cfg);
   EXPECT_GT(r.crash_points, 0u);
+}
+
+TEST(Explore, JournalSweepPasses) {
+  ExploreConfig cfg;
+  cfg.seed = 2;
+  cfg.guest_ops = 24;
+  cfg.journal_sectors = 64;
+  cfg.max_crash_points = 16;
+  const ExploreReport r = explore(cfg);
+  EXPECT_TRUE(r.pass()) << to_json(r, cfg);
+  // The whole point: dirty opens repair via O(journal) replay, and the
+  // barrier discipline holds under the journal exactly as without it.
+  EXPECT_GT(r.journal_replays, 0u);
+  EXPECT_EQ(r.journal_fallbacks, 0u);
+  EXPECT_EQ(r.pre_repair_corruptions, 0u);
+  EXPECT_EQ(r.lost_flushed_bytes, 0u);
+}
+
+TEST(Explore, JournalCheckpointUnderCrashPasses) {
+  // A 2-sector journal (header + one record) checkpoints on every second
+  // append, so cuts land inside checkpoint windows all the time.
+  ExploreConfig cfg;
+  cfg.seed = 5;
+  cfg.guest_ops = 24;
+  cfg.journal_sectors = 2;
+  cfg.max_crash_points = 16;
+  const ExploreReport r = explore(cfg);
+  EXPECT_TRUE(r.pass()) << to_json(r, cfg);
+  EXPECT_GT(r.journal_replays, 0u);
+  EXPECT_EQ(r.journal_fallbacks, 0u);
+}
+
+TEST(Explore, JournalLazySweepPasses) {
+  // Lazy + journal: frees stay mirror-only, allocations are journaled.
+  ExploreConfig cfg;
+  cfg.seed = 2;
+  cfg.guest_ops = 24;
+  cfg.lazy_refcounts = true;
+  cfg.journal_sectors = 16;
+  cfg.max_crash_points = 16;
+  const ExploreReport r = explore(cfg);
+  EXPECT_TRUE(r.pass()) << to_json(r, cfg);
+  EXPECT_EQ(r.pre_repair_corruptions, 0u);
+}
+
+TEST(Explore, RepairOfRepairSweepPasses) {
+  // Cut the power again at every instant of every repair: repair must be
+  // restartable from any of its own crash states.
+  ExploreConfig cfg;
+  cfg.seed = 3;
+  cfg.guest_ops = 12;
+  cfg.crash_during_repair = true;
+  cfg.max_crash_points = 8;
+  const ExploreReport r = explore(cfg);
+  EXPECT_TRUE(r.pass()) << to_json(r, cfg);
+  EXPECT_GT(r.repair_crash_points, 0u);
+}
+
+TEST(Explore, JournalRepairOfRepairSweepPasses) {
+  ExploreConfig cfg;
+  cfg.seed = 3;
+  cfg.guest_ops = 12;
+  cfg.journal_sectors = 8;
+  cfg.crash_during_repair = true;
+  cfg.max_crash_points = 8;
+  const ExploreReport r = explore(cfg);
+  EXPECT_TRUE(r.pass()) << to_json(r, cfg);
+}
+
+TEST(Explore, TwoFileSweepPasses) {
+  // Cache + CoW overlay felled by one shared cut: no cross-file ordering
+  // window may corrupt either image or lose flushed overlay writes.
+  ExploreConfig cfg;
+  cfg.seed = 9;
+  cfg.guest_ops = 20;
+  cfg.two_file = true;
+  cfg.max_crash_points = 12;
+  const ExploreReport r = explore(cfg);
+  EXPECT_TRUE(r.pass()) << to_json(r, cfg);
+  EXPECT_GT(r.crash_points, 0u);
+  EXPECT_EQ(r.pre_repair_corruptions, 0u);
+  EXPECT_EQ(r.lost_flushed_bytes, 0u);
 }
 
 TEST(Explore, DigestIsDeterministic) {

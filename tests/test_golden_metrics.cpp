@@ -332,6 +332,41 @@ TEST(GoldenMetrics, CrashExplorePinnedValues) {
   EXPECT_EQ(m.counter_total("qcow2.repair.leaks_dropped"), r.leaks_dropped);
 }
 
+// The journal-mode sweep pins the qcow2.journal.* namespace: appends and
+// checkpoints happen on the recording run and every replayed point, and
+// each dirty reopen must repair by replay (fallbacks pin to zero — a
+// drift here means replay stopped proving consistency somewhere).
+
+TEST(GoldenMetrics, JournalExplorePinnedValues) {
+  obs::Hub hub;
+  crash::ExploreConfig cfg;
+  cfg.seed = 2;
+  cfg.guest_ops = 20;
+  cfg.max_crash_points = 12;
+  cfg.journal_sectors = 4;
+  cfg.hub = &hub;
+  const crash::ExploreReport r = crash::explore(cfg);
+  ASSERT_TRUE(r.pass()) << crash::to_json(r, cfg);
+
+  EXPECT_GT(r.journal_replays, 0u);
+  EXPECT_EQ(r.journal_fallbacks, 0u);
+
+  const auto m = hub.registry.snapshot();
+  EXPECT_EQ(m.counter_total("qcow2.journal.replays"), r.journal_replays);
+  EXPECT_EQ(m.counter_total("qcow2.journal.fallbacks"), 0u);
+  EXPECT_GT(m.counter_total("qcow2.journal.appends"), 0u);
+  EXPECT_GT(m.counter_total("qcow2.journal.checkpoints"), 0u);
+
+  // Exact pins: the schedule is deterministic, so the counter totals are
+  // part of the golden surface like the digest.
+  EXPECT_EQ(r.total_events, 79u);
+  EXPECT_EQ(r.journal_replays, 11u);
+  EXPECT_EQ(m.counter_total("qcow2.journal.appends"), 93u);
+  EXPECT_EQ(m.counter_total("qcow2.journal.checkpoints"), 23u);
+  EXPECT_EQ(m.counter_total("qcow2.journal.entries_replayed"), 22u);
+  EXPECT_EQ(r.digest, 670551284262492835ull);
+}
+
 // A small crashy cloud run pins the salvage path: one node crash, whose
 // recovery repairs and re-adopts the surviving caches.
 

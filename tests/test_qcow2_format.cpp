@@ -28,8 +28,8 @@ Header sample_header() {
 
 TEST(Qcow2Format, HeaderRoundTripPlain) {
   Header h = sample_header();
-  std::vector<std::uint8_t> buf(header_area_size(std::nullopt, ""), 0);
-  write_header_area(h, std::nullopt, "", buf);
+  std::vector<std::uint8_t> buf(header_area_size(std::nullopt, std::nullopt, ""), 0);
+  write_header_area(h, std::nullopt, std::nullopt, "", buf);
 
   auto parsed = parse_header_area(buf);
   ASSERT_TRUE(parsed.ok());
@@ -47,12 +47,12 @@ TEST(Qcow2Format, HeaderRoundTripWithCacheAndBacking) {
   Header h = sample_header();
   const std::string backing = "images/centos-6.3.img";
   h.backing_file_offset =
-      header_area_size(CacheExtension{}, backing) - backing.size();
+      header_area_size(CacheExtension{}, std::nullopt, backing) - backing.size();
   h.backing_file_size = static_cast<std::uint32_t>(backing.size());
 
   CacheExtension ce{250_MiB, 42 * 65536};
-  std::vector<std::uint8_t> buf(header_area_size(ce, backing), 0);
-  const auto payload_off = write_header_area(h, ce, backing, buf);
+  std::vector<std::uint8_t> buf(header_area_size(ce, std::nullopt, backing), 0);
+  const auto payload_off = write_header_area(h, ce, std::nullopt, backing, buf);
   EXPECT_GT(payload_off, 0u);
 
   auto parsed = parse_header_area(buf);
@@ -67,8 +67,8 @@ TEST(Qcow2Format, HeaderRoundTripWithCacheAndBacking) {
 TEST(Qcow2Format, MagicIsQfi) {
   // "QFI\xfb" on disk, byte for byte.
   Header h = sample_header();
-  std::vector<std::uint8_t> buf(header_area_size(std::nullopt, ""), 0);
-  write_header_area(h, std::nullopt, "", buf);
+  std::vector<std::uint8_t> buf(header_area_size(std::nullopt, std::nullopt, ""), 0);
+  write_header_area(h, std::nullopt, std::nullopt, "", buf);
   EXPECT_EQ(buf[0], 'Q');
   EXPECT_EQ(buf[1], 'F');
   EXPECT_EQ(buf[2], 'I');
@@ -82,17 +82,17 @@ TEST(Qcow2Format, RejectsBadMagic) {
 
 TEST(Qcow2Format, RejectsUnsupportedVersion) {
   Header h = sample_header();
-  std::vector<std::uint8_t> buf(header_area_size(std::nullopt, ""), 0);
-  write_header_area(h, std::nullopt, "", buf);
+  std::vector<std::uint8_t> buf(header_area_size(std::nullopt, std::nullopt, ""), 0);
+  write_header_area(h, std::nullopt, std::nullopt, "", buf);
   store_be32(buf.data() + 4, 7);
   EXPECT_EQ(parse_header_area(buf).error(), Errc::unsupported);
 }
 
 TEST(Qcow2Format, RejectsBadClusterBits) {
   Header h = sample_header();
-  std::vector<std::uint8_t> buf(header_area_size(std::nullopt, ""), 0);
+  std::vector<std::uint8_t> buf(header_area_size(std::nullopt, std::nullopt, ""), 0);
   for (std::uint32_t bits : {0u, 8u, 22u, 63u}) {
-    write_header_area(h, std::nullopt, "", buf);
+    write_header_area(h, std::nullopt, std::nullopt, "", buf);
     store_be32(buf.data() + 20, bits);
     EXPECT_EQ(parse_header_area(buf).error(), Errc::invalid_format)
         << "bits=" << bits;
@@ -101,12 +101,12 @@ TEST(Qcow2Format, RejectsBadClusterBits) {
 
 TEST(Qcow2Format, RejectsEncryptionAndSnapshots) {
   Header h = sample_header();
-  std::vector<std::uint8_t> buf(header_area_size(std::nullopt, ""), 0);
-  write_header_area(h, std::nullopt, "", buf);
+  std::vector<std::uint8_t> buf(header_area_size(std::nullopt, std::nullopt, ""), 0);
+  write_header_area(h, std::nullopt, std::nullopt, "", buf);
   store_be32(buf.data() + 32, 1);  // crypt_method = AES
   EXPECT_EQ(parse_header_area(buf).error(), Errc::unsupported);
 
-  write_header_area(h, std::nullopt, "", buf);
+  write_header_area(h, std::nullopt, std::nullopt, "", buf);
   store_be32(buf.data() + 60, 3);  // nb_snapshots
   EXPECT_EQ(parse_header_area(buf).error(), Errc::unsupported);
 }
@@ -117,7 +117,7 @@ TEST(Qcow2Format, SkipsUnknownExtensions) {
   // symmetrically, our parser skips extensions it does not know.
   Header h = sample_header();
   std::vector<std::uint8_t> buf(512, 0);
-  write_header_area(h, std::nullopt, "", buf);
+  write_header_area(h, std::nullopt, std::nullopt, "", buf);
   // Overwrite the end marker with {unknown ext, len 12} + end marker.
   std::size_t off = kHeaderLength;
   store_be32(buf.data() + off, 0xDEADF00D);
@@ -135,8 +135,8 @@ TEST(Qcow2Format, ParsesVersion2Headers) {
   // qcow2 v2: 72-byte header, no extensions, no feature fields. Our
   // parser accepts it (read-only compatibility with old images).
   Header h = sample_header();
-  std::vector<std::uint8_t> buf(header_area_size(std::nullopt, ""), 0);
-  write_header_area(h, std::nullopt, "", buf);
+  std::vector<std::uint8_t> buf(header_area_size(std::nullopt, std::nullopt, ""), 0);
+  write_header_area(h, std::nullopt, std::nullopt, "", buf);
   store_be32(buf.data() + 4, 2);  // version = 2
   auto parsed = parse_header_area(buf);
   ASSERT_TRUE(parsed.ok());
@@ -147,8 +147,8 @@ TEST(Qcow2Format, ParsesVersion2Headers) {
 
 TEST(Qcow2Format, TruncatedExtensionAreaIsCorrupt) {
   Header h = sample_header();
-  std::vector<std::uint8_t> full(header_area_size(std::nullopt, ""), 0);
-  write_header_area(h, std::nullopt, "", full);
+  std::vector<std::uint8_t> full(header_area_size(std::nullopt, std::nullopt, ""), 0);
+  write_header_area(h, std::nullopt, std::nullopt, "", full);
   // Chop off the end marker.
   std::vector<std::uint8_t> buf(full.begin(), full.begin() + kHeaderLength);
   EXPECT_EQ(parse_header_area(buf).error(), Errc::corrupt);

@@ -174,6 +174,84 @@ TEST(Qcow2Model, WriteHeavyMix) {
   ASSERT_NO_FATAL_FAILURE(run_differential(p));
 }
 
+TEST(Qcow2Model, JournalRoundTrip) {
+  // Differential session on a journaled chain (both cache and overlay
+  // carry a refcount journal, deliberately tiny so checkpoints fire
+  // mid-run), then close and reopen: content must match the model, the
+  // journal must survive the round trip, and both images must check
+  // clean — a clean close retires every record.
+  MemImageStore store;
+  constexpr std::uint64_t kSize = 1_MiB;
+  auto base = store.create_file("base.img");
+  ASSERT_TRUE(base.ok());
+  const auto base_data = pattern_bytes(606 ^ 0x9e3779b9, kSize);
+  ASSERT_TRUE(sync_wait((*base)->pwrite(0, base_data)).ok());
+  ASSERT_TRUE(sync_wait(create_cache_image(
+                  store, "vmi.cache", "base.img", 4_MiB,
+                  {.cluster_bits = 9, .virtual_size = 0,
+                   .journal_sectors = 8}))
+                  .ok());
+  ASSERT_TRUE(sync_wait(create_cow_image(
+                  store, "vm.cow", "vmi.cache",
+                  {.cluster_bits = 16, .virtual_size = 0,
+                   .journal_sectors = 8}))
+                  .ok());
+
+  std::vector<std::uint8_t> model = base_data;
+  {
+    auto dev = sync_wait(open_image(store, "vm.cow"));
+    ASSERT_TRUE(dev.ok()) << to_string(dev.error());
+    auto* cow = dynamic_cast<Qcow2Device*>(dev->get());
+    ASSERT_NE(cow, nullptr);
+    ASSERT_TRUE(cow->has_journal());
+    EXPECT_EQ(cow->journal_sector_count(), 8u);
+    Rng rng{606};
+    std::vector<std::uint8_t> buf;
+    for (int i = 0; i < 300; ++i) {
+      const std::uint64_t off = rng.below(kSize);
+      const std::uint64_t len =
+          1 + rng.below(std::min<std::uint64_t>(kSize - off, 64_KiB));
+      if (rng.chance(0.5)) {
+        const auto data = pattern_bytes(rng.next(), len);
+        ASSERT_TRUE(sync_wait((*dev)->write(off, data)).ok());
+        std::memcpy(model.data() + off, data.data(), len);
+      } else {
+        buf.assign(len, 0);
+        ASSERT_TRUE(sync_wait((*dev)->read(off, buf)).ok());
+        ASSERT_EQ(0, std::memcmp(buf.data(), model.data() + off, len));
+      }
+    }
+    // The 8-sector journal fills after 7 records: the run above must have
+    // checkpointed at least once for the round trip to mean anything.
+    EXPECT_GT(cow->journal_generation(), 1u);
+    ASSERT_TRUE(sync_wait((*dev)->close()).ok());
+  }
+
+  auto dev = sync_wait(open_image(store, "vm.cow"));
+  ASSERT_TRUE(dev.ok()) << to_string(dev.error());
+  auto* cow = dynamic_cast<Qcow2Device*>(dev->get());
+  ASSERT_NE(cow, nullptr);
+  ASSERT_TRUE(cow->has_journal());
+  EXPECT_FALSE(cow->dirty());
+  std::vector<std::uint8_t> buf(kSize, 0);
+  ASSERT_TRUE(sync_wait((*dev)->read(0, buf)).ok());
+  ASSERT_EQ(0, std::memcmp(buf.data(), model.data(), kSize));
+  auto cow_check = sync_wait(cow->check());
+  ASSERT_TRUE(cow_check.ok());
+  EXPECT_TRUE(cow_check->clean())
+      << "cow: leaked=" << cow_check->leaked_clusters
+      << " corrupt=" << cow_check->corruptions;
+  auto* cache = dynamic_cast<Qcow2Device*>((*dev)->backing());
+  ASSERT_NE(cache, nullptr);
+  ASSERT_TRUE(cache->has_journal());
+  auto cache_check = sync_wait(cache->check());
+  ASSERT_TRUE(cache_check.ok());
+  EXPECT_TRUE(cache_check->clean())
+      << "cache: leaked=" << cache_check->leaked_clusters
+      << " corrupt=" << cache_check->corruptions;
+  ASSERT_TRUE(sync_wait((*dev)->close()).ok());
+}
+
 TEST(Qcow2Model, DeterministicAcrossRuns) {
   // Same seed, two sessions: identical device-level counters. Guards the
   // generator (and the driver) against hidden nondeterminism.

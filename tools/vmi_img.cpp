@@ -5,11 +5,15 @@
 //     [-b <backing>]                          copy-on-write overlay
 //     [-q <quota>]                            VMI cache image (CoR)
 //     [-c <cluster>]                          cluster size (512..2M)
+//     [-j <sectors>]                          refcount journal (O(journal)
+//                                             crash repair; 0 = none)
 //     [-f raw]                                raw image instead of qcow2
 //   vmi-img info  <file>                      header / cache fields
 //   vmi-img check <file>                      metadata consistency walk
-//     [--repair]                              rebuild refcounts, drop leaks,
-//                                             clear the dirty bit
+//     [--repair]                              journaled images replay the
+//                                             journal (O(journal)); others
+//                                             rebuild refcounts; both drop
+//                                             leaks and clear the dirty bit
 //     [--json]                                machine-readable report
 //     exit: 0 clean, 2 corruptions, 3 leaks (post-repair state with --repair)
 //   vmi-img chain <file>                      print the backing chain
@@ -43,7 +47,7 @@ void usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  vmi-img create <file> <size> [-b backing] [-q quota]"
-               " [-c cluster] [-f raw]\n"
+               " [-c cluster] [-j journal-sectors] [-f raw]\n"
                "  vmi-img info  <file>\n"
                "  vmi-img check <file> [--repair] [--json]\n"
                "  vmi-img chain <file>\n"
@@ -87,6 +91,7 @@ int cmd_create(const std::vector<std::string>& args) {
   std::string backing;
   std::uint64_t quota = 0;
   std::uint32_t cluster = 64 * KiB;
+  std::uint32_t journal_sectors = 0;
   bool raw = false;
   for (std::size_t i = 2; i < args.size(); ++i) {
     if (args[i] == "-b" && i + 1 < args.size()) {
@@ -95,6 +100,10 @@ int cmd_create(const std::vector<std::string>& args) {
       quota = parse_size(args[++i]);
     } else if (args[i] == "-c" && i + 1 < args.size()) {
       cluster = static_cast<std::uint32_t>(parse_size(args[++i]));
+    } else if ((args[i] == "-j" || args[i] == "--journal") &&
+               i + 1 < args.size()) {
+      journal_sectors = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
     } else if (args[i] == "-f" && i + 1 < args.size()) {
       raw = (args[++i] == "raw");
     } else {
@@ -130,6 +139,7 @@ int cmd_create(const std::vector<std::string>& args) {
   opt.cluster_bits = log2_exact(cluster);
   opt.backing_file = backing;
   opt.cache_quota = quota;
+  opt.journal_sectors = journal_sectors;
   auto r = sim::sync_wait(qcow2::Qcow2Device::create(**be, opt));
   if (!r.ok()) {
     std::fprintf(stderr, "create failed: %s\n",
@@ -171,6 +181,10 @@ int cmd_info(const std::string& path) {
                 format_bytes(q->cluster_size()).c_str());
     if (!q->backing_file().empty()) {
       std::printf("backing file: %s\n", q->backing_file().c_str());
+    }
+    if (q->has_journal()) {
+      std::printf("refcount journal: %u sectors\n",
+                  static_cast<unsigned>(q->journal_sector_count()));
     }
     if (q->is_cache_image()) {
       std::printf("VMI cache: yes\n");
@@ -259,16 +273,24 @@ int cmd_check(const std::vector<std::string>& args) {
   (void)sim::sync_wait(q->close());
 
   if (json) {
-    std::printf("{\n  \"image\": \"%s\",\n  \"dirty\": %d,\n", path.c_str(),
-                was_dirty ? 1 : 0);
+    std::printf("{\n  \"image\": \"%s\",\n  \"dirty\": %d,\n"
+                "  \"journal_sectors\": %u,\n",
+                path.c_str(), was_dirty ? 1 : 0,
+                q->has_journal() ? static_cast<unsigned>(
+                                       q->journal_sector_count())
+                                 : 0u);
     print_check_json("check", *pre);
     std::printf("  \"repaired\": %d,\n", do_repair ? 1 : 0);
     if (do_repair) {
       std::printf("  \"repair\": {\"entries_cleared\": %llu, "
-                  "\"leaks_dropped\": %llu, \"corruptions_fixed\": %llu},\n",
+                  "\"leaks_dropped\": %llu, \"corruptions_fixed\": %llu, "
+                  "\"journal_replayed\": %d, \"journal_fallback\": %d, "
+                  "\"journal_entries\": %llu},\n",
                   static_cast<unsigned long long>(rep.entries_cleared),
                   static_cast<unsigned long long>(rep.leaks_dropped),
-                  static_cast<unsigned long long>(rep.corruptions_fixed));
+                  static_cast<unsigned long long>(rep.corruptions_fixed),
+                  rep.journal_replayed ? 1 : 0, rep.journal_fallback ? 1 : 0,
+                  static_cast<unsigned long long>(rep.journal_entries));
       print_check_json("post", post);
     }
     std::printf("  \"clean\": %d\n}\n", post.clean() ? 1 : 0);
@@ -283,6 +305,14 @@ int cmd_check(const std::vector<std::string>& args) {
                 static_cast<unsigned long long>(pre->metadata_clusters),
                 static_cast<unsigned long long>(pre->leaked_clusters),
                 static_cast<unsigned long long>(pre->corruptions));
+    if (do_repair && rep.journal_replayed) {
+      std::printf("%s: repaired by journal replay (%llu records)\n",
+                  path.c_str(),
+                  static_cast<unsigned long long>(rep.journal_entries));
+    } else if (do_repair && rep.journal_fallback) {
+      std::printf("%s: journal replay could not prove consistency; "
+                  "fell back to full rebuild\n", path.c_str());
+    }
     if (do_repair && rep.changed_anything()) {
       std::printf("%s: repaired — %llu entries cleared, %llu leaks dropped, "
                   "%llu refcounts fixed; now %llu leaked, %llu corruptions\n",
