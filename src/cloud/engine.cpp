@@ -4,12 +4,15 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "boot/trace.hpp"
 #include "boot/vm.hpp"
+#include "cluster/node_index.hpp"
 #include "cluster/placement.hpp"
 #include "qcow2/chain.hpp"
 #include "sim/sync.hpp"
@@ -20,6 +23,10 @@ namespace vmic::cloud {
 namespace {
 
 std::string img_name(int vmi) { return "img-" + std::to_string(vmi); }
+
+/// Inverse of img_name ("img-7" -> 7); the cache pool reports victims by
+/// base-image name, the engine indexes its bookkeeping by VMI id.
+int vmi_of(const std::string& img) { return std::stoi(img.substr(4)); }
 
 LatencyStats summarize(const Samples& s) {
   LatencyStats l;
@@ -71,6 +78,7 @@ class Engine {
       sched_[i].running_vms = 0;
       sched_[i].vm_capacity = cfg_.vm_slots_per_node;
     }
+    idx_.emplace(&sched_);
     auto& reg = cl_.obs->registry;
     c_arrivals_ = &reg.counter("cloud.arrivals");
     c_completed_ = &reg.counter("cloud.completed");
@@ -107,6 +115,7 @@ class Engine {
       res_.leaked_slots += sched_[i].running_vms + rt_[i].inflight;
     }
     res_.sim_seconds = sim::to_seconds(cl_.env.now());
+    res_.sim_events = cl_.env.events_processed();
     res_.cache_hit_ratio =
         res_.completed > 0
             ? static_cast<double>(res_.warm_hits) /
@@ -155,20 +164,29 @@ class Engine {
     std::uint64_t epoch = 0;
     /// Tasks placed on this node that have not exited yet (slot audit).
     int inflight = 0;
-    /// Open-file refcount per cache file name: a crash must not delete a
+    /// Open-file refcount per VMI cache file: a crash must not delete a
     /// file some coroutine still has open (SimDirectory::remove destroys
     /// the buffer under the open backend).
-    std::map<std::string, int> cache_users;
-    /// Cache files a crash invalidated but could not delete because they
+    std::map<int, int> cache_users;
+    /// VMI caches a crash invalidated but could not delete because they
     /// were in use; reclaimed when the last user drops them, or
     /// re-registered if a post-recovery placement warm-hits them first.
-    std::set<std::string> zombies;
+    std::set<int> zombies;
+    /// Mirror of the cache files present on this node's disk, updated at
+    /// every file mutation the engine observes (placement outcomes carry
+    /// their evictions). refresh_warm and the crash sweep iterate this
+    /// instead of probing the directory once per known VMI, so per-node
+    /// bookkeeping costs O(cached files), not O(num_vmis).
+    std::set<int> disk_caches;
   };
 
   // --- small helpers ---------------------------------------------------------
 
   sim::Mutex& prep_mutex(int ni, int vmi) {
-    auto& p = prep_mx_[{ni, vmi}];
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ni)) << 32) |
+        static_cast<std::uint32_t>(vmi);
+    auto& p = prep_mx_[key];
     if (!p) p = std::make_unique<sim::Mutex>(cl_.env);
     return *p;
   }
@@ -182,28 +200,35 @@ class Engine {
     res_.peak_queue_depth = std::max(res_.peak_queue_depth, queue_.size());
   }
 
-  void hold_file(int ni, const std::string& cache) {
-    ++rt_[static_cast<std::size_t>(ni)].cache_users[cache];
+  /// A node's slot occupancy changed: re-index it for placement queries.
+  void slots_changed(int ni) { idx_->node_changed(ni); }
+
+  void hold_file(int ni, int vmi) {
+    ++rt_[static_cast<std::size_t>(ni)].cache_users[vmi];
   }
 
   /// Drop one user of a cache file; the last user out reclaims a zombie.
-  void drop_file(int ni, const std::string& cache) {
+  void drop_file(int ni, int vmi) {
     NodeRuntime& rt = rt_[static_cast<std::size_t>(ni)];
-    auto it = rt.cache_users.find(cache);
+    auto it = rt.cache_users.find(vmi);
     if (it != rt.cache_users.end()) {
       if (--it->second > 0) return;
       rt.cache_users.erase(it);
     }
-    if (rt.zombies.count(cache) != 0) {
-      rt.zombies.erase(cache);
+    if (rt.zombies.count(vmi) != 0) {
+      rt.zombies.erase(vmi);
       auto& dd = cl_.nodes[static_cast<std::size_t>(ni)]->disk_dir;
+      const std::string cache = cluster::cache_file_for(img_name(vmi));
       if (dd.exists(cache)) dd.remove(cache);
+      rt.disk_caches.erase(vmi);
     }
   }
 
-  void release_cache(int ni, const std::string& img, bool pinned) {
-    if (pinned) cl_.nodes[static_cast<std::size_t>(ni)]->pool.unpin(img);
-    drop_file(ni, cluster::cache_file_for(img));
+  void release_cache(int ni, int vmi, bool pinned) {
+    if (pinned) {
+      cl_.nodes[static_cast<std::size_t>(ni)]->pool.unpin(img_name(vmi));
+    }
+    drop_file(ni, vmi);
   }
 
   /// A warm hit on a file the pool does not account for: either a zombie
@@ -212,49 +237,70 @@ class Engine {
   /// lost) and enforce any eviction the admission decides, mirroring
   /// placement's apply_eviction. Victims are unpinned by construction,
   /// so their files are safe to delete.
-  void readopt(int ni, const std::string& img) {
+  void readopt(int ni, int vmi) {
     ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(ni)];
+    NodeRuntime& rt = rt_[static_cast<std::size_t>(ni)];
+    const std::string img = img_name(vmi);
     const std::string cache = cluster::cache_file_for(img);
-    rt_[static_cast<std::size_t>(ni)].zombies.erase(cache);
+    rt.zombies.erase(vmi);
+    rt.disk_caches.insert(vmi);
     auto size = node.disk_dir.file_size(cache);
     const auto ar =
         node.pool.admit(img, size.ok() ? *size : cfg_.cache_quota);
     for (const auto& victim : ar.evicted) {
       const std::string vf = cluster::cache_file_for(victim);
       if (node.disk_dir.exists(vf)) node.disk_dir.remove(vf);
+      rt.disk_caches.erase(vmi_of(victim));
     }
   }
 
   /// After a failed placement: a partially-created cache file must not
   /// masquerade as a warm cache on the next attempt. Only removable once
   /// nobody holds it and the pool never admitted it.
-  void scrub_failed_cache(int ni, const std::string& img) {
+  void scrub_failed_cache(int ni, int vmi) {
     NodeRuntime& rt = rt_[static_cast<std::size_t>(ni)];
     ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(ni)];
+    const std::string img = img_name(vmi);
     const std::string cache = cluster::cache_file_for(img);
-    if (rt.cache_users.count(cache) != 0) return;
+    if (rt.cache_users.count(vmi) != 0) return;
     if (!node.pool.contains(img) && node.disk_dir.exists(cache)) {
-      rt.zombies.erase(cache);
+      rt.zombies.erase(vmi);
       node.disk_dir.remove(cache);
+      rt.disk_caches.erase(vmi);
     }
   }
 
-  /// Rebuild the scheduler's warm-cache view of a node from what is
-  /// actually on its disk (evictions happen inside placement, out of the
-  /// scheduler's sight). Zombies don't count: the crash invalidated them.
+  /// Rebuild the scheduler's warm-cache view of a node (evictions happen
+  /// inside placement, out of the scheduler's sight). The disk mirror is
+  /// the source: only VMIs with an in-flight holder — whose cache file
+  /// may be mid-creation, a state the mirror cannot yet know — are probed
+  /// against the directory, so the rebuild costs O(cached + held files)
+  /// instead of O(num_vmis) probes. Zombies don't count: the crash
+  /// invalidated them.
   void refresh_warm(int ni) {
     NodeRuntime& rt = rt_[static_cast<std::size_t>(ni)];
     if (!rt.up) return;
-    auto& ws = sched_[static_cast<std::size_t>(ni)].warm_vmis;
-    ws.clear();
-    for (int v = 0; v < num_vmis_; ++v) {
+    ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(ni)];
+    std::set<std::string> warm;
+    for (int v : rt.disk_caches) {
+      if (rt.zombies.count(v) == 0) warm.insert(img_name(v));
+    }
+    for (const auto& [v, users] : rt.cache_users) {
+      (void)users;
+      if (rt.disk_caches.count(v) != 0 || rt.zombies.count(v) != 0) continue;
       const std::string img = img_name(v);
-      const std::string cache = cluster::cache_file_for(img);
-      if (rt.zombies.count(cache) != 0) continue;
-      if (cl_.nodes[static_cast<std::size_t>(ni)]->disk_dir.exists(cache)) {
-        ws.insert(img);
+      if (node.disk_dir.exists(cluster::cache_file_for(img))) {
+        warm.insert(img);
       }
     }
+    auto& ws = sched_[static_cast<std::size_t>(ni)].warm_vmis;
+    for (const auto& img : ws) {
+      if (warm.count(img) == 0) idx_->warm_removed(ni, img);
+    }
+    for (const auto& img : warm) {
+      if (ws.count(img) == 0) idx_->warm_added(ni, img);
+    }
+    ws = std::move(warm);
   }
 
   // --- queueing --------------------------------------------------------------
@@ -266,13 +312,13 @@ class Engine {
   /// nothing behind it jumps the queue (deterministic and fair).
   void dispatch() {
     while (!queue_.empty()) {
-      const int ni = cluster::pick_node(sched_, cfg_.policy,
-                                        img_name(queue_.front().vmi),
-                                        cfg_.cache_aware);
+      const int ni = idx_->pick(cfg_.policy, img_name(queue_.front().vmi),
+                                cfg_.cache_aware);
       if (ni < 0) return;
       Pending r = queue_.front();
       queue_.pop_front();
       ++sched_[static_cast<std::size_t>(ni)].running_vms;
+      slots_changed(ni);
       ++rt_[static_cast<std::size_t>(ni)].inflight;
       const double wait_s = sim::to_seconds(cl_.env.now() - r.enqueued);
       qwait_.add(wait_s);
@@ -319,26 +365,41 @@ class Engine {
     cluster::NodeState& ns = sched_[static_cast<std::size_t>(c.node)];
     ns.running_vms = 0;  // every running VM died with the node
     ns.vm_capacity = 0;  // no placements while down
+    slots_changed(c.node);
+    for (const auto& img : ns.warm_vmis) idx_->warm_removed(c.node, img);
     ns.warm_vmis.clear();
     // Cache invalidation: a crashed node's caches are not trustworthy.
     // In-use files become zombies either way (SimDirectory::remove under
     // an open backend is the one thing the engine must never do, and a
     // writer died mid-operation on them). Idle files are deleted outright
     // in legacy mode; with crash_salvage they stay on disk as suspects
-    // for the recovery-time repair + check pass below.
+    // for the recovery-time repair + check pass below. Only VMIs the
+    // mirror or a holder knows about can have state here — everything
+    // else has no pool entry and no file, so the sweep is O(tracked),
+    // not O(num_vmis).
     ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(c.node)];
-    std::vector<std::string> suspects;
-    for (int v = 0; v < num_vmis_; ++v) {
+    std::vector<int> suspects;
+    std::set<int> tracked = rt.disk_caches;
+    for (const auto& [v, users] : rt.cache_users) {
+      (void)users;
+      tracked.insert(v);
+    }
+    for (int v : tracked) {
       const std::string img = img_name(v);
       const std::string cache = cluster::cache_file_for(img);
       node.pool.remove(img);
-      if (!node.disk_dir.exists(cache)) continue;
-      if (rt.cache_users.count(cache) != 0) {
-        rt.zombies.insert(cache);
+      if (!node.disk_dir.exists(cache)) {
+        rt.disk_caches.erase(v);
+        continue;
+      }
+      rt.disk_caches.insert(v);
+      if (rt.cache_users.count(v) != 0) {
+        rt.zombies.insert(v);
       } else if (cfg_.crash_salvage) {
-        suspects.push_back(img);
+        suspects.push_back(v);
       } else {
         node.disk_dir.remove(cache);
+        rt.disk_caches.erase(v);
       }
     }
     co_await cl_.env.delay(sim::from_seconds(c.down_s));
@@ -350,12 +411,12 @@ class Engine {
     // caches are re-adopted with their warm clusters intact, anything else
     // is deleted. The open/check reads charge the node's disk, so salvage
     // pays a verification cost instead of the full re-warm cost.
-    for (const std::string& img : suspects) {
-      const std::string cache = cluster::cache_file_for(img);
-      if (!node.disk_dir.exists(cache) || rt.zombies.count(cache) != 0) {
+    for (int v : suspects) {
+      const std::string cache = cluster::cache_file_for(img_name(v));
+      if (!node.disk_dir.exists(cache) || rt.zombies.count(v) != 0) {
         continue;
       }
-      hold_file(c.node, cache);
+      hold_file(c.node, v);
       bool good = false;
       auto dv = co_await qcow2::open_image(node.fs, "disk/" + cache,
                                            /*writable=*/true,
@@ -368,19 +429,21 @@ class Engine {
         }
         (void)co_await (*dv)->close();
       }
-      drop_file(c.node, cache);
+      drop_file(c.node, v);
       if (rt.epoch != recovery_epoch) co_return;  // crashed again mid-pass
       if (good) {
-        readopt(c.node, img);
+        readopt(c.node, v);
         ++res_.caches_salvaged;
         c_cache_salvaged_->inc();
       } else {
         if (node.disk_dir.exists(cache)) node.disk_dir.remove(cache);
+        rt.disk_caches.erase(v);
         ++res_.caches_invalidated;
         c_cache_invalidated_->inc();
       }
     }
     ns.vm_capacity = cfg_.vm_slots_per_node;
+    slots_changed(c.node);
     ++res_.node_recoveries;
     c_node_recoveries_->inc();
     refresh_warm(c.node);
@@ -405,6 +468,7 @@ class Engine {
     ++res_.deploy_failures;
     c_deploy_failures_->inc();
     --sched_[static_cast<std::size_t>(ni)].running_vms;
+    slots_changed(ni);
     --rt_[static_cast<std::size_t>(ni)].inflight;
     refresh_warm(ni);
     fail_attempt(r);
@@ -434,35 +498,49 @@ class Engine {
       // misses must not both create the node cache; the loser waits and
       // then warm-hits the winner's file.
       auto lk = co_await prep_mutex(ni, r.vmi).lock();
-      hold_file(ni, cache);
+      hold_file(ni, r.vmi);
       auto placed = co_await cluster::chain_to_proper_cache(
           cl_, node, img, cfg_.cache_quota, cfg_.cache_cluster_bits,
           cfg_.profile.image_size);
+      // Sync the disk mirror with what placement did: one probe for our
+      // own cache file, plus the evictions the outcome reports. Nothing
+      // ran between placement's return and here (symmetric transfer), so
+      // this is atomic with the mutation.
+      if (node.disk_dir.exists(cache)) {
+        rt.disk_caches.insert(r.vmi);
+      } else {
+        rt.disk_caches.erase(r.vmi);
+      }
+      if (placed.ok()) {
+        for (const auto& victim : placed->evicted) {
+          rt.disk_caches.erase(vmi_of(victim));
+        }
+      }
       if (rt.epoch != epoch) {
-        drop_file(ni, cache);
+        drop_file(ni, r.vmi);
         exit_killed(r, ni);
         co_return;
       }
       if (!placed.ok()) {
-        drop_file(ni, cache);
-        scrub_failed_cache(ni, img);
+        drop_file(ni, r.vmi);
+        scrub_failed_cache(ni, r.vmi);
         exit_failed(r, ni);
         co_return;
       }
       outcome = *placed;
       // No suspension between placement returning and the pin: nothing
       // can evict the entry in between (single-threaded simulation).
-      if (!node.pool.contains(img)) readopt(ni, img);
+      if (!node.pool.contains(img)) readopt(ni, r.vmi);
       node.pool.pin(img);
       pinned = true;
-      const bool shared_ro = rt.cache_users[cache] > 1;
+      const bool shared_ro = rt.cache_users[r.vmi] > 1;
       qcow2::ChainImageOptions cow_opt{
           .cluster_bits = 16, .virtual_size = cfg_.profile.image_size};
       auto rcow = co_await qcow2::create_cow_image(node.fs, cow_path,
                                                    outcome.backing, cow_opt);
       if (rt.epoch != epoch || !rcow.ok()) {
         if (node.disk_dir.exists(cow_file)) node.disk_dir.remove(cow_file);
-        release_cache(ni, img, pinned);
+        release_cache(ni, r.vmi, pinned);
         if (rt.epoch != epoch) {
           exit_killed(r, ni);
         } else {
@@ -475,7 +553,7 @@ class Engine {
                                            cl_.obs);
       if (rt.epoch != epoch || !dv.ok()) {
         if (node.disk_dir.exists(cow_file)) node.disk_dir.remove(cow_file);
-        release_cache(ni, img, pinned);
+        release_cache(ni, r.vmi, pinned);
         if (rt.epoch != epoch) {
           exit_killed(r, ni);
         } else {
@@ -497,13 +575,13 @@ class Engine {
     dev.reset();
     if (rt.epoch != epoch) {
       if (node.disk_dir.exists(cow_file)) node.disk_dir.remove(cow_file);
-      release_cache(ni, img, pinned);
+      release_cache(ni, r.vmi, pinned);
       exit_killed(r, ni);
       co_return;
     }
     if (!br.ok()) {
       if (node.disk_dir.exists(cow_file)) node.disk_dir.remove(cow_file);
-      release_cache(ni, img, pinned);
+      release_cache(ni, r.vmi, pinned);
       exit_failed(r, ni);
       co_return;
     }
@@ -530,7 +608,7 @@ class Engine {
       ++res_.vm_crashes;
       c_vm_crashes_->inc();
       if (node.disk_dir.exists(cow_file)) node.disk_dir.remove(cow_file);
-      release_cache(ni, img, pinned);
+      release_cache(ni, r.vmi, pinned);
       --rt.inflight;
       co_return;
     }
@@ -558,14 +636,15 @@ class Engine {
         if (rt.epoch != epoch) {
           ++res_.vm_crashes;
           c_vm_crashes_->inc();
-          release_cache(ni, img, pinned);
+          release_cache(ni, r.vmi, pinned);
           --rt.inflight;
           co_return;
         }
       }
     }
     --sched_[static_cast<std::size_t>(ni)].running_vms;
-    release_cache(ni, img, pinned);
+    slots_changed(ni);
+    release_cache(ni, r.vmi, pinned);
     refresh_warm(ni);
     --rt.inflight;
     dispatch();
@@ -603,10 +682,12 @@ class Engine {
   std::vector<std::unique_ptr<FlakyDirectory>> flaky_;
   std::vector<boot::BootTrace> traces_;
   std::vector<cluster::NodeState> sched_;
+  /// Placement index over sched_ (constructed once sched_ is sized).
+  std::optional<cluster::NodeIndex> idx_;
   std::vector<NodeRuntime> rt_;
   std::deque<Pending> queue_;
-  std::map<std::pair<int, int>, std::unique_ptr<sim::Mutex>> prep_mx_;
-  std::map<int, std::unique_ptr<sim::Mutex>> push_mx_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<sim::Mutex>> prep_mx_;
+  std::unordered_map<int, std::unique_ptr<sim::Mutex>> push_mx_;
   int next_id_ = 0;
   CloudResult res_;
   Samples deploy_, qwait_, prep_, boot_;

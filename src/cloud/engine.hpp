@@ -106,6 +106,9 @@ struct CloudResult {
   double cache_hit_ratio = 0;  ///< warm_hits / completed
   double goodput_vms_per_hour = 0;
   double sim_seconds = 0;
+  /// Discrete events the simulation core fired during the run
+  /// (scheduler-throughput accounting for benches).
+  std::uint64_t sim_events = 0;
   std::size_t peak_queue_depth = 0;
   LatencyStats deploy;      ///< first enqueue -> boot complete
   LatencyStats queue_wait;  ///< enqueue -> slot granted, per attempt

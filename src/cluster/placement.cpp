@@ -67,18 +67,22 @@ sim::Task<Result<PlacementOutcome>> chain_to_proper_cache(
     }
     VMIC_CO_TRY_VOID(co_await qcow2::create_cache_image(
         node.fs, "disk/" + cache, "nfs-mem/" + cache, quota, copt));
-    apply_eviction(node, node.pool.admit(base, quota));
+    auto ar = node.pool.admit(base, quota);
+    apply_eviction(node, ar);
     co_return PlacementOutcome{PlacementOutcome::Action::chained_to_storage,
-                               "disk/" + cache, false, staged};
+                               "disk/" + cache, false, staged,
+                               std::move(ar.evicted)};
   }
 
   // Last branch: no cache anywhere. Create one against the base and
   // remember to push it to the storage node after shutdown.
   VMIC_CO_TRY_VOID(co_await qcow2::create_cache_image(
       node.fs, "disk/" + cache, "nfs-base/" + base, quota, copt));
-  apply_eviction(node, node.pool.admit(base, quota));
+  auto ar = node.pool.admit(base, quota);
+  apply_eviction(node, ar);
   co_return PlacementOutcome{PlacementOutcome::Action::created_fresh,
-                             "disk/" + cache, true, false};
+                             "disk/" + cache, true, false,
+                             std::move(ar.evicted)};
 }
 
 sim::Task<Result<void>> copy_cache_back(Cluster& cl, ComputeNode& node,

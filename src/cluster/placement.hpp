@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.hpp"
 
@@ -21,6 +22,11 @@ struct PlacementOutcome {
   bool copy_back_on_shutdown = false;
   /// A disk-resident storage-side cache was staged into tmpfs first.
   bool staged_disk_to_tmpfs = false;
+  /// Base images whose node caches the admission evicted (their files
+  /// were removed from the node's disk inside placement). Lets callers
+  /// that mirror per-node disk state stay consistent without re-listing
+  /// the directory.
+  std::vector<std::string> evicted;
 };
 
 /// The paper's Algorithm 1: "Chaining to a proper cache VMI" (§6).

@@ -97,36 +97,39 @@ Registry::Entry& Registry::add_entry(const std::string& name, Labels labels,
   e.kind = kind;
   e.owner = owner;
   entries_.push_back(std::move(e));
+  if (owner != nullptr) {
+    owner_index_[owner].push_back(std::prev(entries_.end()));
+  }
   return entries_.back();
 }
 
 Counter& Registry::counter(const std::string& name, Labels labels) {
   labels = normalized(std::move(labels));
   const std::string key = key_of(name, labels);
-  for (const auto& [k, idx] : owned_index_) {
-    if (k == key && entries_[idx].kind == Kind::counter) {
-      return *const_cast<Counter*>(entries_[idx].c);
+  for (const auto& [k, ent] : owned_index_) {
+    if (k == key && ent->kind == Kind::counter) {
+      return *const_cast<Counter*>(ent->c);
     }
   }
   owned_counters_.emplace_back();
   Entry& e = add_entry(name, std::move(labels), Kind::counter, nullptr);
   e.c = &owned_counters_.back();
-  owned_index_.emplace_back(key, entries_.size() - 1);
+  owned_index_.emplace_back(key, &e);
   return owned_counters_.back();
 }
 
 Gauge& Registry::gauge(const std::string& name, Labels labels) {
   labels = normalized(std::move(labels));
   const std::string key = key_of(name, labels);
-  for (const auto& [k, idx] : owned_index_) {
-    if (k == key && entries_[idx].kind == Kind::gauge) {
-      return *const_cast<Gauge*>(entries_[idx].g);
+  for (const auto& [k, ent] : owned_index_) {
+    if (k == key && ent->kind == Kind::gauge) {
+      return *const_cast<Gauge*>(ent->g);
     }
   }
   owned_gauges_.emplace_back();
   Entry& e = add_entry(name, std::move(labels), Kind::gauge, nullptr);
   e.g = &owned_gauges_.back();
-  owned_index_.emplace_back(key, entries_.size() - 1);
+  owned_index_.emplace_back(key, &e);
   return owned_gauges_.back();
 }
 
@@ -134,15 +137,15 @@ Histogram& Registry::histogram(const std::string& name, Labels labels,
                                std::vector<double> bounds) {
   labels = normalized(std::move(labels));
   const std::string key = key_of(name, labels);
-  for (const auto& [k, idx] : owned_index_) {
-    if (k == key && entries_[idx].kind == Kind::histogram) {
-      return *const_cast<Histogram*>(entries_[idx].h);
+  for (const auto& [k, ent] : owned_index_) {
+    if (k == key && ent->kind == Kind::histogram) {
+      return *const_cast<Histogram*>(ent->h);
     }
   }
   owned_histograms_.emplace_back(std::move(bounds));
   Entry& e = add_entry(name, std::move(labels), Kind::histogram, nullptr);
   e.h = &owned_histograms_.back();
-  owned_index_.emplace_back(key, entries_.size() - 1);
+  owned_index_.emplace_back(key, &e);
   return owned_histograms_.back();
 }
 
@@ -170,15 +173,10 @@ void Registry::attach_histogram(const std::string& name, Labels labels,
 
 void Registry::detach(const void* owner) {
   if (owner == nullptr) return;
-  std::erase_if(entries_, [owner](const Entry& e) { return e.owner == owner; });
-  // owned_index_ indexes may have shifted; rebuild it.
-  owned_index_.clear();
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].owner == nullptr) {
-      owned_index_.emplace_back(key_of(entries_[i].name, entries_[i].labels),
-                                i);
-    }
-  }
+  auto it = owner_index_.find(owner);
+  if (it == owner_index_.end()) return;
+  for (auto ent : it->second) entries_.erase(ent);
+  owner_index_.erase(it);
 }
 
 void Registry::reset_owned() {

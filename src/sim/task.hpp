@@ -2,9 +2,12 @@
 
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
+
+#include "util/pool.hpp"
 
 namespace vmic::sim {
 
@@ -26,6 +29,16 @@ namespace detail {
 
 template <typename T>
 struct TaskPromiseBase {
+  // Coroutine frames come from the size-classed frame pool: simulations
+  // churn millions of short-lived tasks and the global heap was a
+  // measurable fraction of event cost.
+  static void* operator new(std::size_t n) {
+    return util::FramePool::allocate(n);
+  }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    util::FramePool::deallocate(p, n);
+  }
+
   std::coroutine_handle<> continuation = std::noop_coroutine();
   std::exception_ptr exception;
 

@@ -1,0 +1,152 @@
+#pragma once
+
+// Slab/pool allocators backing the discrete-event hot path.
+//
+//  * SlotPool<T>  — slab-backed object pool with stable 32-bit slot
+//    indices and per-slot generation counters. SimEnv keeps its timer
+//    entries here: a TimerId embeds (slot, generation), so cancellation
+//    is an O(1) in-slot operation and a stale id (already fired or
+//    cancelled) is detected exactly instead of tombstoned.
+//  * FramePool    — size-classed free-list allocator for coroutine
+//    frames. Task<T> promises and SimEnv's spawned-task wrappers route
+//    their frame allocation here; a simulation that churns millions of
+//    short-lived coroutines stops hammering the global heap.
+//
+// Both are single-threaded by design (the simulator is single-threaded);
+// FramePool uses thread_local state so concurrent simulations in
+// different threads stay independent. Under ASan/MSan builds both pools
+// degrade to plain new/delete so the sanitizer sees every lifetime —
+// pooled reuse would otherwise mask use-after-free on frames/entries.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define VMIC_POOL_PASSTHROUGH 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(memory_sanitizer)
+#define VMIC_POOL_PASSTHROUGH 1
+#endif
+#endif
+#ifndef VMIC_POOL_PASSTHROUGH
+#define VMIC_POOL_PASSTHROUGH 0
+#endif
+
+namespace vmic::util {
+
+/// Slab-backed pool of default-constructed T with stable addresses and
+/// 32-bit slot indices. alloc()/free() are O(1); freed slots are reused
+/// LIFO. Objects are never destroyed on free() — the caller resets any
+/// heavy members (e.g. moves a std::function out) and reuses the slot in
+/// place, so steady-state operation performs no heap traffic at all.
+template <typename T, std::size_t SlabSize = 1024>
+class SlotPool {
+ public:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  SlotPool() = default;
+  SlotPool(const SlotPool&) = delete;
+  SlotPool& operator=(const SlotPool&) = delete;
+
+  [[nodiscard]] std::uint32_t alloc() {
+    if (!free_.empty()) {
+      const std::uint32_t idx = free_.back();
+      free_.pop_back();
+      return idx;
+    }
+    const std::uint32_t idx = size_++;
+    if ((idx % SlabSize) == 0) {
+      slabs_.push_back(std::make_unique<T[]>(SlabSize));
+    }
+    return idx;
+  }
+
+  void free(std::uint32_t idx) { free_.push_back(idx); }
+
+  [[nodiscard]] T& operator[](std::uint32_t idx) {
+    return slabs_[idx / SlabSize][idx % SlabSize];
+  }
+  [[nodiscard]] const T& operator[](std::uint32_t idx) const {
+    return slabs_[idx / SlabSize][idx % SlabSize];
+  }
+
+  /// Total slots ever created (live + free).
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return size_; }
+  [[nodiscard]] std::size_t free_slots() const noexcept {
+    return free_.size();
+  }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> slabs_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t size_ = 0;
+};
+
+/// Size-classed free-list allocator for coroutine frames. Blocks are
+/// bucketed in 64-byte classes up to 4 KiB; larger frames (rare) fall
+/// through to the global heap. Freed blocks are retained per class and
+/// reused LIFO, so the steady-state frame churn of a simulation performs
+/// zero heap allocation. Retention is bounded by the peak number of
+/// concurrently-live frames per class.
+class FramePool {
+ public:
+  static constexpr std::size_t kGranularity = 64;
+  static constexpr std::size_t kClasses = 64;  // up to 4 KiB pooled
+
+  static void* allocate(std::size_t n) {
+#if VMIC_POOL_PASSTHROUGH
+    return ::operator new(n);
+#else
+    const std::size_t cls = class_of(n);
+    if (cls >= kClasses) return ::operator new(n);
+    State& st = state();
+    ++st.allocs;
+    void* head = st.heads[cls];
+    if (head != nullptr) {
+      ++st.reuses;
+      st.heads[cls] = *static_cast<void**>(head);
+      return head;
+    }
+    return ::operator new((cls + 1) * kGranularity);
+#endif
+  }
+
+  static void deallocate(void* p, std::size_t n) noexcept {
+#if VMIC_POOL_PASSTHROUGH
+    ::operator delete(p);
+#else
+    const std::size_t cls = class_of(n);
+    if (cls >= kClasses) {
+      ::operator delete(p);
+      return;
+    }
+    State& st = state();
+    *static_cast<void**>(p) = st.heads[cls];
+    st.heads[cls] = p;
+#endif
+  }
+
+  /// Pooled allocations / free-list reuses on this thread (test hook;
+  /// both 0 in sanitizer builds where the pool is a passthrough).
+  static std::uint64_t allocations() { return state().allocs; }
+  static std::uint64_t reuses() { return state().reuses; }
+
+ private:
+  struct State {
+    void* heads[kClasses] = {};
+    std::uint64_t allocs = 0;
+    std::uint64_t reuses = 0;
+  };
+  static State& state() {
+    static thread_local State st;
+    return st;
+  }
+  static std::size_t class_of(std::size_t n) noexcept {
+    return (n + kGranularity - 1) / kGranularity - 1;
+  }
+};
+
+}  // namespace vmic::util

@@ -269,5 +269,42 @@ TEST(Cloud, RejectsWhenAdmissionQueueOverflows) {
   expect_terminal_accounting(r);
 }
 
+// --- scale ------------------------------------------------------------------
+
+TEST(CloudStress, TenThousandNodesHundredThousandSessions) {
+  // The ROADMAP north-star scale, shrunk in per-VM weight rather than in
+  // fleet or session count: 10k nodes, ~100k sessions, a deliberately
+  // tiny OS profile so the run exercises the scheduler core, the
+  // placement index and the pooled event path — not simulated disk
+  // bandwidth. Runs in the ASan+UBSan CI job too, where the pools
+  // degrade to plain new/delete so every entry/frame lifetime is
+  // sanitizer-visible.
+  CloudConfig cfg;
+  cfg.seed = 42;
+  cfg.cluster.compute_nodes = 10000;
+  cfg.cluster.node_cache_capacity = 8 * MiB;
+  cfg.vm_slots_per_node = 4;
+  boot::OsProfile p = boot::centos63();
+  p.image_size = 1 * MiB;
+  p.unique_read_bytes = 16 * KiB;
+  p.cpu_seconds = 0.05;
+  p.write_bytes = 4 * KiB;
+  cfg.profile = p;
+  cfg.cache_quota = 2 * MiB;
+  cfg.cache_cluster_bits = 12;
+  cfg.workload.num_vmis = 16;
+  cfg.workload.mean_interarrival_s = 0.1;  // ~100k arrivals
+  cfg.workload.min_lifetime_s = 20.0;
+  cfg.workload.mean_extra_lifetime_s = 40.0;
+  cfg.horizon_s = 10000.0;
+  const CloudResult r = run_cloud(cfg);
+  expect_terminal_accounting(r);
+  EXPECT_GT(r.arrivals, 90000);
+  EXPECT_GT(r.completed, 90000);
+  EXPECT_EQ(r.aborted, 0);
+  EXPECT_GT(r.sim_events, static_cast<std::uint64_t>(1000000));
+  EXPECT_GT(r.cache_hit_ratio, 0.5);
+}
+
 }  // namespace
 }  // namespace vmic::cloud

@@ -2,6 +2,9 @@
 // versions of the paper's experiments) and Algorithm 1 placement.
 #include <gtest/gtest.h>
 
+#include <random>
+
+#include "cluster/node_index.hpp"
 #include "cluster/placement.hpp"
 #include "cluster/scenario.hpp"
 #include "qcow2/chain.hpp"
@@ -244,6 +247,76 @@ TEST_F(PlacementTest, DiskResidentStorageCacheStagedToTmpfs) {
   EXPECT_EQ(out.action, PlacementOutcome::Action::chained_to_storage);
   EXPECT_TRUE(out.staged_disk_to_tmpfs);
   EXPECT_TRUE(cl.storage.mem_dir.exists("cache-img-0.qcow2"));
+}
+
+// --------------------------------------------------------------------------
+// NodeIndex differential: the incremental index must return exactly what
+// the reference linear scan (pick_node) returns on the same state, for
+// every policy, across randomized mutations of running counts, capacity
+// (node down/up) and warm sets.
+// --------------------------------------------------------------------------
+
+TEST(NodeIndex, MatchesLinearPickAcrossRandomizedStates) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    std::mt19937_64 rng(seed);
+    const int n = 32;
+    const int vmis = 6;
+    std::vector<NodeState> nodes(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      auto& nd = nodes[static_cast<std::size_t>(i)];
+      nd.id = i;
+      nd.vm_capacity = 4;
+      nd.load = static_cast<double>(rng() % 5);  // duplicate loads: ties
+    }
+    NodeIndex idx(&nodes);
+    for (int step = 0; step < 400; ++step) {
+      const int ni = static_cast<int>(rng() % static_cast<std::uint64_t>(n));
+      auto& nd = nodes[static_cast<std::size_t>(ni)];
+      switch (rng() % 5) {
+        case 0:
+          if (nd.running_vms < nd.vm_capacity) ++nd.running_vms;
+          idx.node_changed(ni);
+          break;
+        case 1:
+          if (nd.running_vms > 0) --nd.running_vms;
+          idx.node_changed(ni);
+          break;
+        case 2:  // crash / recover
+          if (nd.vm_capacity == 0) {
+            nd.vm_capacity = 4;
+          } else {
+            nd.vm_capacity = 0;
+            nd.running_vms = 0;
+          }
+          idx.node_changed(ni);
+          break;
+        case 3: {
+          const std::string img =
+              "img-" + std::to_string(rng() % static_cast<std::uint64_t>(vmis));
+          if (nd.warm_vmis.insert(img).second) idx.warm_added(ni, img);
+          break;
+        }
+        case 4: {
+          const std::string img =
+              "img-" + std::to_string(rng() % static_cast<std::uint64_t>(vmis));
+          if (nd.warm_vmis.erase(img) != 0) idx.warm_removed(ni, img);
+          break;
+        }
+      }
+      for (auto policy : {SchedPolicy::packing, SchedPolicy::striping,
+                          SchedPolicy::load_aware}) {
+        for (bool aware : {false, true}) {
+          for (int v = 0; v < vmis; ++v) {
+            const std::string img = "img-" + std::to_string(v);
+            ASSERT_EQ(idx.pick(policy, img, aware),
+                      pick_node(nodes, policy, img, aware))
+                << "seed " << seed << " step " << step << " policy "
+                << to_string(policy) << " aware " << aware << " vmi " << img;
+          }
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/align.hpp"
+#include "util/pool.hpp"
 #include "util/bytes.hpp"
 #include "util/interval_set.hpp"
 #include "util/result.hpp"
@@ -380,6 +381,60 @@ TEST(Stats, Percentiles) {
   EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
   EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
   EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SlotPool, AllocFreeReusesLifo) {
+  util::SlotPool<int, 4> pool;
+  const std::uint32_t a = pool.alloc();
+  const std::uint32_t b = pool.alloc();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.capacity(), 2u);
+  pool.free(a);
+  pool.free(b);
+  EXPECT_EQ(pool.free_slots(), 2u);
+  // LIFO: the most recently freed slot comes back first.
+  EXPECT_EQ(pool.alloc(), b);
+  EXPECT_EQ(pool.alloc(), a);
+  EXPECT_EQ(pool.capacity(), 2u);  // no new slots created
+}
+
+TEST(SlotPool, SlabGrowthKeepsAddressesStable) {
+  constexpr std::size_t kSlab = 4;
+  util::SlotPool<int, kSlab> pool;
+  std::vector<int*> addrs;
+  for (std::uint32_t i = 0; i < 3 * kSlab; ++i) {
+    const std::uint32_t idx = pool.alloc();
+    pool[idx] = static_cast<int>(i);
+    addrs.push_back(&pool[idx]);
+  }
+  // Growing by whole slabs never moves existing slots.
+  for (std::uint32_t i = 0; i < 3 * kSlab; ++i) {
+    EXPECT_EQ(&pool[i], addrs[i]);
+    EXPECT_EQ(pool[i], static_cast<int>(i));
+  }
+}
+
+TEST(FramePool, ReusesFreedBlocksInClass) {
+#if VMIC_POOL_PASSTHROUGH
+  GTEST_SKIP() << "pool is a passthrough under sanitizers";
+#else
+  const std::uint64_t reuses0 = util::FramePool::reuses();
+  void* p = util::FramePool::allocate(100);  // class 1 (65..128 bytes)
+  ASSERT_NE(p, nullptr);
+  util::FramePool::deallocate(p, 100);
+  void* q = util::FramePool::allocate(128);  // same class, reused block
+  EXPECT_EQ(q, p);
+  EXPECT_EQ(util::FramePool::reuses(), reuses0 + 1);
+  util::FramePool::deallocate(q, 128);
+#endif
+}
+
+TEST(FramePool, OversizeFallsThroughToHeap) {
+  // Larger than the largest pooled class: must still round-trip.
+  void* p = util::FramePool::allocate(64 * 1024);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xab, 64 * 1024);
+  util::FramePool::deallocate(p, 64 * 1024);
 }
 
 }  // namespace

@@ -226,7 +226,8 @@ int cmd_check(const std::vector<std::string>& args) {
   // Open without auto-repair so the pre-repair damage is reportable;
   // writable only when asked to fix it (qemu-img check semantics).
   auto [dir_path, name] = split_path(path);
-  auto* dir = new io::FsImageDirectory{dir_path};  // outlives the device
+  // Declared before the device so scope unwinding destroys it after.
+  auto dir = std::make_unique<io::FsImageDirectory>(dir_path);
   auto be = dir->open_file(name, /*writable=*/do_repair);
   if (!be.ok()) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
