@@ -5,7 +5,18 @@
 // cloud scheduler: does the cache layer keep deployment SLOs flat when
 // arrivals burst, nodes crash, and storage blips?
 //
-//   ./bench_cloud_longrun [hours]   (default: 1.0 simulated hour per row)
+//   ./bench_cloud_longrun [hours] [--json-out FILE]
+//     (default: 1.0 simulated hour per row)
+//
+// Besides the scenario table, the bench runs the peer-tier ablation: the
+// same Zipf multi-image mix, hot enough that popular images spill across
+// nodes, once with every cold fill funnelling through the storage node's
+// NFS export and once with the vmic::peer tier serving fills from other
+// nodes' caches. Gates (exit 1 on failure, for CI):
+//   * peer-on storage-node bytes <= 75% of the NFS baseline;
+//   * peer-on p99 boot latency no worse than the baseline (2% slack).
+
+#include <string>
 
 #include "bench_common.hpp"
 #include "cloud/engine.hpp"
@@ -38,10 +49,38 @@ CloudResult run_row(const Row& row, double hours) {
   return run_cloud(cfg);
 }
 
+/// The peer ablation scenario: a Zipf-skewed multi-image mix arriving
+/// fast enough to saturate the warm node's VM slots, so deployments of
+/// the popular images spill onto cold nodes — exactly the case where a
+/// peer fetch beats a storage-node round trip.
+CloudResult run_peer_row(bool peer_on, double hours) {
+  CloudConfig cfg;
+  cfg.seed = 42;
+  cfg.horizon_s = hours * 3600.0;
+  cfg.workload.num_vmis = 12;
+  cfg.workload.zipf_exponent = 1.1;
+  cfg.workload.mean_interarrival_s = 3600.0 / 500.0;
+  cfg.peer_transfer = peer_on;
+  return run_cloud(cfg);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double hours = argc > 1 ? std::atof(argv[1]) : 1.0;
+  double hours = 1.0;
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (!a.empty() && a[0] != '-') {
+      hours = std::atof(a.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_cloud_longrun [hours] [--json-out FILE]\n");
+      return 2;
+    }
+  }
 
   bench::header(
       "Long-running cloud: deployment SLOs under arrival shapes + faults",
@@ -83,6 +122,84 @@ int main(int argc, char** argv) {
       return 1;
     }
     bench::export_metrics(r.metrics, std::string("cloud-longrun-") + row.tag);
+  }
+
+  // Peer-tier ablation: same seed, same Zipf mix; the only difference is
+  // whether compute nodes serve each other's cold fills.
+  const CloudResult nfs = run_peer_row(/*peer_on=*/false, hours);
+  const CloudResult peer = run_peer_row(/*peer_on=*/true, hours);
+  for (const CloudResult* r : {&nfs, &peer}) {
+    const char* tag = r == &nfs ? "zipf-nfs" : "zipf-peer";
+    std::printf("%16s%16d%16d%16d%16.3f%16.2f%16.2f%16.1f\n", tag,
+                r->arrivals, r->completed, r->aborted, r->cache_hit_ratio,
+                r->deploy.p50, r->deploy.p99,
+                static_cast<double>(r->storage_payload_bytes) /
+                    static_cast<double>(MiB));
+    if (r->leaked_slots != 0) {
+      std::fprintf(stderr, "bench: %s leaked %d VM slot(s)\n", tag,
+                   r->leaked_slots);
+      return 1;
+    }
+    bench::export_metrics(r->metrics, std::string("cloud-longrun-") + tag);
+  }
+  const double reduction =
+      1.0 - static_cast<double>(peer.storage_payload_bytes) /
+                static_cast<double>(nfs.storage_payload_bytes
+                                        ? nfs.storage_payload_bytes
+                                        : 1);
+  std::printf("peer ablation: storage-node bytes %.1f -> %.1f MiB "
+              "(-%.1f%%, gate >= 25%%), boot p99 %.2f -> %.2f s, "
+              "%llu seed hit(s), %llu fallback(s)\n",
+              static_cast<double>(nfs.storage_payload_bytes) /
+                  static_cast<double>(MiB),
+              static_cast<double>(peer.storage_payload_bytes) /
+                  static_cast<double>(MiB),
+              reduction * 100.0, nfs.boot.p99, peer.boot.p99,
+              static_cast<unsigned long long>(peer.peer_seed_hits),
+              static_cast<unsigned long long>(peer.peer_fallback_fills));
+
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"hours\": %.3f,\n"
+                 "  \"nfs_storage_bytes\": %llu,\n"
+                 "  \"peer_storage_bytes\": %llu,\n"
+                 "  \"storage_reduction\": %.4f,\n"
+                 "  \"nfs_boot_p99\": %.4f,\n"
+                 "  \"peer_boot_p99\": %.4f,\n"
+                 "  \"peer_seed_hits\": %llu,\n"
+                 "  \"peer_fallback_fills\": %llu,\n"
+                 "  \"peer_bytes_served\": %llu,\n"
+                 "  \"peer_timeouts\": %llu\n"
+                 "}\n",
+                 hours,
+                 static_cast<unsigned long long>(nfs.storage_payload_bytes),
+                 static_cast<unsigned long long>(peer.storage_payload_bytes),
+                 reduction, nfs.boot.p99, peer.boot.p99,
+                 static_cast<unsigned long long>(peer.peer_seed_hits),
+                 static_cast<unsigned long long>(peer.peer_fallback_fills),
+                 static_cast<unsigned long long>(peer.peer_bytes_served),
+                 static_cast<unsigned long long>(peer.peer_timeouts));
+    std::fclose(f);
+  }
+
+  if (reduction < 0.25) {
+    std::fprintf(stderr,
+                 "bench: peer tier cut storage bytes by only %.1f%% "
+                 "(gate >= 25%%)\n",
+                 reduction * 100.0);
+    return 1;
+  }
+  if (peer.boot.p99 > nfs.boot.p99 * 1.02) {
+    std::fprintf(stderr,
+                 "bench: peer-on p99 boot regressed: %.2f s vs %.2f s\n",
+                 peer.boot.p99, nfs.boot.p99);
+    return 1;
   }
   return 0;
 }

@@ -121,6 +121,13 @@ struct OpenOptions {
   /// observe or report the damage first (vmi-img check, crash::explore)
   /// turn this off and call repair() explicitly.
   bool auto_repair_dirty = true;
+  /// Do not resolve or open the backing chain even when the header names
+  /// one: the device stands alone and unallocated clusters read as zeros.
+  /// Safe for any caller that only reads allocated extents (map_status
+  /// tells which). The peer cache tier opens a seed's cache file this way
+  /// — serving another node's fill must never recurse into the seed's own
+  /// NFS-mounted backing image.
+  bool no_backing = false;
 };
 
 }  // namespace vmic::block

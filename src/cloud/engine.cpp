@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -14,6 +15,7 @@
 #include "boot/vm.hpp"
 #include "cluster/node_index.hpp"
 #include "cluster/placement.hpp"
+#include "peer/registry.hpp"
 #include "qcow2/chain.hpp"
 #include "sim/sync.hpp"
 #include "util/stats.hpp"
@@ -100,6 +102,27 @@ class Engine {
     h_queue_wait_ = &reg.histogram("cloud.queue_wait_seconds", {}, bounds);
     h_prepare_ = &reg.histogram("cloud.prepare_seconds", {}, bounds);
     h_boot_ = &reg.histogram("cloud.boot_seconds", {}, bounds);
+    // Peer tier state and metrics exist only when the tier is on: a
+    // peer-off run must produce the exact snapshot it produced before the
+    // tier existed (the golden cloud.* pins).
+    if (cfg_.peer_transfer) {
+      fabric_.emplace(cl_.env, cl_.nodes.size(), cfg_.peer);
+      fabric_->bind_obs(cl_.obs);
+      c_peer_hits_ = &reg.counter("peer.seed_hits");
+      c_peer_fallback_ = &reg.counter("peer.fallback_fills");
+      c_peer_fb_miss_ = &reg.counter("peer.fallback", {{"reason", "miss"}});
+      c_peer_fb_timeout_ =
+          &reg.counter("peer.fallback", {{"reason", "timeout"}});
+      c_peer_fb_crash_ = &reg.counter("peer.fallback", {{"reason", "crash"}});
+      c_peer_fb_error_ = &reg.counter("peer.fallback", {{"reason", "error"}});
+      c_peer_bytes_avoided_ = &reg.counter("peer.storage_bytes_avoided");
+      c_peer_reg_ = &reg.counter("peer.registrations");
+      c_peer_dereg_ = &reg.counter("peer.deregistrations");
+      for (std::size_t i = 0; i < cl_.nodes.size(); ++i) {
+        c_peer_node_bytes_.push_back(&reg.counter(
+            "peer.bytes_served", {{"node", "compute" + std::to_string(i)}}));
+      }
+    }
   }
 
   CloudResult run() {
@@ -251,6 +274,7 @@ class Engine {
       const std::string vf = cluster::cache_file_for(victim);
       if (node.disk_dir.exists(vf)) node.disk_dir.remove(vf);
       rt.disk_caches.erase(vmi_of(victim));
+      peer_deregister(ni, victim);
     }
   }
 
@@ -267,6 +291,7 @@ class Engine {
       rt.zombies.erase(vmi);
       node.disk_dir.remove(cache);
       rt.disk_caches.erase(vmi);
+      peer_deregister(ni, img);
     }
   }
 
@@ -301,6 +326,169 @@ class Engine {
       if (ws.count(img) == 0) idx_->warm_added(ni, img);
     }
     ws = std::move(warm);
+  }
+
+  // --- peer cache tier -------------------------------------------------------
+
+  using MapKind = qcow2::Qcow2Device::MapKind;
+
+  /// Drop one (node, image) seed registration. Safe to call on the
+  /// eviction/scrub paths unconditionally: a no-op when the tier is off
+  /// or the node never registered.
+  void peer_deregister(int ni, const std::string& img) {
+    if (!cfg_.peer_transfer) return;
+    if (seeds_.deregister(ni, img)) c_peer_dereg_->inc();
+  }
+
+  /// Crash: every cache the node held is suspect, so its whole seed
+  /// footprint vanishes at once. Salvage re-registers the survivors.
+  void peer_deregister_node(int ni) {
+    if (!cfg_.peer_transfer) return;
+    const std::size_t n = seeds_.deregister_node(ni);
+    if (n > 0) c_peer_dereg_->inc(n);
+  }
+
+  /// Open a seed's cache file read-only with no backing chain: the peer
+  /// path must serve only locally-allocated clusters and must never
+  /// recurse into the seed's own NFS-mounted base image.
+  sim::Task<Result<block::DevicePtr>> open_cache_standalone(
+      cluster::ComputeNode& node, const std::string& cache) {
+    auto backend = node.fs.open_file("disk/" + cache, /*writable=*/false);
+    if (!backend.ok()) co_return backend.error();
+    block::OpenOptions o;
+    o.writable = false;
+    o.no_backing = true;
+    o.hub = cl_.obs;
+    co_return co_await qcow2::open_any(std::move(*backend), o);
+  }
+
+  /// Hook a freshly-opened deployment chain into the peer tier. The CoW
+  /// overlay's backing device is this node's cache image: register it as
+  /// a seed, bootstrap coverage from its on-disk allocation (a warm hit
+  /// starts with clusters earlier deployments populated), and install
+  /// the fetch hook + fill observer so future backing fetches try peers
+  /// first and completed fills extend the advertised coverage.
+  sim::Task<void> peer_attach(int ni, int vmi, block::BlockDevice* dev) {
+    auto* q = dynamic_cast<qcow2::Qcow2Device*>(dev->backing());
+    if (q == nullptr || !q->is_cache_image()) co_return;
+    const std::string img = img_name(vmi);
+    if (seeds_.register_seed(ni, img)) c_peer_reg_->inc();
+    const IntervalSet* cov = seeds_.coverage(ni, img);
+    if (cov != nullptr && cov->total() == 0) {
+      std::uint64_t off = 0;
+      while (off < q->size()) {
+        auto ms = co_await q->map_status(off, q->size() - off);
+        if (!ms.ok() || ms->len == 0) break;
+        if (ms->kind != MapKind::unallocated) {
+          seeds_.add_coverage(ni, img, off, off + ms->len);
+        }
+        off += ms->len;
+      }
+    }
+    q->set_cor_fill_observer(
+        [this, ni, img](std::uint64_t lo, std::uint64_t hi) {
+          seeds_.add_coverage(ni, img, lo, hi);
+        });
+    q->set_backing_fetch_hook(
+        [this, ni, vmi](std::uint64_t vaddr, std::span<std::uint8_t> dst) {
+          return peer_fetch(ni, vmi, vaddr, dst);
+        });
+  }
+
+  /// Account one fetch that fell back to the storage node's NFS mount.
+  void peer_fallback(obs::Counter* reason) {
+    ++res_.peer_fallback_fills;
+    c_peer_fallback_->inc();
+    reason->inc();
+  }
+
+  /// Serve one backing fetch from the least-loaded covering seed; true =
+  /// `dst` filled peer-to-peer, false = fall back to NFS (coverage miss,
+  /// every seed loaded, transfer timeout, or the seed crashing
+  /// mid-transfer). Lock order: the requester holds only its own device's
+  /// CoR in-flight range; the seed side is a fresh read-only standalone
+  /// device (own lock hierarchy, never takes an alloc lock), so the two
+  /// nodes' orders cannot interleave with lock_alloc()/RangeLock.
+  sim::Task<Result<bool>> peer_fetch(int ni, int vmi, std::uint64_t vaddr,
+                                     std::span<std::uint8_t> dst) {
+    const std::string img = img_name(vmi);
+    const std::set<int>* holders = idx_->warm_holders(img);
+    if (holders == nullptr) {
+      peer_fallback(c_peer_fb_miss_);
+      co_return false;
+    }
+    const int seed =
+        seeds_.pick_seed(*holders, img, vaddr, vaddr + dst.size(), ni,
+                         cfg_.peer.max_uploads_per_seed);
+    if (seed < 0 || !rt_[static_cast<std::size_t>(seed)].up) {
+      peer_fallback(c_peer_fb_miss_);
+      co_return false;
+    }
+    NodeRuntime& srt = rt_[static_cast<std::size_t>(seed)];
+    const std::uint64_t seed_epoch = srt.epoch;
+    ComputeNode& snode = *cl_.nodes[static_cast<std::size_t>(seed)];
+    // Pin: eviction must not yank the file mid-upload. Hold: a crash must
+    // not delete it under the open backend (the zombie machinery). No
+    // suspension between pick_seed and these, so the pin cannot race the
+    // eviction it guards against.
+    snode.pool.pin(img);
+    hold_file(seed, vmi);
+    seeds_.begin_upload(seed);
+    bool served = false;
+    obs::Counter* fb = c_peer_fb_error_;
+    auto dv =
+        co_await open_cache_standalone(snode, cluster::cache_file_for(img));
+    if (dv.ok()) {
+      auto* q = dynamic_cast<qcow2::Qcow2Device*>(dv->get());
+      if (q != nullptr && srt.epoch == seed_epoch) {
+        // Re-verify allocation against the file itself: registry coverage
+        // is advisory and may lag a repair. An unallocated cluster on a
+        // no_backing device would read as zeros — never serve those.
+        bool allocated = true;
+        std::uint64_t off = vaddr;
+        const std::uint64_t end = vaddr + dst.size();
+        while (off < end) {
+          auto ms = co_await q->map_status(off, end - off);
+          if (!ms.ok() || ms->len == 0 || ms->kind == MapKind::unallocated) {
+            allocated = false;
+            break;
+          }
+          off += ms->len;
+        }
+        if (!allocated) fb = c_peer_fb_miss_;
+        if (allocated && srt.epoch == seed_epoch) {
+          auto rr = co_await q->read(vaddr, dst);  // charges the seed's disk
+          if (rr.ok() && srt.epoch == seed_epoch) {
+            const bool done = co_await fabric_->transfer(
+                seed, ni, dst.size() + cfg_.peer.per_fetch_overhead);
+            if (done && srt.epoch == seed_epoch) {
+              served = true;
+            } else if (!done) {
+              fb = c_peer_fb_timeout_;
+              ++res_.peer_timeouts;
+            }
+          }
+        }
+      }
+      // Close before drop_file: reclaiming a zombie removes the file, and
+      // SimDirectory::remove under an open backend is forbidden.
+      (void)co_await (*dv)->close();
+    }
+    if (!served && srt.epoch != seed_epoch) fb = c_peer_fb_crash_;
+    seeds_.end_upload(seed);
+    drop_file(seed, vmi);
+    snode.pool.unpin(img);
+    if (served) {
+      ++res_.peer_seed_hits;
+      c_peer_hits_->inc();
+      res_.peer_bytes_served += dst.size();
+      seeds_.add_bytes_served(seed, dst.size());
+      c_peer_node_bytes_[static_cast<std::size_t>(seed)]->inc(dst.size());
+      c_peer_bytes_avoided_->inc(dst.size());
+      co_return true;
+    }
+    peer_fallback(fb);
+    co_return false;
   }
 
   // --- queueing --------------------------------------------------------------
@@ -368,6 +556,7 @@ class Engine {
     slots_changed(c.node);
     for (const auto& img : ns.warm_vmis) idx_->warm_removed(c.node, img);
     ns.warm_vmis.clear();
+    peer_deregister_node(c.node);
     // Cache invalidation: a crashed node's caches are not trustworthy.
     // In-use files become zombies either way (SimDirectory::remove under
     // an open backend is the one thing the engine must never do, and a
@@ -418,6 +607,10 @@ class Engine {
       }
       hold_file(c.node, v);
       bool good = false;
+      // Allocation extents gathered while the device is open: a salvaged
+      // cache re-registers as a peer seed with the coverage repair left
+      // behind, not the (possibly stale) pre-crash advertisement.
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> salvage_cov;
       auto dv = co_await qcow2::open_image(node.fs, "disk/" + cache,
                                            /*writable=*/true,
                                            /*cache_backing_ro=*/false, cl_.obs);
@@ -426,6 +619,17 @@ class Engine {
         if (q != nullptr) {
           auto chk = co_await q->check();
           good = chk.ok() && chk->clean();
+          if (good && cfg_.peer_transfer) {
+            std::uint64_t off = 0;
+            while (off < q->size()) {
+              auto ms = co_await q->map_status(off, q->size() - off);
+              if (!ms.ok() || ms->len == 0) break;
+              if (ms->kind != MapKind::unallocated) {
+                salvage_cov.emplace_back(off, off + ms->len);
+              }
+              off += ms->len;
+            }
+          }
         }
         (void)co_await (*dv)->close();
       }
@@ -433,6 +637,12 @@ class Engine {
       if (rt.epoch != recovery_epoch) co_return;  // crashed again mid-pass
       if (good) {
         readopt(c.node, v);
+        if (cfg_.peer_transfer) {
+          if (seeds_.register_seed(c.node, img_name(v))) c_peer_reg_->inc();
+          for (const auto& [lo, hi] : salvage_cov) {
+            seeds_.add_coverage(c.node, img_name(v), lo, hi);
+          }
+        }
         ++res_.caches_salvaged;
         c_cache_salvaged_->inc();
       } else {
@@ -514,6 +724,7 @@ class Engine {
       if (placed.ok()) {
         for (const auto& victim : placed->evicted) {
           rt.disk_caches.erase(vmi_of(victim));
+          peer_deregister(ni, victim);
         }
       }
       if (rt.epoch != epoch) {
@@ -562,6 +773,7 @@ class Engine {
         co_return;
       }
       dev = std::move(*dv);
+      if (cfg_.peer_transfer) co_await peer_attach(ni, r.vmi, dev.get());
     }  // prepare lock released
     const double prep_s = sim::to_seconds(cl_.env.now() - prep0);
     prep_.add(prep_s);
@@ -705,6 +917,19 @@ class Engine {
   obs::Counter* c_node_recoveries_ = nullptr;
   obs::Counter* c_cache_salvaged_ = nullptr;
   obs::Counter* c_cache_invalidated_ = nullptr;
+  // Peer cache tier (all dormant unless cfg_.peer_transfer).
+  peer::SeedRegistry seeds_;
+  std::optional<peer::Fabric> fabric_;
+  obs::Counter* c_peer_hits_ = nullptr;
+  obs::Counter* c_peer_fallback_ = nullptr;
+  obs::Counter* c_peer_fb_miss_ = nullptr;
+  obs::Counter* c_peer_fb_timeout_ = nullptr;
+  obs::Counter* c_peer_fb_crash_ = nullptr;
+  obs::Counter* c_peer_fb_error_ = nullptr;
+  obs::Counter* c_peer_bytes_avoided_ = nullptr;
+  obs::Counter* c_peer_reg_ = nullptr;
+  obs::Counter* c_peer_dereg_ = nullptr;
+  std::vector<obs::Counter*> c_peer_node_bytes_;
   obs::Histogram* h_deploy_ = nullptr;
   obs::Histogram* h_queue_wait_ = nullptr;
   obs::Histogram* h_prepare_ = nullptr;

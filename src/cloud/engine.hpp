@@ -18,6 +18,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/scheduler.hpp"
 #include "obs/metrics.hpp"
+#include "peer/fabric.hpp"
 
 namespace vmic::cloud {
 
@@ -69,6 +70,15 @@ struct CloudConfig {
   /// warm clusters, cutting post-recovery backing-store traffic. Off =
   /// the legacy invalidate-everything behaviour (ablation baseline).
   bool crash_salvage = true;
+  /// Peer cache tier (vmic::peer): nodes holding populated cache clusters
+  /// register as seeds, and other nodes' copy-on-read fills fetch those
+  /// cluster ranges peer-to-peer over per-node NICs instead of through
+  /// the storage node's NFS mount — falling back to NFS on a coverage
+  /// miss, transfer timeout, or seed crash mid-transfer. Off = every cold
+  /// read funnels through the storage node (the paper's baseline); no
+  /// peer.* metrics exist then, so snapshots stay pin-identical.
+  bool peer_transfer = false;
+  peer::PeerParams peer;
   std::uint64_t seed = 1;
 };
 
@@ -103,6 +113,11 @@ struct CloudResult {
   int leaked_slots = 0;
   std::uint64_t cache_evictions = 0;
   std::uint64_t storage_payload_bytes = 0;
+  // Peer cache tier accounting (all zero when peer_transfer is off).
+  std::uint64_t peer_seed_hits = 0;  ///< backing fetches served by a seed
+  std::uint64_t peer_fallback_fills = 0;  ///< fetches that fell back to NFS
+  std::uint64_t peer_bytes_served = 0;  ///< payload bytes moved peer-to-peer
+  std::uint64_t peer_timeouts = 0;  ///< transfers abandoned past the deadline
   double cache_hit_ratio = 0;  ///< warm_hits / completed
   double goodput_vms_per_hour = 0;
   double sim_seconds = 0;

@@ -43,6 +43,16 @@ class NodeIndex {
     if (it->second.empty()) warm_.erase(it);
   }
 
+  /// Nodes currently holding a warm cache of `vmi`, or nullptr when none
+  /// do. The peer cache tier uses this as its cluster-wide seed lookup —
+  /// the warm-holder map doubles as the seed directory, so only adopted
+  /// caches on live nodes ever serve (crashes clear a node's warm set).
+  [[nodiscard]] const std::set<int>* warm_holders(
+      const std::string& vmi) const {
+    auto it = warm_.find(vmi);
+    return it == warm_.end() ? nullptr : &it->second;
+  }
+
   /// Equivalent of pick_node(*nodes, policy, vmi, cache_aware): node index
   /// with spare capacity, or -1. Warm-cache nodes dominate cold ones when
   /// cache_aware; within a tier the policy's preference order decides,

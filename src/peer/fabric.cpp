@@ -1,0 +1,91 @@
+#include "peer/fabric.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace vmic::peer {
+
+namespace {
+
+/// Shared between the caller and the detached transfer: the caller waits
+/// on `wake` (triggered by completion or the deadline timer, whichever
+/// fires first) and reads `completed` to tell which.
+struct TransferState {
+  explicit TransferState(sim::SimEnv& env) : wake(env) {}
+  bool completed = false;
+  sim::Event wake;
+};
+
+struct Join {
+  explicit Join(sim::SimEnv& env) : done(env) {}
+  int remaining = 2;
+  sim::Event done;
+};
+
+// Coroutine parameters, not lambda captures: the closures die before the
+// first resume (see test_p2p.cpp for the idiom).
+sim::Task<void> leg(net::Link* link, std::uint64_t bytes,
+                    std::shared_ptr<Join> j) {
+  co_await link->transfer(bytes);
+  if (--j->remaining == 0) j->done.trigger();
+}
+
+}  // namespace
+
+Fabric::Fabric(sim::SimEnv& env, std::size_t num_nodes, PeerParams p)
+    : env_(env), p_(p) {
+  assert(num_nodes > 0);
+  nics_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    nics_.push_back(
+        std::make_unique<Nic>(env, p_, "peer" + std::to_string(i)));
+  }
+}
+
+void Fabric::bind_obs(obs::Hub* hub) {
+  for (auto& nic : nics_) {
+    nic->up.bind_obs(hub);
+    nic->down.bind_obs(hub);
+  }
+}
+
+sim::Task<bool> Fabric::transfer(int src, int dst, std::uint64_t bytes) {
+  assert(src != dst);
+  Nic& s = *nics_[static_cast<std::size_t>(src)];
+  Nic& d = *nics_[static_cast<std::size_t>(dst)];
+  auto st = std::make_shared<TransferState>(env_);
+  ++s.active_uploads;
+
+  // The transfer proper runs detached so a timed-out caller can walk away
+  // while the legs drain; the upload slot and byte accounting settle when
+  // the slower leg finishes, not when the caller gives up.
+  auto run = [](Fabric* f, Nic* sn, Nic* dn, std::uint64_t n,
+                std::shared_ptr<TransferState> ts) -> sim::Task<void> {
+    auto join = std::make_shared<Join>(f->env_);
+    f->env_.spawn(leg(&sn->up, n, join));
+    f->env_.spawn(leg(&dn->down, n, join));
+    co_await join->done.wait();
+    --sn->active_uploads;
+    f->bytes_transferred_ += n;
+    ts->completed = true;
+    ts->wake.trigger();
+  };
+  env_.spawn(run(this, &s, &d, bytes, st));
+
+  if (p_.timeout_s <= 0) {
+    co_await st->wake.wait();
+    co_return true;
+  }
+  const auto timer =
+      env_.call_at(env_.now() + sim::from_seconds(p_.timeout_s),
+                   [st] { st->wake.trigger(); });
+  co_await st->wake.wait();
+  if (st->completed) {
+    env_.cancel(timer);  // exact no-op if it already fired this tick
+    co_return true;
+  }
+  ++timeouts_;
+  co_return false;
+}
+
+}  // namespace vmic::peer

@@ -1,0 +1,80 @@
+#pragma once
+
+// vmic::peer — per-node NIC fabric for peer-to-peer cache fills. Same
+// topology as p2p::Swarm (every compute node has its own full-duplex
+// 1 GbE NIC behind a non-blocking switch; a transfer occupies the
+// source's uplink and the destination's downlink concurrently and
+// completes when the slower leg drains), plus the one thing a demand
+// path needs that bulk distribution doesn't: a deadline. A fetch that
+// outlives the timeout reports failure so the caller can fall back to
+// NFS, while the in-flight legs keep draining in the background — the
+// NICs stay genuinely busy, exactly like an abandoned TCP transfer.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "obs/hub.hpp"
+#include "sim/env.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace vmic::peer {
+
+struct PeerParams {
+  double nic_bandwidth_Bps = 125e6;  ///< 1 GbE per node (DAS-4 commodity)
+  sim::SimTime latency = sim::from_micros(50);
+  std::uint32_t per_fetch_overhead = 512;  ///< protocol bytes per fetch
+  /// Give up on a peer fetch after this long and fall back to the storage
+  /// node; <= 0 disables the deadline.
+  double timeout_s = 2.0;
+  /// Seeds with this many concurrent uploads are skipped by pick_seed —
+  /// past that point the shared NFS link is usually faster than another
+  /// slice of a saturated NIC.
+  int max_uploads_per_seed = 8;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::SimEnv& env, std::size_t num_nodes, PeerParams p = {});
+
+  /// Export per-NIC link counters as net.link.*{link=peerN.up/down}.
+  void bind_obs(obs::Hub* hub);
+
+  /// Move `bytes` from node `src` to node `dst`. Returns true when the
+  /// transfer finished inside the deadline; false = timed out (the legs
+  /// keep draining in the background and the upload slot stays occupied
+  /// until they do).
+  sim::Task<bool> transfer(int src, int dst, std::uint64_t bytes);
+
+  [[nodiscard]] int active_uploads(int node) const {
+    return nics_[static_cast<std::size_t>(node)]->active_uploads;
+  }
+  [[nodiscard]] std::uint64_t bytes_transferred() const noexcept {
+    return bytes_transferred_;
+  }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+  [[nodiscard]] const PeerParams& params() const noexcept { return p_; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return nics_.size();
+  }
+
+ private:
+  struct Nic {
+    Nic(sim::SimEnv& env, const PeerParams& p, const std::string& name)
+        : up(env, p.nic_bandwidth_Bps, p.latency, name + ".up"),
+          down(env, p.nic_bandwidth_Bps, p.latency, name + ".down") {}
+    net::Link up;
+    net::Link down;
+    int active_uploads = 0;
+  };
+
+  sim::SimEnv& env_;
+  PeerParams p_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::uint64_t bytes_transferred_ = 0;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace vmic::peer

@@ -1,0 +1,136 @@
+#pragma once
+
+// vmic::peer — the peer cache tier's seed directory. A compute node whose
+// cache image holds populated clusters of a VMI registers here as a seed;
+// other nodes' copy-on-read fills then fetch cluster ranges from the
+// least-loaded seed instead of funnelling through the storage node's NFS
+// export (the centralized-transfer bottleneck §7.1.1's P2P systems exist
+// to avoid). The registry is pure bookkeeping: per-(image, node) coverage
+// intervals plus per-node upload load — the owner (cloud::Engine) drives
+// the lifecycle (adopt/evict/crash/salvage) and the transfers themselves
+// go through peer::Fabric.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "util/interval_set.hpp"
+
+namespace vmic::peer {
+
+class SeedRegistry {
+ public:
+  /// Enroll `node` as a seed for `img` (idempotent). Coverage starts
+  /// empty; add_coverage / the CoR fill observer grow it.
+  /// Returns true if this was a new registration.
+  bool register_seed(int node, const std::string& img) {
+    return seeds_[img].emplace(node, IntervalSet{}).second;
+  }
+
+  [[nodiscard]] bool is_seed(int node, const std::string& img) const {
+    auto it = seeds_.find(img);
+    return it != seeds_.end() && it->second.count(node) != 0;
+  }
+
+  /// Guest byte range [lo, hi) of `img` became servable from `node`'s
+  /// cache file. No-op unless the node is registered.
+  void add_coverage(int node, const std::string& img, std::uint64_t lo,
+                    std::uint64_t hi) {
+    auto it = seeds_.find(img);
+    if (it == seeds_.end()) return;
+    auto ns = it->second.find(node);
+    if (ns != it->second.end() && lo < hi) ns->second.insert(lo, hi);
+  }
+
+  /// Coverage of one seed, or nullptr when not registered.
+  [[nodiscard]] const IntervalSet* coverage(int node,
+                                            const std::string& img) const {
+    auto it = seeds_.find(img);
+    if (it == seeds_.end()) return nullptr;
+    auto ns = it->second.find(node);
+    return ns == it->second.end() ? nullptr : &ns->second;
+  }
+
+  /// The node's cache of `img` is gone (evicted, scrubbed, or reclaimed).
+  /// Returns true if it was registered.
+  bool deregister(int node, const std::string& img) {
+    auto it = seeds_.find(img);
+    if (it == seeds_.end()) return false;
+    const bool had = it->second.erase(node) != 0;
+    if (it->second.empty()) seeds_.erase(it);
+    return had;
+  }
+
+  /// The node crashed: every cache it held is suspect. Returns how many
+  /// seed entries were dropped.
+  std::size_t deregister_node(int node) {
+    std::size_t dropped = 0;
+    for (auto it = seeds_.begin(); it != seeds_.end();) {
+      dropped += it->second.erase(node);
+      it = it->second.empty() ? seeds_.erase(it) : std::next(it);
+    }
+    return dropped;
+  }
+
+  /// Least-loaded seed among `candidates` whose coverage fully contains
+  /// [lo, hi); -1 when none qualifies. Skips `exclude` (the requester —
+  /// its own cache already missed) and seeds at or above `max_uploads`.
+  /// Ties go to the lowest node id — deterministic, unlike p2p::Swarm's
+  /// randomized tie-break, because the cloud engine pins byte-identical
+  /// runs.
+  [[nodiscard]] int pick_seed(const std::set<int>& candidates,
+                              const std::string& img, std::uint64_t lo,
+                              std::uint64_t hi, int exclude,
+                              int max_uploads) const {
+    auto it = seeds_.find(img);
+    if (it == seeds_.end()) return -1;
+    int best = -1;
+    int best_load = 0;
+    for (int node : candidates) {
+      if (node == exclude) continue;
+      auto ns = it->second.find(node);
+      if (ns == it->second.end() || !ns->second.covers(lo, hi)) continue;
+      const int load = active_uploads(node);
+      if (load >= max_uploads) continue;
+      if (best < 0 || load < best_load) {
+        best = node;
+        best_load = load;
+      }
+    }
+    return best;
+  }
+
+  // Upload-load accounting (the pick_seed balancing signal).
+  void begin_upload(int node) { ++uploads_[node]; }
+  void end_upload(int node) {
+    auto it = uploads_.find(node);
+    if (it != uploads_.end() && --it->second == 0) uploads_.erase(it);
+  }
+  [[nodiscard]] int active_uploads(int node) const {
+    auto it = uploads_.find(node);
+    return it == uploads_.end() ? 0 : it->second;
+  }
+
+  // Per-node payload bytes served to peers (the "storage bytes avoided").
+  void add_bytes_served(int node, std::uint64_t n) { bytes_served_[node] += n; }
+  [[nodiscard]] std::uint64_t bytes_served(int node) const {
+    auto it = bytes_served_.find(node);
+    return it == bytes_served_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] std::size_t seed_count(const std::string& img) const {
+    auto it = seeds_.find(img);
+    return it == seeds_.end() ? 0 : it->second.size();
+  }
+  [[nodiscard]] std::size_t image_count() const { return seeds_.size(); }
+
+ private:
+  /// img -> (node -> covered guest byte ranges). Ordered maps: iteration
+  /// order is part of the engine's determinism contract.
+  std::map<std::string, std::map<int, IntervalSet>> seeds_;
+  std::map<int, int> uploads_;
+  std::map<int, std::uint64_t> bytes_served_;
+};
+
+}  // namespace vmic::peer

@@ -282,7 +282,7 @@ sim::Task<Result<block::DevicePtr>> Qcow2Device::open(
   // Open the backing chain. Per the paper (§4.3): open writable first —
   // a cache image needs write permission for copy-on-read — then demote
   // to read-only if it turns out not to be a cache image.
-  if (!dev->backing_path_.empty()) {
+  if (!dev->backing_path_.empty() && !opt.no_backing) {
     if (!opt.resolver) co_return Errc::invalid_argument;
     VMIC_CO_TRY(backing, co_await opt.resolver(dev->backing_path_,
                                                /*writable=*/true));
@@ -818,6 +818,13 @@ sim::Task<Result<void>> Qcow2Device::grow_refcount_table(
 
 sim::Task<Result<void>> Qcow2Device::read_from_backing(
     std::uint64_t vaddr, std::span<std::uint8_t> dst) {
+  if (fetch_hook_) {
+    // Peer tier first; a miss/timeout there (false or an error) falls
+    // through to the normal backing read, so the hook can only ever
+    // divert traffic, never lose it.
+    auto served = co_await fetch_hook_(vaddr, dst);
+    if (served.ok() && *served) co_return ok_result();
+  }
   if (!backing_) {
     std::memset(dst.data(), 0, dst.size());
     co_return ok_result();
@@ -1075,6 +1082,12 @@ sim::Task<Result<void>> Qcow2Device::cor_store(
   if (stored) {
     ++stats_.cor_fills;
     bump(agg_.cor_fills);
+    if (fill_observer_) {
+      // Every cluster in [lo, hi) within the disk is now servable from
+      // this file: the loop published the previously-absent runs and
+      // skipped only ranges that were already allocated.
+      fill_observer_(lo, std::min(hi, h_.size));
+    }
   }
   co_return ok_result();
 }

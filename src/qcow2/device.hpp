@@ -145,6 +145,33 @@ class Qcow2Device final : public block::BlockDevice {
     return cor_single_flight_;
   }
 
+  // --- peer cache tier (vmic::peer) --------------------------------------
+  /// Interceptor for backing-image fetches: given a guest byte range,
+  /// either fill `dst` entirely and return true, or return false (or an
+  /// error) to fall back to the normal backing-chain read. Every fetch
+  /// that would hit the backing image funnels through it — CoR fills,
+  /// their cluster-edge expansions, and plain read-through on caches that
+  /// stopped populating — so one hook diverts all of a device's backing
+  /// traffic. The hook runs under whatever locks the caller holds (for
+  /// CoR fills, this device's in-flight range); it must not re-enter this
+  /// device.
+  using BackingFetchHook = std::function<sim::Task<Result<bool>>(
+      std::uint64_t vaddr, std::span<std::uint8_t> dst)>;
+  void set_backing_fetch_hook(BackingFetchHook hook) {
+    fetch_hook_ = std::move(hook);
+  }
+
+  /// Observer of CoR publication: fires with the cluster-aligned guest
+  /// byte range a completed fill pass just made locally servable (after
+  /// the L2 entries were published, so a concurrent reader of the range
+  /// would be served from this file). The peer tier feeds its seed
+  /// coverage from it.
+  using CorFillObserver =
+      std::function<void(std::uint64_t lo, std::uint64_t hi)>;
+  void set_cor_fill_observer(CorFillObserver obs) {
+    fill_observer_ = std::move(obs);
+  }
+
   // --- format introspection ----------------------------------------------
   [[nodiscard]] std::uint32_t cluster_bits() const noexcept {
     return h_.cluster_bits;
@@ -441,6 +468,8 @@ class Qcow2Device final : public block::BlockDevice {
   /// locally afterwards (single-flight, QEMU-style in-flight COW).
   sim::RangeLock cor_inflight_;
   bool cor_single_flight_ = true;
+  BackingFetchHook fetch_hook_;
+  CorFillObserver fill_observer_;
 
   obs::Hub* hub_ = nullptr;
   std::uint32_t track_ = 0;

@@ -55,6 +55,58 @@ TEST(Progress, WakesAtThreshold) {
   EXPECT_TRUE(done);
 }
 
+TEST(Progress, MultipleWaitersAtTheSameThresholdAllWake) {
+  SimEnv env;
+  Progress p{env};
+  std::vector<int> log;
+  auto waiter = [&](std::uint64_t need, int id) -> Task<void> {
+    co_await p.wait_for(need);
+    log.push_back(id);
+  };
+  // Three waiters parked on the same threshold, plus one below it.
+  env.spawn(waiter(5, 1));
+  env.spawn(waiter(5, 2));
+  env.spawn(waiter(5, 3));
+  env.spawn(waiter(4, 4));
+  env.spawn([](SimEnv& e, Progress& pr) -> Task<void> {
+    co_await e.delay(10);
+    pr.advance_to(4);
+    co_await e.delay(10);
+    pr.advance_to(5);
+  }(env, p));
+  env.run();
+  // The below-threshold waiter wakes first; the three co-located waiters
+  // all wake on one advance, in registration (FIFO) order.
+  EXPECT_EQ(log, (std::vector<int>{4, 1, 2, 3}));
+}
+
+TEST(Progress, AdvanceJumpingPastSeveralThresholdsWakesThemAll) {
+  SimEnv env;
+  Progress p{env};
+  std::vector<int> log;
+  auto waiter = [&](std::uint64_t need, int id) -> Task<void> {
+    co_await p.wait_for(need);
+    log.push_back(id);
+  };
+  env.spawn(waiter(7, 1));
+  env.spawn(waiter(2, 2));
+  env.spawn(waiter(5, 3));
+  env.spawn(waiter(9, 4));  // beyond the jump: must stay parked
+  env.spawn([](SimEnv& e, Progress& pr) -> Task<void> {
+    co_await e.delay(10);
+    pr.advance_to(8);  // leapfrogs 2, 5 and 7 in one call
+  }(env, p));
+  env.run();
+  EXPECT_EQ(log, (std::vector<int>{2, 3, 1}));
+  EXPECT_EQ(p.count(), 8u);
+  // Re-advancing below the current count is a no-op; reaching 9 releases
+  // the last waiter.
+  p.advance_to(3);
+  p.advance_to(9);
+  env.run();
+  EXPECT_EQ(log, (std::vector<int>{2, 3, 1, 4}));
+}
+
 TEST(Swarm, SingleChunkFetchTiming) {
   SimEnv env;
   P2pParams p;
@@ -188,6 +240,33 @@ TEST(P2pStream, BackgroundStreamFillsEverything) {
   be.start_background_stream();
   env.run();
   EXPECT_TRUE(swarm.peer_complete(0));
+}
+
+TEST(P2pStream, BackgroundStreamYieldsToOutstandingDemandFetch) {
+  SimEnv env;
+  P2pParams p;
+  p.chunk_size = 1_MiB;
+  Swarm swarm{env, 1, 32_MiB, p};
+  SparseBuffer content;
+  P2pStreamBackend be{swarm, 0, content};
+  be.start_background_stream();
+  // Mid-stream, demand-fetch a chunk from the far end of the image.
+  sim::SimTime demand_done = 0;
+  env.spawn([](SimEnv& e, P2pStreamBackend& b,
+               sim::SimTime& done) -> Task<void> {
+    co_await e.delay(sim::from_seconds(0.05));
+    std::vector<std::uint8_t> out(4096);
+    (void)co_await b.pread(30_MiB, out);
+    done = e.now();
+  }(env, be, demand_done));
+  env.run();
+  EXPECT_TRUE(swarm.peer_complete(0));
+  EXPECT_GE(be.demand_fetches(), 1u);
+  // The streamer yielded while the demand fetch was outstanding: the
+  // boot-critical chunk did not queue behind ~30 MiB of bulk streaming,
+  // so it finished in a fraction of the total stream time.
+  EXPECT_GT(demand_done, 0);
+  EXPECT_LT(sim::to_seconds(demand_done), 0.5 * sim::to_seconds(env.now()));
 }
 
 TEST(P2pStream, FeedsAQcow2Chain) {

@@ -22,6 +22,8 @@
 //     --outages N        inject N storage outages   (default 0)
 //     --no-salvage       invalidate all caches on crash instead of
 //                        repairing + re-adopting clean ones on recovery
+//     --peer on|off      peer cache tier: nodes serve each other's
+//                        copy-on-read fills, NFS only on miss (default off)
 //     --trace FILE       replay a request trace CSV instead of generating
 //     --trace-out FILE   write the generated workload as CSV and exit 0
 //     --metrics-out F    write the metrics snapshot to F
@@ -49,8 +51,9 @@ namespace {
       "       [--quota MiB] [--cache-cap MiB] "
       "[--os centos|debian|windows|scaled]\n"
       "       [--attempts N] [--backoff S] [--fail-nodes N] [--outages N]\n"
-      "       [--no-salvage] [--trace FILE] [--trace-out FILE]"
-      " [--metrics-out FILE]\n");
+      "       [--no-salvage] [--peer on|off] [--trace FILE]"
+      " [--trace-out FILE]\n"
+      "       [--metrics-out FILE]\n");
   std::exit(2);
 }
 
@@ -155,6 +158,11 @@ int main(int argc, char** argv) {
       outages = std::atoi(next());
     } else if (a == "--no-salvage") {
       cfg.crash_salvage = false;
+    } else if (a == "--peer") {
+      const std::string p = next();
+      if (p == "on") cfg.peer_transfer = true;
+      else if (p == "off") cfg.peer_transfer = false;
+      else usage();
     } else if (a == "--trace") {
       trace_in = next();
     } else if (a == "--trace-out") {
@@ -235,6 +243,14 @@ int main(int argc, char** argv) {
               r.peak_queue_depth, r.leaked_slots);
   std::printf("storage node served %s\n",
               format_bytes(r.storage_payload_bytes).c_str());
+  if (cfg.peer_transfer) {
+    std::printf("peer: %llu seed hit(s), %llu fallback fill(s), "
+                "%llu timeout(s), %s served peer-to-peer\n",
+                static_cast<unsigned long long>(r.peer_seed_hits),
+                static_cast<unsigned long long>(r.peer_fallback_fills),
+                static_cast<unsigned long long>(r.peer_timeouts),
+                format_bytes(r.peer_bytes_served).c_str());
+  }
   print_latency("deploy", r.deploy);
   print_latency("queue-wait", r.queue_wait);
   print_latency("prepare", r.prepare);
