@@ -77,7 +77,18 @@ std::vector<std::uint8_t> warm_cache_bytes(io::MemImageStore& store,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_ext_dedup [--json-out FILE]\n");
+      return 2;
+    }
+  }
+
   vmic::bench::header(
       "Extension — content-based dedup of VMI caches (§7.3 / §8)",
       "Razavi & Kielmann, SC'13, §7.3 'content-based block caching'",
@@ -105,6 +116,14 @@ int main() {
   const Vmi vmis[] = {
       {"centos-a", 0}, {"centos-b", 0}, {"centos-sib", 0}, {"debian", 1}};
 
+  struct RoundStats {
+    std::uint32_t block = 0;
+    std::uint64_t raw = 0;
+    std::uint64_t stored = 0;
+    double ratio = 0;
+  };
+  std::vector<RoundStats> rounds;
+
   for (const std::uint32_t dedup_block : {512u, 4096u}) {
     dedup::BlockStore bs{dedup_block};
     std::vector<dedup::DedupFile> files;
@@ -126,12 +145,34 @@ int main() {
                 static_cast<double>(raw_total) / 1048576.0,
                 static_cast<double>(bs.stored_bytes()) / 1048576.0,
                 bs.dedup_ratio());
+    rounds.push_back({dedup_block, raw_total, bs.stored_bytes(),
+                      bs.dedup_ratio()});
     // The cache files were rebuilt per block size; drop them for a fair
     // second round.
     for (const auto& v : vmis) {
       store.remove(std::string(v.name) + ".cache");
       store.remove(std::string(v.name) + ".cow");
     }
+  }
+
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"rounds\": [\n");
+    for (std::size_t i = 0; i < rounds.size(); ++i) {
+      const RoundStats& r = rounds[i];
+      std::fprintf(f,
+                   "    {\"block_size\": %u, \"raw_bytes\": %llu, "
+                   "\"stored_bytes\": %llu, \"dedup_ratio\": %.4f}%s\n",
+                   r.block, static_cast<unsigned long long>(r.raw),
+                   static_cast<unsigned long long>(r.stored), r.ratio,
+                   i + 1 < rounds.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
   }
   return 0;
 }

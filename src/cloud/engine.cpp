@@ -1,6 +1,7 @@
 #include "cloud/engine.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <deque>
 #include <map>
 #include <memory>
@@ -15,9 +16,11 @@
 #include "boot/vm.hpp"
 #include "cluster/node_index.hpp"
 #include "cluster/placement.hpp"
+#include "dedup/index.hpp"
 #include "peer/registry.hpp"
 #include "qcow2/chain.hpp"
 #include "sim/sync.hpp"
+#include "util/bytes.hpp"
 #include "util/stats.hpp"
 
 namespace vmic::cloud {
@@ -25,6 +28,31 @@ namespace vmic::cloud {
 namespace {
 
 std::string img_name(int vmi) { return "img-" + std::to_string(vmi); }
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic compressible cluster content for the sibling model: a
+/// seed-derived 32-byte pattern tiled across the cluster (LZSS-friendly,
+/// like real filesystem metadata), plus one raw seed stamp so distinct
+/// seeds can never produce byte-identical clusters.
+void fill_cluster_pattern(std::span<std::uint8_t> out, std::uint64_t seed) {
+  std::uint8_t tile[32];
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t w = splitmix64(seed + static_cast<std::uint64_t>(i));
+    std::memcpy(tile + i * 8, &w, 8);
+  }
+  for (std::size_t off = 0; off < out.size(); off += sizeof(tile)) {
+    const std::size_t n = std::min(sizeof(tile), out.size() - off);
+    std::memcpy(out.data() + off, tile, n);
+  }
+  const std::uint64_t stamp = splitmix64(seed ^ 0xc0ffee);
+  std::memcpy(out.data(), &stamp, std::min<std::size_t>(8, out.size()));
+}
 
 /// Inverse of img_name ("img-7" -> 7); the cache pool reports victims by
 /// base-image name, the engine indexes its bookkeeping by VMI id.
@@ -61,6 +89,40 @@ class Engine {
       (*cl_.storage.disk_dir.buffer(img))->resize(cfg_.profile.image_size);
       traces_.push_back(boot::generate_boot_trace(
           cfg_.profile, static_cast<std::uint64_t>(v)));
+    }
+    // Sibling content model: write deterministic per-cluster content into
+    // the base images host-side (no sim cost — base images exist before
+    // the run starts). Sibling groups share `shared_fraction` of their
+    // clusters; the rest is image-private, so dedup has real structure to
+    // find rather than an all-zero freebie.
+    if (cfg_.sibling_group_size > 0) {
+      const std::uint64_t ccs = 1ull << cfg_.cache_cluster_bits;
+      const std::uint64_t limit =
+          cfg_.content_bytes == 0
+              ? cfg_.profile.image_size
+              : std::min(cfg_.content_bytes, cfg_.profile.image_size);
+      std::vector<std::uint8_t> cluster(ccs);
+      for (int v = 0; v < num_vmis_; ++v) {
+        SparseBuffer* buf = *cl_.storage.disk_dir.buffer(img_name(v));
+        const std::uint64_t group =
+            static_cast<std::uint64_t>(v / cfg_.sibling_group_size);
+        for (std::uint64_t off = 0; off < limit; off += ccs) {
+          const std::uint64_t c = off / ccs;
+          const bool shared =
+              static_cast<double>(splitmix64(c ^ (group << 20)) % 1000) <
+              cfg_.shared_fraction * 1000.0;
+          const std::uint64_t seed =
+              shared ? splitmix64((group << 42) ^ c ^ 0x5eedull)
+                     : splitmix64((static_cast<std::uint64_t>(v) << 42) ^ c ^
+                                  0x0ddull);
+          cluster.assign(ccs, 0);
+          fill_cluster_pattern(
+              {cluster.data(),
+               static_cast<std::size_t>(std::min(ccs, limit - off))},
+              seed);
+          buf->write(off, cluster);
+        }
+      }
     }
     // Interpose the outage gate on every node's view of the storage node:
     // re-mounting the nfs-* prefixes swaps the wrapped directory in for
@@ -123,6 +185,22 @@ class Engine {
             "peer.bytes_served", {{"node", "compute" + std::to_string(i)}}));
       }
     }
+    // Dedup tier: same golden-pin rule as the peer tier — a dedup-off run
+    // must not even create the dedup.* instruments.
+    if (cfg_.dedup) {
+      didx_.resize(cl_.nodes.size());
+      fp_memo_.resize(static_cast<std::size_t>(num_vmis_));
+      c_dedup_local_ = &reg.counter("dedup.local_hits");
+      c_dedup_zero_ = &reg.counter("dedup.zero_fills");
+      c_dedup_peer_ = &reg.counter("dedup.peer_hits");
+      c_dedup_fallback_ = &reg.counter("dedup.fallbacks");
+      c_dedup_bytes_local_ =
+          &reg.counter("dedup.bytes_served", {{"source", "local"}});
+      c_dedup_bytes_zero_ =
+          &reg.counter("dedup.bytes_served", {{"source", "zero"}});
+      c_dedup_bytes_peer_ =
+          &reg.counter("dedup.bytes_served", {{"source", "peer"}});
+    }
   }
 
   CloudResult run() {
@@ -164,6 +242,11 @@ class Engine {
         .set(static_cast<double>(res_.peak_queue_depth));
     reg.gauge("cloud.leaked_slots")
         .set(static_cast<double>(res_.leaked_slots));
+    if (cfg_.dedup) {
+      std::uint64_t locs = 0;
+      for (const auto& di : didx_) locs += di.locations();
+      reg.gauge("dedup.index_locations").set(static_cast<double>(locs));
+    }
     res_.metrics = reg.snapshot();
     return std::move(res_);
   }
@@ -275,6 +358,7 @@ class Engine {
       if (node.disk_dir.exists(vf)) node.disk_dir.remove(vf);
       rt.disk_caches.erase(vmi_of(victim));
       peer_deregister(ni, victim);
+      dedup_forget(ni, victim);
     }
   }
 
@@ -292,6 +376,7 @@ class Engine {
       node.disk_dir.remove(cache);
       rt.disk_caches.erase(vmi);
       peer_deregister(ni, img);
+      dedup_forget(ni, img);
     }
   }
 
@@ -362,37 +447,365 @@ class Engine {
     co_return co_await qcow2::open_any(std::move(*backend), o);
   }
 
-  /// Hook a freshly-opened deployment chain into the peer tier. The CoW
-  /// overlay's backing device is this node's cache image: register it as
-  /// a seed, bootstrap coverage from its on-disk allocation (a warm hit
-  /// starts with clusters earlier deployments populated), and install
-  /// the fetch hook + fill observer so future backing fetches try peers
-  /// first and completed fills extend the advertised coverage.
-  sim::Task<void> peer_attach(int ni, int vmi, block::BlockDevice* dev) {
+  /// Hook a freshly-opened deployment chain into the peer and dedup
+  /// tiers. The CoW overlay's backing device is this node's cache image:
+  /// enable compression, register it as a peer seed / index its content,
+  /// bootstrap from its on-disk allocation (a warm hit starts with
+  /// clusters earlier deployments populated), and install the fetch hook
+  /// + fill observer so future backing fetches try dedup and peers first
+  /// and completed fills extend the advertised coverage and index.
+  sim::Task<void> attach_tiers(int ni, int vmi, block::BlockDevice* dev) {
     auto* q = dynamic_cast<qcow2::Qcow2Device*>(dev->backing());
     if (q == nullptr || !q->is_cache_image()) co_return;
+    if (cfg_.cache_compress) q->set_cor_compress(true);
+    if (!cfg_.peer_transfer && !cfg_.dedup) co_return;
     const std::string img = img_name(vmi);
-    if (seeds_.register_seed(ni, img)) c_peer_reg_->inc();
-    const IntervalSet* cov = seeds_.coverage(ni, img);
-    if (cov != nullptr && cov->total() == 0) {
+    bool want_cov = false;
+    if (cfg_.peer_transfer) {
+      if (seeds_.register_seed(ni, img)) c_peer_reg_->inc();
+      const IntervalSet* cov = seeds_.coverage(ni, img);
+      want_cov = cov != nullptr && cov->total() == 0;
+    }
+    const bool want_idx =
+        cfg_.dedup && !didx_[static_cast<std::size_t>(ni)].has_image(img);
+    if (want_cov || want_idx) {
       std::uint64_t off = 0;
       while (off < q->size()) {
         auto ms = co_await q->map_status(off, q->size() - off);
         if (!ms.ok() || ms->len == 0) break;
         if (ms->kind != MapKind::unallocated) {
-          seeds_.add_coverage(ni, img, off, off + ms->len);
+          if (want_cov) seeds_.add_coverage(ni, img, off, off + ms->len);
+          if (want_idx) index_fill(ni, vmi, off, off + ms->len);
         }
         off += ms->len;
       }
     }
     q->set_cor_fill_observer(
-        [this, ni, img](std::uint64_t lo, std::uint64_t hi) {
-          seeds_.add_coverage(ni, img, lo, hi);
+        [this, ni, vmi, img](std::uint64_t lo, std::uint64_t hi) {
+          if (cfg_.peer_transfer) seeds_.add_coverage(ni, img, lo, hi);
+          if (cfg_.dedup) index_fill(ni, vmi, lo, hi);
         });
     q->set_backing_fetch_hook(
-        [this, ni, vmi](std::uint64_t vaddr, std::span<std::uint8_t> dst) {
-          return peer_fetch(ni, vmi, vaddr, dst);
+        [this, ni, vmi](std::uint64_t vaddr, std::span<std::uint8_t> dst)
+            -> sim::Task<Result<bool>> {
+          if (cfg_.dedup) {
+            auto served = co_await dedup_fetch(ni, vmi, vaddr, dst);
+            if (served.ok() && *served) co_return true;
+          }
+          if (cfg_.peer_transfer) {
+            co_return co_await peer_fetch(ni, vmi, vaddr, dst);
+          }
+          co_return false;
         });
+  }
+
+  // --- content-addressed dedup tier -------------------------------------
+
+  [[nodiscard]] std::uint64_t cache_cluster_bytes() const {
+    return 1ull << cfg_.cache_cluster_bits;
+  }
+
+  struct FpEntry {
+    std::uint64_t fp = 0;
+    bool zero = false;
+  };
+
+  /// Fingerprint of one cache cluster of a VMI's base content (zero-
+  /// padded to the full cluster). Host-side and memoized: manifests ship
+  /// with the images in the modelled system, so computing them costs the
+  /// simulation nothing.
+  FpEntry fp_of(int vmi, std::uint64_t cluster) {
+    auto& memo = fp_memo_[static_cast<std::size_t>(vmi)];
+    auto it = memo.find(cluster);
+    if (it != memo.end()) return it->second;
+    const std::uint64_t ccs = cache_cluster_bytes();
+    std::vector<std::uint8_t> buf(ccs, 0);
+    SparseBuffer* base = *cl_.storage.disk_dir.buffer(img_name(vmi));
+    const std::uint64_t off = cluster * ccs;
+    if (off < base->size()) {
+      base->read(off, {buf.data(),
+                       static_cast<std::size_t>(
+                           std::min<std::uint64_t>(ccs, base->size() - off))});
+    }
+    FpEntry e;
+    e.fp = fnv1a(buf);
+    e.zero = std::all_of(buf.begin(), buf.end(),
+                         [](std::uint8_t b) { return b == 0; });
+    memo.emplace(cluster, e);
+    return e;
+  }
+
+  /// Authoritative verification of candidate bytes against the
+  /// requester's base content (host memcmp — models the collision-free
+  /// strong hash a real deployment would use; the fnv1a fingerprint only
+  /// nominates candidates).
+  [[nodiscard]] bool verify_content(int vmi, std::uint64_t pos,
+                                    std::span<const std::uint8_t> bytes) {
+    SparseBuffer* base = *cl_.storage.disk_dir.buffer(img_name(vmi));
+    std::vector<std::uint8_t> want(bytes.size(), 0);
+    if (pos < base->size()) {
+      base->read(pos, {want.data(),
+                       static_cast<std::size_t>(std::min<std::uint64_t>(
+                           bytes.size(), base->size() - pos))});
+    }
+    return std::memcmp(want.data(), bytes.data(), bytes.size()) == 0;
+  }
+
+  /// Guest range [lo, hi) of `vmi`'s cache on node `ni` became servable:
+  /// index every whole cache cluster it covers, and advertise the
+  /// fingerprints to peers when the peer tier is on.
+  void index_fill(int ni, int vmi, std::uint64_t lo, std::uint64_t hi) {
+    const std::uint64_t ccs = cache_cluster_bytes();
+    const std::string img = img_name(vmi);
+    auto& di = didx_[static_cast<std::size_t>(ni)];
+    const std::uint64_t first = lo / ccs;
+    for (std::uint64_t c = first; c * ccs < hi; ++c) {
+      const FpEntry e = fp_of(vmi, c);
+      if (e.zero) continue;  // zeros are served by detection, not lookup
+      di.add(e.fp, img, c);
+      if (cfg_.peer_transfer) seeds_.register_content(e.fp, ni, img, c);
+    }
+  }
+
+  /// The node's cache of `img` is gone: forget its indexed content.
+  void dedup_forget(int ni, const std::string& img) {
+    if (!cfg_.dedup) return;
+    didx_[static_cast<std::size_t>(ni)].remove_image(img);
+    if (cfg_.peer_transfer) seeds_.deregister_content(ni, img);
+  }
+
+  /// Crash: the node's whole index is suspect, like its seed footprint.
+  void dedup_forget_node(int ni) {
+    if (!cfg_.dedup) return;
+    didx_[static_cast<std::size_t>(ni)] = dedup::FingerprintIndex{};
+    if (cfg_.peer_transfer) seeds_.deregister_content_node(ni);
+  }
+
+  /// Serve one backing fetch by content: per overlapped cluster, zero
+  /// detection, then the local fingerprint index (a sibling image's
+  /// cache on this node), then — with the peer tier on — a peer
+  /// advertising the fingerprint. Clusters nothing advertises are topped
+  /// up from the storage node's NFS export inside the call, so one cold
+  /// private cluster does not forfeit the dedup win for the rest of the
+  /// range. False (whole-range fallthrough to peer_fetch / the backing
+  /// chain) only when nothing resolves, or when a serving tier fails
+  /// mid-flight (stale index, seed crash, NFS error).
+  sim::Task<Result<bool>> dedup_fetch(int ni, int vmi, std::uint64_t vaddr,
+                                      std::span<std::uint8_t> dst) {
+    const std::uint64_t ccs = cache_cluster_bytes();
+    ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(ni)];
+    auto& di = didx_[static_cast<std::size_t>(ni)];
+    const std::string self = img_name(vmi);
+
+    struct Chunk {
+      std::uint64_t dst_off = 0;  ///< offset into dst
+      std::uint64_t src_pos = 0;  ///< byte position in the source cache
+      std::uint64_t len = 0;
+    };
+    std::uint64_t zero_bytes = 0;
+    std::uint64_t zero_hits = 0;
+    std::map<std::string, std::vector<Chunk>> local;  // source image -> chunks
+    std::map<std::pair<int, std::string>, std::vector<Chunk>> remote;
+    std::vector<Chunk> nfs;  // src_pos is the base-image byte position
+
+    // A serving tier failed (or nothing resolved): bump the per-cluster
+    // fallback count for the whole range and let the caller fall through.
+    const std::uint64_t end = vaddr + dst.size();
+    const std::uint64_t range_clusters = (end - 1) / ccs - vaddr / ccs + 1;
+    auto fallthrough = [&]() {
+      res_.dedup_fallbacks += range_clusters;
+      c_dedup_fallback_->inc(range_clusters);
+      return false;
+    };
+
+    // Resolve phase: no suspension, so the index cannot shift under it.
+    std::set<int> up_nodes;
+    if (cfg_.peer_transfer && fabric_) {
+      for (std::size_t i = 0; i < rt_.size(); ++i) {
+        if (rt_[i].up) up_nodes.insert(static_cast<int>(i));
+      }
+    }
+    for (std::uint64_t pos = vaddr; pos < end;) {
+      const std::uint64_t c = pos / ccs;
+      const std::uint64_t take = std::min(end, (c + 1) * ccs) - pos;
+      const std::uint64_t in_cl = pos - c * ccs;
+      const FpEntry e = fp_of(vmi, c);
+      if (e.zero) {
+        std::memset(dst.data() + (pos - vaddr), 0,
+                    static_cast<std::size_t>(take));
+        zero_bytes += take;
+        ++zero_hits;
+      } else if (const auto* loc = di.find(e.fp); loc != nullptr) {
+        local[loc->image].push_back(
+            Chunk{pos - vaddr, loc->cluster * ccs + in_cl, take});
+      } else if (!up_nodes.empty()) {
+        const auto hit = seeds_.find_content(e.fp, up_nodes, ni,
+                                             cfg_.peer.max_uploads_per_seed);
+        if (hit) {
+          remote[{hit->node, hit->img}].push_back(
+              Chunk{pos - vaddr, hit->cluster * ccs + in_cl, take});
+        } else {
+          nfs.push_back(Chunk{pos - vaddr, pos, take});
+        }
+      } else {
+        nfs.push_back(Chunk{pos - vaddr, pos, take});
+      }
+      pos += take;
+    }
+    if (local.empty() && remote.empty() && zero_hits == 0) {
+      // Nothing dedup can add — let the ordinary fallback chain handle
+      // the whole range in one read.
+      co_return fallthrough();
+    }
+
+    // Serve phase. Zero chunks are already memset. Local groups read the
+    // sibling cache through a standalone read-only device — charging this
+    // node's own disk, which is the point: a local copy beats an NFS
+    // round-trip. The verify guards against index staleness (an evicted-
+    // then-recreated file) the same way the peer path re-verifies.
+    std::uint64_t local_bytes = 0;
+    std::uint64_t local_hits = 0;
+    for (const auto& [src_img, chunks] : local) {
+      const int sv = vmi_of(src_img);
+      if (!node.pool.contains(src_img)) {
+        co_return fallthrough();
+      }
+      node.pool.pin(src_img);
+      hold_file(ni, sv);
+      bool good = false;
+      auto dv =
+          co_await open_cache_standalone(node, cluster::cache_file_for(src_img));
+      if (dv.ok()) {
+        auto* q = dynamic_cast<qcow2::Qcow2Device*>(dv->get());
+        if (q != nullptr) {
+          good = true;
+          for (const Chunk& ch : chunks) {
+            auto sub = dst.subspan(static_cast<std::size_t>(ch.dst_off),
+                                   static_cast<std::size_t>(ch.len));
+            auto rr = co_await q->read(ch.src_pos, sub);
+            if (!rr.ok() || !verify_content(vmi, vaddr + ch.dst_off, sub)) {
+              good = false;
+              break;
+            }
+            local_bytes += ch.len;
+            ++local_hits;
+          }
+        }
+        (void)co_await (*dv)->close();
+      }
+      drop_file(ni, sv);
+      node.pool.unpin(src_img);
+      if (!good) {
+        co_return fallthrough();
+      }
+    }
+
+    // Remote groups: fingerprint-keyed peer fetch — same pin/hold/epoch
+    // discipline as peer_fetch, but addressed by content, so the serving
+    // image need not be the requested one.
+    std::uint64_t peer_bytes = 0;
+    std::uint64_t peer_hits = 0;
+    for (const auto& [key, chunks] : remote) {
+      const auto& [sn, src_img] = key;
+      NodeRuntime& srt = rt_[static_cast<std::size_t>(sn)];
+      ComputeNode& snode = *cl_.nodes[static_cast<std::size_t>(sn)];
+      if (!srt.up || !snode.pool.contains(src_img)) {
+        co_return fallthrough();
+      }
+      const std::uint64_t seed_epoch = srt.epoch;
+      const int sv = vmi_of(src_img);
+      snode.pool.pin(src_img);
+      hold_file(sn, sv);
+      seeds_.begin_upload(sn);
+      bool good = false;
+      std::uint64_t moved = 0;
+      auto dv = co_await open_cache_standalone(
+          snode, cluster::cache_file_for(src_img));
+      if (dv.ok()) {
+        auto* q = dynamic_cast<qcow2::Qcow2Device*>(dv->get());
+        if (q != nullptr && srt.epoch == seed_epoch) {
+          good = true;
+          for (const Chunk& ch : chunks) {
+            auto sub = dst.subspan(static_cast<std::size_t>(ch.dst_off),
+                                   static_cast<std::size_t>(ch.len));
+            auto rr = co_await q->read(ch.src_pos, sub);
+            if (!rr.ok() || srt.epoch != seed_epoch ||
+                !verify_content(vmi, vaddr + ch.dst_off, sub)) {
+              good = false;
+              break;
+            }
+            moved += ch.len;
+          }
+          if (good) {
+            const bool done = co_await fabric_->transfer(
+                sn, ni, moved + cfg_.peer.per_fetch_overhead);
+            good = done && srt.epoch == seed_epoch;
+            if (!done) ++res_.peer_timeouts;
+          }
+        }
+        (void)co_await (*dv)->close();
+      }
+      seeds_.end_upload(sn);
+      drop_file(sn, sv);
+      snode.pool.unpin(src_img);
+      if (!good) {
+        co_return fallthrough();
+      }
+      peer_bytes += moved;
+      peer_hits += chunks.size();
+      seeds_.add_bytes_served(sn, moved);
+      c_peer_node_bytes_[static_cast<std::size_t>(sn)]->inc(moved);
+      c_peer_bytes_avoided_->inc(moved);
+    }
+
+    // NFS top-up: clusters no tier advertises still come from the storage
+    // node, but only those clusters — the rest of the range keeps its
+    // dedup win. Adjacent chunks coalesce into one pread (dst_off tracks
+    // src_pos exactly, so source contiguity implies destination
+    // contiguity). These clusters count as fallbacks: they are the bytes
+    // dedup could not keep off the storage node.
+    if (!nfs.empty()) {
+      auto bf = node.fs.open_file("nfs-base/" + self, /*writable=*/false);
+      if (!bf.ok()) {
+        co_return fallthrough();
+      }
+      bool good = true;
+      for (std::size_t i = 0; i < nfs.size() && good;) {
+        std::size_t j = i + 1;
+        std::uint64_t len = nfs[i].len;
+        while (j < nfs.size() &&
+               nfs[j].src_pos == nfs[j - 1].src_pos + nfs[j - 1].len) {
+          len += nfs[j].len;
+          ++j;
+        }
+        auto rr = co_await (*bf)->pread(
+            nfs[i].src_pos,
+            dst.subspan(static_cast<std::size_t>(nfs[i].dst_off),
+                        static_cast<std::size_t>(len)));
+        good = rr.ok();
+        i = j;
+      }
+      if (!good) {
+        co_return fallthrough();
+      }
+      res_.dedup_fallbacks += nfs.size();
+      c_dedup_fallback_->inc(nfs.size());
+    }
+
+    // Whole range served — commit the accounting.
+    res_.dedup_local_hits += local_hits;
+    res_.dedup_peer_hits += peer_hits;
+    res_.dedup_zero_fills += zero_hits;
+    res_.dedup_bytes_served += zero_bytes + local_bytes + peer_bytes;
+    if (local_hits > 0) c_dedup_local_->inc(local_hits);
+    if (peer_hits > 0) c_dedup_peer_->inc(peer_hits);
+    if (zero_hits > 0) {
+      c_dedup_zero_->inc(zero_hits);
+      c_dedup_bytes_zero_->inc(zero_bytes);
+    }
+    if (local_bytes > 0) c_dedup_bytes_local_->inc(local_bytes);
+    if (peer_bytes > 0) c_dedup_bytes_peer_->inc(peer_bytes);
+    co_return true;
   }
 
   /// Account one fetch that fell back to the storage node's NFS mount.
@@ -557,6 +970,7 @@ class Engine {
     for (const auto& img : ns.warm_vmis) idx_->warm_removed(c.node, img);
     ns.warm_vmis.clear();
     peer_deregister_node(c.node);
+    dedup_forget_node(c.node);
     // Cache invalidation: a crashed node's caches are not trustworthy.
     // In-use files become zombies either way (SimDirectory::remove under
     // an open backend is the one thing the engine must never do, and a
@@ -619,7 +1033,7 @@ class Engine {
         if (q != nullptr) {
           auto chk = co_await q->check();
           good = chk.ok() && chk->clean();
-          if (good && cfg_.peer_transfer) {
+          if (good && (cfg_.peer_transfer || cfg_.dedup)) {
             std::uint64_t off = 0;
             while (off < q->size()) {
               auto ms = co_await q->map_status(off, q->size() - off);
@@ -641,6 +1055,13 @@ class Engine {
           if (seeds_.register_seed(c.node, img_name(v))) c_peer_reg_->inc();
           for (const auto& [lo, hi] : salvage_cov) {
             seeds_.add_coverage(c.node, img_name(v), lo, hi);
+          }
+        }
+        if (cfg_.dedup) {
+          // Re-index the salvaged clusters: the crash dropped the node's
+          // whole index, and these are the survivors repair vouched for.
+          for (const auto& [lo, hi] : salvage_cov) {
+            index_fill(c.node, v, lo, hi);
           }
         }
         ++res_.caches_salvaged;
@@ -725,6 +1146,7 @@ class Engine {
         for (const auto& victim : placed->evicted) {
           rt.disk_caches.erase(vmi_of(victim));
           peer_deregister(ni, victim);
+          dedup_forget(ni, victim);
         }
       }
       if (rt.epoch != epoch) {
@@ -773,7 +1195,7 @@ class Engine {
         co_return;
       }
       dev = std::move(*dv);
-      if (cfg_.peer_transfer) co_await peer_attach(ni, r.vmi, dev.get());
+      co_await attach_tiers(ni, r.vmi, dev.get());
     }  // prepare lock released
     const double prep_s = sim::to_seconds(cl_.env.now() - prep0);
     prep_.add(prep_s);
@@ -930,6 +1352,17 @@ class Engine {
   obs::Counter* c_peer_reg_ = nullptr;
   obs::Counter* c_peer_dereg_ = nullptr;
   std::vector<obs::Counter*> c_peer_node_bytes_;
+  // Dedup tier (all dormant unless cfg_.dedup).
+  std::vector<dedup::FingerprintIndex> didx_;  ///< one per node
+  /// Per-VMI memoized cluster fingerprints (host-side manifests).
+  std::vector<std::unordered_map<std::uint64_t, FpEntry>> fp_memo_;
+  obs::Counter* c_dedup_local_ = nullptr;
+  obs::Counter* c_dedup_zero_ = nullptr;
+  obs::Counter* c_dedup_peer_ = nullptr;
+  obs::Counter* c_dedup_fallback_ = nullptr;
+  obs::Counter* c_dedup_bytes_local_ = nullptr;
+  obs::Counter* c_dedup_bytes_zero_ = nullptr;
+  obs::Counter* c_dedup_bytes_peer_ = nullptr;
   obs::Histogram* h_deploy_ = nullptr;
   obs::Histogram* h_queue_wait_ = nullptr;
   obs::Histogram* h_prepare_ = nullptr;

@@ -79,6 +79,31 @@ struct CloudConfig {
   /// peer.* metrics exist then, so snapshots stay pin-identical.
   bool peer_transfer = false;
   peer::PeerParams peer;
+  /// Content-addressed dedup in the cache-fill path (§7.3 / §8 future
+  /// work): clusters are fingerprinted at cache-cluster granularity and
+  /// a per-node index over the cache pool lets a CoR fill for image B
+  /// whose content already sits in a sibling image's cache be served
+  /// locally — or, with peer_transfer also on, from a peer advertising
+  /// the fingerprint — instead of from the storage node's NFS export.
+  /// Off = no dedup.* metrics exist, so snapshots stay pin-identical.
+  bool dedup = false;
+  /// Compress CoR fills into the cache images (qcow2 compressed
+  /// clusters): disk quota and peer/NFS-refill bytes shrink to physical
+  /// size. No-op below 1-KiB cache clusters (payloads are sector-
+  /// granular) and on journaled images. Off = no qcow2.compressed.*
+  /// metrics.
+  bool cache_compress = false;
+  /// Cross-VMI content model: when > 0, consecutive VMIs form sibling
+  /// groups of this size (same OS distribution) whose base images share
+  /// `shared_fraction` of their per-cluster content; the rest is image-
+  /// private. Content is a deterministic compressible pattern written
+  /// host-side into the base images. 0 = images stay all-zero (legacy;
+  /// required for the golden metric pins).
+  int sibling_group_size = 0;
+  double shared_fraction = 0.75;
+  /// Bytes of generated content per image, from offset 0 (bounds host
+  /// memory for big images). 0 = the whole image.
+  std::uint64_t content_bytes = 0;
   std::uint64_t seed = 1;
 };
 
@@ -118,6 +143,12 @@ struct CloudResult {
   std::uint64_t peer_fallback_fills = 0;  ///< fetches that fell back to NFS
   std::uint64_t peer_bytes_served = 0;  ///< payload bytes moved peer-to-peer
   std::uint64_t peer_timeouts = 0;  ///< transfers abandoned past the deadline
+  // Content-addressed dedup accounting (all zero when dedup is off).
+  std::uint64_t dedup_local_hits = 0;  ///< clusters filled from a sibling cache
+  std::uint64_t dedup_zero_fills = 0;  ///< clusters satisfied by zero detection
+  std::uint64_t dedup_peer_hits = 0;   ///< clusters fetched by fingerprint p2p
+  std::uint64_t dedup_fallbacks = 0;   ///< fetches that fell through to NFS/peer
+  std::uint64_t dedup_bytes_served = 0;  ///< bytes not read from the NFS export
   double cache_hit_ratio = 0;  ///< warm_hits / completed
   double goodput_vms_per_hour = 0;
   double sim_seconds = 0;

@@ -1,0 +1,51 @@
+#include "dedup/index.hpp"
+
+namespace vmic::dedup {
+
+void FingerprintIndex::add(std::uint64_t fp, const std::string& image,
+                           std::uint64_t cluster) {
+  if (by_fp_[fp].insert(Loc{image, cluster}).second) {
+    by_image_[image][fp].insert(cluster);
+    ++locations_;
+  }
+}
+
+void FingerprintIndex::remove(std::uint64_t fp, const std::string& image,
+                              std::uint64_t cluster) {
+  auto it = by_fp_.find(fp);
+  if (it == by_fp_.end()) return;
+  if (it->second.erase(Loc{image, cluster}) == 0) return;
+  if (it->second.empty()) by_fp_.erase(it);
+  --locations_;
+  auto im = by_image_.find(image);
+  if (im != by_image_.end()) {
+    auto fpit = im->second.find(fp);
+    if (fpit != im->second.end()) {
+      fpit->second.erase(cluster);
+      if (fpit->second.empty()) im->second.erase(fpit);
+    }
+    if (im->second.empty()) by_image_.erase(im);
+  }
+}
+
+void FingerprintIndex::remove_image(const std::string& image) {
+  auto im = by_image_.find(image);
+  if (im == by_image_.end()) return;
+  for (const auto& [fp, clusters] : im->second) {
+    auto it = by_fp_.find(fp);
+    if (it == by_fp_.end()) continue;
+    for (const std::uint64_t c : clusters) {
+      if (it->second.erase(Loc{image, c}) != 0) --locations_;
+    }
+    if (it->second.empty()) by_fp_.erase(it);
+  }
+  by_image_.erase(im);
+}
+
+const FingerprintIndex::Loc* FingerprintIndex::find(std::uint64_t fp) const {
+  auto it = by_fp_.find(fp);
+  if (it == by_fp_.end() || it->second.empty()) return nullptr;
+  return &*it->second.begin();
+}
+
+}  // namespace vmic::dedup

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace vmic::dedup {
+
+/// Per-node fingerprint index over the local cache pool (§7.3: "VMIs
+/// created from the same operating system distribution share content" —
+/// a CoR fill for image B whose cluster content already sits in a
+/// sibling image's cache can be served locally instead of from the
+/// storage node).
+///
+/// Maps a cluster fingerprint to the set of (image, cluster) locations
+/// in the node's cache pool that currently hold bytes with that
+/// fingerprint. Lookups are content-verified by the caller (the
+/// fingerprint only nominates a candidate; the bytes decide), so a hash
+/// collision degrades to a miss, never to corruption.
+///
+/// Ordered containers throughout — lookup results must be deterministic
+/// across runs (the sim's determinism contract).
+class FingerprintIndex {
+ public:
+  struct Loc {
+    std::string image;
+    std::uint64_t cluster = 0;
+    auto operator<=>(const Loc&) const = default;
+  };
+
+  /// Record that `image`'s cache holds content with fingerprint `fp` at
+  /// cluster index `cluster`. Idempotent.
+  void add(std::uint64_t fp, const std::string& image, std::uint64_t cluster);
+
+  /// Forget one location (cluster evicted or overwritten).
+  void remove(std::uint64_t fp, const std::string& image,
+              std::uint64_t cluster);
+
+  /// Forget every location of `image` (cache file evicted / destroyed).
+  void remove_image(const std::string& image);
+
+  /// Deterministic candidate for `fp`: the smallest (image, cluster)
+  /// location, or nullptr if none is indexed.
+  [[nodiscard]] const Loc* find(std::uint64_t fp) const;
+
+  /// True when any location of `image` is indexed.
+  [[nodiscard]] bool has_image(const std::string& image) const {
+    return by_image_.count(image) != 0;
+  }
+
+  /// Total (fp, location) entries indexed.
+  [[nodiscard]] std::uint64_t locations() const noexcept {
+    return locations_;
+  }
+  /// Distinct fingerprints indexed.
+  [[nodiscard]] std::uint64_t unique_fingerprints() const noexcept {
+    return by_fp_.size();
+  }
+
+ private:
+  std::map<std::uint64_t, std::set<Loc>> by_fp_;
+  // Reverse map for remove_image: image -> fp -> clusters.
+  std::map<std::string, std::map<std::uint64_t, std::set<std::uint64_t>>>
+      by_image_;
+  std::uint64_t locations_ = 0;
+};
+
+}  // namespace vmic::dedup

@@ -9,14 +9,26 @@ namespace vmic::dedup {
 BlockStore::BlockId BlockStore::put(std::span<const std::uint8_t> data) {
   assert(data.size() <= block_size_ && !data.empty());
   logical_bytes_ += data.size();
-  const std::uint64_t digest = fnv1a(data);
+
+  // Canonicalize: a short tail is hashed and stored as its zero-padded
+  // full block. A file tail whose padded bytes equal an existing full
+  // block must dedup against it — hashing the raw short span would give
+  // the identical content two different digests.
+  std::vector<std::uint8_t> padded;
+  std::span<const std::uint8_t> blk = data;
+  if (data.size() < block_size_) {
+    padded.assign(block_size_, 0);
+    std::memcpy(padded.data(), data.data(), data.size());
+    blk = padded;
+  }
+  const std::uint64_t digest = fnv1a(blk);
 
   // Digest selects candidates; bytes decide (collision-safe dedup).
   auto [lo, hi] = index_.equal_range(digest);
   for (auto it = lo; it != hi; ++it) {
     Block& b = blocks_.at(it->second);
-    if (b.data.size() == data.size() &&
-        std::memcmp(b.data.data(), data.data(), data.size()) == 0) {
+    if (b.data.size() == blk.size() &&
+        std::memcmp(b.data.data(), blk.data(), blk.size()) == 0) {
       ++b.refs;
       return it->second;
     }
@@ -24,10 +36,10 @@ BlockStore::BlockId BlockStore::put(std::span<const std::uint8_t> data) {
 
   const BlockId id = next_id_++;
   Block b;
-  b.data.assign(data.begin(), data.end());
+  b.data.assign(blk.begin(), blk.end());
   b.refs = 1;
   b.digest = digest;
-  stored_bytes_ += data.size();
+  stored_bytes_ += blk.size();
   blocks_.emplace(id, std::move(b));
   index_.emplace(digest, id);
   return id;

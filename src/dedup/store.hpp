@@ -35,8 +35,10 @@ class BlockStore {
   }
 
   /// Store one block (must be exactly block_size() bytes, except the last
-  /// block of a file which may be shorter). Returns the id; identical
-  /// content returns the same id with its refcount bumped.
+  /// block of a file which may be shorter — short tails are canonicalized
+  /// to their zero-padded full block so they dedup against identical
+  /// padded content). Returns the id; identical content returns the same
+  /// id with its refcount bumped.
   BlockId put(std::span<const std::uint8_t> data);
 
   /// Fetch a block's bytes.

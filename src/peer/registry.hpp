@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 
@@ -125,12 +126,112 @@ class SeedRegistry {
   }
   [[nodiscard]] std::size_t image_count() const { return seeds_.size(); }
 
+  // --- content-keyed tier (cluster fingerprints) -----------------------
+  //
+  // Extends the (image, cluster-range) directory above to content: a
+  // node advertising fingerprint fp can serve a CoR fill for *any* image
+  // whose missing cluster hashes to fp (§7.3 cross-VMI sharing). Entries
+  // are advisory — the requester verifies the fingerprint of the bytes
+  // it receives and falls back on mismatch, so staleness degrades to a
+  // miss, never to corruption.
+
+  struct ContentHit {
+    int node = -1;
+    std::string img;          ///< cache image on `node` holding the bytes
+    std::uint64_t cluster = 0;  ///< cache-cluster index within that image
+  };
+
+  /// `node`'s cache of `img` holds content `fp` at cluster index
+  /// `cluster`. One location per (fp, node); the first registration wins.
+  void register_content(std::uint64_t fp, int node, const std::string& img,
+                        std::uint64_t cluster) {
+    auto [it, fresh] = content_[fp].try_emplace(node, ContentHit{});
+    if (!fresh) return;
+    it->second = ContentHit{node, img, cluster};
+    content_by_node_[node][img].insert(fp);
+    ++content_locations_;
+  }
+
+  /// `node`'s cache of `img` is gone: drop the content it advertised
+  /// through that image. Returns how many entries were dropped.
+  std::size_t deregister_content(int node, const std::string& img) {
+    auto bn = content_by_node_.find(node);
+    if (bn == content_by_node_.end()) return 0;
+    auto bi = bn->second.find(img);
+    if (bi == bn->second.end()) return 0;
+    std::size_t dropped = 0;
+    for (const std::uint64_t fp : bi->second) {
+      auto it = content_.find(fp);
+      if (it == content_.end()) continue;
+      dropped += it->second.erase(node);
+      if (it->second.empty()) content_.erase(it);
+    }
+    content_locations_ -= dropped;
+    bn->second.erase(bi);
+    if (bn->second.empty()) content_by_node_.erase(bn);
+    return dropped;
+  }
+
+  /// The node crashed: drop everything it advertised. Returns how many
+  /// content entries were dropped.
+  std::size_t deregister_content_node(int node) {
+    auto bn = content_by_node_.find(node);
+    if (bn == content_by_node_.end()) return 0;
+    std::size_t dropped = 0;
+    for (const auto& [img, fps] : bn->second) {
+      for (const std::uint64_t fp : fps) {
+        auto it = content_.find(fp);
+        if (it == content_.end()) continue;
+        dropped += it->second.erase(node);
+        if (it->second.empty()) content_.erase(it);
+      }
+    }
+    content_locations_ -= dropped;
+    content_by_node_.erase(bn);
+    return dropped;
+  }
+
+  /// Least-loaded node among `candidates` advertising `fp`, skipping
+  /// `exclude` and nodes at or above `max_uploads`. Lowest node id wins
+  /// ties (deterministic, same contract as pick_seed).
+  [[nodiscard]] std::optional<ContentHit> find_content(
+      std::uint64_t fp, const std::set<int>& candidates, int exclude,
+      int max_uploads) const {
+    auto it = content_.find(fp);
+    if (it == content_.end()) return std::nullopt;
+    const ContentHit* best = nullptr;
+    int best_load = 0;
+    for (int node : candidates) {
+      if (node == exclude) continue;
+      auto ns = it->second.find(node);
+      if (ns == it->second.end()) continue;
+      const int load = active_uploads(node);
+      if (load >= max_uploads) continue;
+      if (best == nullptr || load < best_load) {
+        best = &ns->second;
+        best_load = load;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return *best;
+  }
+
+  [[nodiscard]] std::uint64_t content_locations() const noexcept {
+    return content_locations_;
+  }
+
  private:
   /// img -> (node -> covered guest byte ranges). Ordered maps: iteration
   /// order is part of the engine's determinism contract.
   std::map<std::string, std::map<int, IntervalSet>> seeds_;
   std::map<int, int> uploads_;
   std::map<int, std::uint64_t> bytes_served_;
+  /// fp -> (node -> location). Ordered for deterministic iteration.
+  std::map<std::uint64_t, std::map<int, ContentHit>> content_;
+  /// Reverse map for deregistration: node -> img -> advertised fps.
+  std::map<int, std::map<std::string, std::set<std::uint64_t>>>
+      content_by_node_;
+  std::uint64_t content_locations_ = 0;
 };
 
 }  // namespace vmic::peer

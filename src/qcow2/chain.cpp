@@ -127,7 +127,8 @@ sim::Task<Result<std::uint64_t>> commit_image(io::ImageDirectory& dir,
     VMIC_CO_TRY(st, co_await q->map_status(pos, std::min(step, end - pos)));
     if (st.kind != Qcow2Device::MapKind::unallocated) {
       buf.assign(st.len, 0);
-      if (st.kind == Qcow2Device::MapKind::data) {
+      if (st.kind == Qcow2Device::MapKind::data ||
+          st.kind == Qcow2Device::MapKind::compressed) {
         VMIC_CO_TRY_VOID(co_await q->read(pos, buf));
       }
       VMIC_CO_TRY_VOID(co_await base->write(pos, buf));

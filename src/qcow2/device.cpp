@@ -9,6 +9,7 @@
 #include "qcow2/journal.hpp"
 #include "util/align.hpp"
 #include "util/bytes.hpp"
+#include "util/compress.hpp"
 #include "util/log.hpp"
 
 namespace vmic::qcow2 {
@@ -423,6 +424,9 @@ sim::Task<Result<Qcow2Device::Extent>> Qcow2Device::map_range(
   const std::uint64_t in_cl = ly_.in_cluster(vaddr);
 
   auto classify = [](std::uint64_t entry) {
+    // Compressed before anything else: a compressed descriptor's offset
+    // and sector-count fields overlap both kFlagZero and kOffsetMask.
+    if ((entry & kFlagCompressed) != 0) return MapKind::compressed;
     if ((entry & kFlagZero) != 0) return MapKind::zero;
     if ((entry & kOffsetMask) == 0) return MapKind::unallocated;
     return MapKind::data;
@@ -433,6 +437,10 @@ sim::Task<Result<Qcow2Device::Extent>> Qcow2Device::map_range(
   const std::uint64_t first = first_entry & kOffsetMask;
 
   std::uint64_t run = cs - in_cl;
+  if (kind == MapKind::compressed) {
+    // Compressed extents never coalesce: each carries its own descriptor.
+    co_return Extent{MapKind::compressed, 0, std::min(len, run), first_entry};
+  }
   if (kind != MapKind::data) {
     while (run < len && ++i2 < ly_.l2_entries() &&
            classify((*l2)[i2]) == kind) {
@@ -861,6 +869,8 @@ sim::Task<Result<void>> Qcow2Device::read(std::uint64_t off,
     auto sub = dst.subspan(pos - off, ext.len);
     if (ext.kind == MapKind::data) {
       VMIC_CO_TRY_VOID(co_await file_->pread(ext.host_off, sub));
+    } else if (ext.kind == MapKind::compressed) {
+      VMIC_CO_TRY_VOID(co_await read_compressed(pos, ext, sub));
     } else if (ext.kind == MapKind::zero) {
       std::memset(sub.data(), 0, sub.size());
     } else if (backing_) {
@@ -966,8 +976,12 @@ sim::Task<Result<void>> Qcow2Device::cor_read_after_wait(
   while (p < end) {
     VMIC_CO_TRY(ext, co_await map_range(p, end - p));
     auto sub = dst.subspan(p - pos, ext.len);
-    if (ext.kind == MapKind::data) {
-      VMIC_CO_TRY_VOID(co_await file_->pread(ext.host_off, sub));
+    if (ext.kind == MapKind::data || ext.kind == MapKind::compressed) {
+      if (ext.kind == MapKind::data) {
+        VMIC_CO_TRY_VOID(co_await file_->pread(ext.host_off, sub));
+      } else {
+        VMIC_CO_TRY_VOID(co_await read_compressed(p, ext, sub));
+      }
       const std::uint64_t clusters =
           (align_up(p + ext.len, cs) - align_down(p, cs)) / cs;
       stats_.cor_dedup_hits += clusters;
@@ -1026,6 +1040,18 @@ sim::Task<Result<void>> Qcow2Device::cor_store(
     VMIC_CO_TRY(ext, co_await map_range(pos, hi - pos));
     if (ext.kind != MapKind::unallocated) {
       pos += ext.len;
+      continue;
+    }
+    if (cor_compress_) {
+      // Compressed mode decides compressed-vs-plain per cluster but
+      // batches the whole run under one flush barrier, like the plain
+      // path below.
+      const std::uint64_t nclusters = div_ceil(ext.len, cs);
+      VMIC_CO_TRY_VOID(co_await cor_store_compressed_run(
+          pos, std::span<const std::uint8_t>(buf.data() + (pos - lo),
+                                             nclusters * cs)));
+      stored = true;
+      pos += nclusters * cs;
       continue;
     }
     const std::uint64_t want = div_ceil(ext.len, cs);
@@ -1093,6 +1119,313 @@ sim::Task<Result<void>> Qcow2Device::cor_store(
 }
 
 // ===========================================================================
+// compressed clusters
+// ===========================================================================
+
+void Qcow2Device::set_cor_compress(bool on) {
+  if (on && journal_) {
+    // The refcount journal's verified-recompute replay checks one
+    // reference slot per recorded run and masks entries with kOffsetMask —
+    // both break for shared compressed host clusters. Compression stays
+    // off on journaled images (documented in DESIGN.md).
+    return;
+  }
+  cor_compress_ = on;
+  if (on && hub_ != nullptr && agg_.comp_clusters == nullptr) {
+    const obs::Labels ls{{"image", is_cache_image() ? "cache" : "plain"}};
+    auto& r = hub_->registry;
+    agg_.comp_clusters = &r.counter("qcow2.compressed.clusters", ls);
+    agg_.comp_bytes_saved = &r.counter("qcow2.compressed.bytes_saved", ls);
+    agg_.comp_fallbacks = &r.counter("qcow2.compressed.fallbacks", ls);
+    agg_.comp_reads = &r.counter("qcow2.compressed.reads", ls);
+  }
+}
+
+sim::Task<Result<void>> Qcow2Device::read_compressed(
+    std::uint64_t pos, const Extent& ext, std::span<std::uint8_t> dst) {
+  const std::uint64_t cs = ly_.cluster_size();
+  const Layout::CompressedDesc d = ly_.decode_compressed(ext.entry);
+  if (!ly_.compressed_desc_sane(d)) co_return Errc::corrupt;
+  std::vector<std::uint8_t> payload(d.sectors * 512, 0);
+  VMIC_CO_TRY_VOID(co_await file_->pread(d.offset, payload));
+  std::vector<std::uint8_t> cluster(cs, 0);
+  if (!lzss_decompress(payload, cluster)) co_return Errc::corrupt;
+  const std::uint64_t in_cl = pos & (cs - 1);
+  std::memcpy(dst.data(), cluster.data() + in_cl, dst.size());
+  bump(agg_.comp_reads);
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> Qcow2Device::incref_cluster(std::uint64_t cluster_idx) {
+  assert(alloc_mutex_.locked() && "incref requires alloc_mutex_");
+  assert(!journal_ && "compression is refused on journaled images");
+  if (!refcounts_loaded_) {
+    VMIC_CO_TRY_VOID(co_await load_refcounts());
+  }
+  VMIC_CO_TRY_VOID(co_await ensure_dirty());
+  if (cluster_idx >= refcounts_.size() || refcounts_[cluster_idx] == 0 ||
+      refcounts_[cluster_idx] == 0xffff) {
+    co_return Errc::corrupt;
+  }
+  ++refcounts_[cluster_idx];
+  VMIC_CO_TRY_VOID(co_await write_refcount_entries(cluster_idx, 1));
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> Qcow2Device::cor_store_compressed_run(
+    std::uint64_t vaddr, std::span<const std::uint8_t> data) {
+  const std::uint64_t cs = ly_.cluster_size();
+  assert((vaddr & (cs - 1)) == 0 && data.size() % cs == 0 &&
+         !data.empty());
+  const std::uint64_t n = data.size() / cs;
+  const std::uint64_t spc = cs / 512;  // sectors per cluster
+
+  // Pass 1 — compress every cluster up front (pure CPU, no locks).
+  // Payloads are sector-granular, so only a shrink of at least one full
+  // sector saves anything; sectors == 0 marks an incompressible cluster
+  // that is stored as a plain data cluster instead.
+  struct Pend {
+    std::uint64_t vaddr = 0;
+    std::uint64_t off = 0;      // file offset of the payload
+    std::uint64_t sectors = 0;  // 0 => plain full cluster
+    RefHint slots{};
+    std::vector<std::uint8_t> payload;  // sector-padded; empty when plain
+  };
+  std::vector<Pend> pend(static_cast<std::size_t>(n));
+  for (std::uint64_t k = 0; k < n; ++k) {
+    Pend& p = pend[static_cast<std::size_t>(k)];
+    p.vaddr = vaddr + k * cs;
+    if (cs > 512) {
+      std::vector<std::uint8_t> comp(cs);
+      const std::size_t csize =
+          lzss_compress(data.subspan(k * cs, cs), comp, cs - 512);
+      if (csize > 0) {
+        p.sectors = div_ceil(static_cast<std::uint64_t>(csize),
+                             std::uint64_t{512});
+        p.payload.assign(p.sectors * 512, 0);
+        std::memcpy(p.payload.data(), comp.data(), csize);
+      }
+    }
+  }
+
+  // Pass 2 — allocate space for every payload under one lock hold.
+  // Compressed payloads pack into the open packing cluster (ordering:
+  // the incref lands before the payload/publish — a crash in between
+  // leaves an over-count only, which repair() drops); incompressible
+  // clusters allocate plainly. A quota failure mid-run stops the run:
+  // what was placed before it is still written and published, so the
+  // cache fills up to the quota edge exactly like the plain path.
+  std::optional<Errc> alloc_err;
+  std::size_t got = 0;
+  {
+    auto guard = co_await lock_alloc();
+    for (auto& p : pend) {
+      auto place = [&]() -> sim::Task<Result<void>> {
+        VMIC_CO_TRY_VOID(co_await ensure_l2_table(p.vaddr));
+        p.slots.ref_off = (l1_[ly_.l1_index(p.vaddr)] & kOffsetMask) +
+                          ly_.l2_index(p.vaddr) * 8;
+        if (p.sectors == 0) {
+          VMIC_CO_TRY(h, co_await alloc_clusters(1, p.slots));
+          p.off = h;
+          co_return ok_result();
+        }
+        if (comp_cluster_off_ != 0 && comp_next_sector_ + p.sectors <= spc) {
+          VMIC_CO_TRY_VOID(co_await incref_cluster(comp_cluster_off_ / cs));
+        } else {
+          // Fresh packing cluster; the old one's free tail is wasted.
+          VMIC_CO_TRY(host, co_await alloc_clusters(1, p.slots));
+          comp_cluster_off_ = host;
+          comp_next_sector_ = 0;
+          ++data_clusters_;
+        }
+        p.off = comp_cluster_off_ + comp_next_sector_ * 512;
+        comp_next_sector_ += p.sectors;
+        if (comp_next_sector_ >= spc) {
+          comp_cluster_off_ = 0;
+          comp_next_sector_ = 0;
+        }
+        co_return ok_result();
+      };
+      auto r = co_await place();
+      if (!r.ok()) {
+        alloc_err = r.error();
+        break;
+      }
+      ++got;
+    }
+  }
+
+  // Pass 3 — payload writes (outside the lock: disjoint fills overlap on
+  // the bulk transfer), coalescing file-contiguous payloads into single
+  // writes, then ONE flush barrier for the whole run: every payload is
+  // durable before any L2 entry publishes it. Flushing per cluster would
+  // charge a disk positioning cost per 4 KiB and dominate fill latency.
+  Result<void> wr = ok_result();
+  {
+    std::vector<std::uint8_t> chunk;
+    std::uint64_t chunk_off = 0;
+    auto flush_chunk = [&]() -> sim::Task<Result<void>> {
+      if (chunk.empty()) co_return ok_result();
+      auto r = co_await file_->pwrite(chunk_off, chunk);
+      chunk.clear();
+      co_return r;
+    };
+    for (std::size_t i = 0; i < got && wr.ok(); ++i) {
+      const Pend& p = pend[i];
+      const std::span<const std::uint8_t> bytes =
+          p.sectors == 0 ? data.subspan(p.vaddr - vaddr, cs)
+                         : std::span<const std::uint8_t>(p.payload);
+      if (chunk.empty() || chunk_off + chunk.size() != p.off) {
+        wr = co_await flush_chunk();
+        if (!wr.ok()) break;
+        chunk_off = p.off;
+      }
+      chunk.insert(chunk.end(), bytes.begin(), bytes.end());
+    }
+    if (wr.ok()) wr = co_await flush_chunk();
+    if (wr.ok() && got > 0) wr = co_await file_->flush();
+  }
+
+  // Pass 4 — publish every placed cluster (or roll all of them back on a
+  // write failure) under one lock hold. Virtually-contiguous entries in
+  // the same L2 table publish in one metadata write.
+  std::uint64_t comp_count = 0;
+  std::uint64_t comp_saved = 0;
+  std::uint64_t plain_count = 0;
+  {
+    auto guard = co_await lock_alloc();
+    if (!wr.ok()) {
+      // Nothing was published: drop every reference this run took (a
+      // clean failure must not leak; packing-cluster over-counts are a
+      // crash-only artefact).
+      for (std::size_t i = 0; i < got; ++i) {
+        const Pend& p = pend[i];
+        const std::uint64_t host = align_down(p.off, cs);
+        VMIC_CO_TRY_VOID(co_await free_clusters(host, 1, p.slots));
+        if (p.sectors != 0 && refcounts_[host / cs] == 0) {
+          --data_clusters_;
+          if (comp_cluster_off_ == host) {
+            comp_cluster_off_ = 0;
+            comp_next_sector_ = 0;
+          }
+        }
+      }
+      co_return wr.error();
+    }
+    std::vector<std::uint64_t> entries;
+    entries.reserve(got);
+    for (std::size_t i = 0; i < got; ++i) {
+      const Pend& p = pend[i];
+      if (p.sectors == 0) {
+        entries.push_back((p.off & kOffsetMask) | kFlagCopied);
+        ++data_clusters_;
+        ++plain_count;
+      } else {
+        entries.push_back(ly_.encode_compressed(
+            Layout::CompressedDesc{p.off, p.sectors}));
+        ++comp_count;
+        comp_saved += cs - p.sectors * 512;
+      }
+    }
+    if (got > 0) {
+      VMIC_CO_TRY_VOID(co_await set_l2_raw_run(vaddr, entries));
+    }
+  }
+
+  stats_.cor_clusters += got;
+  stats_.cor_bytes += got * cs;
+  bump(agg_.cor_clusters, got);
+  bump(agg_.cor_bytes, got * cs);
+  bump(agg_.comp_clusters, comp_count);
+  bump(agg_.comp_bytes_saved, comp_saved);
+  bump(agg_.comp_fallbacks, plain_count);
+  if (alloc_err) co_return *alloc_err;
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> Qcow2Device::rewrite_compressed(
+    std::uint64_t pos, const Extent& ext, std::span<const std::uint8_t> sub) {
+  const std::uint64_t cs = ly_.cluster_size();
+  const std::uint64_t lo = align_down(pos, cs);
+
+  // Decompress-modify: splice the write over the old cluster content.
+  std::vector<std::uint8_t> cluster(cs, 0);
+  {
+    const Layout::CompressedDesc d = ly_.decode_compressed(ext.entry);
+    if (!ly_.compressed_desc_sane(d)) co_return Errc::corrupt;
+    std::vector<std::uint8_t> payload(d.sectors * 512, 0);
+    VMIC_CO_TRY_VOID(co_await file_->pread(d.offset, payload));
+    if (!lzss_decompress(payload, cluster)) co_return Errc::corrupt;
+  }
+  std::memcpy(cluster.data() + (pos - lo), sub.data(), sub.size());
+
+  std::uint64_t host = 0;
+  RefHint slots{};
+  {
+    auto guard = co_await lock_alloc();
+    VMIC_CO_TRY_VOID(co_await ensure_l2_table(lo));
+    slots.ref_off = (l1_[ly_.l1_index(lo)] & kOffsetMask) +
+                    ly_.l2_index(lo) * 8;
+    VMIC_CO_TRY(h, co_await alloc_clusters(1, slots));
+    host = h;
+  }
+  auto wr = co_await file_->pwrite(host, cluster);
+  if (wr.ok()) wr = co_await file_->flush();
+  {
+    auto guard = co_await lock_alloc();
+    if (!wr.ok()) {
+      VMIC_CO_TRY_VOID(co_await free_clusters(host, 1, slots));
+      co_return wr.error();
+    }
+    VMIC_CO_TRY_VOID(co_await set_l2_entries(lo, host, 1));
+    // Barrier: the new mapping must be durable before the old payload's
+    // reference drops (free could hand the shared cluster out again).
+    VMIC_CO_TRY_VOID(co_await file_->flush());
+    VMIC_CO_TRY_VOID(co_await free_compressed_entry(ext.entry, slots));
+  }
+  ++data_clusters_;
+  co_return ok_result();
+}
+
+sim::Task<Result<void>> Qcow2Device::free_compressed_entry(
+    std::uint64_t entry, RefHint hint) {
+  const std::uint64_t cs = ly_.cluster_size();
+  const Layout::CompressedDesc d = ly_.decode_compressed(entry);
+  if (!ly_.compressed_desc_sane(d)) co_return Errc::corrupt;
+  const std::uint64_t host = align_down(d.offset, cs);
+  VMIC_CO_TRY_VOID(co_await free_clusters(host, 1, hint));
+  const std::uint64_t idx = host / cs;
+  if (idx < refcounts_.size() && refcounts_[idx] == 0) {
+    --data_clusters_;
+    if (comp_cluster_off_ == host) {
+      // Never append new payloads into a freed packing cluster.
+      comp_cluster_off_ = 0;
+      comp_next_sector_ = 0;
+    }
+  }
+  co_return ok_result();
+}
+
+sim::Task<Result<Qcow2Device::CompressionStats>>
+Qcow2Device::compression_stats() {
+  CompressionStats out;
+  const std::uint64_t cs = ly_.cluster_size();
+  for (const std::uint64_t l1e : l1_) {
+    const std::uint64_t l2_off = l1e & kOffsetMask;
+    if (l2_off == 0) continue;
+    VMIC_CO_TRY(l2, co_await load_l2(l2_off));
+    for (const std::uint64_t e : *l2) {
+      if ((e & kFlagCompressed) == 0) continue;
+      const Layout::CompressedDesc d = ly_.decode_compressed(e);
+      ++out.compressed_clusters;
+      out.physical_bytes += d.sectors * 512;
+      out.logical_bytes += cs;
+    }
+  }
+  co_return out;
+}
+
+// ===========================================================================
 // write path (guest writes, copy-on-write)
 // ===========================================================================
 
@@ -1117,6 +1450,8 @@ sim::Task<Result<void>> Qcow2Device::write(
     auto sub = src.subspan(pos - off, ext.len);
     if (ext.kind == MapKind::data) {
       VMIC_CO_TRY_VOID(co_await file_->pwrite(ext.host_off, sub));
+    } else if (ext.kind == MapKind::compressed) {
+      VMIC_CO_TRY_VOID(co_await rewrite_compressed(pos, ext, sub));
     } else {
       // Unallocated clusters fill their edges from the backing chain;
       // zero-flagged clusters fill with zeros.
@@ -1248,6 +1583,30 @@ sim::Task<Result<void>> Qcow2Device::set_l2_raw(std::uint64_t vaddr,
   co_return ok_result();
 }
 
+sim::Task<Result<void>> Qcow2Device::set_l2_raw_run(
+    std::uint64_t vaddr, std::span<const std::uint64_t> entries) {
+  VMIC_CO_TRY_VOID(co_await ensure_dirty());
+  const std::uint64_t cs = ly_.cluster_size();
+  std::uint64_t done = 0;
+  while (done < entries.size()) {
+    const std::uint64_t pos = vaddr + done * cs;
+    VMIC_CO_TRY_VOID(co_await ensure_l2_table(pos));
+    const std::uint64_t l2_off = l1_[ly_.l1_index(pos)] & kOffsetMask;
+    VMIC_CO_TRY(l2, co_await load_l2(l2_off));
+    const std::uint64_t i2 = ly_.l2_index(pos);
+    const std::uint64_t count = std::min<std::uint64_t>(
+        entries.size() - done, ly_.l2_entries() - i2);
+    std::vector<std::uint8_t> be(count * 8);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      (*l2)[i2 + k] = entries[done + k];
+      store_be64(be.data() + k * 8, entries[done + k]);
+    }
+    VMIC_CO_TRY_VOID(co_await file_->pwrite(l2_off + i2 * 8, be));
+    done += count;
+  }
+  co_return ok_result();
+}
+
 sim::Task<Result<void>> Qcow2Device::write_zeroes(std::uint64_t off,
                                                   std::uint64_t len) {
   if (off + len > h_.size) co_return Errc::out_of_range;
@@ -1293,6 +1652,14 @@ sim::Task<Result<void>> Qcow2Device::write_zeroes(std::uint64_t off,
         VMIC_CO_TRY_VOID(
             co_await free_clusters(ext.host_off, clusters, slots));
         data_clusters_ -= clusters;
+      } else if (ext.kind == MapKind::compressed) {
+        // Same dereference-before-free barrier; the payload's host
+        // cluster only frees when its last sharer leaves.
+        VMIC_CO_TRY_VOID(co_await file_->flush());
+        const RefHint slots{(l1_[ly_.l1_index(pos)] & kOffsetMask) +
+                                ly_.l2_index(pos) * 8,
+                            /*run=*/false};
+        VMIC_CO_TRY_VOID(co_await free_compressed_entry(ext.entry, slots));
       }
       pos += clusters * cs;
     }
@@ -1337,6 +1704,12 @@ sim::Task<Result<void>> Qcow2Device::discard(std::uint64_t off,
                           /*run=*/false};
       VMIC_CO_TRY_VOID(co_await free_clusters(ext.host_off, clusters, slots));
       data_clusters_ -= clusters;
+    } else if (ext.kind == MapKind::compressed) {
+      VMIC_CO_TRY_VOID(co_await file_->flush());
+      const RefHint slots{(l1_[ly_.l1_index(pos)] & kOffsetMask) +
+                              ly_.l2_index(pos) * 8,
+                          /*run=*/false};
+      VMIC_CO_TRY_VOID(co_await free_compressed_entry(ext.entry, slots));
     }
     pos += clusters * cs;
   }
@@ -1818,8 +2191,26 @@ sim::Task<Result<RepairReport>> Qcow2Device::repair() {
     bool table_changed = false;
     for (std::uint64_t i2 = 0; i2 < l2->size(); ++i2) {
       const std::uint64_t e = (*l2)[i2];
+      if ((e & kFlagCompressed) != 0) {
+        // A compressed payload holds one reference on its (possibly
+        // shared) host cluster. Validate the descriptor's extent; a
+        // pointer into nowhere is cleared like any other.
+        const Layout::CompressedDesc d = ly_.decode_compressed(e);
+        const std::uint64_t payload_end = d.offset + d.sectors * 512;
+        if (!ly_.compressed_desc_sane(d) ||
+            payload_end > file_clusters * cs) {
+          (*l2)[i2] = 0;
+          table_changed = true;
+          ++rep.entries_cleared;
+          continue;
+        }
+        const std::uint64_t host = align_down(d.offset, cs);
+        if (expected[host / cs] == 0) ++data_clusters;
+        mark(host, 1);
+        continue;
+      }
       const std::uint64_t off = e & kOffsetMask;
-      if ((e & kFlagCompressed) != 0 || (off != 0 && !valid(off))) {
+      if (off != 0 && !valid(off)) {
         (*l2)[i2] = 0;
         table_changed = true;
         ++rep.entries_cleared;
@@ -1970,6 +2361,11 @@ sim::Task<Result<CheckResult>> Qcow2Device::check() {
   const std::uint64_t cs = ly_.cluster_size();
   const std::uint64_t file_clusters = div_ceil(file_->size(), cs);
   std::vector<std::uint16_t> expected(file_clusters, 0);
+  // What marked each host cluster: 0 = nothing, 1 = a normal (exclusive)
+  // reference, 2 = compressed payloads. Compressed payloads may share a
+  // host cluster with each other (refcount = number of referencing L2
+  // entries), never with a normal reference.
+  std::vector<std::uint8_t> mark_kind(file_clusters, 0);
   CheckResult res;
 
   auto mark = [&](std::uint64_t off, std::uint64_t clusters,
@@ -1982,6 +2378,7 @@ sim::Task<Result<CheckResult>> Qcow2Device::check() {
     for (std::uint64_t i = 0; i < clusters; ++i) {
       if (expected[first + i] != 0) ++res.corruptions;  // overlap
       expected[first + i] = 1;
+      mark_kind[first + i] = 1;
     }
     if (metadata) {
       res.metadata_clusters += clusters;
@@ -1989,6 +2386,26 @@ sim::Task<Result<CheckResult>> Qcow2Device::check() {
       res.data_clusters += clusters;
     }
     return true;
+  };
+
+  auto mark_compressed = [&](std::uint64_t entry) {
+    const Layout::CompressedDesc d = ly_.decode_compressed(entry);
+    const std::uint64_t end = d.offset + d.sectors * 512;
+    if (!ly_.compressed_desc_sane(d) || end > file_clusters * cs) {
+      ++res.corruptions;
+      return;
+    }
+    const std::uint64_t c = d.offset / cs;
+    if (mark_kind[c] == 1) {
+      ++res.corruptions;  // collides with an exclusive reference
+      return;
+    }
+    if (mark_kind[c] == 0) {
+      mark_kind[c] = 2;
+      ++res.data_clusters;
+    }
+    if (expected[c] != 0xffff) ++expected[c];
+    ++res.compressed_clusters;
   };
 
   // Header area.
@@ -2010,7 +2427,7 @@ sim::Task<Result<CheckResult>> Qcow2Device::check() {
     VMIC_CO_TRY(l2, co_await load_l2(l2_off));
     for (const std::uint64_t l2e : *l2) {
       if ((l2e & kFlagCompressed) != 0) {
-        ++res.corruptions;  // we never write compressed clusters
+        mark_compressed(l2e);
         continue;
       }
       const std::uint64_t off = l2e & kOffsetMask;

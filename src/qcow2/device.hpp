@@ -24,6 +24,8 @@ struct CheckResult {
   std::uint64_t leaked_clusters = 0;    ///< refcount > references
   std::uint64_t corruptions = 0;        ///< refcount < references, overlaps,
                                         ///< out-of-file pointers
+  std::uint64_t compressed_clusters = 0;  ///< L2 entries with the
+                                          ///< compressed bit set
   [[nodiscard]] bool clean() const noexcept {
     return leaked_clusters == 0 && corruptions == 0;
   }
@@ -145,6 +147,28 @@ class Qcow2Device final : public block::BlockDevice {
     return cor_single_flight_;
   }
 
+  // --- compressed clusters (cache CoR fills) ------------------------------
+  /// Opt CoR fills into compressed-cluster storage: compressible clusters
+  /// are stored as LZSS payloads packed sector-aligned into shared host
+  /// clusters (the qcow2 compressed bit/offset-mask layout), so the cache
+  /// file's physical footprint — what the quota bounds — shrinks.
+  /// Incompressible clusters fall back to the plain path. Ignored (stays
+  /// off) on journaled images: the refcount journal's verified-recompute
+  /// replay assumes one reference slot per cluster run, which shared
+  /// compressed host clusters break. No effect below 2 KiB clusters
+  /// (payloads are sector-granular; nothing can shrink).
+  void set_cor_compress(bool on);
+  [[nodiscard]] bool cor_compress() const noexcept { return cor_compress_; }
+
+  /// Physical-vs-logical footprint of compressed clusters (an L1/L2 walk;
+  /// used by vmi-img info and the benches).
+  struct CompressionStats {
+    std::uint64_t compressed_clusters = 0;  ///< L2 entries, logical
+    std::uint64_t physical_bytes = 0;       ///< sector-padded payload bytes
+    std::uint64_t logical_bytes = 0;        ///< compressed_clusters * cs
+  };
+  sim::Task<Result<CompressionStats>> compression_stats();
+
   // --- peer cache tier (vmic::peer) --------------------------------------
   /// Interceptor for backing-image fetches: given a guest byte range,
   /// either fill `dst` entirely and return true, or return false (or an
@@ -229,7 +253,7 @@ class Qcow2Device final : public block::BlockDevice {
   }
 
   /// Allocation classes a virtual range can be in.
-  enum class MapKind { unallocated, zero, data };
+  enum class MapKind { unallocated, zero, data, compressed };
 
   /// Public mapping query: the allocation status at `vaddr` and the
   /// length of the extent sharing it (capped at `max_len`). Used by
@@ -286,6 +310,13 @@ class Qcow2Device final : public block::BlockDevice {
     obs::Counter* journal_replays = nullptr;
     obs::Counter* journal_entries_replayed = nullptr;
     obs::Counter* journal_fallbacks = nullptr;
+    // qcow2.compressed.* — created lazily by set_cor_compress(true), not
+    // bind_obs, so compression-off runs keep their metrics snapshots
+    // byte-identical to the pre-compression golden pins.
+    obs::Counter* comp_clusters = nullptr;
+    obs::Counter* comp_bytes_saved = nullptr;
+    obs::Counter* comp_fallbacks = nullptr;
+    obs::Counter* comp_reads = nullptr;
   };
   static void bump(obs::Counter* c, std::uint64_t n = 1) {
     if (c != nullptr) c->inc(n);
@@ -299,6 +330,7 @@ class Qcow2Device final : public block::BlockDevice {
     MapKind kind;
     std::uint64_t host_off;  // valid when kind == data
     std::uint64_t len;
+    std::uint64_t entry = 0;  // raw L2 entry when kind == compressed
   };
 
   /// Where the table slot(s) referencing a cluster run live on disk —
@@ -323,6 +355,11 @@ class Qcow2Device final : public block::BlockDevice {
   /// COPIED/offset packing — caller passes the exact entry).
   sim::Task<Result<void>> set_l2_raw(std::uint64_t vaddr, std::uint64_t entry,
                                      std::uint64_t count);
+  /// Set one distinct raw L2 entry per cluster for a virtually-contiguous
+  /// run from `vaddr`. One metadata write per touched L2 table, not per
+  /// entry (the compressed fill path publishes whole runs).
+  sim::Task<Result<void>> set_l2_raw_run(std::uint64_t vaddr,
+                                         std::span<const std::uint64_t> entries);
 
   // Address translation / metadata.
   sim::Task<Result<std::vector<std::uint64_t>*>> load_l2(
@@ -401,6 +438,31 @@ class Qcow2Device final : public block::BlockDevice {
                                               std::span<std::uint8_t> dst);
   sim::Task<Result<void>> cor_store(std::uint64_t vaddr,
                                     std::span<const std::uint8_t> data);
+  /// Store a run of cluster-aligned fill clusters as compressed payloads
+  /// (plain single clusters where incompressible). Batched like the plain
+  /// run store: all payloads land, then ONE flush barrier, then all L2
+  /// entries publish — per-cluster flushes would make compression pay a
+  /// positioning cost per 4 KiB and dominate the fill latency.
+  sim::Task<Result<void>> cor_store_compressed_run(
+      std::uint64_t vaddr, std::span<const std::uint8_t> data);
+  /// Serve a read that maps to a compressed extent: load + decompress the
+  /// payload, copy the requested sub-range.
+  sim::Task<Result<void>> read_compressed(std::uint64_t pos,
+                                          const Extent& ext,
+                                          std::span<std::uint8_t> dst);
+  /// Bump the refcount of one already-allocated host cluster by one (a
+  /// second compressed payload packed into it). Caller holds alloc_mutex_.
+  sim::Task<Result<void>> incref_cluster(std::uint64_t cluster_idx);
+  /// Decompress-modify-write: replace a compressed cluster with a plain
+  /// data cluster carrying `sub` at `pos` (guest write / zero path).
+  sim::Task<Result<void>> rewrite_compressed(std::uint64_t pos,
+                                             const Extent& ext,
+                                             std::span<const std::uint8_t> sub);
+  /// Drop one compressed L2 reference: decrement the payload's host
+  /// cluster (freeing it when the last sharer leaves). Caller holds
+  /// alloc_mutex_ and already published the new L2 entry + barrier.
+  sim::Task<Result<void>> free_compressed_entry(std::uint64_t entry,
+                                                RefHint hint);
   /// Disable population permanently for this open (first failure wins;
   /// concurrent failures count once).
   void cor_stop(Errc cause);
@@ -470,6 +532,16 @@ class Qcow2Device final : public block::BlockDevice {
   bool cor_single_flight_ = true;
   BackingFetchHook fetch_hook_;
   CorFillObserver fill_observer_;
+
+  /// Compressed CoR fills (off by default; see set_cor_compress).
+  bool cor_compress_ = false;
+  /// The "open" packing cluster: host byte offset of the cluster new
+  /// compressed payloads are appended into (0 = none), and the next free
+  /// 512-byte sector inside it. Session-local — a reopen wastes the open
+  /// tail, it never dangles (the cluster's refcount covers the published
+  /// references only).
+  std::uint64_t comp_cluster_off_ = 0;
+  std::uint64_t comp_next_sector_ = 0;
 
   obs::Hub* hub_ = nullptr;
   std::uint32_t track_ = 0;

@@ -50,6 +50,51 @@ struct Layout {
     return static_cast<std::uint32_t>(div_ceil(size, bytes_per_l2()));
   }
 
+  // --- compressed cluster descriptors (L2 entries with bit 62 set) ------
+  //
+  // Layout follows the real qcow2 split: with x = 62 - (cluster_bits - 8),
+  // bits [0, x) hold the host byte offset of the payload and bits [x, 62)
+  // hold the payload's 512-byte sector count minus one. Unlike QEMU we
+  // only ever emit sector-aligned payloads that never straddle a host
+  // cluster boundary, so each descriptor references exactly one host
+  // cluster (whose refcount counts one per referencing L2 entry).
+
+  struct CompressedDesc {
+    std::uint64_t offset = 0;   ///< host byte offset (512-aligned)
+    std::uint64_t sectors = 0;  ///< payload length in 512-byte sectors
+  };
+
+  /// x: number of offset bits in a compressed descriptor.
+  [[nodiscard]] constexpr std::uint32_t comp_offset_bits() const {
+    return 62 - (cluster_bits - 8);
+  }
+  [[nodiscard]] constexpr std::uint64_t comp_offset_mask() const {
+    return (1ull << comp_offset_bits()) - 1;
+  }
+  [[nodiscard]] constexpr std::uint64_t comp_sectors_mask() const {
+    return (1ull << (62 - comp_offset_bits())) - 1;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t encode_compressed(
+      CompressedDesc d) const {
+    return kFlagCompressed | (d.offset & comp_offset_mask()) |
+           (((d.sectors - 1) & comp_sectors_mask()) << comp_offset_bits());
+  }
+  [[nodiscard]] constexpr CompressedDesc decode_compressed(
+      std::uint64_t entry) const {
+    return CompressedDesc{
+        entry & comp_offset_mask(),
+        ((entry >> comp_offset_bits()) & comp_sectors_mask()) + 1};
+  }
+
+  /// Our writer's invariant for a well-formed descriptor: sector-aligned
+  /// payload contained in a single host cluster.
+  [[nodiscard]] constexpr bool compressed_desc_sane(CompressedDesc d) const {
+    if (d.offset % 512 != 0 || d.sectors == 0) return false;
+    const std::uint64_t end = d.offset + d.sectors * 512;
+    return (d.offset >> cluster_bits) == ((end - 1) >> cluster_bits);
+  }
+
   // --- refcount structures (refcount_order = 4, 16-bit entries) ---------
 
   /// Refcount entries per refcount block (one cluster of u16).

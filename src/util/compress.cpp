@@ -1,0 +1,123 @@
+#include "util/compress.hpp"
+
+#include <cstring>
+
+namespace vmic {
+
+namespace {
+
+constexpr std::size_t kWindowBits = 12;
+constexpr std::size_t kWindow = 1u << kWindowBits;  // 4096
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = kMinMatch + 15;  // 4-bit length field
+
+constexpr std::size_t kHashBits = 13;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+inline std::uint32_t hash3(const std::uint8_t* p) {
+  // 3-byte multiplicative hash; deterministic and platform-independent.
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::size_t lzss_compress(std::span<const std::uint8_t> src,
+                          std::span<std::uint8_t> dst, std::size_t max_out) {
+  const std::size_t n = src.size();
+  if (n == 0 || max_out == 0 || dst.size() < max_out) return 0;
+
+  // head[h] = most recent source position with hash h (+1; 0 = empty).
+  std::vector<std::uint32_t> head(kHashSize, 0);
+
+  std::size_t out = 0;
+  std::size_t pos = 0;
+  while (pos < n) {
+    // Reserve the flag byte for the next (up to) 8 tokens.
+    if (out >= max_out) return 0;
+    const std::size_t flag_at = out++;
+    std::uint8_t flags = 0;
+    for (int bit = 0; bit < 8 && pos < n; ++bit) {
+      std::size_t best_len = 0;
+      std::size_t best_off = 0;
+      if (pos + kMinMatch <= n) {
+        const std::uint32_t h = hash3(src.data() + pos);
+        const std::uint32_t cand1 = head[h];
+        if (cand1 != 0) {
+          const std::size_t cand = cand1 - 1;
+          if (cand < pos && pos - cand <= kWindow) {
+            const std::size_t limit =
+                (n - pos) < kMaxMatch ? (n - pos) : kMaxMatch;
+            std::size_t len = 0;
+            while (len < limit && src[cand + len] == src[pos + len]) ++len;
+            if (len >= kMinMatch) {
+              best_len = len;
+              best_off = pos - cand;
+            }
+          }
+        }
+        head[h] = static_cast<std::uint32_t>(pos + 1);
+      }
+      if (best_len >= kMinMatch) {
+        if (out + 2 > max_out) return 0;
+        flags |= static_cast<std::uint8_t>(1u << bit);
+        // 12-bit offset-1 in the low bits, 4-bit length-3 in the top.
+        const std::uint32_t tok =
+            static_cast<std::uint32_t>(best_off - 1) |
+            (static_cast<std::uint32_t>(best_len - kMinMatch) << kWindowBits);
+        dst[out++] = static_cast<std::uint8_t>(tok & 0xff);
+        dst[out++] = static_cast<std::uint8_t>((tok >> 8) & 0xff);
+        // Index the interior of the match too (cheaply: every position),
+        // so runs keep matching against their own tail.
+        const std::size_t end = pos + best_len;
+        for (std::size_t p = pos + 1; p + kMinMatch <= n && p < end; ++p) {
+          head[hash3(src.data() + p)] = static_cast<std::uint32_t>(p + 1);
+        }
+        pos = end;
+      } else {
+        if (out + 1 > max_out) return 0;
+        dst[out++] = src[pos++];
+      }
+    }
+    dst[flag_at] = flags;
+  }
+  return out < n ? out : 0;
+}
+
+bool lzss_decompress(std::span<const std::uint8_t> src,
+                     std::span<std::uint8_t> dst) {
+  const std::size_t n = dst.size();
+  std::size_t in = 0;
+  std::size_t out = 0;
+  while (out < n) {
+    if (in >= src.size()) return false;
+    const std::uint8_t flags = src[in++];
+    for (int bit = 0; bit < 8 && out < n; ++bit) {
+      if ((flags >> bit) & 1u) {
+        if (in + 2 > src.size()) return false;
+        const std::uint32_t tok =
+            static_cast<std::uint32_t>(src[in]) |
+            (static_cast<std::uint32_t>(src[in + 1]) << 8);
+        in += 2;
+        const std::size_t off = (tok & (kWindow - 1)) + 1;
+        const std::size_t len = (tok >> kWindowBits) + kMinMatch;
+        if (off > out || out + len > n) return false;
+        // Byte-by-byte: matches may overlap their own output (RLE).
+        for (std::size_t i = 0; i < len; ++i) {
+          dst[out] = dst[out - off];
+          ++out;
+        }
+      } else {
+        if (in >= src.size()) return false;
+        dst[out++] = src[in++];
+      }
+    }
+  }
+  // Trailing input bytes are tolerated: compressed payloads are stored
+  // sector-padded, so the stream may be followed by zero fill.
+  return out == n;
+}
+
+}  // namespace vmic

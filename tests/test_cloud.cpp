@@ -269,6 +269,128 @@ TEST(Cloud, RejectsWhenAdmissionQueueOverflows) {
   expect_terminal_accounting(r);
 }
 
+// --- dedup ------------------------------------------------------------------
+
+// Sibling-group content model + content-addressed dedup + compressed
+// cache clusters, on a config small enough to stay sub-second.
+CloudConfig dedup_config(std::uint64_t seed) {
+  CloudConfig cfg = small_config(seed);
+  cfg.workload.num_vmis = 8;
+  cfg.sibling_group_size = 4;
+  cfg.cache_cluster_bits = 12;
+  cfg.dedup = true;
+  cfg.cache_compress = true;
+  // Keep the host-side content model small: full-size images would
+  // materialise gigabytes per run. Half the image carries content, the
+  // rest stays zero so the zero-detection tier is exercised too.
+  cfg.profile.image_size = 64 * MiB;
+  cfg.profile.unique_read_bytes = 12 * MiB;
+  cfg.content_bytes = 32 * MiB;
+  return cfg;
+}
+
+TEST(Cloud, DedupServesSiblingFillsLocally) {
+  CloudConfig off = dedup_config(31);
+  off.dedup = false;
+  off.cache_compress = false;
+  const CloudResult rb = run_cloud(off);
+  const CloudResult rd = run_cloud(dedup_config(31));
+
+  // Sibling images share content: the fingerprint index must convert
+  // that into local fills, and the storage node must serve fewer bytes.
+  EXPECT_GT(rd.dedup_local_hits, 0u);
+  EXPECT_GT(rd.dedup_bytes_served, 0u);
+  EXPECT_LT(rd.storage_payload_bytes, rb.storage_payload_bytes);
+  // Same workload either way: dedup is transparent to the outcome.
+  EXPECT_EQ(rd.arrivals, rb.arrivals);
+  EXPECT_EQ(rd.completed, rb.completed);
+  expect_terminal_accounting(rb);
+  expect_terminal_accounting(rd);
+  // Counters mirror the result fields.
+  EXPECT_EQ(rd.metrics.counter_total("dedup.local_hits"),
+            rd.dedup_local_hits);
+  EXPECT_EQ(rd.metrics.counter_total("dedup.zero_fills"),
+            rd.dedup_zero_fills);
+  EXPECT_EQ(rd.metrics.counter_total("dedup.peer_hits"), rd.dedup_peer_hits);
+  EXPECT_EQ(rd.metrics.counter_total("dedup.fallbacks"), rd.dedup_fallbacks);
+  EXPECT_EQ(rd.metrics.counter_total("dedup.bytes_served"),
+            rd.dedup_bytes_served);
+  // Compression actually engaged on the cache tier.
+  EXPECT_GT(rd.metrics.counter_total("qcow2.compressed.clusters"), 0u);
+}
+
+TEST(Cloud, DedupDeterministicPerSeed) {
+  const CloudResult r1 = run_cloud(dedup_config(32));
+  const CloudResult r2 = run_cloud(dedup_config(32));
+  EXPECT_EQ(r1.dedup_local_hits, r2.dedup_local_hits);
+  EXPECT_EQ(r1.dedup_zero_fills, r2.dedup_zero_fills);
+  EXPECT_EQ(r1.dedup_peer_hits, r2.dedup_peer_hits);
+  EXPECT_EQ(r1.dedup_bytes_served, r2.dedup_bytes_served);
+  EXPECT_DOUBLE_EQ(r1.deploy.mean, r2.deploy.mean);
+  const std::string t1 = r1.metrics.to_text();
+  ASSERT_FALSE(t1.empty());
+  EXPECT_EQ(t1, r2.metrics.to_text());
+}
+
+TEST(Cloud, DedupOffEmitsNoDedupMetrics) {
+  // The golden-pin contract: a dedup-off run must not even create the
+  // dedup.* / qcow2.compressed.* metric families.
+  const CloudResult r = run_cloud(small_config(33));
+  const std::string t = r.metrics.to_text();
+  EXPECT_EQ(t.find("dedup."), std::string::npos);
+  EXPECT_EQ(t.find("qcow2.compressed."), std::string::npos);
+  EXPECT_EQ(r.dedup_local_hits + r.dedup_zero_fills + r.dedup_peer_hits +
+                r.dedup_fallbacks + r.dedup_bytes_served,
+            0u);
+}
+
+TEST(Cloud, DedupIndexDropsEvictedImages) {
+  // A cache quota far below the sibling working set forces evictions;
+  // every eviction must also leave the fingerprint index (a stale entry
+  // can only degrade to a miss, but the bookkeeping must stay exact for
+  // the run to be deterministic and leak-free).
+  CloudConfig cfg = dedup_config(34);
+  // Two nodes whose cache pools hold ~3 images each, against 8 popular
+  // images: constant adoption churn.
+  cfg.cluster.compute_nodes = 2;
+  cfg.cache_quota = 8 * MiB;
+  cfg.cluster.node_cache_capacity = 24 * MiB;
+  const CloudResult r = run_cloud(cfg);
+  EXPECT_GT(r.cache_evictions, 0u);
+  expect_terminal_accounting(r);
+  const CloudResult r2 = run_cloud(cfg);
+  EXPECT_EQ(r.metrics.to_text(), r2.metrics.to_text());
+}
+
+TEST(Cloud, DedupSurvivesCrashAndSalvage) {
+  // Node crashes wipe the per-node index; salvage re-adopts clean caches
+  // and re-indexes their populated clusters. The run must stay lossless
+  // and deterministic through both.
+  CloudConfig cfg = dedup_config(35);
+  cfg.cluster.compute_nodes = 4;
+  cfg.failures.crashes.push_back({250.0, 120.0, 0});
+  cfg.failures.crashes.push_back({500.0, 60.0, 1});
+  const CloudResult r = run_cloud(cfg);
+  EXPECT_EQ(r.node_crashes, 2);
+  EXPECT_EQ(r.node_recoveries, 2);
+  expect_terminal_accounting(r);
+  const CloudResult r2 = run_cloud(cfg);
+  EXPECT_EQ(r.metrics.to_text(), r2.metrics.to_text());
+}
+
+TEST(Cloud, DedupWithPeerServesContentAcrossNodes) {
+  // With the peer tier on, a fingerprint hit on a remote node's cache is
+  // served over the fabric (content-keyed), not from NFS.
+  CloudConfig cfg = dedup_config(36);
+  cfg.cluster.compute_nodes = 4;
+  cfg.peer_transfer = true;
+  const CloudResult r = run_cloud(cfg);
+  expect_terminal_accounting(r);
+  EXPECT_GT(r.dedup_local_hits + r.dedup_peer_hits, 0u);
+  const CloudResult r2 = run_cloud(cfg);
+  EXPECT_EQ(r.metrics.to_text(), r2.metrics.to_text());
+}
+
 // --- scale ------------------------------------------------------------------
 
 TEST(CloudStress, TenThousandNodesHundredThousandSessions) {

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "dedup/index.hpp"
 #include "dedup/store.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
@@ -65,12 +66,25 @@ TEST(BlockStore, ReleaseFreesAtZero) {
   EXPECT_EQ(store.ref_count(id2), 1u);
 }
 
-TEST(BlockStore, ShortTailBlocksSupported) {
+TEST(BlockStore, ShortTailBlocksCanonicalized) {
   BlockStore store{4096};
   const auto tail = pattern_bytes(3, 100);
   const auto id = store.put(tail);
-  EXPECT_EQ(store.get(id).size(), 100u);
-  EXPECT_EQ(store.stored_bytes(), 100u);
+  // Tails are canonicalized: stored zero-padded to the block size, so a
+  // partial tail deduplicates against its zero-padded full-block twin
+  // (the cache path hashes whole zero-padded clusters).
+  const auto back = store.get(id);
+  ASSERT_EQ(back.size(), 4096u);
+  EXPECT_EQ(0, std::memcmp(back.data(), tail.data(), tail.size()));
+  for (std::size_t i = tail.size(); i < back.size(); ++i) {
+    ASSERT_EQ(back[i], 0u) << "pad byte " << i;
+  }
+  std::vector<std::uint8_t> padded(4096, 0);
+  std::memcpy(padded.data(), tail.data(), tail.size());
+  EXPECT_EQ(store.put(padded), id);
+  EXPECT_EQ(store.unique_blocks(), 1u);
+  EXPECT_EQ(store.stored_bytes(), 4096u);
+  EXPECT_EQ(store.logical_bytes(), 100u + 4096u);
 }
 
 // Property: dedup must be byte-exact even under (synthetic) digest
@@ -152,6 +166,68 @@ TEST(DedupFile, PartialOverlapAccounting) {
   EXPECT_EQ(store.logical_bytes(), 4 * 512 * KiB);
   EXPECT_EQ(a.exclusive_bytes(), 512 * KiB);
   EXPECT_EQ(b.exclusive_bytes(), 512 * KiB);
+}
+
+// ---------------------------------------------------------------------------
+// FingerprintIndex
+// ---------------------------------------------------------------------------
+
+TEST(FingerprintIndex, FindReturnsSmallestLocation) {
+  FingerprintIndex idx;
+  idx.add(42, "vmi2.qcow2", 7);
+  idx.add(42, "vmi1.qcow2", 9);
+  idx.add(42, "vmi1.qcow2", 3);
+  const auto* loc = idx.find(42);
+  ASSERT_NE(loc, nullptr);
+  EXPECT_EQ(loc->image, "vmi1.qcow2");
+  EXPECT_EQ(loc->cluster, 3u);
+  EXPECT_EQ(idx.locations(), 3u);
+  EXPECT_EQ(idx.unique_fingerprints(), 1u);
+  EXPECT_EQ(idx.find(43), nullptr);
+}
+
+TEST(FingerprintIndex, AddIsIdempotent) {
+  FingerprintIndex idx;
+  idx.add(1, "a", 0);
+  idx.add(1, "a", 0);
+  EXPECT_EQ(idx.locations(), 1u);
+  idx.remove(1, "a", 0);
+  EXPECT_EQ(idx.locations(), 0u);
+  EXPECT_EQ(idx.find(1), nullptr);
+  EXPECT_FALSE(idx.has_image("a"));
+}
+
+TEST(FingerprintIndex, RemoveImageDropsEveryLocation) {
+  FingerprintIndex idx;
+  idx.add(1, "a", 0);
+  idx.add(1, "b", 0);
+  idx.add(2, "a", 5);
+  idx.add(3, "a", 6);
+  idx.remove_image("a");
+  EXPECT_FALSE(idx.has_image("a"));
+  EXPECT_TRUE(idx.has_image("b"));
+  EXPECT_EQ(idx.locations(), 1u);
+  ASSERT_NE(idx.find(1), nullptr);
+  EXPECT_EQ(idx.find(1)->image, "b");
+  EXPECT_EQ(idx.find(2), nullptr);
+  EXPECT_EQ(idx.find(3), nullptr);
+  // Removing an absent image is a no-op.
+  idx.remove_image("a");
+  EXPECT_EQ(idx.locations(), 1u);
+}
+
+TEST(FingerprintIndex, RemoveSingleLocationKeepsOthers) {
+  FingerprintIndex idx;
+  idx.add(9, "a", 1);
+  idx.add(9, "a", 2);
+  idx.remove(9, "a", 1);
+  ASSERT_NE(idx.find(9), nullptr);
+  EXPECT_EQ(idx.find(9)->cluster, 2u);
+  EXPECT_TRUE(idx.has_image("a"));
+  // Unknown removals are no-ops.
+  idx.remove(9, "zzz", 0);
+  idx.remove(12345, "a", 2);
+  EXPECT_EQ(idx.locations(), 1u);
 }
 
 }  // namespace

@@ -45,6 +45,27 @@ std::vector<std::uint8_t> pattern_bytes(std::uint64_t seed, std::size_t n) {
   return v;
 }
 
+/// Compressible base content: runs of repeated bytes mixed with literal
+/// noise, the shape OS images actually have. Seeded and deterministic.
+std::vector<std::uint8_t> mixed_bytes(std::uint64_t seed, std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  Rng rng{seed};
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t run = std::min<std::size_t>(1 + rng.below(512), n - i);
+    if (rng.chance(0.7)) {
+      const auto b = static_cast<std::uint8_t>(rng.next());
+      std::memset(v.data() + i, b, run);
+    } else {
+      for (std::size_t k = 0; k < run; ++k) {
+        v[i + k] = static_cast<std::uint8_t>(rng.next());
+      }
+    }
+    i += run;
+  }
+  return v;
+}
+
 struct ModelParams {
   std::uint64_t seed = 1;
   std::uint32_t cache_bits = 9;
@@ -52,6 +73,10 @@ struct ModelParams {
   int ops = 300;
   std::uint64_t image_size = 1_MiB;
   std::uint64_t max_op_len = 200 * 1024;
+  /// Store CoR fills compressed (cache tier only).
+  bool compress = false;
+  /// Use compressible mixed content for the base instead of pure noise.
+  bool compressible_base = false;
 };
 
 /// Run one seeded differential session. Uses ASSERT_* internally — call
@@ -61,7 +86,9 @@ void run_differential(const ModelParams& p) {
 
   auto base = store.create_file("base.img");
   ASSERT_TRUE(base.ok());
-  const auto base_data = pattern_bytes(p.seed ^ 0x9e3779b9, p.image_size);
+  const auto base_data = p.compressible_base
+                             ? mixed_bytes(p.seed ^ 0x9e3779b9, p.image_size)
+                             : pattern_bytes(p.seed ^ 0x9e3779b9, p.image_size);
   ASSERT_TRUE(sync_wait((*base)->pwrite(0, base_data)).ok());
 
   auto c = sync_wait(create_cache_image(
@@ -71,6 +98,11 @@ void run_differential(const ModelParams& p) {
   ASSERT_TRUE(sync_wait(create_cow_image(store, "vm.cow", "vmi.cache")).ok());
   auto dev = sync_wait(open_image(store, "vm.cow"));
   ASSERT_TRUE(dev.ok()) << to_string(dev.error());
+  if (p.compress) {
+    auto* c0 = dynamic_cast<Qcow2Device*>((*dev)->backing());
+    ASSERT_NE(c0, nullptr);
+    c0->set_cor_compress(true);
+  }
 
   // The flat reference: what a correct virtual disk must read as.
   std::vector<std::uint8_t> model = base_data;
@@ -111,13 +143,30 @@ void run_differential(const ModelParams& p) {
   ASSERT_TRUE(cache->is_cache_image());
 
   // CoR accounting invariant: the cache's data clusters exist only
-  // because copy-on-read stored them, at cluster granularity.
-  EXPECT_EQ(cache->stats().cor_clusters * cache->cluster_size(),
-            cache->allocated_data_bytes())
-      << oplog;
+  // because copy-on-read stored them. cor_bytes counts logical bytes in
+  // both modes; the physical allocation matches it exactly when plain,
+  // and can only shrink when compressed (payload packing).
   EXPECT_EQ(cache->stats().cor_bytes,
             cache->stats().cor_clusters * cache->cluster_size())
       << oplog;
+  if (!p.compress) {
+    EXPECT_EQ(cache->stats().cor_clusters * cache->cluster_size(),
+              cache->allocated_data_bytes())
+        << oplog;
+  } else {
+    EXPECT_LE(cache->allocated_data_bytes(),
+              cache->stats().cor_clusters * cache->cluster_size())
+        << oplog;
+    auto cst = sync_wait(cache->compression_stats());
+    ASSERT_TRUE(cst.ok());
+    EXPECT_EQ(cst->logical_bytes, cst->compressed_clusters *
+                                      cache->cluster_size())
+        << oplog;
+    EXPECT_LE(cst->physical_bytes, cst->logical_bytes) << oplog;
+    if (p.compressible_base) {
+      EXPECT_GT(cst->compressed_clusters, 0u) << oplog;
+    }
+  }
 
   // Quota is a hard bound on the cache file (§3: "maximum file size").
   EXPECT_LE(cache->file_bytes(), p.quota) << oplog;
@@ -172,6 +221,99 @@ TEST(Qcow2Model, WriteHeavyMix) {
   ModelParams p{.seed = 505, .cache_bits = 9, .quota = 1_MiB, .ops = 400};
   p.max_op_len = 64 * 1024;
   ASSERT_NO_FATAL_FAILURE(run_differential(p));
+}
+
+TEST(Qcow2Model, Compressed4KClusters) {
+  // Compressed CoR fills against the flat reference: translation,
+  // payload packing, rewrite-on-write and the physical-bytes accounting
+  // all run under the same differential harness.
+  ASSERT_NO_FATAL_FAILURE(run_differential({.seed = 707,
+                                            .cache_bits = 12,
+                                            .quota = 4_MiB,
+                                            .ops = 300,
+                                            .compress = true,
+                                            .compressible_base = true}));
+}
+
+TEST(Qcow2Model, CompressedIncompressibleContent) {
+  // Pure noise: every cluster falls back to the plain store — the mixed
+  // plain/compressed bookkeeping must still balance exactly.
+  ASSERT_NO_FATAL_FAILURE(run_differential({.seed = 808,
+                                            .cache_bits = 12,
+                                            .quota = 4_MiB,
+                                            .ops = 200,
+                                            .compress = true,
+                                            .compressible_base = false}));
+}
+
+TEST(Qcow2Model, CompressedTightQuota) {
+  // ENOSPC mid-run with packed payloads: the run stops at the quota edge
+  // and reads keep bypassing population correctly.
+  ASSERT_NO_FATAL_FAILURE(run_differential({.seed = 909,
+                                            .cache_bits = 12,
+                                            .quota = 256_KiB,
+                                            .ops = 300,
+                                            .compress = true,
+                                            .compressible_base = true}));
+}
+
+TEST(Qcow2Model, Compressed64KClusters) {
+  ASSERT_NO_FATAL_FAILURE(run_differential({.seed = 1010,
+                                            .cache_bits = 16,
+                                            .quota = 4_MiB,
+                                            .ops = 150,
+                                            .compress = true,
+                                            .compressible_base = true}));
+}
+
+TEST(Qcow2Model, CompressedSurvivesReopen) {
+  // Compressed clusters are an on-disk format feature, not a session
+  // flag: a reopen that never calls set_cor_compress must still read
+  // them, count them, and check clean.
+  MemImageStore store;
+  constexpr std::uint64_t kSize = 1_MiB;
+  auto base = store.create_file("base.img");
+  ASSERT_TRUE(base.ok());
+  const auto base_data = mixed_bytes(42, kSize);
+  ASSERT_TRUE(sync_wait((*base)->pwrite(0, base_data)).ok());
+  ASSERT_TRUE(sync_wait(create_cache_image(
+                  store, "vmi.cache", "base.img", 4_MiB,
+                  {.cluster_bits = 12, .virtual_size = 0}))
+                  .ok());
+  ASSERT_TRUE(sync_wait(create_cow_image(store, "vm.cow", "vmi.cache")).ok());
+
+  std::uint64_t compressed = 0;
+  {
+    auto dev = sync_wait(open_image(store, "vm.cow"));
+    ASSERT_TRUE(dev.ok()) << to_string(dev.error());
+    auto* cache = dynamic_cast<Qcow2Device*>((*dev)->backing());
+    ASSERT_NE(cache, nullptr);
+    cache->set_cor_compress(true);
+    std::vector<std::uint8_t> buf(kSize, 0);
+    ASSERT_TRUE(sync_wait((*dev)->read(0, buf)).ok());  // fill everything
+    ASSERT_EQ(0, std::memcmp(buf.data(), base_data.data(), kSize));
+    auto cst = sync_wait(cache->compression_stats());
+    ASSERT_TRUE(cst.ok());
+    compressed = cst->compressed_clusters;
+    EXPECT_GT(compressed, 0u);
+    ASSERT_TRUE(sync_wait((*dev)->close()).ok());
+  }
+
+  auto dev = sync_wait(open_image(store, "vm.cow"));
+  ASSERT_TRUE(dev.ok()) << to_string(dev.error());
+  auto* cache = dynamic_cast<Qcow2Device*>((*dev)->backing());
+  ASSERT_NE(cache, nullptr);
+  auto cst = sync_wait(cache->compression_stats());
+  ASSERT_TRUE(cst.ok());
+  EXPECT_EQ(cst->compressed_clusters, compressed);
+  std::vector<std::uint8_t> buf(kSize, 0);
+  ASSERT_TRUE(sync_wait((*dev)->read(0, buf)).ok());
+  EXPECT_EQ(0, std::memcmp(buf.data(), base_data.data(), kSize));
+  auto chk = sync_wait(cache->check());
+  ASSERT_TRUE(chk.ok());
+  EXPECT_TRUE(chk->clean()) << "leaked=" << chk->leaked_clusters
+                            << " corrupt=" << chk->corruptions;
+  ASSERT_TRUE(sync_wait((*dev)->close()).ok());
 }
 
 TEST(Qcow2Model, JournalRoundTrip) {

@@ -2,10 +2,12 @@
 // interval sets, RNG and stats.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
 #include "util/align.hpp"
+#include "util/compress.hpp"
 #include "util/pool.hpp"
 #include "util/bytes.hpp"
 #include "util/interval_set.hpp"
@@ -435,6 +437,97 @@ TEST(FramePool, OversizeFallsThroughToHeap) {
   ASSERT_NE(p, nullptr);
   std::memset(p, 0xab, 64 * 1024);
   util::FramePool::deallocate(p, 64 * 1024);
+}
+
+// --------------------------------------------------------------------------
+// LZSS codec (qcow2 compressed clusters)
+// --------------------------------------------------------------------------
+
+TEST(Compress, RoundTripCompressible) {
+  // Repetitive content (what OS images are full of) must shrink and
+  // round-trip exactly.
+  std::vector<std::uint8_t> src(4096);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::uint8_t>((i / 64) % 7);
+  }
+  std::vector<std::uint8_t> comp(src.size());
+  const std::size_t n = lzss_compress(src, comp, src.size() - 512);
+  ASSERT_GT(n, 0u);
+  ASSERT_LT(n, src.size() - 512);
+  std::vector<std::uint8_t> back(src.size(), 0xaa);
+  ASSERT_TRUE(lzss_decompress({comp.data(), n}, back));
+  EXPECT_EQ(src, back);
+}
+
+TEST(Compress, IncompressibleReturnsZero) {
+  std::vector<std::uint8_t> src(4096);
+  Rng rng{1234};
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng.next());
+  std::vector<std::uint8_t> comp(src.size());
+  EXPECT_EQ(lzss_compress(src, comp, src.size() - 512), 0u);
+}
+
+TEST(Compress, DecompressToleratesSectorPadding) {
+  // Compressed payloads are stored sector-padded; the decoder must accept
+  // trailing garbage once the output is complete.
+  std::vector<std::uint8_t> src(4096, 0x5a);
+  std::vector<std::uint8_t> comp(src.size());
+  const std::size_t n = lzss_compress(src, comp, src.size() - 512);
+  ASSERT_GT(n, 0u);
+  const std::size_t padded = (n + 511) / 512 * 512;
+  std::vector<std::uint8_t> stream(comp.begin(),
+                                   comp.begin() + static_cast<long>(n));
+  stream.resize(padded, 0);
+  std::vector<std::uint8_t> back(src.size());
+  ASSERT_TRUE(lzss_decompress(stream, back));
+  EXPECT_EQ(src, back);
+}
+
+TEST(Compress, OverlappingRleMatches) {
+  // A run of one byte forces offset-1 self-overlapping matches — the
+  // classic LZSS RLE encoding; the decoder must copy byte-by-byte.
+  std::vector<std::uint8_t> src(1000, 0x00);
+  src[0] = 0x41;
+  std::vector<std::uint8_t> comp(src.size());
+  const std::size_t n = lzss_compress(src, comp, src.size());
+  ASSERT_GT(n, 0u);
+  std::vector<std::uint8_t> back(src.size(), 0xff);
+  ASSERT_TRUE(lzss_decompress({comp.data(), n}, back));
+  EXPECT_EQ(src, back);
+}
+
+TEST(Compress, TruncatedStreamRejected) {
+  std::vector<std::uint8_t> src(2048, 0x11);
+  std::vector<std::uint8_t> comp(src.size());
+  const std::size_t n = lzss_compress(src, comp, src.size());
+  ASSERT_GT(n, 1u);
+  std::vector<std::uint8_t> back(src.size());
+  EXPECT_FALSE(lzss_decompress({comp.data(), n / 2}, back));
+}
+
+TEST(Compress, RandomBuffersRoundTripWhenCompressible) {
+  Rng rng{77};
+  for (int iter = 0; iter < 50; ++iter) {
+    // Mixed content: random runs + literal noise, varying sizes.
+    std::vector<std::uint8_t> src(512 + rng.below(8192));
+    std::size_t i = 0;
+    while (i < src.size()) {
+      const std::size_t run =
+          std::min<std::size_t>(1 + rng.below(200), src.size() - i);
+      const bool repeat = rng.below(2) == 0;
+      const std::uint8_t v = static_cast<std::uint8_t>(rng.next());
+      for (std::size_t k = 0; k < run; ++k) {
+        src[i + k] = repeat ? v : static_cast<std::uint8_t>(rng.next());
+      }
+      i += run;
+    }
+    std::vector<std::uint8_t> comp(src.size());
+    const std::size_t n = lzss_compress(src, comp, src.size());
+    if (n == 0) continue;  // did not shrink — valid outcome
+    std::vector<std::uint8_t> back(src.size());
+    ASSERT_TRUE(lzss_decompress({comp.data(), n}, back));
+    ASSERT_EQ(src, back) << "iteration " << iter;
+  }
 }
 
 }  // namespace

@@ -24,6 +24,17 @@
 //                        repairing + re-adopting clean ones on recovery
 //     --peer on|off      peer cache tier: nodes serve each other's
 //                        copy-on-read fills, NFS only on miss (default off)
+//     --dedup on|off     content-addressed dedup in the cache-fill path:
+//                        fills whose content sits in a sibling image's
+//                        cache are served locally (or peer-fetched by
+//                        fingerprint with --peer on)        (default off)
+//     --compress on|off  qcow2 compressed clusters for cache fills
+//                        (no-op below 1 KiB cache clusters) (default off)
+//     --cluster-bits N   cache image cluster size = 2^N     (default 9)
+//     --siblings N       sibling content model: groups of N images share
+//                        --shared-frac of their cluster content (default 0)
+//     --shared-frac F    shared fraction within a group     (default 0.75)
+//     --content-mib M    generated content per image, MiB   (default whole)
 //     --trace FILE       replay a request trace CSV instead of generating
 //     --trace-out FILE   write the generated workload as CSV and exit 0
 //     --metrics-out F    write the metrics snapshot to F
@@ -51,9 +62,11 @@ namespace {
       "       [--quota MiB] [--cache-cap MiB] "
       "[--os centos|debian|windows|scaled]\n"
       "       [--attempts N] [--backoff S] [--fail-nodes N] [--outages N]\n"
-      "       [--no-salvage] [--peer on|off] [--trace FILE]"
-      " [--trace-out FILE]\n"
-      "       [--metrics-out FILE]\n");
+      "       [--no-salvage] [--peer on|off] [--dedup on|off]"
+      " [--compress on|off]\n"
+      "       [--cluster-bits N] [--siblings N] [--shared-frac F]"
+      " [--content-mib M]\n"
+      "       [--trace FILE] [--trace-out FILE] [--metrics-out FILE]\n");
   std::exit(2);
 }
 
@@ -163,6 +176,24 @@ int main(int argc, char** argv) {
       if (p == "on") cfg.peer_transfer = true;
       else if (p == "off") cfg.peer_transfer = false;
       else usage();
+    } else if (a == "--dedup") {
+      const std::string p = next();
+      if (p == "on") cfg.dedup = true;
+      else if (p == "off") cfg.dedup = false;
+      else usage();
+    } else if (a == "--compress") {
+      const std::string p = next();
+      if (p == "on") cfg.cache_compress = true;
+      else if (p == "off") cfg.cache_compress = false;
+      else usage();
+    } else if (a == "--cluster-bits") {
+      cfg.cache_cluster_bits = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (a == "--siblings") {
+      cfg.sibling_group_size = std::atoi(next());
+    } else if (a == "--shared-frac") {
+      cfg.shared_fraction = std::atof(next());
+    } else if (a == "--content-mib") {
+      cfg.content_bytes = static_cast<std::uint64_t>(std::atoi(next())) * MiB;
     } else if (a == "--trace") {
       trace_in = next();
     } else if (a == "--trace-out") {
@@ -250,6 +281,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.peer_fallback_fills),
                 static_cast<unsigned long long>(r.peer_timeouts),
                 format_bytes(r.peer_bytes_served).c_str());
+  }
+  if (cfg.dedup) {
+    std::printf("dedup: %llu local hit(s), %llu zero fill(s), "
+                "%llu peer hit(s), %llu fallback(s), %s not read from NFS\n",
+                static_cast<unsigned long long>(r.dedup_local_hits),
+                static_cast<unsigned long long>(r.dedup_zero_fills),
+                static_cast<unsigned long long>(r.dedup_peer_hits),
+                static_cast<unsigned long long>(r.dedup_fallbacks),
+                format_bytes(r.dedup_bytes_served).c_str());
   }
   print_latency("deploy", r.deploy);
   print_latency("queue-wait", r.queue_wait);

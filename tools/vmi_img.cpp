@@ -9,6 +9,10 @@
 //                                             crash repair; 0 = none)
 //     [-f raw]                                raw image instead of qcow2
 //   vmi-img info  <file>                      header / cache fields
+//     [--json]                                machine-readable report with
+//                                             compressed-cluster stats and
+//                                             cluster fingerprint stats
+//                                             (unique vs total populated)
 //   vmi-img check <file>                      metadata consistency walk
 //     [--repair]                              journaled images replay the
 //                                             journal (O(journal)); others
@@ -27,9 +31,11 @@
 //   vmi-img create vm0.cow 10G -b centos.cache
 //   ...boot the VM from vm0.cow...
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -37,6 +43,7 @@
 #include "qcow2/chain.hpp"
 #include "qcow2/device.hpp"
 #include "sim/task.hpp"
+#include "util/bytes.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -48,7 +55,7 @@ void usage() {
                "usage:\n"
                "  vmi-img create <file> <size> [-b backing] [-q quota]"
                " [-c cluster] [-j journal-sectors] [-f raw]\n"
-               "  vmi-img info  <file>\n"
+               "  vmi-img info  <file> [--json]\n"
                "  vmi-img check <file> [--repair] [--json]\n"
                "  vmi-img chain <file>\n"
                "  vmi-img map   <file>\n"
@@ -166,17 +173,105 @@ Result<block::DevicePtr> open_path(const std::string& path, bool writable) {
   return sim::sync_wait(qcow2::open_image(*dir, name, writable));
 }
 
-int cmd_info(const std::string& path) {
+/// Populated-cluster fingerprint statistics: how much of the allocated
+/// content is duplicate at cluster granularity (the dedup tier's raw
+/// opportunity), plus physical vs logical bytes for compressed clusters.
+struct ContentStats {
+  std::uint64_t populated_clusters = 0;
+  std::uint64_t unique_fingerprints = 0;
+  std::uint64_t logical_bytes = 0;     ///< populated_clusters * cluster_size
+  std::uint64_t duplicate_bytes = 0;   ///< (populated - unique) * cluster_size
+};
+
+Result<ContentStats> scan_content(qcow2::Qcow2Device* q) {
+  ContentStats out;
+  const std::uint64_t cs = q->cluster_size();
+  std::vector<std::uint8_t> buf(cs);
+  std::set<std::uint64_t> fps;
+  std::uint64_t pos = 0;
+  while (pos < q->size()) {
+    auto st = sim::sync_wait(q->map_status(pos, q->size() - pos));
+    if (!st.ok()) return st.error();
+    if (st->kind == qcow2::Qcow2Device::MapKind::data ||
+        st->kind == qcow2::Qcow2Device::MapKind::compressed) {
+      for (std::uint64_t off = pos; off < pos + st->len; off += cs) {
+        const std::uint64_t n = std::min(cs, q->size() - off);
+        std::fill(buf.begin(), buf.end(), 0);  // zero-padded tail cluster
+        auto r = sim::sync_wait(
+            q->read(off, {buf.data(), static_cast<std::size_t>(n)}));
+        if (!r.ok()) return r.error();
+        ++out.populated_clusters;
+        fps.insert(fnv1a(buf));
+      }
+    }
+    pos += st->len;
+  }
+  out.unique_fingerprints = fps.size();
+  out.logical_bytes = out.populated_clusters * cs;
+  out.duplicate_bytes =
+      (out.populated_clusters - out.unique_fingerprints) * cs;
+  return out;
+}
+
+int cmd_info(const std::vector<std::string>& args) {
+  if (args.empty()) usage();
+  const std::string path = args[0];
+  bool json = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--json") json = true;
+    else usage();
+  }
   auto dev = open_path(path, /*writable=*/false);
   if (!dev.ok()) {
     std::fprintf(stderr, "cannot open %s: %s\n", path.c_str(),
                  std::string(to_string(dev.error())).c_str());
     return 1;
   }
+  auto* q = dynamic_cast<qcow2::Qcow2Device*>(dev->get());
+  if (json) {
+    std::printf("{\n  \"image\": \"%s\",\n  \"format\": \"%s\",\n"
+                "  \"virtual_size\": %llu",
+                path.c_str(), (*dev)->format_name().c_str(),
+                static_cast<unsigned long long>((*dev)->size()));
+    if (q != nullptr) {
+      std::printf(",\n  \"cluster_size\": %llu",
+                  static_cast<unsigned long long>(q->cluster_size()));
+      if (!q->backing_file().empty()) {
+        std::printf(",\n  \"backing_file\": \"%s\"",
+                    q->backing_file().c_str());
+      }
+      if (q->is_cache_image()) {
+        std::printf(",\n  \"cache_quota\": %llu,\n  \"cache_size\": %llu",
+                    static_cast<unsigned long long>(q->cache_quota()),
+                    static_cast<unsigned long long>(q->file_bytes()));
+      }
+      auto comp = sim::sync_wait(q->compression_stats());
+      if (comp.ok()) {
+        std::printf(",\n  \"compressed\": {\"clusters\": %llu, "
+                    "\"physical_bytes\": %llu, \"logical_bytes\": %llu}",
+                    static_cast<unsigned long long>(comp->compressed_clusters),
+                    static_cast<unsigned long long>(comp->physical_bytes),
+                    static_cast<unsigned long long>(comp->logical_bytes));
+      }
+      auto cst = scan_content(q);
+      if (cst.ok()) {
+        std::printf(",\n  \"fingerprints\": {\"populated_clusters\": %llu, "
+                    "\"unique\": %llu, \"logical_bytes\": %llu, "
+                    "\"duplicate_bytes\": %llu}",
+                    static_cast<unsigned long long>(cst->populated_clusters),
+                    static_cast<unsigned long long>(cst->unique_fingerprints),
+                    static_cast<unsigned long long>(cst->logical_bytes),
+                    static_cast<unsigned long long>(cst->duplicate_bytes));
+      }
+    }
+    std::printf("\n}\n");
+    (void)sim::sync_wait((*dev)->close());
+    return 0;
+  }
   std::printf("image: %s\n", path.c_str());
   std::printf("format: %s\n", (*dev)->format_name().c_str());
   std::printf("virtual size: %s\n", format_bytes((*dev)->size()).c_str());
-  if (auto* q = dynamic_cast<qcow2::Qcow2Device*>(dev->get())) {
+  if (q != nullptr) {
     std::printf("cluster size: %s\n",
                 format_bytes(q->cluster_size()).c_str());
     if (!q->backing_file().empty()) {
@@ -193,6 +288,13 @@ int cmd_info(const std::string& path) {
       std::printf("cache current size: %s\n",
                   format_bytes(q->file_bytes()).c_str());
     }
+    auto comp = sim::sync_wait(q->compression_stats());
+    if (comp.ok() && comp->compressed_clusters > 0) {
+      std::printf("compressed clusters: %llu (%s physical of %s logical)\n",
+                  static_cast<unsigned long long>(comp->compressed_clusters),
+                  format_bytes(comp->physical_bytes).c_str(),
+                  format_bytes(comp->logical_bytes).c_str());
+    }
   }
   (void)sim::sync_wait((*dev)->close());
   return 0;
@@ -200,10 +302,12 @@ int cmd_info(const std::string& path) {
 
 void print_check_json(const char* key, const qcow2::CheckResult& c) {
   std::printf("  \"%s\": {\"data_clusters\": %llu, "
-              "\"metadata_clusters\": %llu, \"leaked_clusters\": %llu, "
+              "\"metadata_clusters\": %llu, \"compressed_clusters\": %llu, "
+              "\"leaked_clusters\": %llu, "
               "\"corruptions\": %llu},\n",
               key, static_cast<unsigned long long>(c.data_clusters),
               static_cast<unsigned long long>(c.metadata_clusters),
+              static_cast<unsigned long long>(c.compressed_clusters),
               static_cast<unsigned long long>(c.leaked_clusters),
               static_cast<unsigned long long>(c.corruptions));
 }
@@ -367,15 +471,17 @@ int cmd_map(const std::string& path) {
     return 0;
   }
   std::uint64_t pos = 0;
-  std::uint64_t data = 0, zero = 0;
+  std::uint64_t data = 0, zero = 0, comp = 0;
   while (pos < q->size()) {
     auto st = sim::sync_wait(q->map_status(pos, q->size() - pos));
     if (!st.ok()) return 1;
-    const char* kind =
-        st->kind == qcow2::Qcow2Device::MapKind::data
-            ? "data"
-            : (st->kind == qcow2::Qcow2Device::MapKind::zero ? "zero"
-                                                             : "backing");
+    const char* kind = "backing";
+    switch (st->kind) {
+      case qcow2::Qcow2Device::MapKind::data: kind = "data"; break;
+      case qcow2::Qcow2Device::MapKind::zero: kind = "zero"; break;
+      case qcow2::Qcow2Device::MapKind::compressed: kind = "compressed"; break;
+      default: break;
+    }
     if (st->kind != qcow2::Qcow2Device::MapKind::unallocated) {
       std::printf("  [%12llu, %12llu)  %s\n",
                   static_cast<unsigned long long>(pos),
@@ -383,11 +489,13 @@ int cmd_map(const std::string& path) {
     }
     if (st->kind == qcow2::Qcow2Device::MapKind::data) data += st->len;
     if (st->kind == qcow2::Qcow2Device::MapKind::zero) zero += st->len;
+    if (st->kind == qcow2::Qcow2Device::MapKind::compressed) comp += st->len;
     pos += st->len;
   }
-  std::printf("%s: %s data, %s zero, rest from backing/unallocated\n",
+  std::printf("%s: %s data, %s compressed, %s zero, "
+              "rest from backing/unallocated\n",
               path.c_str(), format_bytes(data).c_str(),
-              format_bytes(zero).c_str());
+              format_bytes(comp).c_str(), format_bytes(zero).c_str());
   return 0;
 }
 
@@ -436,7 +544,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
   if (cmd == "create") return cmd_create(args);
-  if (cmd == "info") return cmd_info(args[0]);
+  if (cmd == "info") return cmd_info(args);
   if (cmd == "check") return cmd_check(args);
   if (cmd == "chain") return cmd_chain(args[0]);
   if (cmd == "map") return cmd_map(args[0]);
