@@ -17,6 +17,7 @@
 #include "cluster/node_index.hpp"
 #include "cluster/placement.hpp"
 #include "dedup/index.hpp"
+#include "manifest/manifest.hpp"
 #include "peer/registry.hpp"
 #include "qcow2/chain.hpp"
 #include "sim/sync.hpp"
@@ -185,6 +186,27 @@ class Engine {
             "peer.bytes_served", {{"node", "compute" + std::to_string(i)}}));
       }
     }
+    // Durable control plane: per-node manifest stores plus the restart /
+    // drain / adoption instruments. Same golden-pin rule as the tiers —
+    // a run that configures none of it must not create any of these.
+    if (cfg_.manifest) {
+      mgen_.resize(cl_.nodes.size());
+      mmx_.resize(cl_.nodes.size());
+      for (auto& node : cl_.nodes) {
+        mstores_.push_back(
+            std::make_unique<manifest::Store>(&node->disk_dir));
+      }
+      c_manifest_pub_ = &reg.counter("manifest.publishes");
+    }
+    if (cfg_.manifest || !cfg_.restart_at_s.empty() || cfg_.drain_node >= 0) {
+      c_restarts_ = &reg.counter("cloud.restart.count");
+      c_drains_ = &reg.counter("cloud.drain.count");
+      c_adopt_ok_ = &reg.counter("cloud.adopt.ok");
+      c_adopt_failed_ = &reg.counter("cloud.adopt.failed");
+      c_adopt_stale_ = &reg.counter("cloud.adopt.stale");
+      h_adopt_seconds_ = &reg.histogram("cloud.adopt.seconds", {},
+                                        {0.01, 0.05, 0.1, 0.5, 1, 5, 30});
+    }
     // Dedup tier: same golden-pin rule as the peer tier — a dedup-off run
     // must not even create the dedup.* instruments.
     if (cfg_.dedup) {
@@ -209,6 +231,13 @@ class Engine {
         cl_.env.spawn(crash_task(c));
       }
     }
+    for (const double at_s : cfg_.restart_at_s) {
+      cl_.env.spawn(restart_task(at_s));
+    }
+    if (cfg_.drain_node >= 0 &&
+        cfg_.drain_node < static_cast<int>(cl_.nodes.size())) {
+      cl_.env.spawn(drain_task());
+    }
     cl_.env.spawn(arrivals());
     cl_.env.run();
 
@@ -230,6 +259,10 @@ class Engine {
       res_.cache_evictions += node->pool.evictions();
     }
     res_.storage_payload_bytes = cl_.storage.nfs.stats().total_payload();
+    if (!cfg_.restart_at_s.empty()) {
+      res_.post_restart_storage_bytes =
+          res_.storage_payload_bytes - restart_storage_mark_;
+    }
     res_.deploy = summarize(deploy_);
     res_.queue_wait = summarize(qwait_);
     res_.prepare = summarize(prep_);
@@ -246,6 +279,10 @@ class Engine {
       std::uint64_t locs = 0;
       for (const auto& di : didx_) locs += di.locations();
       reg.gauge("dedup.index_locations").set(static_cast<double>(locs));
+    }
+    if (!cfg_.restart_at_s.empty()) {
+      reg.gauge("cloud.restart.post_storage_bytes")
+          .set(static_cast<double>(res_.post_restart_storage_bytes));
     }
     res_.metrics = reg.snapshot();
     return std::move(res_);
@@ -458,7 +495,7 @@ class Engine {
     auto* q = dynamic_cast<qcow2::Qcow2Device*>(dev->backing());
     if (q == nullptr || !q->is_cache_image()) co_return;
     if (cfg_.cache_compress) q->set_cor_compress(true);
-    if (!cfg_.peer_transfer && !cfg_.dedup) co_return;
+    if (!cfg_.peer_transfer && !cfg_.dedup && !cfg_.manifest) co_return;
     const std::string img = img_name(vmi);
     bool want_cov = false;
     if (cfg_.peer_transfer) {
@@ -484,7 +521,14 @@ class Engine {
         [this, ni, vmi, img](std::uint64_t lo, std::uint64_t hi) {
           if (cfg_.peer_transfer) seeds_.add_coverage(ni, img, lo, hi);
           if (cfg_.dedup) index_fill(ni, vmi, lo, hi);
+          // The manifest's fill generation: "this cache gained content
+          // since the last publish" is what a restarted reader needs to
+          // distinguish from "untouched".
+          if (cfg_.manifest) {
+            ++mgen_[static_cast<std::size_t>(ni)][vmi].fill;
+          }
         });
+    if (!cfg_.peer_transfer && !cfg_.dedup) co_return;
     q->set_backing_fetch_hook(
         [this, ni, vmi](std::uint64_t vaddr, std::span<std::uint8_t> dst)
             -> sim::Task<Result<bool>> {
@@ -1064,6 +1108,9 @@ class Engine {
             index_fill(c.node, v, lo, hi);
           }
         }
+        if (cfg_.manifest) {
+          ++mgen_[static_cast<std::size_t>(c.node)][v].check;
+        }
         ++res_.caches_salvaged;
         c_cache_salvaged_->inc();
       } else {
@@ -1073,12 +1120,306 @@ class Engine {
         c_cache_invalidated_->inc();
       }
     }
+    // The on-disk manifest went stale the instant the node lost power
+    // (crashes get no SIGTERM window); bring it back in line with what
+    // salvage actually vouched for before accepting load again.
+    co_await publish_manifest(c.node);
+    if (rt.epoch != recovery_epoch) co_return;
     ns.vm_capacity = cfg_.vm_slots_per_node;
     slots_changed(c.node);
     ++res_.node_recoveries;
     c_node_recoveries_->inc();
     refresh_warm(c.node);
     dispatch();
+  }
+
+  // --- durable control plane: manifest publish, restart, drain, adoption ----
+
+  struct MGen {
+    std::uint64_t fill = 0;
+    std::uint64_t check = 0;
+  };
+
+  /// Publish node `ni`'s current verified cache table to its durable
+  /// manifest: every non-zombie cache the pool accounts for, with the
+  /// engine's fill/check generations and — when the tiers are on — the
+  /// advertised seed coverage and dedup-indexed flag. Serialised per
+  /// node: two interleaved publishes would stripe one slot file with a
+  /// mix of generations, which is exactly the torn state the A/B scheme
+  /// exists to survive, not to create. No-op when the manifest is off or
+  /// the node is down.
+  sim::Task<void> publish_manifest(int ni) {
+    if (!cfg_.manifest) co_return;
+    if (!mmx_[static_cast<std::size_t>(ni)]) {
+      mmx_[static_cast<std::size_t>(ni)] =
+          std::make_unique<sim::Mutex>(cl_.env);
+    }
+    auto lk = co_await mmx_[static_cast<std::size_t>(ni)]->lock();
+    NodeRuntime& rt = rt_[static_cast<std::size_t>(ni)];
+    if (!rt.up) co_return;
+    ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(ni)];
+    manifest::NodeManifest m;
+    for (int v : rt.disk_caches) {
+      if (rt.zombies.count(v) != 0) continue;
+      const std::string img = img_name(v);
+      if (!node.pool.contains(img)) continue;  // never verified/admitted
+      manifest::CacheEntry e;
+      e.image = img;
+      e.cache_file = cluster::cache_file_for(img);
+      auto sz = node.disk_dir.file_size(e.cache_file);
+      e.bytes = sz.ok() ? *sz : cfg_.cache_quota;
+      const MGen& g = mgen_[static_cast<std::size_t>(ni)][v];
+      e.fill_generation = g.fill;
+      e.check_generation = g.check;
+      e.dedup_indexed =
+          cfg_.dedup && didx_[static_cast<std::size_t>(ni)].has_image(img);
+      if (cfg_.peer_transfer) {
+        if (const IntervalSet* cov = seeds_.coverage(ni, img)) {
+          for (const auto& [lo, hi] : *cov) e.coverage.emplace_back(lo, hi);
+        }
+      }
+      m.entries.push_back(std::move(e));
+    }
+    auto r = co_await mstores_[static_cast<std::size_t>(ni)]->publish(
+        std::move(m));
+    if (r.ok()) {
+      ++res_.manifest_publishes;
+      c_manifest_pub_->inc();
+    }
+  }
+
+  /// Planned power-off of one node (restart or drain): placements stop,
+  /// anything running dies (tasks see the epoch change), the peer /
+  /// dedup / pool bookkeeping forgets the node. With `keep_files`
+  /// (manifest on — an orderly shutdown leaves consistent files) the
+  /// cache files stay on disk for the adoption pass; otherwise they are
+  /// scrubbed like a legacy crash: in-use files become zombies, idle
+  /// files are deleted, and the node re-warms from zero.
+  void power_down(int ni, bool keep_files) {
+    NodeRuntime& rt = rt_[static_cast<std::size_t>(ni)];
+    rt.up = false;
+    ++rt.epoch;
+    cluster::NodeState& ns = sched_[static_cast<std::size_t>(ni)];
+    ns.running_vms = 0;
+    ns.vm_capacity = 0;
+    slots_changed(ni);
+    for (const auto& img : ns.warm_vmis) idx_->warm_removed(ni, img);
+    ns.warm_vmis.clear();
+    peer_deregister_node(ni);
+    dedup_forget_node(ni);
+    ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(ni)];
+    std::set<int> tracked = rt.disk_caches;
+    for (const auto& [v, users] : rt.cache_users) {
+      (void)users;
+      tracked.insert(v);
+    }
+    for (int v : tracked) {
+      const std::string img = img_name(v);
+      const std::string cache = cluster::cache_file_for(img);
+      node.pool.remove(img);
+      if (!node.disk_dir.exists(cache)) {
+        rt.disk_caches.erase(v);
+        continue;
+      }
+      rt.disk_caches.insert(v);
+      if (keep_files) continue;
+      if (rt.cache_users.count(v) != 0) {
+        rt.zombies.insert(v);
+      } else {
+        node.disk_dir.remove(cache);
+        rt.disk_caches.erase(v);
+      }
+    }
+  }
+
+  /// Cold rejoin (manifest off): capacity back, whatever files survived
+  /// (held ones a dying task has not dropped yet) stay unaccounted until
+  /// a warm hit readopts them.
+  void rejoin_cold(int ni) {
+    sched_[static_cast<std::size_t>(ni)].vm_capacity = cfg_.vm_slots_per_node;
+    slots_changed(ni);
+    refresh_warm(ni);
+  }
+
+  /// The re-adoption pass: read the node's manifest and re-verify every
+  /// listed cache through the salvage discipline — open writable (a
+  /// dirty image auto-repairs), `check`, walk the post-repair allocation
+  /// map — then re-register survivors with the pool, seed registry, and
+  /// fingerprint index. The manifest is advisory throughout: a vanished
+  /// file is stale, a failed check degrades to cold, and nothing is
+  /// trusted that the qcow2 layer cannot vouch for. Capacity is restored
+  /// only after the pass, so no placement races a half-adopted table.
+  ///
+  /// A node crash while this is in flight is legal: the crash sweep
+  /// bumps the epoch and makes peer + dedup + pool forget the node
+  /// (including entries adopted so far); every resumption point below
+  /// re-checks the epoch and bails without touching anything further.
+  sim::Task<void> adopt_node(int ni) {
+    NodeRuntime& rt = rt_[static_cast<std::size_t>(ni)];
+    ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(ni)];
+    const std::uint64_t adopt_epoch = rt.epoch;
+    const sim::SimTime t0 = cl_.env.now();
+    auto lm = co_await mstores_[static_cast<std::size_t>(ni)]->load();
+    if (rt.epoch != adopt_epoch) co_return;  // crashed mid-load
+    if (lm.ok() && lm->has_value()) {
+      for (const manifest::CacheEntry& e : (*lm)->entries) {
+        // Only engine-shaped records are adoptable; anything else is a
+        // stale manifest from a different layout.
+        int v = -1;
+        if (e.image.size() > 4 && e.image.compare(0, 4, "img-") == 0) {
+          v = vmi_of(e.image);
+        }
+        if (v < 0 || v >= num_vmis_ ||
+            e.cache_file != cluster::cache_file_for(e.image) ||
+            !node.disk_dir.exists(e.cache_file)) {
+          ++res_.adopt_stale;
+          c_adopt_stale_->inc();
+          continue;
+        }
+        if (rt.cache_users.count(v) != 0 || rt.zombies.count(v) != 0) {
+          // Held by a task that outlived the shutdown (or a zombie from
+          // an earlier crash): leave it; a later warm hit readopts it
+          // through the existing pool path once the holder drops it.
+          continue;
+        }
+        hold_file(ni, v);
+        bool good = false;
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> adopt_cov;
+        auto dv = co_await qcow2::open_image(node.fs, "disk/" + e.cache_file,
+                                             /*writable=*/true,
+                                             /*cache_backing_ro=*/false,
+                                             cl_.obs);
+        if (dv.ok()) {
+          auto* q = dynamic_cast<qcow2::Qcow2Device*>(dv->get());
+          if (q != nullptr) {
+            auto chk = co_await q->check();
+            good = chk.ok() && chk->clean();
+            if (good && (cfg_.peer_transfer || cfg_.dedup)) {
+              std::uint64_t off = 0;
+              while (off < q->size()) {
+                auto ms = co_await q->map_status(off, q->size() - off);
+                if (!ms.ok() || ms->len == 0) break;
+                if (ms->kind != MapKind::unallocated) {
+                  adopt_cov.emplace_back(off, off + ms->len);
+                }
+                off += ms->len;
+              }
+            }
+          }
+          (void)co_await (*dv)->close();
+        }
+        drop_file(ni, v);
+        if (rt.epoch != adopt_epoch) co_return;  // crashed mid-verify
+        if (good) {
+          readopt(ni, v);
+          if (cfg_.peer_transfer) {
+            if (seeds_.register_seed(ni, e.image)) c_peer_reg_->inc();
+            for (const auto& [lo, hi] : adopt_cov) {
+              seeds_.add_coverage(ni, e.image, lo, hi);
+            }
+          }
+          if (cfg_.dedup) {
+            for (const auto& [lo, hi] : adopt_cov) {
+              index_fill(ni, v, lo, hi);
+            }
+          }
+          MGen& g = mgen_[static_cast<std::size_t>(ni)][v];
+          g.fill = e.fill_generation;
+          g.check = e.check_generation + 1;
+          ++res_.caches_readopted;
+          c_adopt_ok_->inc();
+        } else {
+          if (node.disk_dir.exists(e.cache_file) &&
+              rt.cache_users.count(v) == 0) {
+            node.disk_dir.remove(e.cache_file);
+          }
+          rt.disk_caches.erase(v);
+          ++res_.adopt_failures;
+          c_adopt_failed_->inc();
+        }
+      }
+    }
+    // Publish the post-adoption truth (failed entries are gone) before
+    // accepting load: a crash right after power-up must not re-read the
+    // pre-restart table and re-verify caches adoption already rejected.
+    co_await publish_manifest(ni);
+    if (rt.epoch != adopt_epoch) co_return;
+    sched_[static_cast<std::size_t>(ni)].vm_capacity = cfg_.vm_slots_per_node;
+    slots_changed(ni);
+    refresh_warm(ni);
+    h_adopt_seconds_->observe(sim::to_seconds(cl_.env.now() - t0));
+    dispatch();
+  }
+
+  /// Planned full-cloud restart (the rolling-upgrade model): publish
+  /// every manifest inside the SIGTERM window, power every up node down
+  /// together, wait out the downtime, then bring them back — through the
+  /// adoption pass when manifests are on, cold when off. Nodes already
+  /// down (mid-crash) are skipped; their own recovery task restores them.
+  sim::Task<void> restart_task(double at_s) {
+    co_await cl_.env.delay(sim::from_seconds(at_s));
+    ++res_.restarts;
+    c_restarts_->inc();
+    std::vector<int> members;
+    for (std::size_t i = 0; i < rt_.size(); ++i) {
+      if (rt_[i].up) members.push_back(static_cast<int>(i));
+    }
+    if (cfg_.manifest) {
+      for (const int ni : members) co_await publish_manifest(ni);
+      // A node can crash during the publishes; it is no longer ours to
+      // restart.
+      std::erase_if(members, [this](int ni) {
+        return !rt_[static_cast<std::size_t>(ni)].up;
+      });
+    }
+    for (const int ni : members) power_down(ni, /*keep_files=*/cfg_.manifest);
+    co_await cl_.env.delay(sim::from_seconds(cfg_.restart_down_s));
+    // Everything the storage node serves from here on is traffic the
+    // restart caused: the re-warm bill a durable manifest avoids.
+    restart_storage_mark_ = cl_.storage.nfs.stats().total_payload();
+    for (const int ni : members) {
+      rt_[static_cast<std::size_t>(ni)].up = true;
+      ++rt_[static_cast<std::size_t>(ni)].epoch;
+    }
+    if (cfg_.manifest) {
+      for (const int ni : members) cl_.env.spawn(adopt_node(ni));
+    } else {
+      for (const int ni : members) rejoin_cold(ni);
+      dispatch();
+    }
+  }
+
+  /// Planned drain of one node: stop accepting placements, let the
+  /// running VMs and in-flight deployments finish naturally, publish the
+  /// manifest, power down, and rejoin through adoption. A crash mid-
+  /// drain hands the node over to the crash machinery (epoch check).
+  sim::Task<void> drain_task() {
+    co_await cl_.env.delay(sim::from_seconds(cfg_.drain_at_s));
+    const int ni = cfg_.drain_node;
+    NodeRuntime& rt = rt_[static_cast<std::size_t>(ni)];
+    if (!rt.up) co_return;  // crashed at drain time: nothing to drain
+    ++res_.drains;
+    c_drains_->inc();
+    const std::uint64_t drain_epoch = rt.epoch;
+    cluster::NodeState& ns = sched_[static_cast<std::size_t>(ni)];
+    ns.vm_capacity = 0;
+    slots_changed(ni);
+    while (ns.running_vms > 0 || rt.inflight > 0) {
+      co_await cl_.env.delay(sim::from_seconds(1.0));
+      if (rt.epoch != drain_epoch) co_return;  // crashed mid-drain
+    }
+    co_await publish_manifest(ni);
+    if (rt.epoch != drain_epoch) co_return;
+    power_down(ni, /*keep_files=*/cfg_.manifest);
+    co_await cl_.env.delay(sim::from_seconds(cfg_.drain_down_s));
+    rt.up = true;
+    ++rt.epoch;
+    if (cfg_.manifest) {
+      co_await adopt_node(ni);
+    } else {
+      rejoin_cold(ni);
+      dispatch();
+    }
   }
 
   // --- the deployment itself -------------------------------------------------
@@ -1196,6 +1537,15 @@ class Engine {
       }
       dev = std::move(*dv);
       co_await attach_tiers(ni, r.vmi, dev.get());
+      // Cache state settled under the prepare lock (admission, eviction,
+      // readoption): make it durable before the VM builds on it. Warm
+      // hits with no evictions change nothing and publish nothing.
+      if (cfg_.manifest &&
+          (outcome.action !=
+               cluster::PlacementOutcome::Action::local_warm_hit ||
+           !outcome.evicted.empty())) {
+        co_await publish_manifest(ni);
+      }
     }  // prepare lock released
     const double prep_s = sim::to_seconds(cl_.env.now() - prep0);
     prep_.add(prep_s);
@@ -1280,6 +1630,9 @@ class Engine {
     slots_changed(ni);
     release_cache(ni, r.vmi, pinned);
     refresh_warm(ni);
+    // The VM's lifetime of CoR fills grew the cache; persist the final
+    // coverage and fill generation now that the file is quiescent.
+    co_await publish_manifest(ni);
     --rt.inflight;
     dispatch();
   }
@@ -1363,6 +1716,22 @@ class Engine {
   obs::Counter* c_dedup_bytes_local_ = nullptr;
   obs::Counter* c_dedup_bytes_zero_ = nullptr;
   obs::Counter* c_dedup_bytes_peer_ = nullptr;
+  // Durable control plane (all dormant unless cfg_.manifest or a
+  // restart/drain is configured).
+  std::vector<std::unique_ptr<manifest::Store>> mstores_;  ///< one per node
+  /// Per-node fill/check generations per VMI, as last published.
+  std::vector<std::map<int, MGen>> mgen_;
+  /// Per-node publish serialisation (lazily created like prep_mx_).
+  std::vector<std::unique_ptr<sim::Mutex>> mmx_;
+  /// Storage payload served before the last restart's power-up.
+  std::uint64_t restart_storage_mark_ = 0;
+  obs::Counter* c_manifest_pub_ = nullptr;
+  obs::Counter* c_restarts_ = nullptr;
+  obs::Counter* c_drains_ = nullptr;
+  obs::Counter* c_adopt_ok_ = nullptr;
+  obs::Counter* c_adopt_failed_ = nullptr;
+  obs::Counter* c_adopt_stale_ = nullptr;
+  obs::Histogram* h_adopt_seconds_ = nullptr;
   obs::Histogram* h_deploy_ = nullptr;
   obs::Histogram* h_queue_wait_ = nullptr;
   obs::Histogram* h_prepare_ = nullptr;

@@ -104,6 +104,30 @@ struct CloudConfig {
   /// Bytes of generated content per image, from offset 0 (bounds host
   /// memory for big images). 0 = the whole image.
   std::uint64_t content_bytes = 0;
+  /// Durable control plane (vmic::manifest): each node keeps a crash-safe
+  /// A/B-slot manifest of its verified caches on its own disk, published
+  /// after every cache mutation the engine settles (placement, eviction,
+  /// salvage, copy-back release). Restarts and drains then *re-adopt*
+  /// listed caches — open → auto-repair → check, exactly the salvage
+  /// path — instead of re-warming cold; entries that fail verification
+  /// degrade to cold, never to corruption. Off = no manifest files, no
+  /// manifest.* / cloud.adopt.* metrics, snapshots stay pin-identical.
+  bool manifest = false;
+  /// Planned full-cloud restarts (rolling upgrade model): at each time
+  /// every node publishes its manifest (when `manifest` is on), powers
+  /// down — running VMs die, in-flight deployments are killed and
+  /// retried — stays down `restart_down_s`, then powers up and runs the
+  /// re-adoption pass before accepting placements again. With `manifest`
+  /// off the restart is the cold baseline: every cache file is scrubbed.
+  std::vector<double> restart_at_s;
+  double restart_down_s = 30.0;
+  /// Planned drain of one node: at `drain_at_s` the node stops accepting
+  /// placements, waits for its running VMs and in-flight deployments to
+  /// finish, publishes its manifest, powers down `drain_down_s`, then
+  /// re-adopts and rejoins. -1 = no drain.
+  int drain_node = -1;
+  double drain_at_s = 0;
+  double drain_down_s = 60.0;
   std::uint64_t seed = 1;
 };
 
@@ -134,6 +158,18 @@ struct CloudResult {
   int node_recoveries = 0;
   int caches_salvaged = 0;     ///< post-crash caches verified and re-adopted
   int caches_invalidated = 0;  ///< post-crash caches deleted (failed check)
+  // Durable control plane accounting (all zero when manifest is off and
+  // no restart/drain is configured).
+  int restarts = 0;            ///< planned full-cloud restarts executed
+  int drains = 0;              ///< planned node drains executed
+  int caches_readopted = 0;    ///< manifest entries verified and re-adopted
+  int adopt_failures = 0;      ///< entries that failed check (degraded cold)
+  int adopt_stale = 0;         ///< entries whose cache file had vanished
+  std::uint64_t manifest_publishes = 0;  ///< durable manifest writes
+  /// Storage-node payload bytes served after the last restart's power-up
+  /// (the re-warm cost a durable manifest exists to avoid). 0 = no
+  /// restart configured.
+  std::uint64_t post_restart_storage_bytes = 0;
   /// VM slots still held after the run drained; must be 0.
   int leaked_slots = 0;
   std::uint64_t cache_evictions = 0;

@@ -1,0 +1,131 @@
+#pragma once
+
+// vmic::manifest — the durable control plane's per-node cache manifest.
+//
+// A compute node's warm caches are worth real storage-node traffic, but
+// until this module the knowledge of *which* qcow2 files are verified
+// caches lived only in the engine's in-memory bookkeeping (CachePool,
+// SeedRegistry, FingerprintIndex). A cloud restart threw all of it away
+// and re-paid the full cold-population cost. The manifest persists that
+// bookkeeping next to the cache files themselves so a restarted engine
+// can re-adopt the caches it can still verify.
+//
+// Durability discipline (same as the refcount journal, PR 5):
+//   * every record is checksummed (fnv1a) so a torn sector is detected,
+//     never trusted;
+//   * publication is atomic-by-replacement over two slot files
+//     (`<base>.a` / `<base>.b`): a publish writes the *other* slot in
+//     full — payload first, then one flush barrier — and the load picks
+//     the highest-generation slot whose checksums verify. A power cut at
+//     any write boundary leaves at least the previously published
+//     generation intact (SimDirectory has no rename, and a real node
+//     would want the same two-slot scheme on filesystems where rename
+//     durability is subtle anyway);
+//   * the manifest is advisory, never authoritative: adoption re-opens
+//     and re-checks every listed cache through the crash-salvage path,
+//     so a stale entry degrades to a cold cache, never to corruption.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/directory.hpp"
+#include "sim/task.hpp"
+#include "util/result.hpp"
+
+namespace vmic::manifest {
+
+/// One cached image as recorded at the last publish.
+struct CacheEntry {
+  std::string image;       ///< base image id ("img-3")
+  std::string cache_file;  ///< qcow2 cache path in the node's namespace
+  std::uint64_t bytes = 0;  ///< pool accounting (quota charge) at publish
+  /// Bumped every time the engine observed the cache's coverage grow
+  /// (CoR fills); a reader can tell "same file, more content" apart from
+  /// "untouched since".
+  std::uint64_t fill_generation = 0;
+  /// Bumped on every verified `check` (salvage or adoption); 0 = the
+  /// cache was never independently verified on this node.
+  std::uint64_t check_generation = 0;
+  /// Cluster fingerprints were indexed for dedup at last publish.
+  bool dedup_indexed = false;
+  /// Peer-seed coverage (guest byte extents, half-open) advertised at
+  /// last publish. Advisory: adoption re-derives real coverage from the
+  /// post-repair allocation map.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> coverage;
+
+  friend bool operator==(const CacheEntry&, const CacheEntry&) = default;
+};
+
+/// Everything one publish writes: a generation stamp plus the node's
+/// cache table.
+struct NodeManifest {
+  std::uint64_t generation = 0;  ///< monotonic publish counter
+  std::vector<CacheEntry> entries;
+
+  friend bool operator==(const NodeManifest&, const NodeManifest&) = default;
+};
+
+/// Serialise to the on-disk record format:
+///
+///   header (44 B): magic "VMICMAN1" | version u32 | generation u64 |
+///                  entry count u32 | body length u32 | body fnv64 |
+///                  header fnv64 (over the preceding 36 bytes)
+///   body: per entry — image len u16 + bytes, cache len u16 + bytes,
+///         bytes u64, fill gen u64, check gen u64, flags u8,
+///         coverage count u32 + (lo u64, hi u64)*, entry fnv64
+///
+/// Three checksum scopes (header, per-entry, whole body) so a torn
+/// multi-sector write — CrashBackend persists arbitrary per-sector
+/// subsets — can never decode: any mix of old and new bytes fails at
+/// least one scope.
+std::vector<std::uint8_t> encode(const NodeManifest& m);
+
+/// Strict inverse of encode(): any checksum/length/magic mismatch is
+/// Errc::corrupt (callers fall back to the other slot), a buffer too
+/// short for a header is Errc::invalid_format.
+Result<NodeManifest> decode(std::span<const std::uint8_t> bytes);
+
+/// A/B-slot manifest store over an ImageDirectory. One Store per node;
+/// all I/O goes through BlockBackend so the flush-barrier contract (and
+/// CrashBackend's power-cut model) applies to every mutation.
+class Store {
+ public:
+  /// `base` names the slot pair: `<base>.a` and `<base>.b`.
+  explicit Store(io::ImageDirectory* dir, std::string base = "manifest")
+      : dir_(dir), base_(std::move(base)) {}
+
+  /// Publish `m` as the next generation: assign generation = last + 1,
+  /// write the inactive slot in full (truncate, payload, flush), and
+  /// remember it as active. The previously active slot is untouched, so
+  /// a cut anywhere in here still loads the old generation.
+  sim::Task<Result<void>> publish(NodeManifest m);
+
+  /// Load the highest-generation slot that decodes cleanly. nullopt =
+  /// neither slot exists or verifies (fresh node, or both torn — the
+  /// caller treats either as "no durable state, start cold"). Also
+  /// resynchronises the store's generation counter and active slot, so
+  /// load() then publish() continues the on-disk sequence.
+  sim::Task<Result<std::optional<NodeManifest>>> load();
+
+  /// Highest generation seen by this store (0 = nothing published yet).
+  [[nodiscard]] std::uint64_t generation() const noexcept { return gen_; }
+
+  [[nodiscard]] std::string slot_a() const { return base_ + ".a"; }
+  [[nodiscard]] std::string slot_b() const { return base_ + ".b"; }
+
+ private:
+  sim::Task<std::optional<NodeManifest>> load_slot(const std::string& name);
+
+  io::ImageDirectory* dir_;
+  std::string base_;
+  std::uint64_t gen_ = 0;
+  /// Slot index (0 = .a, 1 = .b) holding the highest valid generation;
+  /// publish writes the other one. -1 = unknown (publish writes .a).
+  int active_ = -1;
+};
+
+}  // namespace vmic::manifest

@@ -391,6 +391,136 @@ TEST(Cloud, DedupWithPeerServesContentAcrossNodes) {
   EXPECT_EQ(r.metrics.to_text(), r2.metrics.to_text());
 }
 
+// --- durable control plane --------------------------------------------------
+
+// Restart config with warm history before the outage: a late restart on
+// the default 8-node cloud, long enough after start that nodes hold
+// populated disk caches worth adopting.
+CloudConfig restart_config(std::uint64_t seed) {
+  CloudConfig cfg = small_config(seed);
+  cfg.manifest = true;
+  cfg.restart_at_s.push_back(600.0);
+  cfg.restart_down_s = 20.0;
+  return cfg;
+}
+
+TEST(Cloud, RestartWithManifestReadoptsCaches) {
+  const CloudResult on = run_cloud(restart_config(41));
+  CloudConfig cold = restart_config(41);
+  cold.manifest = false;
+  const CloudResult off = run_cloud(cold);
+
+  EXPECT_EQ(on.restarts, 1);
+  EXPECT_EQ(off.restarts, 1);
+  // The manifest path re-adopted verified caches and wrote durable state.
+  EXPECT_GT(on.caches_readopted, 0);
+  EXPECT_GT(on.manifest_publishes, 0u);
+  // The cold path had nothing to adopt (files were scrubbed on the way
+  // down) and so re-pays the storage node for the re-warm.
+  EXPECT_EQ(off.caches_readopted, 0);
+  EXPECT_EQ(off.manifest_publishes, 0u);
+  EXPECT_LT(on.post_restart_storage_bytes, off.post_restart_storage_bytes);
+  // Counters mirror the result fields.
+  EXPECT_EQ(on.metrics.counter_total("cloud.adopt.ok"),
+            static_cast<std::uint64_t>(on.caches_readopted));
+  EXPECT_EQ(on.metrics.counter_total("cloud.adopt.failed"),
+            static_cast<std::uint64_t>(on.adopt_failures));
+  EXPECT_EQ(on.metrics.counter_total("cloud.adopt.stale"),
+            static_cast<std::uint64_t>(on.adopt_stale));
+  EXPECT_EQ(on.metrics.counter_total("cloud.restart.count"),
+            static_cast<std::uint64_t>(on.restarts));
+  EXPECT_EQ(on.metrics.counter_total("manifest.publishes"),
+            on.manifest_publishes);
+  // Restarts kill VMs and in-flight deployments; nothing may be lost.
+  expect_terminal_accounting(on);
+  expect_terminal_accounting(off);
+}
+
+TEST(Cloud, ManifestOffEmitsNoControlPlaneMetrics) {
+  // The golden-pin contract: with manifest off and no restart/drain
+  // configured, none of the new metric families may even exist.
+  const CloudResult r = run_cloud(small_config(42));
+  const std::string t = r.metrics.to_text();
+  EXPECT_EQ(t.find("manifest."), std::string::npos);
+  EXPECT_EQ(t.find("cloud.adopt."), std::string::npos);
+  EXPECT_EQ(t.find("cloud.restart."), std::string::npos);
+  EXPECT_EQ(t.find("cloud.drain."), std::string::npos);
+  EXPECT_EQ(r.restarts + r.drains + r.caches_readopted + r.adopt_failures +
+                r.adopt_stale,
+            0);
+  EXPECT_EQ(r.manifest_publishes + r.post_restart_storage_bytes, 0u);
+}
+
+TEST(Cloud, RestartDeterministicPerSeed) {
+  const CloudResult r1 = run_cloud(restart_config(43));
+  const CloudResult r2 = run_cloud(restart_config(43));
+  EXPECT_EQ(r1.caches_readopted, r2.caches_readopted);
+  EXPECT_EQ(r1.manifest_publishes, r2.manifest_publishes);
+  EXPECT_EQ(r1.post_restart_storage_bytes, r2.post_restart_storage_bytes);
+  const std::string t1 = r1.metrics.to_text();
+  ASSERT_FALSE(t1.empty());
+  EXPECT_EQ(t1, r2.metrics.to_text());
+}
+
+TEST(Cloud, DrainWaitsOutWorkThenReadopts) {
+  CloudConfig cfg = small_config(44);
+  cfg.manifest = true;
+  cfg.drain_node = 0;
+  cfg.drain_at_s = 400.0;
+  cfg.drain_down_s = 30.0;
+  const CloudResult r = run_cloud(cfg);
+  EXPECT_EQ(r.drains, 1);
+  EXPECT_EQ(r.metrics.counter_total("cloud.drain.count"), 1u);
+  // A drain is graceful: it waits for running VMs and in-flight work, so
+  // unlike a restart it kills nothing.
+  EXPECT_EQ(r.vm_crashes, 0);
+  EXPECT_EQ(r.crash_kills, 0);
+  expect_terminal_accounting(r);
+  const CloudResult r2 = run_cloud(cfg);
+  EXPECT_EQ(r.metrics.to_text(), r2.metrics.to_text());
+}
+
+TEST(Cloud, CrashDuringAdoptionDeregistersCleanly) {
+  // Satellite 1: a node crash landing inside the post-restart adoption
+  // pass must leave no half-adopted state — the crash sweep deregisters
+  // the node from pool, peer, and dedup; recovery re-salvages. With peer
+  // and dedup on, any leaked seed/index entry would poison determinism
+  // or the terminal accounting.
+  CloudConfig cfg = small_config(45);
+  cfg.cluster.compute_nodes = 4;
+  cfg.manifest = true;
+  cfg.peer_transfer = true;
+  cfg.restart_at_s.push_back(500.0);
+  cfg.restart_down_s = 20.0;
+  // Power-up is at t=520; adoption is verifying caches when this lands.
+  cfg.failures.crashes.push_back({520.001, 60.0, 0});
+  const CloudResult r = run_cloud(cfg);
+  EXPECT_EQ(r.restarts, 1);
+  EXPECT_EQ(r.node_crashes, 1);
+  EXPECT_EQ(r.node_recoveries, 1);
+  expect_terminal_accounting(r);
+  const CloudResult r2 = run_cloud(cfg);
+  EXPECT_EQ(r.metrics.to_text(), r2.metrics.to_text());
+}
+
+TEST(Cloud, RestartWithPeerAndDedupRebuildsTiers) {
+  // Adoption must re-register surviving caches with the seed registry
+  // and fingerprint index, not just the cache pool: post-restart fills
+  // keep flowing peer-to-peer / by-fingerprint.
+  CloudConfig cfg = dedup_config(46);
+  cfg.cluster.compute_nodes = 4;
+  cfg.peer_transfer = true;
+  cfg.manifest = true;
+  cfg.restart_at_s.push_back(600.0);
+  cfg.restart_down_s = 20.0;
+  const CloudResult r = run_cloud(cfg);
+  EXPECT_EQ(r.restarts, 1);
+  EXPECT_GT(r.caches_readopted, 0);
+  expect_terminal_accounting(r);
+  const CloudResult r2 = run_cloud(cfg);
+  EXPECT_EQ(r.metrics.to_text(), r2.metrics.to_text());
+}
+
 // --- scale ------------------------------------------------------------------
 
 TEST(CloudStress, TenThousandNodesHundredThousandSessions) {

@@ -395,5 +395,45 @@ TEST(GoldenMetrics, CloudCrashSalvagePinnedValues) {
             static_cast<std::uint64_t>(r.caches_invalidated));
 }
 
+// Every count of one planned restart with the durable manifest, pinned:
+// the adoption pass, the publish cadence, and the post-restart storage
+// bill are all part of the determinism contract. An unintentional change
+// to any publish point or to the adoption order shows up here first.
+TEST(GoldenMetrics, RestartAdoptPinnedValues) {
+  cloud::CloudConfig cfg;
+  cfg.seed = 7;
+  cfg.horizon_s = 600.0;
+  cfg.workload.mean_interarrival_s = 30.0;
+  cfg.workload.min_lifetime_s = 30.0;
+  cfg.workload.mean_extra_lifetime_s = 60.0;
+  cfg.manifest = true;
+  cfg.restart_at_s.push_back(400.0);
+  cfg.restart_down_s = 20.0;
+  const cloud::CloudResult r = cloud::run_cloud(cfg);
+
+  EXPECT_EQ(r.arrivals, 20);
+  EXPECT_EQ(r.completed, 20);
+  EXPECT_EQ(r.aborted, 0);
+  EXPECT_EQ(r.rejected, 0);
+  EXPECT_EQ(r.restarts, 1);
+  // Four caches survive the power cycle verified; one — left mid-write by
+  // the deployment the restart killed — fails verification and degrades
+  // to cold (the advisory-manifest contract: never adopt what you cannot
+  // re-verify).
+  EXPECT_EQ(r.caches_readopted, 4);
+  EXPECT_EQ(r.adopt_failures, 1);
+  EXPECT_EQ(r.adopt_stale, 0);
+  EXPECT_EQ(r.vm_crashes, 1);
+  EXPECT_EQ(r.manifest_publishes, 42u);
+  EXPECT_EQ(r.post_restart_storage_bytes, 104179720u);
+  EXPECT_EQ(r.leaked_slots, 0);
+
+  const obs::MetricsSnapshot& m = r.metrics;
+  EXPECT_EQ(m.counter_total("cloud.adopt.ok"), 4u);
+  EXPECT_EQ(m.counter_total("cloud.adopt.failed"), 1u);
+  EXPECT_EQ(m.counter_total("cloud.restart.count"), 1u);
+  EXPECT_EQ(m.counter_total("manifest.publishes"), 42u);
+}
+
 }  // namespace
 }  // namespace vmic::cluster

@@ -118,4 +118,37 @@ printf '\003' | dd of=jfall.qcow2 bs=1 seek=79 conv=notrunc 2>/dev/null
 "$VMI_IMG" check jfall.qcow2 --repair | grep -q "fell back to full rebuild"
 "$VMI_IMG" check jfall.qcow2 --json | grep -q '"dirty": 0'
 
+echo "--- manifest: empty node reports no valid generation, exits 1"
+RC=0; "$VMI_IMG" manifest node0 >/dev/null || RC=$?
+[ "$RC" -eq 1 ] || { echo "expected exit 1, got $RC"; exit 1; }
+
+echo "--- manifest --init publishes generation 1 into slot a"
+"$VMI_IMG" manifest node0 --init | grep -q "generation: 1"
+[ -f node0.a ] || { echo "slot a not written"; exit 1; }
+"$VMI_IMG" manifest node0 | grep -q "slot a:     generation 1"
+"$VMI_IMG" manifest node0 | grep -q "slot b:     missing"
+
+echo "--- manifest --add alternates slots and bumps the generation"
+"$VMI_IMG" manifest node0 --add img-0 cache-img-0.qcow2 32M \
+  | grep -q "generation: 2"
+[ -f node0.b ] || { echo "slot b not written"; exit 1; }
+"$VMI_IMG" manifest node0 --add img-1 cache-img-1.qcow2 16M \
+  | grep -q "generation: 3"
+"$VMI_IMG" manifest node0 | grep -q "img-0"
+"$VMI_IMG" manifest node0 | grep -q "cache-img-1.qcow2"
+"$VMI_IMG" manifest node0 --json | grep -q '"valid": true'
+"$VMI_IMG" manifest node0 --json | grep -q '"generation": 3'
+
+echo "--- manifest: a torn newest slot falls back to the older generation"
+# Generation 3 lives in slot a (1->a, 2->b, 3->a); flip one payload byte.
+printf '\377' | dd of=node0.a bs=1 seek=60 conv=notrunc 2>/dev/null
+"$VMI_IMG" manifest node0 | grep -q "generation: 2"
+"$VMI_IMG" manifest node0 | grep -q "slot a:     corrupt"
+
+echo "--- manifest: both slots torn means no valid generation"
+printf '\377' | dd of=node0.b bs=1 seek=60 conv=notrunc 2>/dev/null
+RC=0; "$VMI_IMG" manifest node0 >/dev/null || RC=$?
+[ "$RC" -eq 1 ] || { echo "expected exit 1, got $RC"; exit 1; }
+"$VMI_IMG" manifest node0 --json | grep -q '"valid": false'
+
 echo "ALL CLI CHECKS PASSED"

@@ -35,6 +35,19 @@
 //                        --shared-frac of their cluster content (default 0)
 //     --shared-frac F    shared fraction within a group     (default 0.75)
 //     --content-mib M    generated content per image, MiB   (default whole)
+//     --manifest on|off  durable per-node cache manifests: restarts and
+//                        drains re-adopt verified caches instead of
+//                        re-warming cold                    (default off)
+//     --restart-at H     restart the whole cloud H simulated hours in
+//                        (repeatable)
+//     --restart-down S   restart downtime, seconds          (default 30)
+//     --drain N          planned drain of node N mid-run    (default none)
+//     --drain-at H       drain start, simulated hours       (default 0.5)
+//     --drain-down S     drain downtime, seconds            (default 60)
+//     --slo-strict       exit non-zero on any SLO violation (aborted or
+//                        rejected arrivals, leaked slots, or --slo-p99
+//                        exceeded) so CI can gate on the exit code
+//     --slo-p99 S        deploy p99 bound for --slo-strict  (default off)
 //     --trace FILE       replay a request trace CSV instead of generating
 //     --trace-out FILE   write the generated workload as CSV and exit 0
 //     --metrics-out F    write the metrics snapshot to F
@@ -66,6 +79,9 @@ namespace {
       " [--compress on|off]\n"
       "       [--cluster-bits N] [--siblings N] [--shared-frac F]"
       " [--content-mib M]\n"
+      "       [--manifest on|off] [--restart-at H] [--restart-down S]\n"
+      "       [--drain N] [--drain-at H] [--drain-down S]\n"
+      "       [--slo-strict] [--slo-p99 S]\n"
       "       [--trace FILE] [--trace-out FILE] [--metrics-out FILE]\n");
   std::exit(2);
 }
@@ -117,6 +133,8 @@ int main(int argc, char** argv) {
   std::string trace_in;
   std::string trace_out;
   std::string metrics_out;
+  bool slo_strict = false;
+  double slo_p99 = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -194,6 +212,26 @@ int main(int argc, char** argv) {
       cfg.shared_fraction = std::atof(next());
     } else if (a == "--content-mib") {
       cfg.content_bytes = static_cast<std::uint64_t>(std::atoi(next())) * MiB;
+    } else if (a == "--manifest") {
+      const std::string p = next();
+      if (p == "on") cfg.manifest = true;
+      else if (p == "off") cfg.manifest = false;
+      else usage();
+    } else if (a == "--restart-at") {
+      cfg.restart_at_s.push_back(std::atof(next()) * 3600.0);
+    } else if (a == "--restart-down") {
+      cfg.restart_down_s = std::atof(next());
+    } else if (a == "--drain") {
+      cfg.drain_node = std::atoi(next());
+      if (cfg.drain_at_s == 0) cfg.drain_at_s = 0.5 * 3600.0;
+    } else if (a == "--drain-at") {
+      cfg.drain_at_s = std::atof(next()) * 3600.0;
+    } else if (a == "--drain-down") {
+      cfg.drain_down_s = std::atof(next());
+    } else if (a == "--slo-strict") {
+      slo_strict = true;
+    } else if (a == "--slo-p99") {
+      slo_p99 = std::atof(next());
     } else if (a == "--trace") {
       trace_in = next();
     } else if (a == "--trace-out") {
@@ -265,6 +303,17 @@ int main(int argc, char** argv) {
                 "%d invalidated\n",
                 r.caches_salvaged, r.caches_invalidated);
   }
+  if (r.restarts > 0 || r.drains > 0) {
+    std::printf("restart: %d restart(s), %d drain(s); adoption %d ok, "
+                "%d failed, %d stale; %s served post-restart\n",
+                r.restarts, r.drains, r.caches_readopted, r.adopt_failures,
+                r.adopt_stale,
+                format_bytes(r.post_restart_storage_bytes).c_str());
+  }
+  if (cfg.manifest) {
+    std::printf("manifest: %llu publish(es)\n",
+                static_cast<unsigned long long>(r.manifest_publishes));
+  }
   std::printf("cache: hit ratio %.3f (%d warm hit(s)), %llu eviction(s)\n",
               r.cache_hit_ratio, r.warm_hits,
               static_cast<unsigned long long>(r.cache_evictions));
@@ -304,5 +353,34 @@ int main(int argc, char** argv) {
     std::printf("metrics: %zu series -> %s\n", r.metrics.points.size(),
                 metrics_out.c_str());
   }
-  return r.leaked_slots == 0 ? 0 : 1;
+
+  // --slo-strict: make SLO violations visible in the exit code so CI can
+  // gate on the CLI directly instead of parsing the metrics snapshot.
+  int violations = 0;
+  if (slo_strict) {
+    if (r.aborted > 0) {
+      std::fprintf(stderr, "SLO violation: %d arrival(s) aborted\n",
+                   r.aborted);
+      ++violations;
+    }
+    if (r.rejected > 0) {
+      std::fprintf(stderr, "SLO violation: %d arrival(s) rejected\n",
+                   r.rejected);
+      ++violations;
+    }
+    if (slo_p99 > 0 && r.deploy.p99 > slo_p99) {
+      std::fprintf(stderr,
+                   "SLO violation: deploy p99 %.2f s exceeds bound %.2f s\n",
+                   r.deploy.p99, slo_p99);
+      ++violations;
+    }
+  }
+  if (r.leaked_slots != 0) {
+    if (slo_strict) {
+      std::fprintf(stderr, "SLO violation: %d leaked VM slot(s)\n",
+                   r.leaked_slots);
+    }
+    return 1;
+  }
+  return violations == 0 ? 0 : 1;
 }

@@ -24,6 +24,15 @@
 //   vmi-img map   <file>                      allocation map (extents)
 //   vmi-img commit <file>                     merge overlay into backing
 //   vmi-img resize <file> <size>              grow the virtual disk
+//   vmi-img manifest <base>                   inspect a node's durable cache
+//                                             manifest (A/B slots <base>.a
+//                                             and <base>.b; prints the slot
+//                                             states and the winning table)
+//     [--json]                                machine-readable report
+//     [--init]                                publish an empty manifest
+//     [--add IMG CACHE BYTES]                 publish with IMG's entry
+//                                             added/replaced (repeatable)
+//     exit: 0 a valid generation loads, 1 no slot verifies
 //
 // Cache chaining (paper workflow):
 //   vmi-img create base.img 10G -f raw
@@ -40,6 +49,7 @@
 #include <vector>
 
 #include "io/fs_directory.hpp"
+#include "manifest/manifest.hpp"
 #include "qcow2/chain.hpp"
 #include "qcow2/device.hpp"
 #include "sim/task.hpp"
@@ -60,7 +70,9 @@ void usage() {
                "  vmi-img chain <file>\n"
                "  vmi-img map   <file>\n"
                "  vmi-img commit <file>\n"
-               "  vmi-img resize <file> <size>\n");
+               "  vmi-img resize <file> <size>\n"
+               "  vmi-img manifest <base> [--json] [--init]"
+               " [--add IMG CACHE BYTES]\n");
   std::exit(2);
 }
 
@@ -537,6 +549,125 @@ int cmd_resize(const std::string& path, const std::string& size_str) {
   return 0;
 }
 
+/// Decode one manifest slot file on its own (the Store picks the winner;
+/// this reports why the loser lost: missing, torn, or just older).
+std::string slot_state(io::FsImageDirectory& dir, const std::string& name) {
+  if (!dir.exists(name)) return "missing";
+  auto be = dir.open_file(name, /*writable=*/false);
+  if (!be.ok()) return "unreadable";
+  std::vector<std::uint8_t> buf((*be)->size());
+  if (!sim::sync_wait((*be)->pread(0, buf)).ok()) return "unreadable";
+  auto m = manifest::decode(buf);
+  if (!m.ok()) return std::string(to_string(m.error()));
+  return "generation " + std::to_string(m->generation);
+}
+
+int cmd_manifest(const std::vector<std::string>& args) {
+  if (args.empty()) usage();
+  const std::string base = args[0];
+  bool json = false;
+  bool mutate = false;
+  std::vector<manifest::CacheEntry> add;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--json") {
+      json = true;
+    } else if (args[i] == "--init") {
+      mutate = true;
+    } else if (args[i] == "--add" && i + 3 < args.size()) {
+      manifest::CacheEntry e;
+      e.image = args[++i];
+      e.cache_file = args[++i];
+      e.bytes = parse_size(args[++i]);
+      add.push_back(std::move(e));
+      mutate = true;
+    } else {
+      usage();
+    }
+  }
+
+  auto [dir_path, name] = split_path(base);
+  io::FsImageDirectory dir{dir_path};
+  manifest::Store store{&dir, name};
+  auto loaded = sim::sync_wait(store.load());
+  manifest::NodeManifest m;
+  if (loaded.ok() && loaded->has_value()) m = std::move(**loaded);
+
+  if (mutate) {
+    for (auto& e : add) {
+      auto it = std::find_if(m.entries.begin(), m.entries.end(),
+                             [&](const manifest::CacheEntry& x) {
+                               return x.image == e.image;
+                             });
+      if (it != m.entries.end()) {
+        *it = std::move(e);
+      } else {
+        m.entries.push_back(std::move(e));
+      }
+    }
+    auto pr = sim::sync_wait(store.publish(std::move(m)));
+    if (!pr.ok()) {
+      std::fprintf(stderr, "manifest publish failed: %s\n",
+                   std::string(to_string(pr.error())).c_str());
+      return 1;
+    }
+    loaded = sim::sync_wait(store.load());
+    m = loaded.ok() && loaded->has_value() ? std::move(**loaded)
+                                           : manifest::NodeManifest{};
+  }
+
+  const bool have = loaded.ok() && loaded->has_value();
+  if (json) {
+    std::printf("{\n  \"valid\": %s,\n  \"generation\": %llu,\n",
+                have ? "true" : "false",
+                static_cast<unsigned long long>(m.generation));
+    std::printf("  \"slot_a\": \"%s\",\n  \"slot_b\": \"%s\",\n",
+                slot_state(dir, name + ".a").c_str(),
+                slot_state(dir, name + ".b").c_str());
+    std::printf("  \"entries\": [\n");
+    for (std::size_t i = 0; i < m.entries.size(); ++i) {
+      const auto& e = m.entries[i];
+      std::uint64_t covered = 0;
+      for (const auto& [lo, hi] : e.coverage) covered += hi - lo;
+      std::printf("    {\"image\": \"%s\", \"cache\": \"%s\", "
+                  "\"bytes\": %llu, \"fill_generation\": %llu, "
+                  "\"check_generation\": %llu, \"dedup_indexed\": %s, "
+                  "\"coverage_extents\": %zu, \"coverage_bytes\": %llu}%s\n",
+                  e.image.c_str(), e.cache_file.c_str(),
+                  static_cast<unsigned long long>(e.bytes),
+                  static_cast<unsigned long long>(e.fill_generation),
+                  static_cast<unsigned long long>(e.check_generation),
+                  e.dedup_indexed ? "true" : "false", e.coverage.size(),
+                  static_cast<unsigned long long>(covered),
+                  i + 1 < m.entries.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+  } else {
+    std::printf("manifest:   %s.{a,b}\n", base.c_str());
+    std::printf("slot a:     %s\n", slot_state(dir, name + ".a").c_str());
+    std::printf("slot b:     %s\n", slot_state(dir, name + ".b").c_str());
+    if (!have) {
+      std::printf("state:      no valid generation\n");
+      return 1;
+    }
+    std::printf("generation: %llu\n",
+                static_cast<unsigned long long>(m.generation));
+    std::printf("entries:    %zu\n", m.entries.size());
+    for (const auto& e : m.entries) {
+      std::uint64_t covered = 0;
+      for (const auto& [lo, hi] : e.coverage) covered += hi - lo;
+      const std::string cov =
+          covered > 0 ? "  coverage " + format_bytes(covered) : "";
+      std::printf("  %-12s %-24s %10s  fill-gen %llu  check-gen %llu%s%s\n",
+                  e.image.c_str(), e.cache_file.c_str(),
+                  format_bytes(e.bytes).c_str(),
+                  static_cast<unsigned long long>(e.fill_generation),
+                  static_cast<unsigned long long>(e.check_generation),
+                  e.dedup_indexed ? "  dedup" : "", cov.c_str());
+    }
+  }
+  return have ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -550,6 +681,7 @@ int main(int argc, char** argv) {
   if (cmd == "map") return cmd_map(args[0]);
   if (cmd == "commit") return cmd_commit(args[0]);
   if (cmd == "resize" && args.size() >= 2) return cmd_resize(args[0], args[1]);
+  if (cmd == "manifest") return cmd_manifest(args);
   usage();
   return 2;
 }
