@@ -30,6 +30,29 @@ namespace {
 
 std::string img_name(int vmi) { return "img-" + std::to_string(vmi); }
 
+/// Versioned cache key: the engine's per-node bookkeeping (open-file
+/// refcounts, zombies, the disk mirror, manifest generations) is keyed by
+/// (VMI, catalog version) packed into one integer, because during an
+/// image update a node legitimately holds cache files for *two* versions
+/// of the same VMI at once — the old one draining under in-flight
+/// deployments, the new one filling. Version 0 is the unversioned
+/// catalog: its keys, names, and iteration order are bit-identical to the
+/// pre-update engine, which is what keeps updates-off runs pinned.
+using VKey = std::uint64_t;
+constexpr VKey vkey(int vmi, std::uint32_t ver) {
+  return (static_cast<std::uint64_t>(ver) << 32) |
+         static_cast<std::uint32_t>(vmi);
+}
+constexpr int vk_vmi(VKey k) {
+  return static_cast<int>(static_cast<std::uint32_t>(k));
+}
+constexpr std::uint32_t vk_ver(VKey k) {
+  return static_cast<std::uint32_t>(k >> 32);
+}
+std::string img_name(VKey k) {
+  return update::versioned_name(img_name(vk_vmi(k)), vk_ver(k));
+}
+
 std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ull;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
@@ -55,9 +78,15 @@ void fill_cluster_pattern(std::span<std::uint8_t> out, std::uint64_t seed) {
   std::memcpy(out.data(), &stamp, std::min<std::size_t>(8, out.size()));
 }
 
-/// Inverse of img_name ("img-7" -> 7); the cache pool reports victims by
-/// base-image name, the engine indexes its bookkeeping by VMI id.
+/// Inverse of img_name ("img-7" -> 7, "img-7@2" -> 7); the cache pool
+/// reports victims by image name, the engine indexes its bookkeeping by
+/// VMI id (std::stoi stops at the '@', so versioned names parse too).
 int vmi_of(const std::string& img) { return std::stoi(img.substr(4)); }
+
+/// Full inverse: "img-7@2" -> vkey(7, 2), "img-7" -> vkey(7, 0).
+VKey vkey_of(const std::string& img) {
+  return vkey(vmi_of(img), update::version_of(img));
+}
 
 LatencyStats summarize(const Samples& s) {
   LatencyStats l;
@@ -223,6 +252,25 @@ class Engine {
       c_dedup_bytes_peer_ =
           &reg.counter("dedup.bytes_served", {{"source", "peer"}});
     }
+    // Image-update churn: the publish schedule and its instruments exist
+    // only when the workload is on (golden-pin rule). The schedule draws
+    // from its own fork of the run seed, so --updates never perturbs the
+    // arrival or failure streams. The fingerprint memo doubles as the
+    // rebase diff oracle, so it is sized even when the dedup tier is off.
+    catalog_ver_.assign(static_cast<std::size_t>(num_vmis_), 0);
+    if (cfg_.updates.enabled) {
+      if (fp_memo_.empty()) {
+        fp_memo_.resize(static_cast<std::size_t>(num_vmis_));
+      }
+      Rng urng(cfg_.seed ^ 0x1ba5e'ca7a'f00dull);
+      update_events_ = update::generate_schedule(cfg_.updates, num_vmis_,
+                                                 cfg_.horizon_s, urng);
+      c_upd_published_ = &reg.counter("update.published");
+      c_upd_invalidated_ = &reg.counter("update.invalidated");
+      c_upd_rebased_ = &reg.counter("update.rebased");
+      c_upd_patched_ = &reg.counter("update.rebase.patched_clusters");
+      c_upd_reused_ = &reg.counter("update.rebase.reused_clusters");
+    }
   }
 
   CloudResult run() {
@@ -238,6 +286,7 @@ class Engine {
         cfg_.drain_node < static_cast<int>(cl_.nodes.size())) {
       cl_.env.spawn(drain_task());
     }
+    if (!update_events_.empty()) cl_.env.spawn(update_task());
     cl_.env.spawn(arrivals());
     cl_.env.run();
 
@@ -263,6 +312,10 @@ class Engine {
       res_.post_restart_storage_bytes =
           res_.storage_payload_bytes - restart_storage_mark_;
     }
+    if (res_.updates_published > 0) {
+      res_.post_update_storage_bytes =
+          res_.storage_payload_bytes - update_storage_mark_;
+    }
     res_.deploy = summarize(deploy_);
     res_.queue_wait = summarize(qwait_);
     res_.prepare = summarize(prep_);
@@ -283,6 +336,10 @@ class Engine {
     if (!cfg_.restart_at_s.empty()) {
       reg.gauge("cloud.restart.post_storage_bytes")
           .set(static_cast<double>(res_.post_restart_storage_bytes));
+    }
+    if (cfg_.updates.enabled) {
+      reg.gauge("update.post_storage_bytes")
+          .set(static_cast<double>(res_.post_update_storage_bytes));
     }
     res_.metrics = reg.snapshot();
     return std::move(res_);
@@ -307,20 +364,21 @@ class Engine {
     std::uint64_t epoch = 0;
     /// Tasks placed on this node that have not exited yet (slot audit).
     int inflight = 0;
-    /// Open-file refcount per VMI cache file: a crash must not delete a
-    /// file some coroutine still has open (SimDirectory::remove destroys
-    /// the buffer under the open backend).
-    std::map<int, int> cache_users;
-    /// VMI caches a crash invalidated but could not delete because they
-    /// were in use; reclaimed when the last user drops them, or
-    /// re-registered if a post-recovery placement warm-hits them first.
-    std::set<int> zombies;
+    /// Open-file refcount per versioned cache file: a crash must not
+    /// delete a file some coroutine still has open (SimDirectory::remove
+    /// destroys the buffer under the open backend).
+    std::map<VKey, int> cache_users;
+    /// Versioned caches a crash (or an image update) invalidated but
+    /// could not delete because they were in use; reclaimed when the last
+    /// user drops them, or re-registered if a post-recovery placement
+    /// warm-hits them first.
+    std::set<VKey> zombies;
     /// Mirror of the cache files present on this node's disk, updated at
     /// every file mutation the engine observes (placement outcomes carry
     /// their evictions). refresh_warm and the crash sweep iterate this
     /// instead of probing the directory once per known VMI, so per-node
     /// bookkeeping costs O(cached files), not O(num_vmis).
-    std::set<int> disk_caches;
+    std::set<VKey> disk_caches;
   };
 
   // --- small helpers ---------------------------------------------------------
@@ -346,32 +404,32 @@ class Engine {
   /// A node's slot occupancy changed: re-index it for placement queries.
   void slots_changed(int ni) { idx_->node_changed(ni); }
 
-  void hold_file(int ni, int vmi) {
-    ++rt_[static_cast<std::size_t>(ni)].cache_users[vmi];
+  void hold_file(int ni, VKey vk) {
+    ++rt_[static_cast<std::size_t>(ni)].cache_users[vk];
   }
 
   /// Drop one user of a cache file; the last user out reclaims a zombie.
-  void drop_file(int ni, int vmi) {
+  void drop_file(int ni, VKey vk) {
     NodeRuntime& rt = rt_[static_cast<std::size_t>(ni)];
-    auto it = rt.cache_users.find(vmi);
+    auto it = rt.cache_users.find(vk);
     if (it != rt.cache_users.end()) {
       if (--it->second > 0) return;
       rt.cache_users.erase(it);
     }
-    if (rt.zombies.count(vmi) != 0) {
-      rt.zombies.erase(vmi);
+    if (rt.zombies.count(vk) != 0) {
+      rt.zombies.erase(vk);
       auto& dd = cl_.nodes[static_cast<std::size_t>(ni)]->disk_dir;
-      const std::string cache = cluster::cache_file_for(img_name(vmi));
+      const std::string cache = cluster::cache_file_for(img_name(vk));
       if (dd.exists(cache)) dd.remove(cache);
-      rt.disk_caches.erase(vmi);
+      rt.disk_caches.erase(vk);
     }
   }
 
-  void release_cache(int ni, int vmi, bool pinned) {
+  void release_cache(int ni, VKey vk, bool pinned) {
     if (pinned) {
-      cl_.nodes[static_cast<std::size_t>(ni)]->pool.unpin(img_name(vmi));
+      cl_.nodes[static_cast<std::size_t>(ni)]->pool.unpin(img_name(vk));
     }
-    drop_file(ni, vmi);
+    drop_file(ni, vk);
   }
 
   /// A warm hit on a file the pool does not account for: either a zombie
@@ -380,20 +438,20 @@ class Engine {
   /// lost) and enforce any eviction the admission decides, mirroring
   /// placement's apply_eviction. Victims are unpinned by construction,
   /// so their files are safe to delete.
-  void readopt(int ni, int vmi) {
+  void readopt(int ni, VKey vk) {
     ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(ni)];
     NodeRuntime& rt = rt_[static_cast<std::size_t>(ni)];
-    const std::string img = img_name(vmi);
+    const std::string img = img_name(vk);
     const std::string cache = cluster::cache_file_for(img);
-    rt.zombies.erase(vmi);
-    rt.disk_caches.insert(vmi);
+    rt.zombies.erase(vk);
+    rt.disk_caches.insert(vk);
     auto size = node.disk_dir.file_size(cache);
     const auto ar =
         node.pool.admit(img, size.ok() ? *size : cfg_.cache_quota);
     for (const auto& victim : ar.evicted) {
       const std::string vf = cluster::cache_file_for(victim);
       if (node.disk_dir.exists(vf)) node.disk_dir.remove(vf);
-      rt.disk_caches.erase(vmi_of(victim));
+      rt.disk_caches.erase(vkey_of(victim));
       peer_deregister(ni, victim);
       dedup_forget(ni, victim);
     }
@@ -402,16 +460,16 @@ class Engine {
   /// After a failed placement: a partially-created cache file must not
   /// masquerade as a warm cache on the next attempt. Only removable once
   /// nobody holds it and the pool never admitted it.
-  void scrub_failed_cache(int ni, int vmi) {
+  void scrub_failed_cache(int ni, VKey vk) {
     NodeRuntime& rt = rt_[static_cast<std::size_t>(ni)];
     ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(ni)];
-    const std::string img = img_name(vmi);
+    const std::string img = img_name(vk);
     const std::string cache = cluster::cache_file_for(img);
-    if (rt.cache_users.count(vmi) != 0) return;
+    if (rt.cache_users.count(vk) != 0) return;
     if (!node.pool.contains(img) && node.disk_dir.exists(cache)) {
-      rt.zombies.erase(vmi);
+      rt.zombies.erase(vk);
       node.disk_dir.remove(cache);
-      rt.disk_caches.erase(vmi);
+      rt.disk_caches.erase(vk);
       peer_deregister(ni, img);
       dedup_forget(ni, img);
     }
@@ -429,7 +487,7 @@ class Engine {
     if (!rt.up) return;
     ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(ni)];
     std::set<std::string> warm;
-    for (int v : rt.disk_caches) {
+    for (VKey v : rt.disk_caches) {
       if (rt.zombies.count(v) == 0) warm.insert(img_name(v));
     }
     for (const auto& [v, users] : rt.cache_users) {
@@ -491,12 +549,12 @@ class Engine {
   /// clusters earlier deployments populated), and install the fetch hook
   /// + fill observer so future backing fetches try dedup and peers first
   /// and completed fills extend the advertised coverage and index.
-  sim::Task<void> attach_tiers(int ni, int vmi, block::BlockDevice* dev) {
+  sim::Task<void> attach_tiers(int ni, VKey vk, block::BlockDevice* dev) {
     auto* q = dynamic_cast<qcow2::Qcow2Device*>(dev->backing());
     if (q == nullptr || !q->is_cache_image()) co_return;
     if (cfg_.cache_compress) q->set_cor_compress(true);
     if (!cfg_.peer_transfer && !cfg_.dedup && !cfg_.manifest) co_return;
-    const std::string img = img_name(vmi);
+    const std::string img = img_name(vk);
     bool want_cov = false;
     if (cfg_.peer_transfer) {
       if (seeds_.register_seed(ni, img)) c_peer_reg_->inc();
@@ -512,32 +570,32 @@ class Engine {
         if (!ms.ok() || ms->len == 0) break;
         if (ms->kind != MapKind::unallocated) {
           if (want_cov) seeds_.add_coverage(ni, img, off, off + ms->len);
-          if (want_idx) index_fill(ni, vmi, off, off + ms->len);
+          if (want_idx) index_fill(ni, vk, off, off + ms->len);
         }
         off += ms->len;
       }
     }
     q->set_cor_fill_observer(
-        [this, ni, vmi, img](std::uint64_t lo, std::uint64_t hi) {
+        [this, ni, vk, img](std::uint64_t lo, std::uint64_t hi) {
           if (cfg_.peer_transfer) seeds_.add_coverage(ni, img, lo, hi);
-          if (cfg_.dedup) index_fill(ni, vmi, lo, hi);
+          if (cfg_.dedup) index_fill(ni, vk, lo, hi);
           // The manifest's fill generation: "this cache gained content
           // since the last publish" is what a restarted reader needs to
           // distinguish from "untouched".
           if (cfg_.manifest) {
-            ++mgen_[static_cast<std::size_t>(ni)][vmi].fill;
+            ++mgen_[static_cast<std::size_t>(ni)][vk].fill;
           }
         });
     if (!cfg_.peer_transfer && !cfg_.dedup) co_return;
     q->set_backing_fetch_hook(
-        [this, ni, vmi](std::uint64_t vaddr, std::span<std::uint8_t> dst)
+        [this, ni, vk](std::uint64_t vaddr, std::span<std::uint8_t> dst)
             -> sim::Task<Result<bool>> {
           if (cfg_.dedup) {
-            auto served = co_await dedup_fetch(ni, vmi, vaddr, dst);
+            auto served = co_await dedup_fetch(ni, vk, vaddr, dst);
             if (served.ok() && *served) co_return true;
           }
           if (cfg_.peer_transfer) {
-            co_return co_await peer_fetch(ni, vmi, vaddr, dst);
+            co_return co_await peer_fetch(ni, vk, vaddr, dst);
           }
           co_return false;
         });
@@ -554,17 +612,20 @@ class Engine {
     bool zero = false;
   };
 
-  /// Fingerprint of one cache cluster of a VMI's base content (zero-
-  /// padded to the full cluster). Host-side and memoized: manifests ship
-  /// with the images in the modelled system, so computing them costs the
-  /// simulation nothing.
-  FpEntry fp_of(int vmi, std::uint64_t cluster) {
-    auto& memo = fp_memo_[static_cast<std::size_t>(vmi)];
-    auto it = memo.find(cluster);
+  /// Fingerprint of one cache cluster of a versioned image's base content
+  /// (zero-padded to the full cluster). Host-side and memoized: manifests
+  /// ship with the images in the modelled system, so computing them costs
+  /// the simulation nothing. The memo key folds the catalog version into
+  /// the high bits (cluster counts stay far below 2^40 at any profile).
+  FpEntry fp_of(VKey vk, std::uint64_t cluster) {
+    auto& memo = fp_memo_[static_cast<std::size_t>(vk_vmi(vk))];
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(vk_ver(vk)) << 40) | cluster;
+    auto it = memo.find(key);
     if (it != memo.end()) return it->second;
     const std::uint64_t ccs = cache_cluster_bytes();
     std::vector<std::uint8_t> buf(ccs, 0);
-    SparseBuffer* base = *cl_.storage.disk_dir.buffer(img_name(vmi));
+    SparseBuffer* base = *cl_.storage.disk_dir.buffer(img_name(vk));
     const std::uint64_t off = cluster * ccs;
     if (off < base->size()) {
       base->read(off, {buf.data(),
@@ -575,17 +636,17 @@ class Engine {
     e.fp = fnv1a(buf);
     e.zero = std::all_of(buf.begin(), buf.end(),
                          [](std::uint8_t b) { return b == 0; });
-    memo.emplace(cluster, e);
+    memo.emplace(key, e);
     return e;
   }
 
   /// Authoritative verification of candidate bytes against the
-  /// requester's base content (host memcmp — models the collision-free
-  /// strong hash a real deployment would use; the fnv1a fingerprint only
-  /// nominates candidates).
-  [[nodiscard]] bool verify_content(int vmi, std::uint64_t pos,
+  /// requester's base content at the version it deployed (host memcmp —
+  /// models the collision-free strong hash a real deployment would use;
+  /// the fnv1a fingerprint only nominates candidates).
+  [[nodiscard]] bool verify_content(VKey vk, std::uint64_t pos,
                                     std::span<const std::uint8_t> bytes) {
-    SparseBuffer* base = *cl_.storage.disk_dir.buffer(img_name(vmi));
+    SparseBuffer* base = *cl_.storage.disk_dir.buffer(img_name(vk));
     std::vector<std::uint8_t> want(bytes.size(), 0);
     if (pos < base->size()) {
       base->read(pos, {want.data(),
@@ -595,16 +656,16 @@ class Engine {
     return std::memcmp(want.data(), bytes.data(), bytes.size()) == 0;
   }
 
-  /// Guest range [lo, hi) of `vmi`'s cache on node `ni` became servable:
+  /// Guest range [lo, hi) of `vk`'s cache on node `ni` became servable:
   /// index every whole cache cluster it covers, and advertise the
   /// fingerprints to peers when the peer tier is on.
-  void index_fill(int ni, int vmi, std::uint64_t lo, std::uint64_t hi) {
+  void index_fill(int ni, VKey vk, std::uint64_t lo, std::uint64_t hi) {
     const std::uint64_t ccs = cache_cluster_bytes();
-    const std::string img = img_name(vmi);
+    const std::string img = img_name(vk);
     auto& di = didx_[static_cast<std::size_t>(ni)];
     const std::uint64_t first = lo / ccs;
     for (std::uint64_t c = first; c * ccs < hi; ++c) {
-      const FpEntry e = fp_of(vmi, c);
+      const FpEntry e = fp_of(vk, c);
       if (e.zero) continue;  // zeros are served by detection, not lookup
       di.add(e.fp, img, c);
       if (cfg_.peer_transfer) seeds_.register_content(e.fp, ni, img, c);
@@ -634,12 +695,12 @@ class Engine {
   /// range. False (whole-range fallthrough to peer_fetch / the backing
   /// chain) only when nothing resolves, or when a serving tier fails
   /// mid-flight (stale index, seed crash, NFS error).
-  sim::Task<Result<bool>> dedup_fetch(int ni, int vmi, std::uint64_t vaddr,
+  sim::Task<Result<bool>> dedup_fetch(int ni, VKey vk, std::uint64_t vaddr,
                                       std::span<std::uint8_t> dst) {
     const std::uint64_t ccs = cache_cluster_bytes();
     ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(ni)];
     auto& di = didx_[static_cast<std::size_t>(ni)];
-    const std::string self = img_name(vmi);
+    const std::string self = img_name(vk);
 
     struct Chunk {
       std::uint64_t dst_off = 0;  ///< offset into dst
@@ -673,7 +734,7 @@ class Engine {
       const std::uint64_t c = pos / ccs;
       const std::uint64_t take = std::min(end, (c + 1) * ccs) - pos;
       const std::uint64_t in_cl = pos - c * ccs;
-      const FpEntry e = fp_of(vmi, c);
+      const FpEntry e = fp_of(vk, c);
       if (e.zero) {
         std::memset(dst.data() + (pos - vaddr), 0,
                     static_cast<std::size_t>(take));
@@ -710,7 +771,7 @@ class Engine {
     std::uint64_t local_bytes = 0;
     std::uint64_t local_hits = 0;
     for (const auto& [src_img, chunks] : local) {
-      const int sv = vmi_of(src_img);
+      const VKey sv = vkey_of(src_img);
       if (!node.pool.contains(src_img)) {
         co_return fallthrough();
       }
@@ -727,7 +788,7 @@ class Engine {
             auto sub = dst.subspan(static_cast<std::size_t>(ch.dst_off),
                                    static_cast<std::size_t>(ch.len));
             auto rr = co_await q->read(ch.src_pos, sub);
-            if (!rr.ok() || !verify_content(vmi, vaddr + ch.dst_off, sub)) {
+            if (!rr.ok() || !verify_content(vk, vaddr + ch.dst_off, sub)) {
               good = false;
               break;
             }
@@ -757,7 +818,7 @@ class Engine {
         co_return fallthrough();
       }
       const std::uint64_t seed_epoch = srt.epoch;
-      const int sv = vmi_of(src_img);
+      const VKey sv = vkey_of(src_img);
       snode.pool.pin(src_img);
       hold_file(sn, sv);
       seeds_.begin_upload(sn);
@@ -774,7 +835,7 @@ class Engine {
                                    static_cast<std::size_t>(ch.len));
             auto rr = co_await q->read(ch.src_pos, sub);
             if (!rr.ok() || srt.epoch != seed_epoch ||
-                !verify_content(vmi, vaddr + ch.dst_off, sub)) {
+                !verify_content(vk, vaddr + ch.dst_off, sub)) {
               good = false;
               break;
             }
@@ -866,9 +927,9 @@ class Engine {
   /// CoR in-flight range; the seed side is a fresh read-only standalone
   /// device (own lock hierarchy, never takes an alloc lock), so the two
   /// nodes' orders cannot interleave with lock_alloc()/RangeLock.
-  sim::Task<Result<bool>> peer_fetch(int ni, int vmi, std::uint64_t vaddr,
+  sim::Task<Result<bool>> peer_fetch(int ni, VKey vk, std::uint64_t vaddr,
                                      std::span<std::uint8_t> dst) {
-    const std::string img = img_name(vmi);
+    const std::string img = img_name(vk);
     const std::set<int>* holders = idx_->warm_holders(img);
     if (holders == nullptr) {
       peer_fallback(c_peer_fb_miss_);
@@ -889,7 +950,7 @@ class Engine {
     // suspension between pick_seed and these, so the pin cannot race the
     // eviction it guards against.
     snode.pool.pin(img);
-    hold_file(seed, vmi);
+    hold_file(seed, vk);
     seeds_.begin_upload(seed);
     bool served = false;
     obs::Counter* fb = c_peer_fb_error_;
@@ -933,7 +994,7 @@ class Engine {
     }
     if (!served && srt.epoch != seed_epoch) fb = c_peer_fb_crash_;
     seeds_.end_upload(seed);
-    drop_file(seed, vmi);
+    drop_file(seed, vk);
     snode.pool.unpin(img);
     if (served) {
       ++res_.peer_seed_hits;
@@ -957,8 +1018,14 @@ class Engine {
   /// nothing behind it jumps the queue (deterministic and fair).
   void dispatch() {
     while (!queue_.empty()) {
-      const int ni = idx_->pick(cfg_.policy, img_name(queue_.front().vmi),
-                                cfg_.cache_aware);
+      // Placement scores warmth against the *current* catalog version of
+      // the request's image; caches of superseded versions never match.
+      const int front_vmi = queue_.front().vmi;
+      const int ni = idx_->pick(
+          cfg_.policy,
+          img_name(vkey(front_vmi,
+                        catalog_ver_[static_cast<std::size_t>(front_vmi)])),
+          cfg_.cache_aware);
       if (ni < 0) return;
       Pending r = queue_.front();
       queue_.pop_front();
@@ -1025,13 +1092,13 @@ class Engine {
     // else has no pool entry and no file, so the sweep is O(tracked),
     // not O(num_vmis).
     ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(c.node)];
-    std::vector<int> suspects;
-    std::set<int> tracked = rt.disk_caches;
+    std::vector<VKey> suspects;
+    std::set<VKey> tracked = rt.disk_caches;
     for (const auto& [v, users] : rt.cache_users) {
       (void)users;
       tracked.insert(v);
     }
-    for (int v : tracked) {
+    for (VKey v : tracked) {
       const std::string img = img_name(v);
       const std::string cache = cluster::cache_file_for(img);
       node.pool.remove(img);
@@ -1058,9 +1125,23 @@ class Engine {
     // caches are re-adopted with their warm clusters intact, anything else
     // is deleted. The open/check reads charge the node's disk, so salvage
     // pays a verification cost instead of the full re-warm cost.
-    for (int v : suspects) {
+    for (VKey v : suspects) {
       const std::string cache = cluster::cache_file_for(img_name(v));
       if (!node.disk_dir.exists(cache) || rt.zombies.count(v) != 0) {
+        continue;
+      }
+      // A cache of a superseded catalog version is stale no matter how
+      // clean its qcow2 state is: delete instead of re-verifying.
+      if (vk_ver(v) !=
+          catalog_ver_[static_cast<std::size_t>(vk_vmi(v))]) {
+        if (rt.cache_users.count(v) == 0) {
+          node.disk_dir.remove(cache);
+          rt.disk_caches.erase(v);
+        } else {
+          rt.zombies.insert(v);
+        }
+        ++res_.caches_invalidated;
+        c_cache_invalidated_->inc();
         continue;
       }
       hold_file(c.node, v);
@@ -1093,6 +1174,11 @@ class Engine {
       }
       drop_file(c.node, v);
       if (rt.epoch != recovery_epoch) co_return;  // crashed again mid-pass
+      // An update can land while the check was in flight; re-validate.
+      if (good &&
+          vk_ver(v) != catalog_ver_[static_cast<std::size_t>(vk_vmi(v))]) {
+        good = false;
+      }
       if (good) {
         readopt(c.node, v);
         if (cfg_.peer_transfer) {
@@ -1159,12 +1245,12 @@ class Engine {
     if (!rt.up) co_return;
     ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(ni)];
     manifest::NodeManifest m;
-    for (int v : rt.disk_caches) {
+    for (VKey v : rt.disk_caches) {
       if (rt.zombies.count(v) != 0) continue;
       const std::string img = img_name(v);
       if (!node.pool.contains(img)) continue;  // never verified/admitted
       manifest::CacheEntry e;
-      e.image = img;
+      e.image = img;  // versioned name: adoption validates it on restart
       e.cache_file = cluster::cache_file_for(img);
       auto sz = node.disk_dir.file_size(e.cache_file);
       e.bytes = sz.ok() ? *sz : cfg_.cache_quota;
@@ -1208,12 +1294,12 @@ class Engine {
     peer_deregister_node(ni);
     dedup_forget_node(ni);
     ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(ni)];
-    std::set<int> tracked = rt.disk_caches;
+    std::set<VKey> tracked = rt.disk_caches;
     for (const auto& [v, users] : rt.cache_users) {
       (void)users;
       tracked.insert(v);
     }
-    for (int v : tracked) {
+    for (VKey v : tracked) {
       const std::string img = img_name(v);
       const std::string cache = cluster::cache_file_for(img);
       node.pool.remove(img);
@@ -1276,13 +1362,28 @@ class Engine {
           c_adopt_stale_->inc();
           continue;
         }
-        if (rt.cache_users.count(v) != 0 || rt.zombies.count(v) != 0) {
+        const VKey k = vkey_of(e.image);
+        // A record against a superseded image version is dead weight: the
+        // catalog moved on while the node was down, so the bytes are
+        // wrong even if the qcow2 file is pristine. Delete the file (it
+        // would otherwise linger unaccounted) and degrade to cold.
+        if (vk_ver(k) != catalog_ver_[static_cast<std::size_t>(v)]) {
+          if (rt.cache_users.count(k) == 0 && rt.zombies.count(k) == 0 &&
+              node.disk_dir.exists(e.cache_file)) {
+            node.disk_dir.remove(e.cache_file);
+          }
+          rt.disk_caches.erase(k);
+          ++res_.adopt_stale;
+          c_adopt_stale_->inc();
+          continue;
+        }
+        if (rt.cache_users.count(k) != 0 || rt.zombies.count(k) != 0) {
           // Held by a task that outlived the shutdown (or a zombie from
           // an earlier crash): leave it; a later warm hit readopts it
           // through the existing pool path once the holder drops it.
           continue;
         }
-        hold_file(ni, v);
+        hold_file(ni, k);
         bool good = false;
         std::vector<std::pair<std::uint64_t, std::uint64_t>> adopt_cov;
         auto dv = co_await qcow2::open_image(node.fs, "disk/" + e.cache_file,
@@ -1308,10 +1409,14 @@ class Engine {
           }
           (void)co_await (*dv)->close();
         }
-        drop_file(ni, v);
+        drop_file(ni, k);
         if (rt.epoch != adopt_epoch) co_return;  // crashed mid-verify
+        // An update can land while the check was in flight; re-validate.
+        if (good && vk_ver(k) != catalog_ver_[static_cast<std::size_t>(v)]) {
+          good = false;
+        }
         if (good) {
-          readopt(ni, v);
+          readopt(ni, k);
           if (cfg_.peer_transfer) {
             if (seeds_.register_seed(ni, e.image)) c_peer_reg_->inc();
             for (const auto& [lo, hi] : adopt_cov) {
@@ -1320,20 +1425,20 @@ class Engine {
           }
           if (cfg_.dedup) {
             for (const auto& [lo, hi] : adopt_cov) {
-              index_fill(ni, v, lo, hi);
+              index_fill(ni, k, lo, hi);
             }
           }
-          MGen& g = mgen_[static_cast<std::size_t>(ni)][v];
+          MGen& g = mgen_[static_cast<std::size_t>(ni)][k];
           g.fill = e.fill_generation;
           g.check = e.check_generation + 1;
           ++res_.caches_readopted;
           c_adopt_ok_->inc();
         } else {
           if (node.disk_dir.exists(e.cache_file) &&
-              rt.cache_users.count(v) == 0) {
+              rt.cache_users.count(k) == 0) {
             node.disk_dir.remove(e.cache_file);
           }
-          rt.disk_caches.erase(v);
+          rt.disk_caches.erase(k);
           ++res_.adopt_failures;
           c_adopt_failed_->inc();
         }
@@ -1422,6 +1527,390 @@ class Engine {
     }
   }
 
+  // --- image-update churn ----------------------------------------------------
+
+  /// Cap on one rebase carry-over read: big enough to amortise the CoR
+  /// run overhead, small enough that other work interleaves.
+  static constexpr std::uint64_t kRebaseRunBytes = 1ull << 20;
+
+  /// Does the configured policy rebase warm caches on a version bump?
+  /// `auto_` predicts from the knobs: patching pays when the changed
+  /// fraction is at most the threshold; beyond it a cold refill moves
+  /// fewer total bytes than diff + patch + carry-over.
+  [[nodiscard]] bool rebase_policy() const {
+    switch (cfg_.updates.policy) {
+      case update::Policy::invalidate:
+        return false;
+      case update::Policy::rebase:
+        return true;
+      case update::Policy::auto_:
+        return cfg_.updates.changed_frac <= cfg_.updates.rebase_threshold;
+    }
+    return false;
+  }
+
+  /// Drop every trace of a superseded cache version on one node: pool
+  /// entry, peer seed, dedup index, manifest generations, and the file
+  /// itself — deferred to the last holder (zombie) when a running VM
+  /// still has it open, exactly like the crash sweep.
+  void retire_old(int ni, VKey old_vk) {
+    NodeRuntime& rt = rt_[static_cast<std::size_t>(ni)];
+    ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(ni)];
+    const std::string img = img_name(old_vk);
+    const std::string cache = cluster::cache_file_for(img);
+    node.pool.remove(img);
+    peer_deregister(ni, img);
+    dedup_forget(ni, img);
+    if (cfg_.manifest) mgen_[static_cast<std::size_t>(ni)].erase(old_vk);
+    if (rt.cache_users.count(old_vk) != 0) {
+      rt.zombies.insert(old_vk);  // last user out deletes the file
+    } else {
+      if (node.disk_dir.exists(cache)) node.disk_dir.remove(cache);
+      rt.disk_caches.erase(old_vk);
+    }
+  }
+
+  /// Host-side publication of one image version: clone the previous
+  /// version's base content and overwrite the changed clusters with new
+  /// deterministic patterns. Changes land in whole
+  /// `update::kChangedRunClusters` runs (page-aligned at the default
+  /// cache-cluster size), modelling package-update locality rather than
+  /// uniformly sprayed single-cluster churn. Free in simulated time:
+  /// base images live on the storage node before any compute node reads
+  /// them, like the sibling content model.
+  void publish_base(int vmi, std::uint32_t old_ver, std::uint32_t new_ver) {
+    const std::string old_img = img_name(vkey(vmi, old_ver));
+    const std::string new_img = img_name(vkey(vmi, new_ver));
+    (void)cl_.storage.disk_dir.create_file(new_img);
+    SparseBuffer* nb = *cl_.storage.disk_dir.buffer(new_img);
+    *nb = (*cl_.storage.disk_dir.buffer(old_img))->clone();
+    nb->resize(cfg_.profile.image_size);
+    const std::uint64_t ccs = cache_cluster_bytes();
+    const std::uint64_t run_bytes = ccs * update::kChangedRunClusters;
+    const std::uint64_t limit =
+        cfg_.content_bytes == 0
+            ? cfg_.profile.image_size
+            : std::min(cfg_.content_bytes, cfg_.profile.image_size);
+    std::vector<std::uint8_t> run(run_bytes);
+    for (std::uint64_t off = 0; off < limit; off += run_bytes) {
+      const std::uint64_t c0 = off / ccs;
+      if (!update::cluster_changed(vmi, c0, new_ver,
+                                   cfg_.updates.changed_frac)) {
+        continue;
+      }
+      const std::uint64_t len = std::min(run_bytes, limit - off);
+      run.assign(run_bytes, 0);
+      for (std::uint64_t coff = 0; coff < len; coff += ccs) {
+        fill_cluster_pattern(
+            {run.data() + coff,
+             static_cast<std::size_t>(std::min(ccs, len - coff))},
+            update::changed_content_seed(vmi, c0 + coff / ccs, new_ver));
+      }
+      nb->write(off, {run.data(), static_cast<std::size_t>(len)});
+    }
+  }
+
+  /// One catalog publish settling: bump the version, forget the storage
+  /// node's mem-tier copy of the superseded cache (the file stays — an
+  /// open nfs-mem backing may still be reading it), then sweep every up
+  /// node holding a stale warm cache and either invalidate it or spawn a
+  /// rebase. Down nodes are left alone: the salvage and adoption passes
+  /// version-check whatever they find when the node returns.
+  sim::Task<void> apply_update(const update::UpdateEvent& ev) {
+    const std::uint32_t old_ver =
+        catalog_ver_[static_cast<std::size_t>(ev.vmi)];
+    if (ev.to_version <= old_ver) co_return;
+    if (res_.updates_published == 0) {
+      // Everything the storage node serves from here on is traffic the
+      // churn caused: the refill bill a rebase exists to shrink.
+      update_storage_mark_ = cl_.storage.nfs.stats().total_payload();
+    }
+    publish_base(ev.vmi, old_ver, ev.to_version);
+    catalog_ver_[static_cast<std::size_t>(ev.vmi)] = ev.to_version;
+    ++res_.updates_published;
+    c_upd_published_->inc();
+    cl_.storage.mem_pool.remove(img_name(vkey(ev.vmi, old_ver)));
+
+    const bool rebase = rebase_policy();
+    std::vector<int> touched;
+    for (int ni = 0; ni < static_cast<int>(rt_.size()); ++ni) {
+      NodeRuntime& rt = rt_[static_cast<std::size_t>(ni)];
+      if (!rt.up) continue;
+      std::vector<VKey> stale;
+      for (VKey v : rt.disk_caches) {
+        if (vk_vmi(v) != ev.vmi) continue;
+        if (vk_ver(v) == ev.to_version) continue;
+        if (rt.zombies.count(v) != 0) continue;  // already dying
+        stale.push_back(v);
+      }
+      bool invalidated = false;
+      for (VKey v : stale) {
+        // Only a pool-verified cache of the immediately preceding version
+        // is worth patching; anything else (unadmitted stragglers, a
+        // version a downed node somehow kept) is dropped outright.
+        if (rebase && vk_ver(v) == old_ver &&
+            cl_.nodes[static_cast<std::size_t>(ni)]->pool.contains(
+                img_name(v))) {
+          cl_.env.spawn(rebase_task(ni, ev.vmi, old_ver, ev.to_version));
+        } else {
+          retire_old(ni, v);
+          ++res_.update_invalidations;
+          c_upd_invalidated_->inc();
+          invalidated = true;
+        }
+      }
+      if (invalidated) {
+        refresh_warm(ni);
+        touched.push_back(ni);
+      }
+    }
+    for (const int ni : touched) co_await publish_manifest(ni);
+    dispatch();
+  }
+
+  sim::Task<void> update_task() {
+    for (const update::UpdateEvent& ev : update_events_) {
+      const sim::SimTime t = sim::from_seconds(ev.at_s);
+      if (t > cl_.env.now()) co_await cl_.env.delay(t - cl_.env.now());
+      co_await apply_update(ev);
+    }
+  }
+
+  /// Incremental rebase of one node's warm cache from `old_ver` to
+  /// `new_ver`: create the new version's cache image and drive reads
+  /// over the old cache's allocated extents through the ordinary CoR
+  /// machinery (range-locked single-flight fills, one flush barrier per
+  /// fill run). A backing-fetch hook serves content-identical clusters
+  /// from the old cache file on local disk; changed clusters fall
+  /// through to the NFS read of the new base, so only the diff crosses
+  /// the network. Holds the (node, VMI) prepare lock throughout — a
+  /// rebase serialises against placements exactly like a cold-miss
+  /// creation — and degrades to plain invalidation on any failure.
+  sim::Task<void> rebase_task(int ni, int vmi, std::uint32_t old_ver,
+                              std::uint32_t new_ver) {
+    NodeRuntime& rt = rt_[static_cast<std::size_t>(ni)];
+    ComputeNode& node = *cl_.nodes[static_cast<std::size_t>(ni)];
+    const VKey old_vk = vkey(vmi, old_ver);
+    const VKey new_vk = vkey(vmi, new_ver);
+    const std::string old_img = img_name(old_vk);
+    const std::string new_img = img_name(new_vk);
+    const std::string old_cache = cluster::cache_file_for(old_img);
+    const std::string new_cache = cluster::cache_file_for(new_img);
+    const std::uint64_t epoch = rt.epoch;
+
+    auto lk = co_await prep_mutex(ni, vmi).lock();
+    if (rt.epoch != epoch || !rt.up) co_return;  // node died while queued
+    if (catalog_ver_[static_cast<std::size_t>(vmi)] != new_ver) {
+      co_return;  // superseded while queued; the newer sweep owns cleanup
+    }
+    if (rt.zombies.count(old_vk) != 0 || rt.disk_caches.count(old_vk) == 0 ||
+        !node.disk_dir.exists(old_cache) || !node.pool.contains(old_img)) {
+      co_return;  // evicted or scrubbed while we waited: nothing to patch
+    }
+    if (node.disk_dir.exists(new_cache)) {
+      // A placement built the new version's cache while we queued; the
+      // old one is a plain drop.
+      retire_old(ni, old_vk);
+      ++res_.update_invalidations;
+      c_upd_invalidated_->inc();
+      refresh_warm(ni);
+      co_await publish_manifest(ni);
+      co_return;
+    }
+
+    hold_file(ni, old_vk);
+    node.pool.pin(old_img);  // the source must survive the whole copy
+    bool held_new = false;
+    bool ok = true;
+    block::DevicePtr old_dev;
+    block::DevicePtr new_dev;
+    std::uint64_t patched = 0;
+    std::uint64_t reused = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> extents;
+
+    // 1. Open the old cache standalone (read-only, no backing chain):
+    //    carry-over reads must hit only its allocated clusters and never
+    //    recurse into its own NFS-mounted base.
+    {
+      auto od = co_await open_cache_standalone(node, old_cache);
+      if (od.ok()) {
+        old_dev = std::move(*od);
+      } else {
+        ok = false;
+      }
+    }
+    auto* oq =
+        ok ? dynamic_cast<qcow2::Qcow2Device*>(old_dev.get()) : nullptr;
+    if (oq == nullptr) ok = false;
+
+    // 2. Its allocated extents are the warmth worth carrying over.
+    if (ok && rt.epoch == epoch) {
+      std::uint64_t off = 0;
+      while (off < oq->size()) {
+        auto ms = co_await oq->map_status(off, oq->size() - off);
+        if (!ms.ok() || ms->len == 0) break;
+        if (ms->kind != MapKind::unallocated) {
+          extents.emplace_back(off, off + ms->len);
+        }
+        off += ms->len;
+      }
+    }
+
+    // 3. Create the new versioned cache backed by the new base export.
+    if (ok && rt.epoch == epoch) {
+      qcow2::ChainImageOptions copt{.cluster_bits = cfg_.cache_cluster_bits,
+                                    .virtual_size = cfg_.profile.image_size};
+      auto cr = co_await qcow2::create_cache_image(node.fs,
+                                                   "disk/" + new_cache,
+                                                   "nfs-base/" + new_img,
+                                                   cfg_.cache_quota, copt);
+      if (cr.ok() && rt.epoch == epoch) {
+        rt.disk_caches.insert(new_vk);
+        hold_file(ni, new_vk);
+        held_new = true;
+      } else if (!cr.ok()) {
+        ok = false;
+      }
+    }
+
+    // 4. Open it writable and drive the carry-over through the CoR path.
+    if (ok && rt.epoch == epoch) {
+      auto nd = co_await qcow2::open_image(node.fs, "disk/" + new_cache,
+                                           /*writable=*/true,
+                                           /*cache_backing_ro=*/false,
+                                           cl_.obs);
+      if (nd.ok()) {
+        new_dev = std::move(*nd);
+      } else {
+        ok = false;
+      }
+    }
+    if (ok && rt.epoch == epoch) {
+      auto* nq = dynamic_cast<qcow2::Qcow2Device*>(new_dev.get());
+      if (nq == nullptr) {
+        ok = false;
+      } else {
+        if (cfg_.cache_compress) nq->set_cor_compress(true);
+        const std::uint64_t ccs = cache_cluster_bytes();
+        nq->set_backing_fetch_hook(
+            [this, oq, old_vk, new_vk, ccs](std::uint64_t vaddr,
+                                            std::span<std::uint8_t> dst)
+                -> sim::Task<Result<bool>> {
+              // Serve a range from the old cache only when every cache
+              // cluster it covers is content-identical across the two
+              // versions; anything else falls through to the NFS read
+              // of the new base.
+              const std::uint64_t lo = vaddr / ccs;
+              const std::uint64_t hi = (vaddr + dst.size() + ccs - 1) / ccs;
+              for (std::uint64_t c = lo; c < hi; ++c) {
+                if (fp_of(old_vk, c).fp != fp_of(new_vk, c).fp) {
+                  co_return false;
+                }
+              }
+              auto rr = co_await oq->read(vaddr, dst);
+              if (!rr.ok()) co_return rr.error();
+              co_return true;
+            });
+        // Drive the fills in homogeneous changed/unchanged runs so each
+        // CoR pass resolves one way (and pays its one flush barrier for
+        // one kind of traffic).
+        std::vector<std::uint8_t> buf;
+        for (const auto& [elo, ehi] : extents) {
+          std::uint64_t pos = elo;
+          while (ok && pos < ehi) {
+            const std::uint64_t c0 = pos / ccs;
+            const bool changed =
+                fp_of(old_vk, c0).fp != fp_of(new_vk, c0).fp;
+            std::uint64_t end = std::min(ehi, (c0 + 1) * ccs);
+            while (end < ehi && end - pos < kRebaseRunBytes) {
+              const std::uint64_t c = end / ccs;
+              const bool ch = fp_of(old_vk, c).fp != fp_of(new_vk, c).fp;
+              if (ch != changed) break;
+              end = std::min(ehi, (c + 1) * ccs);
+            }
+            buf.resize(static_cast<std::size_t>(end - pos));
+            auto rr = co_await nq->read(pos, buf);
+            if (rt.epoch != epoch ||
+                catalog_ver_[static_cast<std::size_t>(vmi)] != new_ver ||
+                !rr.ok()) {
+              ok = false;
+              break;
+            }
+            const std::uint64_t n = (end - pos + ccs - 1) / ccs;
+            if (changed) {
+              patched += n;
+            } else {
+              reused += n;
+            }
+            pos = end;
+          }
+          if (!ok) break;
+        }
+        // The hook captures the old device; it must not outlive it.
+        nq->set_backing_fetch_hook({});
+      }
+    }
+
+    // 5. Close before any drop can delete a file (close-before-drop).
+    if (new_dev) {
+      (void)co_await new_dev->close();
+      new_dev.reset();
+    }
+    if (old_dev) {
+      (void)co_await old_dev->close();
+      old_dev.reset();
+    }
+    if (rt.epoch != epoch) {
+      // Crashed under us: the crash sweep already disowned the node's
+      // caches; just release our holds (reclaiming any zombies).
+      node.pool.unpin(old_img);
+      drop_file(ni, old_vk);
+      if (held_new) drop_file(ni, new_vk);
+      co_return;
+    }
+
+    node.pool.unpin(old_img);
+    if (ok && catalog_ver_[static_cast<std::size_t>(vmi)] == new_ver) {
+      // Retire first so the old quota is free before the new admission.
+      retire_old(ni, old_vk);
+      readopt(ni, new_vk);
+      if (cfg_.manifest) {
+        ++mgen_[static_cast<std::size_t>(ni)][new_vk].fill;
+      }
+      if (cfg_.peer_transfer &&
+          seeds_.register_seed(ni, new_img)) {
+        c_peer_reg_->inc();
+      }
+      for (const auto& [lo, hi] : extents) {
+        if (cfg_.peer_transfer) seeds_.add_coverage(ni, new_img, lo, hi);
+        if (cfg_.dedup) index_fill(ni, new_vk, lo, hi);
+      }
+      ++res_.caches_rebased;
+      c_upd_rebased_->inc();
+      res_.rebase_patched_clusters += patched;
+      res_.rebase_reused_clusters += reused;
+      c_upd_patched_->inc(patched);
+      c_upd_reused_->inc(reused);
+    } else {
+      // Failed or superseded mid-flight: degrade to invalidation. The
+      // partial new cache must not masquerade as warm, and the old one
+      // is stale either way.
+      if (held_new) {
+        drop_file(ni, new_vk);
+        held_new = false;
+        scrub_failed_cache(ni, new_vk);
+      }
+      retire_old(ni, old_vk);
+      ++res_.update_invalidations;
+      c_upd_invalidated_->inc();
+    }
+    drop_file(ni, old_vk);
+    if (held_new) drop_file(ni, new_vk);
+    refresh_warm(ni);
+    co_await publish_manifest(ni);
+    dispatch();
+  }
+
   // --- the deployment itself -------------------------------------------------
 
   /// Exit paths for a task whose node crashed before its boot finished:
@@ -1452,8 +1941,6 @@ class Engine {
     NodeRuntime& rt = rt_[static_cast<std::size_t>(ni)];
     const std::uint64_t epoch = rt.epoch;
     ++r.attempts;
-    const std::string img = img_name(r.vmi);
-    const std::string cache = cluster::cache_file_for(img);
     // Attempt-scoped CoW name: a retry of the same request must never
     // create over a file a crashed-but-not-yet-cleaned attempt still has
     // open somewhere.
@@ -1465,12 +1952,20 @@ class Engine {
     cluster::PlacementOutcome outcome;
     bool pinned = false;
     block::DevicePtr dev;
+    // The image version is read under the prepare lock (an update sweep
+    // or rebase of this VMI holds the same lock), so one attempt sees one
+    // consistent version end to end.
+    VKey vk = 0;
+    std::string img, cache;
     {
       // Serialise the whole prepare per (node, VMI): two concurrent cold
       // misses must not both create the node cache; the loser waits and
       // then warm-hits the winner's file.
       auto lk = co_await prep_mutex(ni, r.vmi).lock();
-      hold_file(ni, r.vmi);
+      vk = vkey(r.vmi, catalog_ver_[static_cast<std::size_t>(r.vmi)]);
+      img = img_name(vk);
+      cache = cluster::cache_file_for(img);
+      hold_file(ni, vk);
       auto placed = co_await cluster::chain_to_proper_cache(
           cl_, node, img, cfg_.cache_quota, cfg_.cache_cluster_bits,
           cfg_.profile.image_size);
@@ -1479,42 +1974,42 @@ class Engine {
       // ran between placement's return and here (symmetric transfer), so
       // this is atomic with the mutation.
       if (node.disk_dir.exists(cache)) {
-        rt.disk_caches.insert(r.vmi);
+        rt.disk_caches.insert(vk);
       } else {
-        rt.disk_caches.erase(r.vmi);
+        rt.disk_caches.erase(vk);
       }
       if (placed.ok()) {
         for (const auto& victim : placed->evicted) {
-          rt.disk_caches.erase(vmi_of(victim));
+          rt.disk_caches.erase(vkey_of(victim));
           peer_deregister(ni, victim);
           dedup_forget(ni, victim);
         }
       }
       if (rt.epoch != epoch) {
-        drop_file(ni, r.vmi);
+        drop_file(ni, vk);
         exit_killed(r, ni);
         co_return;
       }
       if (!placed.ok()) {
-        drop_file(ni, r.vmi);
-        scrub_failed_cache(ni, r.vmi);
+        drop_file(ni, vk);
+        scrub_failed_cache(ni, vk);
         exit_failed(r, ni);
         co_return;
       }
       outcome = *placed;
       // No suspension between placement returning and the pin: nothing
       // can evict the entry in between (single-threaded simulation).
-      if (!node.pool.contains(img)) readopt(ni, r.vmi);
+      if (!node.pool.contains(img)) readopt(ni, vk);
       node.pool.pin(img);
       pinned = true;
-      const bool shared_ro = rt.cache_users[r.vmi] > 1;
+      const bool shared_ro = rt.cache_users[vk] > 1;
       qcow2::ChainImageOptions cow_opt{
           .cluster_bits = 16, .virtual_size = cfg_.profile.image_size};
       auto rcow = co_await qcow2::create_cow_image(node.fs, cow_path,
                                                    outcome.backing, cow_opt);
       if (rt.epoch != epoch || !rcow.ok()) {
         if (node.disk_dir.exists(cow_file)) node.disk_dir.remove(cow_file);
-        release_cache(ni, r.vmi, pinned);
+        release_cache(ni, vk, pinned);
         if (rt.epoch != epoch) {
           exit_killed(r, ni);
         } else {
@@ -1527,7 +2022,7 @@ class Engine {
                                            cl_.obs);
       if (rt.epoch != epoch || !dv.ok()) {
         if (node.disk_dir.exists(cow_file)) node.disk_dir.remove(cow_file);
-        release_cache(ni, r.vmi, pinned);
+        release_cache(ni, vk, pinned);
         if (rt.epoch != epoch) {
           exit_killed(r, ni);
         } else {
@@ -1536,7 +2031,7 @@ class Engine {
         co_return;
       }
       dev = std::move(*dv);
-      co_await attach_tiers(ni, r.vmi, dev.get());
+      co_await attach_tiers(ni, vk, dev.get());
       // Cache state settled under the prepare lock (admission, eviction,
       // readoption): make it durable before the VM builds on it. Warm
       // hits with no evictions change nothing and publish nothing.
@@ -1559,13 +2054,13 @@ class Engine {
     dev.reset();
     if (rt.epoch != epoch) {
       if (node.disk_dir.exists(cow_file)) node.disk_dir.remove(cow_file);
-      release_cache(ni, r.vmi, pinned);
+      release_cache(ni, vk, pinned);
       exit_killed(r, ni);
       co_return;
     }
     if (!br.ok()) {
       if (node.disk_dir.exists(cow_file)) node.disk_dir.remove(cow_file);
-      release_cache(ni, r.vmi, pinned);
+      release_cache(ni, vk, pinned);
       exit_failed(r, ni);
       co_return;
     }
@@ -1592,16 +2087,19 @@ class Engine {
       ++res_.vm_crashes;
       c_vm_crashes_->inc();
       if (node.disk_dir.exists(cow_file)) node.disk_dir.remove(cow_file);
-      release_cache(ni, r.vmi, pinned);
+      release_cache(ni, vk, pinned);
       --rt.inflight;
       co_return;
     }
 
     // Orderly shutdown: drop the CoW layer, push a freshly-created cache
     // to the storage node (Algorithm 1's deferred copy-back), free the
-    // slot.
+    // slot. Skip the push when the catalog moved past this version while
+    // the VM ran — shipping a superseded cache would only waste storage
+    // bandwidth and can never be served again.
     if (node.disk_dir.exists(cow_file)) node.disk_dir.remove(cow_file);
-    if (outcome.copy_back_on_shutdown && node.disk_dir.exists(cache)) {
+    if (outcome.copy_back_on_shutdown && node.disk_dir.exists(cache) &&
+        vk_ver(vk) == catalog_ver_[static_cast<std::size_t>(r.vmi)]) {
       if (gate_.down()) {
         // Best-effort: the cache stays node-local; a later shutdown of
         // another fresh creator (or a re-placement) tries again.
@@ -1620,7 +2118,7 @@ class Engine {
         if (rt.epoch != epoch) {
           ++res_.vm_crashes;
           c_vm_crashes_->inc();
-          release_cache(ni, r.vmi, pinned);
+          release_cache(ni, vk, pinned);
           --rt.inflight;
           co_return;
         }
@@ -1628,7 +2126,7 @@ class Engine {
     }
     --sched_[static_cast<std::size_t>(ni)].running_vms;
     slots_changed(ni);
-    release_cache(ni, r.vmi, pinned);
+    release_cache(ni, vk, pinned);
     refresh_warm(ni);
     // The VM's lifetime of CoR fills grew the cache; persist the final
     // coverage and fill generation now that the file is quiescent.
@@ -1719,12 +2217,26 @@ class Engine {
   // Durable control plane (all dormant unless cfg_.manifest or a
   // restart/drain is configured).
   std::vector<std::unique_ptr<manifest::Store>> mstores_;  ///< one per node
-  /// Per-node fill/check generations per VMI, as last published.
-  std::vector<std::map<int, MGen>> mgen_;
+  /// Per-node fill/check generations per versioned image, as last
+  /// published.
+  std::vector<std::map<VKey, MGen>> mgen_;
   /// Per-node publish serialisation (lazily created like prep_mx_).
   std::vector<std::unique_ptr<sim::Mutex>> mmx_;
   /// Storage payload served before the last restart's power-up.
   std::uint64_t restart_storage_mark_ = 0;
+  // Image-update churn (all dormant unless cfg_.updates.enabled).
+  /// Current published version per VMI; always sized, always 0 with
+  /// updates off, so version-0 name/key round-trips stay bit-identical
+  /// to the pre-update engine.
+  std::vector<std::uint32_t> catalog_ver_;
+  std::vector<update::UpdateEvent> update_events_;
+  /// Storage payload served before the first catalog publish.
+  std::uint64_t update_storage_mark_ = 0;
+  obs::Counter* c_upd_published_ = nullptr;
+  obs::Counter* c_upd_invalidated_ = nullptr;
+  obs::Counter* c_upd_rebased_ = nullptr;
+  obs::Counter* c_upd_patched_ = nullptr;
+  obs::Counter* c_upd_reused_ = nullptr;
   obs::Counter* c_manifest_pub_ = nullptr;
   obs::Counter* c_restarts_ = nullptr;
   obs::Counter* c_drains_ = nullptr;

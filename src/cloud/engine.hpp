@@ -19,6 +19,7 @@
 #include "cluster/scheduler.hpp"
 #include "obs/metrics.hpp"
 #include "peer/fabric.hpp"
+#include "update/update.hpp"
 
 namespace vmic::cloud {
 
@@ -128,6 +129,18 @@ struct CloudConfig {
   int drain_node = -1;
   double drain_at_s = 0;
   double drain_down_s = 60.0;
+  /// Image-update churn (vmic::update): a deterministic per-seed schedule
+  /// publishes new base-image versions mid-run. On a version bump every
+  /// node holding the old version's warm cache either *invalidates* it
+  /// (drop, refill cold from the new base) or *rebases* it (diff new vs
+  /// old base per cluster via the fingerprint hash, patch only changed
+  /// clusters into a new versioned cache through the CoR path — range
+  /// lock + one flush barrier per patch run). Versioned image names key
+  /// the cache pool, seed registry, fingerprint index, and manifest
+  /// records, so peer/dedup never serve a stale version and restart
+  /// re-adoption drops entries recorded against a superseded version.
+  /// Off = no update.* metrics exist, so snapshots stay pin-identical.
+  update::UpdateParams updates;
   std::uint64_t seed = 1;
 };
 
@@ -185,6 +198,15 @@ struct CloudResult {
   std::uint64_t dedup_peer_hits = 0;   ///< clusters fetched by fingerprint p2p
   std::uint64_t dedup_fallbacks = 0;   ///< fetches that fell through to NFS/peer
   std::uint64_t dedup_bytes_served = 0;  ///< bytes not read from the NFS export
+  // Image-update churn accounting (all zero when updates are off).
+  int updates_published = 0;       ///< catalog publish events executed
+  int caches_rebased = 0;          ///< warm caches incrementally rebased
+  int update_invalidations = 0;    ///< warm caches dropped on version bump
+  std::uint64_t rebase_patched_clusters = 0;  ///< clusters refetched (changed)
+  std::uint64_t rebase_reused_clusters = 0;   ///< clusters copied from old cache
+  /// Storage-node payload bytes served after the first catalog publish
+  /// (the refill cost a rebase exists to avoid). 0 = no update fired.
+  std::uint64_t post_update_storage_bytes = 0;
   double cache_hit_ratio = 0;  ///< warm_hits / completed
   double goodput_vms_per_hour = 0;
   double sim_seconds = 0;

@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 namespace vmic::cloud {
 
 ZipfPicker::ZipfPicker(int n, double s) {
+  // An empty catalog has no valid pick: lower_bound over an empty CDF
+  // used to fall through to index -1 and callers indexed vmis[-1].
+  if (n <= 0) {
+    throw std::invalid_argument("ZipfPicker: catalog size must be >= 1");
+  }
   cdf_.reserve(static_cast<std::size_t>(n));
   double total = 0;
   for (int k = 0; k < n; ++k) {
@@ -19,7 +25,10 @@ ZipfPicker::ZipfPicker(int n, double s) {
 int ZipfPicker::pick(Rng& rng) const {
   const double u = rng.uniform();
   const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-  if (it == cdf_.end()) return static_cast<int>(cdf_.size()) - 1;
+  // Rounding can leave u above the last CDF entry; clamp to the tail.
+  if (it == cdf_.end()) {
+    return cdf_.empty() ? 0 : static_cast<int>(cdf_.size()) - 1;
+  }
   return static_cast<int>(it - cdf_.begin());
 }
 
@@ -32,9 +41,13 @@ double rate_at(const WorkloadConfig& cfg, double t) {
     case ArrivalProcess::poisson:
       return base;
     case ArrivalProcess::diurnal:
-      return base * (1.0 + cfg.diurnal_amplitude *
-                               std::sin(2.0 * M_PI * t /
-                                        cfg.diurnal_period_s));
+      // Amplitudes above 1 would drive the sinusoid negative at the
+      // trough; a negative rate breaks the thinning acceptance test
+      // (rng.chance rejects p < 0 semantics). Clamp at zero: the trough
+      // simply goes quiet instead.
+      return std::max(0.0, base * (1.0 + cfg.diurnal_amplitude *
+                                             std::sin(2.0 * M_PI * t /
+                                                      cfg.diurnal_period_s)));
     case ArrivalProcess::flash_crowd:
       return t >= cfg.flash_at_s &&
                      t < cfg.flash_at_s + cfg.flash_duration_s
@@ -56,6 +69,27 @@ double peak_rate(const WorkloadConfig& cfg) {
 }
 
 }  // namespace
+
+Result<void> validate(const WorkloadConfig& cfg) {
+  if (cfg.num_vmis < 1) return Errc::invalid_argument;
+  if (!(cfg.mean_interarrival_s > 0)) return Errc::invalid_argument;
+  if (cfg.zipf_exponent < 0) return Errc::invalid_argument;
+  if (cfg.min_lifetime_s < 0 || cfg.mean_extra_lifetime_s < 0) {
+    return Errc::invalid_argument;
+  }
+  if (cfg.process == ArrivalProcess::diurnal) {
+    if (cfg.diurnal_amplitude < 0 || !(cfg.diurnal_period_s > 0)) {
+      return Errc::invalid_argument;
+    }
+  }
+  if (cfg.process == ArrivalProcess::flash_crowd) {
+    if (cfg.flash_at_s < 0 || cfg.flash_duration_s < 0 ||
+        cfg.flash_factor < 1.0) {
+      return Errc::invalid_argument;
+    }
+  }
+  return {};
+}
 
 std::vector<VmRequest> generate_workload(const WorkloadConfig& cfg,
                                          double horizon_s, Rng& rng) {

@@ -49,7 +49,8 @@ struct WorkloadConfig {
   /// The default period compresses a "day" into 4 h so short runs still
   /// see both the peak and the trough.
   double diurnal_period_s = 4 * 3600.0;
-  double diurnal_amplitude = 0.6;  ///< A in [0, 1)
+  double diurnal_amplitude = 0.6;  ///< A >= 0; troughs clamp at rate 0
+                                   ///< when A > 1
   /// Flash crowd: the rate is multiplied by `flash_factor` inside
   /// [flash_at_s, flash_at_s + flash_duration_s).
   double flash_at_s = 1800.0;
@@ -65,7 +66,9 @@ struct WorkloadConfig {
 };
 
 /// Zipf-distributed index picker over [0, n): P(k) proportional to
-/// 1/(k+1)^s, drawn by inverting a precomputed CDF.
+/// 1/(k+1)^s, drawn by inverting a precomputed CDF. Throws
+/// std::invalid_argument when n <= 0 — an empty catalog has nothing to
+/// pick and silently returning -1 sent callers indexing vmis[-1].
 class ZipfPicker {
  public:
   ZipfPicker(int n, double s);
@@ -74,6 +77,13 @@ class ZipfPicker {
  private:
   std::vector<double> cdf_;
 };
+
+/// Reject configs the generator cannot honour: an empty catalog, a
+/// non-positive mean inter-arrival gap, a negative Zipf exponent or
+/// lifetime, a diurnal amplitude below 0 (amplitudes above 1 are legal —
+/// the trough clamps to a quiet period), or a flash factor below 1
+/// (which would invert the thinning envelope).
+Result<void> validate(const WorkloadConfig& cfg);
 
 /// Materialise the arrival stream over [0, horizon_s). Non-homogeneous
 /// processes use Lewis-Shedler thinning against the peak rate, so every

@@ -1,0 +1,102 @@
+#include "update/update.hpp"
+
+#include <algorithm>
+
+namespace vmic::update {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Result<Policy> parse_policy(std::string_view text) {
+  if (text == "invalidate") return Policy::invalidate;
+  if (text == "rebase") return Policy::rebase;
+  if (text == "auto") return Policy::auto_;
+  return Errc::invalid_argument;
+}
+
+std::vector<UpdateEvent> generate_schedule(const UpdateParams& params,
+                                           int num_vmis, double horizon_s,
+                                           Rng& rng) {
+  std::vector<UpdateEvent> out;
+  if (!params.enabled || num_vmis <= 0 || !(params.rate_per_hour > 0)) {
+    return out;
+  }
+  const double mean_gap_s = 3600.0 / params.rate_per_hour;
+  std::vector<std::uint32_t> next_version(static_cast<std::size_t>(num_vmis),
+                                          1);
+  double t = 0;
+  int i = 0;
+  while (true) {
+    t += rng.exponential(mean_gap_s);
+    if (t >= horizon_s) break;
+    if (params.max_events > 0 &&
+        static_cast<int>(out.size()) >= params.max_events) {
+      break;
+    }
+    // Round-robin over the catalog: the Zipf head (image 0) updates
+    // first, so even a short run exercises churn on a busy image.
+    const int vmi = i++ % num_vmis;
+    UpdateEvent e;
+    e.at_s = t;
+    e.vmi = vmi;
+    e.to_version = next_version[static_cast<std::size_t>(vmi)]++;
+    out.push_back(e);
+  }
+  return out;
+}
+
+bool cluster_changed(int vmi, std::uint64_t cluster, std::uint32_t version,
+                     double changed_frac) noexcept {
+  if (version == 0) return false;
+  if (changed_frac >= 1.0) return true;
+  if (!(changed_frac > 0)) return false;
+  // Decide per aligned run so changed content clumps into whole host
+  // pages instead of scattering 512-byte islands across the image.
+  const std::uint64_t run = cluster / kChangedRunClusters;
+  const std::uint64_t h =
+      mix64(mix64(0x75bcd15ull ^ static_cast<std::uint64_t>(vmi)) ^
+            (static_cast<std::uint64_t>(version) << 40) ^ run);
+  // Map the hash to [0, 1) and compare against the target fraction.
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+  return u < changed_frac;
+}
+
+std::uint64_t changed_content_seed(int vmi, std::uint64_t cluster,
+                                   std::uint32_t version) noexcept {
+  return mix64(mix64(0xc0ffee ^ static_cast<std::uint64_t>(vmi)) ^
+               (static_cast<std::uint64_t>(version) << 32) ^ cluster);
+}
+
+std::string versioned_name(const std::string& base, std::uint32_t version) {
+  if (version == 0) return base;
+  return base + "@" + std::to_string(version);
+}
+
+std::uint32_t version_of(std::string_view name) noexcept {
+  const std::size_t at = name.rfind('@');
+  if (at == std::string_view::npos) return 0;
+  std::uint32_t v = 0;
+  for (std::size_t i = at + 1; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return 0;
+    v = v * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  return v;
+}
+
+std::string_view base_name(std::string_view name) noexcept {
+  const std::size_t at = name.rfind('@');
+  if (at == std::string_view::npos) return name;
+  return name.substr(0, at);
+}
+
+}  // namespace vmic::update

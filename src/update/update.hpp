@@ -1,0 +1,111 @@
+#pragma once
+
+// vmic::update — image-update (catalog churn) subsystem. Real fleets do
+// not boot one immutable catalog forever: base images get patched and
+// republished mid-run, and every warm cache built against the old
+// version is suddenly suspect. This module owns the *schedule* side of
+// that story — when each image publishes a new version, and which
+// clusters that version actually changes — so the engine can decide per
+// node between invalidating the warm cache (refill cold) and
+// incrementally rebasing it (patch only the changed clusters).
+//
+// Everything here is deterministic per seed: the event times come from
+// a dedicated Rng stream forked off the run seed, and the changed-
+// cluster set is a pure hash of (image, version, cluster-run), so two
+// runs with the same seed see byte-identical churn regardless of
+// policy. Changed clusters are clumped into page-aligned runs (8
+// clusters = one 4 KiB SparseBuffer page) so publishing a version
+// materialises host memory proportional to the bytes that actually
+// changed, and so a rebase patches contiguous extents rather than
+// confetti.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace vmic::update {
+
+/// What the engine does to a warm cache when its base image publishes a
+/// new version.
+enum class Policy {
+  invalidate,  ///< drop the warm cache, refill cold from the new base
+  rebase,      ///< patch only changed clusters into the existing cache
+  auto_,       ///< rebase when the changed fraction is small, else drop
+};
+
+constexpr const char* to_string(Policy p) noexcept {
+  switch (p) {
+    case Policy::invalidate: return "invalidate";
+    case Policy::rebase: return "rebase";
+    case Policy::auto_: return "auto";
+  }
+  return "?";
+}
+
+/// Parse "invalidate" | "rebase" | "auto". Fails with
+/// Errc::invalid_argument on anything else.
+Result<Policy> parse_policy(std::string_view text);
+
+struct UpdateParams {
+  bool enabled = false;
+  /// Mean catalog-wide publish rate (Poisson), in updates per simulated
+  /// hour. Each event bumps exactly one image's version.
+  double rate_per_hour = 2.0;
+  /// Fraction of the image's clusters a new version rewrites.
+  double changed_frac = 0.10;
+  Policy policy = Policy::auto_;
+  /// auto_: rebase iff changed_frac <= this threshold.
+  double rebase_threshold = 0.5;
+  /// Cap on the number of publish events (0 = unlimited).
+  int max_events = 0;
+};
+
+/// One catalog event: image `vmi` publishes version `to_version` at
+/// simulated time `at_s`. Versions per image count 1, 2, 3, ...
+struct UpdateEvent {
+  double at_s = 0;
+  int vmi = 0;
+  std::uint32_t to_version = 0;
+};
+
+/// Materialise the publish schedule over [0, horizon_s). Event times are
+/// Poisson at `rate_per_hour`; images are assigned round-robin so the
+/// most popular (Zipf rank 0) image updates first and every image
+/// churns eventually. All draws come from `rng` in a fixed order.
+std::vector<UpdateEvent> generate_schedule(const UpdateParams& params,
+                                           int num_vmis, double horizon_s,
+                                           Rng& rng);
+
+/// Clusters change in aligned runs of this many clusters (at 512-byte
+/// sim clusters: 8 * 512 = 4096 bytes = exactly one SparseBuffer page).
+constexpr std::uint64_t kChangedRunClusters = 8;
+
+/// Deterministically decide whether `cluster` of image `vmi` is
+/// rewritten by version `version` (versions count from 1). The decision
+/// is made per aligned run of kChangedRunClusters so changes clump into
+/// whole pages; ~`changed_frac` of all clusters change per version,
+/// independently across versions.
+bool cluster_changed(int vmi, std::uint64_t cluster, std::uint32_t version,
+                     double changed_frac) noexcept;
+
+/// Content seed for a cluster the given version rewrote. Mixing the
+/// version in guarantees rewritten bytes differ from every earlier
+/// version of the same cluster.
+std::uint64_t changed_content_seed(int vmi, std::uint64_t cluster,
+                                   std::uint32_t version) noexcept;
+
+/// Versioned image naming: version 0 keeps the bare name (so runs with
+/// updates off are byte-identical to the pre-update engine), version
+/// k > 0 appends "@k". "img-3" -> "img-3@2".
+std::string versioned_name(const std::string& base, std::uint32_t version);
+
+/// Parse the version suffix back out of a (possibly bare) image name.
+std::uint32_t version_of(std::string_view name) noexcept;
+
+/// Strip the version suffix: "img-3@2" -> "img-3".
+std::string_view base_name(std::string_view name) noexcept;
+
+}  // namespace vmic::update

@@ -35,9 +35,21 @@
 //                        --shared-frac of their cluster content (default 0)
 //     --shared-frac F    shared fraction within a group     (default 0.75)
 //     --content-mib M    generated content per image, MiB   (default whole)
+//     --amplitude F      diurnal modulation depth (--process diurnal);
+//                        troughs clamp at zero when F > 1   (default 0.6)
 //     --manifest on|off  durable per-node cache manifests: restarts and
 //                        drains re-adopt verified caches instead of
 //                        re-warming cold                    (default off)
+//     --updates on|off   image-update churn: a deterministic per-seed
+//                        schedule publishes new base-image versions
+//                        mid-run; warm caches of the old version are
+//                        invalidated or incrementally rebased (default off)
+//     --update-policy invalidate|rebase|auto   stale-cache handling on a
+//                        version bump; auto rebases when --update-frac is
+//                        at most the rebase threshold       (default auto)
+//     --update-rate R    publish events per hour            (default 2)
+//     --update-frac F    fraction of clusters changed per version,
+//                        in (0, 1]                          (default 0.1)
 //     --restart-at H     restart the whole cloud H simulated hours in
 //                        (repeatable)
 //     --restart-down S   restart downtime, seconds          (default 30)
@@ -79,8 +91,11 @@ namespace {
       " [--compress on|off]\n"
       "       [--cluster-bits N] [--siblings N] [--shared-frac F]"
       " [--content-mib M]\n"
-      "       [--manifest on|off] [--restart-at H] [--restart-down S]\n"
+      "       [--amplitude F] [--manifest on|off] [--restart-at H]"
+      " [--restart-down S]\n"
       "       [--drain N] [--drain-at H] [--drain-down S]\n"
+      "       [--updates on|off] [--update-policy invalidate|rebase|auto]\n"
+      "       [--update-rate PER_HOUR] [--update-frac F]\n"
       "       [--slo-strict] [--slo-p99 S]\n"
       "       [--trace FILE] [--trace-out FILE] [--metrics-out FILE]\n");
   std::exit(2);
@@ -135,6 +150,8 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   bool slo_strict = false;
   double slo_p99 = 0;
+  /// First --update-* knob seen without --updates on (combo audit).
+  const char* update_knob = nullptr;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -212,6 +229,24 @@ int main(int argc, char** argv) {
       cfg.shared_fraction = std::atof(next());
     } else if (a == "--content-mib") {
       cfg.content_bytes = static_cast<std::uint64_t>(std::atoi(next())) * MiB;
+    } else if (a == "--amplitude") {
+      cfg.workload.diurnal_amplitude = std::atof(next());
+    } else if (a == "--updates") {
+      const std::string p = next();
+      if (p == "on") cfg.updates.enabled = true;
+      else if (p == "off") cfg.updates.enabled = false;
+      else usage();
+    } else if (a == "--update-policy") {
+      auto pol = update::parse_policy(next());
+      if (!pol.ok()) usage();
+      cfg.updates.policy = *pol;
+      if (update_knob == nullptr) update_knob = "--update-policy";
+    } else if (a == "--update-rate") {
+      cfg.updates.rate_per_hour = std::atof(next());
+      if (update_knob == nullptr) update_knob = "--update-rate";
+    } else if (a == "--update-frac") {
+      cfg.updates.changed_frac = std::atof(next());
+      if (update_knob == nullptr) update_knob = "--update-frac";
     } else if (a == "--manifest") {
       const std::string p = next();
       if (p == "on") cfg.manifest = true;
@@ -248,6 +283,36 @@ int main(int argc, char** argv) {
   else if (os == "windows") cfg.profile = boot::windows2012();
   else if (os == "scaled") cfg.profile = scaled_down(boot::centos63());
   else usage();
+
+  // Flag audit: contradictory or out-of-range combinations fail fast
+  // with a specific message instead of silently running something else.
+  auto die = [](const std::string& msg) {
+    std::fprintf(stderr, "vmi-cloudsim: %s\n", msg.c_str());
+    std::exit(2);
+  };
+  if (update_knob != nullptr && !cfg.updates.enabled) {
+    die(std::string(update_knob) + " requires --updates on");
+  }
+  if (cfg.updates.enabled) {
+    if (!(cfg.updates.rate_per_hour > 0)) {
+      die("--update-rate must be > 0");
+    }
+    if (!(cfg.updates.changed_frac > 0) || cfg.updates.changed_frac > 1) {
+      die("--update-frac must be in (0, 1]");
+    }
+  }
+  if (cfg.drain_node >= cfg.cluster.compute_nodes) {
+    die("--drain node " + std::to_string(cfg.drain_node) +
+        " out of range (have " + std::to_string(cfg.cluster.compute_nodes) +
+        " nodes)");
+  }
+  if (slo_p99 > 0 && !slo_strict) {
+    die("--slo-p99 has no effect without --slo-strict");
+  }
+  if (auto wl = validate(cfg.workload); !wl.ok()) {
+    die("invalid workload config (check --vmis, --rate, --zipf, "
+        "--amplitude and the process parameters)");
+  }
 
   // Failure plan and workload draw from forks of the same seed, so
   // --fail-nodes changes nothing about arrival timing.
@@ -313,6 +378,16 @@ int main(int argc, char** argv) {
   if (cfg.manifest) {
     std::printf("manifest: %llu publish(es)\n",
                 static_cast<unsigned long long>(r.manifest_publishes));
+  }
+  if (cfg.updates.enabled) {
+    std::printf("updates (%s): %d publish(es), %d cache(s) rebased, "
+                "%d invalidated; %llu cluster(s) patched, %llu reused; "
+                "%s served post-publish\n",
+                update::to_string(cfg.updates.policy), r.updates_published,
+                r.caches_rebased, r.update_invalidations,
+                static_cast<unsigned long long>(r.rebase_patched_clusters),
+                static_cast<unsigned long long>(r.rebase_reused_clusters),
+                format_bytes(r.post_update_storage_bytes).c_str());
   }
   std::printf("cache: hit ratio %.3f (%d warm hit(s)), %llu eviction(s)\n",
               r.cache_hit_ratio, r.warm_hits,
